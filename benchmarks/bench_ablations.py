@@ -1,0 +1,60 @@
+"""Bench: ablations over Wi-LE's design choices.
+
+Three sweeps DESIGN.md calls out: injection PHY rate (why 72 Mbps),
+payload size (the vendor-IE limit and fragmentation), and the WiFi-PS
+listen interval (the knob behind Table 1's 4.5 mA idle).
+"""
+
+import pytest
+from conftest import once
+
+from repro.experiments.ablations import (
+    listen_interval_sweep,
+    payload_sweep,
+    rate_sweep,
+    render_all,
+)
+
+
+def test_ablation_rate(benchmark):
+    points = once(benchmark, rate_sweep)
+    by_name = {point.rate.name: point for point in points}
+    # Warm-up dominates the TX window: even DSSS-1 (with ~50x the
+    # airtime) costs only a handful of times more energy.
+    assert (by_name["DSSS-1"].energy_j
+            > by_name["OFDM-24"].energy_j
+            > by_name["HT-MCS7-SGI"].energy_j)
+    # The range/energy trade: 1 Mbps reaches several times further.
+    assert by_name["DSSS-1"].range_m > 2 * by_name["HT-MCS7-SGI"].range_m
+    # The paper's operating point stays within BLE-class range at 0 dBm.
+    assert by_name["HT-MCS7-SGI"].range_m < 25.0
+    assert by_name["HT-MCS7-SGI"].energy_j == pytest.approx(84e-6, rel=0.05)
+
+
+def test_ablation_payload(benchmark):
+    points = once(benchmark, payload_sweep)
+    assert all(point.delivered for point in points)
+    small = points[0]
+    largest_single = [point for point in points if point.beacons_needed == 1][-1]
+    # Filling the vendor IE amortises the warm-up: >10x better J/byte.
+    assert small.energy_per_byte_j / largest_single.energy_per_byte_j > 10
+
+
+def test_ablation_listen_interval(benchmark):
+    points = once(benchmark, listen_interval_sweep)
+    by_interval = {point.listen_interval: point for point in points}
+    # The paper's setting (every third beacon) reproduces Table 1's idle.
+    assert by_interval[3].idle_current_a == pytest.approx(4.5e-3, rel=0.02)
+    # More skipping saves idle power but with diminishing returns.
+    saving_1_to_3 = (by_interval[1].idle_current_a
+                     - by_interval[3].idle_current_a)
+    saving_3_to_10 = (by_interval[3].idle_current_a
+                      - by_interval[10].idle_current_a)
+    assert saving_1_to_3 > saving_3_to_10 > 0
+
+
+def test_ablation_report(benchmark):
+    text = once(benchmark, render_all)
+    print()
+    print(text)
+    assert "Ablation" in text

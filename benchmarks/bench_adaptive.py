@@ -1,0 +1,28 @@
+"""Bench: adaptive reporting — delta suppression through the ULP path.
+
+Quantifies a Wi-LE-specific design fact: the boot (54 mJ), not the
+beacon (84 µJ), is where duty-cycle energy goes, so "send less" only
+helps if the change detection runs on the ULP coprocessor.
+"""
+
+from conftest import once
+
+from repro.experiments.adaptive import boot_vs_tx_energy, render, run_adaptive
+
+
+def test_adaptive_reporting(benchmark):
+    results = once(benchmark, run_adaptive)
+    print()
+    print(render(results))
+    fixed, delta = results
+    assert delta.suppression_rate > 0.5
+    assert delta.average_current_a < 0.5 * fixed.average_current_a
+
+
+def test_boot_dominance():
+    boot_j, tx_j, ulp_j = boot_vs_tx_energy()
+    # TX-only suppression could save at most tx/(boot+tx) of the active
+    # energy — well under 1 %.
+    assert tx_j / (boot_j + tx_j) < 0.01
+    # ULP-path suppression saves (boot+tx-ulp)/(boot+tx) — over 99 %.
+    assert (boot_j + tx_j - ulp_j) / (boot_j + tx_j) > 0.99

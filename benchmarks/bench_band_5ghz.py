@@ -1,0 +1,29 @@
+"""Bench: the §1 5 GHz advantage — range price, congestion escape.
+
+"enabling the use of the 5 GHz spectrum (allowing devices to avoid the
+increasingly crowded 2.4 GHz spectrum used by BLE)".
+"""
+
+import pytest
+from conftest import once
+
+from repro.experiments.band_5ghz import (
+    band_range_table,
+    render,
+    run_congestion_escape,
+)
+
+
+def test_band_range(benchmark):
+    rows = once(benchmark, band_range_table)
+    for row in rows:
+        # Friis + log-distance n=3: ~1.65x range penalty at 5.18 GHz.
+        assert row.penalty == pytest.approx(1.65, rel=0.05)
+
+
+def test_congestion_escape(benchmark):
+    escape = once(benchmark, run_congestion_escape, 0.7, 30)
+    print()
+    print(render())
+    assert escape.rate_5ghz == 1.0
+    assert escape.rate_2_4ghz < 0.7

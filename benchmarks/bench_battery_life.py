@@ -1,0 +1,31 @@
+"""Bench: battery-life projections per scenario and interval.
+
+Quantifies §5.4's "BLE modules can run on a small button battery for
+over a year" and shows Wi-LE lands in the same deployment class while
+both WiFi modes are off by orders of magnitude.
+"""
+
+from conftest import once
+
+from repro.experiments.battery_life import battery_life, render
+
+
+def test_battery_life(benchmark, scenario_results):
+    cells = once(benchmark, battery_life, scenario_results)
+    print()
+    print(render(cells))
+    by_key = {(cell.scenario, cell.interval_s): cell for cell in cells}
+    assert by_key[("BLE", 600.0)].cr2032_years > 1.0
+    assert by_key[("Wi-LE", 600.0)].cr2032_years > 1.0
+    assert by_key[("WiFi-PS", 600.0)].cr2032_years < 0.1
+    assert by_key[("WiFi-DC", 600.0)].cr2032_years < 1.0
+
+
+def test_coin_cell_class_boundary(scenario_results):
+    """Wi-LE and BLE are the only technologies in the >1-year coin-cell
+    class at every interval of 1 minute or more."""
+    for cell in battery_life(scenario_results, intervals_s=(60.0, 600.0)):
+        if cell.scenario in ("Wi-LE", "BLE"):
+            assert cell.cr2032_years > 1.0, cell
+        else:
+            assert cell.cr2032_years < 1.0, cell

@@ -1,0 +1,28 @@
+"""Bench: Wi-LE injection on a busy channel (raw vs listen-before-talk).
+
+Not a paper figure — the paper measures on a quiet bench — but its
+prototype inherits the ESP32 SDK's CSMA path, so this is the behaviour
+the deployed system would actually have. The bench quantifies delivery
+loss for fire-blind injection vs the access-delay cost of politeness.
+"""
+
+from conftest import once
+
+from repro.experiments.contention import render, run_contention
+
+
+def test_contention_matrix(benchmark):
+    points = once(benchmark, run_contention, (0.0, 0.2, 0.5, 0.8), 30)
+    print()
+    print(render(points))
+    by_key = {(point.offered_load, point.carrier_sense): point
+              for point in points}
+    # Raw injection decays roughly like the free airtime fraction.
+    assert by_key[(0.0, False)].delivery_rate == 1.0
+    assert by_key[(0.5, False)].delivery_rate < 0.7
+    assert by_key[(0.8, False)].delivery_rate < 0.4
+    # Listen-before-talk recovers most of it at moderate load.
+    assert by_key[(0.5, True)].delivery_rate > 0.85
+    # The price is access delay, growing with load.
+    assert (by_key[(0.8, True)].mean_access_delay_s
+            > by_key[(0.2, True)].mean_access_delay_s)

@@ -1,0 +1,47 @@
+"""Bench: regenerate Figure 3 (current-draw traces for one transmission).
+
+Figure 3a (WiFi/duty-cycle): sleep | MC/WiFi init | probe/auth/assoc |
+DHCP/ARP | Tx | sleep over ~2 s, peaks near 250 mA.
+Figure 3b (Wi-LE): sleep | shorter MC/WiFi init | Tx | sleep.
+"""
+
+import pytest
+from conftest import once
+
+from repro.energy import calibration as cal
+from repro.experiments.figure3 import run_figure3
+
+
+def test_figure3(benchmark):
+    report = once(benchmark, run_figure3)
+    print()
+    print(report.render())
+
+    wifi = {phase.label: phase for phase in report.wifi_phases}
+    # Phase spans against the figure's annotations.
+    assert wifi["mc/wifi-init"].duration_s == pytest.approx(0.65, rel=0.05)
+    assoc_s = (wifi["probe/auth/assoc"].duration_s
+               + wifi["probe/auth/assoc-tx"].duration_s)
+    assert 0.2 < assoc_s < 0.4
+    net_s = wifi["dhcp/arp"].duration_s + wifi["dhcp/arp-active"].duration_s
+    assert 0.45 < net_s < 0.8
+    # Peaks: WiFi spikes near 250 mA, Wi-LE tops out at the 0 dBm TX draw.
+    assert report.wifi_peak_a == pytest.approx(0.24, rel=0.1)
+    assert report.wile_peak_a == pytest.approx(cal.ESP32_WIFI_TX_A, rel=0.01)
+
+    wile = {phase.label: phase for phase in report.wile_phases}
+    # Figure 3b's init phase is visibly shorter than Figure 3a's.
+    assert wile["mc/wifi-init"].duration_s < wifi["mc/wifi-init"].duration_s
+    assert wile["tx"].duration_s < 1e-3
+
+
+def test_figure3_energy_split(benchmark):
+    """The charge breakdown explains *why* WiFi-DC costs 238 mJ: most of
+    it is boot + management waiting, not the data transmission."""
+    report = once(benchmark, run_figure3)
+    wifi = {phase.label: phase for phase in report.wifi_phases}
+    data_tx = wifi["tx"].charge_c
+    overhead = sum(phase.charge_c for phase in report.wifi_phases
+                   if phase.label not in ("tx", "sleep"))
+    print(f"\nWiFi-DC overhead/data charge ratio: {overhead / data_tx:.0f}x")
+    assert overhead / data_tx > 30

@@ -1,0 +1,36 @@
+"""Bench: regenerate Figure 4 (average power vs transmission interval).
+
+Four Eq.-1 curves over 0-5 minute intervals on a log power axis, and the
+paper's three takeaways: monotone decrease, the WiFi-PS/WiFi-DC
+crossover under a minute, Wi-LE hugging BLE about three orders below
+the WiFi options.
+"""
+
+from conftest import once
+
+from repro.experiments.figure4 import run_figure4
+
+
+def test_figure4(benchmark, scenario_results):
+    report = once(benchmark, run_figure4, scenario_results)
+    print()
+    print(report.render())
+    findings = report.findings
+    assert findings.wifi_ps_dc_crossover_s is not None
+    assert findings.wifi_ps_dc_crossover_s < 60.0
+    assert findings.wile_ble_ratio_at_1min < 4.0
+    assert findings.wile_vs_best_wifi_orders_at_1min > 2.0
+
+
+def test_figure4_crossover_algebra(scenario_results):
+    """The crossover emerges where re-association energy amortises:
+    (E_dc - E_ps) / P_idle_ps — check the simulation agrees with the
+    closed form."""
+    from repro.scenarios import figure4_findings
+    findings = figure4_findings(scenario_results)
+    dc = scenario_results["WiFi-DC"]
+    ps = scenario_results["WiFi-PS"]
+    closed_form = ((dc.energy_per_packet_j - ps.energy_per_packet_j)
+                   / (ps.idle_current_a * ps.supply_voltage_v
+                      - dc.idle_current_a * dc.supply_voltage_v))
+    assert abs(findings.wifi_ps_dc_crossover_s / closed_form - 1.0) < 0.05

@@ -1,0 +1,33 @@
+"""Bench: §3.1 frame counts — everything WiFi exchanges before one data byte.
+
+Paper: a directed probe exchange, Open System authentication,
+association, and the 802.1x 4-way handshake ("at least 8 frames") total
+20 MAC-layer frames, plus 7 higher-layer DHCP/ARP frames. Wi-LE: one
+injected beacon, zero connection state.
+"""
+
+from conftest import once
+
+from repro.experiments.frame_counts import run_frame_counts
+
+
+def test_frame_counts(benchmark):
+    report = once(benchmark, run_frame_counts)
+    print()
+    print(report.render())
+    assert report.mac_frames == 20
+    assert report.higher_layer_frames == 7
+    assert report.eapol_phase_frames == 8
+    assert report.wile_frames == 1
+
+
+def test_bytes_on_air_comparison(benchmark):
+    """Beyond counts: total bytes the association sequence burns."""
+    from repro.scenarios import run_wifi_dc, run_wile
+    wifi = once(benchmark, run_wifi_dc)
+    wile = run_wile()
+    wifi_bytes = wifi.frame_log.bytes_on_air()
+    wile_bytes = wile.details["frame_bytes"]
+    print(f"\nbytes on air: WiFi-DC sequence ~{wifi_bytes} B "
+          f"vs one Wi-LE beacon {wile_bytes} B")
+    assert wifi_bytes > 10 * wile_bytes

@@ -1,0 +1,23 @@
+"""Bench: beacon repetition — reliability without acknowledgements.
+
+Delivery vs energy across repeat counts on a half-loaded channel; the
+independent-shot model 1-(1-p)^k anchors the curve.
+"""
+
+from conftest import once
+
+from repro.experiments.reliability import render, run_reliability
+
+
+def test_reliability_sweep(benchmark):
+    points = once(benchmark, run_reliability, (1, 2, 3, 4), 0.5, 30)
+    print()
+    print(render(points))
+    rates = [point.delivery_rate for point in points]
+    assert all(later >= earlier - 0.05
+               for earlier, later in zip(rates, rates[1:]))
+    assert rates[0] < 0.7
+    assert rates[-1] > 0.9
+    # The cost side: every extra copy buys delivery with real energy.
+    energies = [point.train_energy_j for point in points]
+    assert energies == sorted(energies)

@@ -1,0 +1,29 @@
+"""Bench: fleet scheduling policies at §6-breaking densities.
+
+Synchronised (the paper's worst case), random phase (field power-ons),
+and deterministic slot ownership, at 40 devices / 200 ms periods.
+"""
+
+from conftest import once
+
+from repro.experiments.scheduling import (
+    expected_random_delivery,
+    render,
+    run_scheduling,
+)
+
+
+def test_scheduling_policies(benchmark):
+    results = once(benchmark, run_scheduling)
+    print()
+    print(render(results))
+    by_policy = {result.policy: result for result in results}
+    assert (by_policy["synchronised"].delivery_rate
+            < by_policy["random"].delivery_rate)
+    assert by_policy["slotted"].delivery_rate >= by_policy["random"].delivery_rate
+    # §6's claim at the policy level: the synchronised fleet heals.
+    sync = by_policy["synchronised"]
+    assert sync.late_rate > sync.early_rate
+    # The uncoordinated baseline is predictable from first principles.
+    analytic = expected_random_delivery(sync.device_count, sync.interval_s)
+    assert abs(by_policy["random"].delivery_rate - analytic) < 0.05

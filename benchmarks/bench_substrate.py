@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the substrate the reproduction is built on.
+
+Not a paper artifact — these track the cost of the from-scratch frame
+codec, crypto, and simulation primitives so regressions in the library
+itself are visible. These use normal multi-round benchmarking since the
+operations are microsecond-scale.
+"""
+
+from repro.core import SensorKind, SensorReading, WileMessage, encode_beacon
+from repro.core.codec import decode_beacon
+from repro.dot11 import parse_frame
+from repro.dot11.airtime import frame_airtime_us
+from repro.dot11.rates import HT_MCS7_SGI
+from repro.security import Aes, ccm_encrypt, run_handshake
+from repro.security.keys import pmk_from_passphrase
+
+
+def wile_beacon():
+    message = WileMessage(
+        device_id=0x1234, sequence=7,
+        readings=(SensorReading(SensorKind.TEMPERATURE_C, 17.0),))
+    return encode_beacon(message)
+
+
+def test_beacon_encode(benchmark):
+    beacon = wile_beacon()
+    wire = benchmark(beacon.to_bytes)
+    assert len(wire) > 50
+
+
+def test_beacon_parse(benchmark):
+    wire = wile_beacon().to_bytes()
+    parsed = benchmark(parse_frame, wire)
+    assert parsed.source == wile_beacon().source
+
+
+def test_wile_decode_pipeline(benchmark):
+    wire = wile_beacon().to_bytes()
+
+    def pipeline():
+        return decode_beacon(parse_frame(wire))
+
+    message = benchmark(pipeline)
+    assert message.device_id == 0x1234
+
+
+def test_aes_block(benchmark):
+    cipher = Aes(bytes(16))
+    out = benchmark(cipher.encrypt_block, bytes(16))
+    assert len(out) == 16
+
+
+def test_ccm_encrypt_64b(benchmark):
+    out = benchmark(ccm_encrypt, bytes(16), bytes(13), bytes(64), b"aad", 8)
+    assert len(out) == 72
+
+
+def test_pmk_derivation(benchmark):
+    """PBKDF2 with 4096 iterations — the expensive step real stations
+    cache across associations."""
+    pmk = benchmark(pmk_from_passphrase, "hotnets2019", b"GoogleWifi")
+    assert len(pmk) == 32
+
+
+def test_four_way_handshake(benchmark):
+    pmk = pmk_from_passphrase("hotnets2019", b"GoogleWifi")
+    result = benchmark(run_handshake, pmk, b"\x02" * 6, b"\x04" * 6)
+    assert result[0].gtk == result[1].gtk
+
+
+def test_airtime_computation(benchmark):
+    value = benchmark(frame_airtime_us, 72, HT_MCS7_SGI)
+    assert value > 0
+
+
+def test_association_simulation(benchmark):
+    """A full simulated WiFi-DC association (the heaviest single unit)."""
+    from repro.scenarios.wifi_dc import run_wifi_dc
+    result = benchmark.pedantic(run_wifi_dc, rounds=1, iterations=1)
+    assert result.details["mac_frames"] == 20

@@ -1,0 +1,31 @@
+"""Bench: §6 two-way Wi-LE — windowed downlink energy.
+
+The paper proposes bounding the receiver-on time to advertised windows
+after selected beacons; the bench verifies command delivery end to end
+and quantifies the saving over an always-on receiver.
+"""
+
+from conftest import once
+
+from repro.experiments.report import format_si, render_table
+from repro.experiments.two_way import run_two_way, window_sweep
+
+
+def test_two_way(benchmark):
+    report = once(benchmark, run_two_way)
+    print()
+    print(report.render())
+    assert report.commands_received == report.commands_sent
+    assert report.savings_factor > 100
+
+
+def test_window_size_sweep(benchmark):
+    sweep = once(benchmark, window_sweep)
+    rows = [[f"{window} ms", format_si(energy, "J"), f"{factor:.0f}x"]
+            for window, energy, factor in sweep]
+    print()
+    print(render_table("RX window sweep (60 s uplink interval)",
+                       ["window", "RX energy/interval", "savings"], rows))
+    factors = [factor for _w, _e, factor in sweep]
+    assert factors == sorted(factors, reverse=True)
+    assert factors[0] > 1000

@@ -1,0 +1,44 @@
+"""BLE airtime on the 1 Mbps uncoded PHY (what BLE 4.x uses).
+
+The PHY moves one bit per microsecond, so a packet's airtime in
+microseconds is eight times its on-air size in octets. Used to compare
+the physical-layer energy-per-bit of BLE (275-300 nJ/bit, paper §1)
+with WiFi's 10-100 nJ/bit.
+"""
+
+from __future__ import annotations
+
+from .packets import on_air_bytes
+
+#: BLE 4.x PHY bit rate.
+BLE_BIT_RATE_BPS = 1_000_000
+
+#: Inter-frame space between packets in a connection event (T_IFS).
+T_IFS_US = 150.0
+
+
+def airtime_us(on_air_octets: int) -> float:
+    """Airtime for a packet of ``on_air_octets`` total octets."""
+    if on_air_octets < 0:
+        raise ValueError(f"negative packet size {on_air_octets}")
+    return on_air_octets * 8.0 / (BLE_BIT_RATE_BPS / 1e6)
+
+
+def pdu_airtime_us(pdu: bytes) -> float:
+    """Airtime of a PDU including preamble, access address and CRC."""
+    return airtime_us(on_air_bytes(pdu))
+
+
+def energy_per_bit_nj(tx_power_w: float, payload_bytes: int,
+                      overhead_bytes: int = 10) -> float:
+    """Physical-layer energy per payload bit at a given TX power.
+
+    The paper's §1 comparison: BLE's slow 1 Mbps PHY keeps the radio on
+    ~275-300 nJ per bit, while WiFi's OFDM rates amortise the radio-on
+    time over far more bits.
+    """
+    if payload_bytes <= 0:
+        raise ValueError("payload must be positive")
+    total_bits = 8 * (payload_bytes + overhead_bytes)
+    airtime_s = total_bits / BLE_BIT_RATE_BPS
+    return tx_power_w * airtime_s / (8 * payload_bytes) * 1e9

@@ -1,0 +1,52 @@
+"""The BLE link-layer CRC (24-bit, polynomial x^24+x^10+x^9+x^6+x^4+x^3+x+1).
+
+Bluetooth Core spec Vol 6 Part B §3.1.1: the CRC is computed over the
+PDU with a 24-bit LFSR seeded with 0x555555 for advertising channel
+packets (connections use the CRC init exchanged in CONNECT_IND), shifting
+bits in LSB-first.
+"""
+
+from __future__ import annotations
+
+#: LFSR taps from the polynomial (bit positions that get XORed).
+_POLY_BITS = (10, 9, 6, 4, 3, 1, 0)
+
+#: CRC preset for advertising channel PDUs.
+ADVERTISING_CRC_INIT = 0x555555
+
+
+class Crc24Error(ValueError):
+    """Raised for out-of-range CRC parameters."""
+
+
+def crc24(data: bytes, crc_init: int = ADVERTISING_CRC_INIT) -> int:
+    """Compute the 24-bit link-layer CRC of ``data``.
+
+    Bit-serial implementation mirroring the spec's LFSR description:
+    data bits enter LSB-first; the register's MSB feeds back through the
+    polynomial taps.
+    """
+    if not 0 <= crc_init < (1 << 24):
+        raise Crc24Error(f"crc_init {crc_init:#x} out of 24-bit range")
+    lfsr = crc_init
+    for byte in data:
+        for bit in range(8):
+            feedback = ((lfsr >> 23) & 1) ^ ((byte >> bit) & 1)
+            lfsr = (lfsr << 1) & 0xFFFFFF
+            if feedback:
+                for tap in _POLY_BITS:
+                    lfsr ^= (1 << tap)
+    return lfsr
+
+
+def append_crc(pdu: bytes, crc_init: int = ADVERTISING_CRC_INIT) -> bytes:
+    """PDU with its 3-byte CRC appended (LSB first, as transmitted)."""
+    return pdu + crc24(pdu, crc_init).to_bytes(3, "little")
+
+
+def check_crc(packet: bytes, crc_init: int = ADVERTISING_CRC_INIT) -> bool:
+    """Validate a trailing CRC; False for packets shorter than the CRC."""
+    if len(packet) < 3:
+        return False
+    pdu, trailer = packet[:-3], packet[-3:]
+    return crc24(pdu, crc_init).to_bytes(3, "little") == trailer

@@ -1,0 +1,180 @@
+"""BLE link-layer packet formats (Core spec Vol 6 Part B §2).
+
+Covers what the paper's BLE baseline scenario uses: advertising-channel
+PDUs (the slave could advertise) and data-channel PDUs (the scenario's
+slave "periodically transmits a data packet to another BLE device which
+is in the master mode", §5.3), with the access address, header fields,
+CRC, and whitening all modelled on real wire format.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from .crc24 import ADVERTISING_CRC_INIT, append_crc, check_crc
+from .whitening import whiten
+
+#: Fixed access address of all advertising-channel packets.
+ADVERTISING_ACCESS_ADDRESS = 0x8E89BED6
+
+#: The 1 Mbps uncoded PHY preamble (1 byte) + access address (4 bytes).
+PREAMBLE_BYTES = 1
+ACCESS_ADDRESS_BYTES = 4
+CRC_BYTES = 3
+
+#: Advertising channels 37, 38, 39 map to RF channels 0, 12, 39's
+#: whitening indices; data channels 0-36 map directly.
+ADVERTISING_CHANNELS = (37, 38, 39)
+
+#: Maximum advertising payload (advertiser address + AD structures).
+MAX_ADV_DATA_BYTES = 31
+
+
+class BlePacketError(ValueError):
+    """Raised for malformed BLE PDUs."""
+
+
+class AdvPduType(enum.IntEnum):
+    ADV_IND = 0b0000          # connectable undirected
+    ADV_DIRECT_IND = 0b0001
+    ADV_NONCONN_IND = 0b0010  # the beacon-like one-way broadcast
+    SCAN_REQ = 0b0011
+    SCAN_RSP = 0b0100
+    CONNECT_IND = 0b0101
+    ADV_SCAN_IND = 0b0110
+
+
+@dataclass(frozen=True, slots=True)
+class AdvertisingPdu:
+    """An advertising-channel PDU.
+
+    ``advertiser`` is the 6-byte device address (AdvA); ``data`` the AD
+    payload (up to 31 bytes) — the BLE analogue of Wi-LE's vendor IE.
+    """
+
+    pdu_type: AdvPduType
+    advertiser: bytes
+    data: bytes = b""
+    tx_add_random: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.advertiser) != 6:
+            raise BlePacketError("AdvA must be 6 bytes")
+        if len(self.data) > MAX_ADV_DATA_BYTES:
+            raise BlePacketError(
+                f"advertising data {len(self.data)} exceeds {MAX_ADV_DATA_BYTES}")
+
+    def to_bytes(self) -> bytes:
+        payload = self.advertiser + self.data
+        header = (int(self.pdu_type)
+                  | (int(self.tx_add_random) << 6)) & 0xFF
+        return bytes([header, len(payload)]) + payload
+
+    @classmethod
+    def from_bytes(cls, pdu: bytes) -> "AdvertisingPdu":
+        if len(pdu) < 8:
+            raise BlePacketError(f"advertising PDU too short: {len(pdu)}")
+        header, length = pdu[0], pdu[1]
+        payload = pdu[2:2 + length]
+        if len(payload) != length:
+            raise BlePacketError("truncated advertising PDU")
+        if length < 6:
+            raise BlePacketError("advertising payload lacks AdvA")
+        return cls(pdu_type=AdvPduType(header & 0x0F),
+                   advertiser=payload[:6], data=payload[6:],
+                   tx_add_random=bool(header & 0x40))
+
+
+class DataLlid(enum.IntEnum):
+    CONTINUATION = 0b01
+    START = 0b10
+    CONTROL = 0b11
+
+
+@dataclass(frozen=True, slots=True)
+class DataPdu:
+    """A data-channel PDU within a connection event."""
+
+    llid: DataLlid
+    payload: bytes
+    nesn: int = 0
+    sn: int = 0
+    more_data: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > 251:
+            raise BlePacketError("data payload exceeds LE limit")
+        if self.nesn not in (0, 1) or self.sn not in (0, 1):
+            raise BlePacketError("nesn/sn are single bits")
+
+    def to_bytes(self) -> bytes:
+        header = (int(self.llid)
+                  | (self.nesn << 2)
+                  | (self.sn << 3)
+                  | (int(self.more_data) << 4))
+        return bytes([header, len(self.payload)]) + self.payload
+
+    @classmethod
+    def from_bytes(cls, pdu: bytes) -> "DataPdu":
+        if len(pdu) < 2:
+            raise BlePacketError("data PDU too short")
+        header, length = pdu[0], pdu[1]
+        payload = pdu[2:2 + length]
+        if len(payload) != length:
+            raise BlePacketError("truncated data PDU")
+        return cls(llid=DataLlid(header & 0x3), payload=payload,
+                   nesn=(header >> 2) & 1, sn=(header >> 3) & 1,
+                   more_data=bool((header >> 4) & 1))
+
+
+def on_air_bytes(pdu: bytes) -> int:
+    """Total octets on air: preamble + access address + PDU + CRC."""
+    return PREAMBLE_BYTES + ACCESS_ADDRESS_BYTES + len(pdu) + CRC_BYTES
+
+
+def whitening_index_for_channel(channel: int) -> int:
+    """Map an advertising/data channel number to its whitening index.
+
+    BLE whitening is seeded with the *RF channel index*: data channels
+    0-10 sit at RF 1-11, 11-36 at RF 13-38, and advertising channels
+    37/38/39 at RF 0/12/39.
+    """
+    if channel == 37:
+        return 0
+    if channel == 38:
+        return 12
+    if channel == 39:
+        return 39
+    if 0 <= channel <= 10:
+        return channel + 1
+    if 11 <= channel <= 36:
+        return channel + 2
+    raise BlePacketError(f"bad BLE channel {channel}")
+
+
+def encode_on_air(pdu: bytes, channel: int,
+                  access_address: int = ADVERTISING_ACCESS_ADDRESS,
+                  crc_init: int = ADVERTISING_CRC_INIT) -> bytes:
+    """Full on-air packet: preamble + AA + whitened (PDU + CRC)."""
+    preamble = b"\xaa" if access_address & 1 == 0 else b"\x55"
+    body = append_crc(pdu, crc_init)
+    whitened = whiten(body, whitening_index_for_channel(channel))
+    return preamble + struct.pack("<I", access_address) + whitened
+
+
+def decode_on_air(packet: bytes, channel: int,
+                  crc_init: int = ADVERTISING_CRC_INIT) -> tuple[int, bytes]:
+    """Reverse :func:`encode_on_air`; returns (access_address, pdu).
+
+    Raises :class:`BlePacketError` on CRC failure, as a real radio
+    silently drops such packets.
+    """
+    if len(packet) < PREAMBLE_BYTES + ACCESS_ADDRESS_BYTES + CRC_BYTES:
+        raise BlePacketError("on-air packet too short")
+    access_address = struct.unpack("<I", packet[1:5])[0]
+    dewhitened = whiten(packet[5:], whitening_index_for_channel(channel))
+    if not check_crc(dewhitened, crc_init):
+        raise BlePacketError("BLE CRC check failed")
+    return access_address, dewhitened[:-CRC_BYTES]

@@ -1,0 +1,36 @@
+"""BLE data whitening (Core spec Vol 6 Part B §3.2).
+
+A 7-bit LFSR (x^7 + x^4 + 1) seeded from the RF channel index scrambles
+the PDU+CRC on air to avoid long runs of identical bits. Whitening is an
+involution: applying it twice with the same channel restores the input —
+a property the tests exercise.
+"""
+
+from __future__ import annotations
+
+
+class WhiteningError(ValueError):
+    """Raised for invalid channel indices."""
+
+
+def _initial_lfsr(channel_index: int) -> int:
+    if not 0 <= channel_index <= 39:
+        raise WhiteningError(f"BLE channel index must be 0..39, got {channel_index}")
+    # Position 0 is set to one, positions 1..6 hold the channel in binary.
+    return 0x40 | channel_index
+
+
+def whiten(data: bytes, channel_index: int) -> bytes:
+    """Apply (or remove — it is symmetric) whitening for ``channel_index``."""
+    lfsr = _initial_lfsr(channel_index)
+    out = bytearray()
+    for byte in data:
+        result = 0
+        for bit in range(8):
+            white_bit = (lfsr >> 6) & 1
+            lfsr = (lfsr << 1) & 0x7F
+            if white_bit:
+                lfsr ^= 0x11  # feedback into position 0 and the x^4 tap
+            result |= (((byte >> bit) & 1) ^ white_bit) << bit
+        out.append(result)
+    return bytes(out)

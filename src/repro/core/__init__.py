@@ -1,0 +1,70 @@
+"""Wi-LE — the paper's contribution: connection-less WiFi for IoT.
+
+An IoT device injects standard 802.11 beacon frames whose hidden SSID
+keeps them out of AP pickers and whose vendor-specific information
+element carries the sensor payload; every nearby WiFi device receives
+them with no association, no handshake, and no infrastructure. This
+package provides the message format, the beacon codec, the transmitting
+device, the receiving sink, and the §6 extensions (payload encryption,
+two-way windows, multi-device operation).
+"""
+
+from .codec import (
+    BeaconTemplate,
+    CodecError,
+    decode_beacon,
+    device_mac,
+    encode_beacon,
+    is_wile_beacon,
+)
+from .crypto import (
+    WILE_MIC_BYTES,
+    DeviceKeyring,
+    WileCryptoError,
+    decrypt_body,
+    derive_device_key,
+    encrypt_body,
+)
+from .device import (
+    WILE_TX_POWER_DBM,
+    TransmissionRecord,
+    WiLEDevice,
+)
+from .payload import (
+    WILE_VENDOR_TYPE,
+    WILE_VERSION,
+    FragmentReassembler,
+    PayloadError,
+    SensorKind,
+    SensorReading,
+    WileFlags,
+    WileMessage,
+    WileMessageType,
+    crc16_ccitt,
+    fragment_message,
+)
+from .gateway import DeviceRecord, WiLEGateway
+from .policy import (
+    BatteryAwareInterval,
+    DeltaPolicyStats,
+    DeltaTriggeredReporter,
+    PolicyError,
+)
+from .receiver import ReceivedMessage, ReceiverStats, WiLEReceiver
+from .scanner import ChannelScanner, ScannerError, ScanResult
+from .sink import WileMessageSink, attach_to_access_point
+from .scheduler import (
+    RandomPhase,
+    SchedulerError,
+    SlottedPhase,
+    collision_probability,
+)
+from .twoway import (
+    RESPONSE_GUARD_S,
+    DownlinkRecord,
+    TwoWayResponder,
+    always_on_rx_energy_j,
+    rx_window_energy_j,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

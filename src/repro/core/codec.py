@@ -1,0 +1,131 @@
+"""Wi-LE beacon codec: application message <-> injectable 802.11 beacon.
+
+This is §4/§4.1 of the paper in code:
+
+* the IoT device "pretends to be an access point" — so the frame is a
+  standard beacon with plausible fixed fields;
+* the SSID element is present but **empty** (the "hidden SSID"
+  mechanism), so receivers' WiFi pickers show nothing;
+* the sensor data rides in a **vendor-specific information element**,
+  which has no mandated format and up to ~250 bytes of room;
+* everything else (headers, rates, channel) "can be pre-computed and
+  then only the IoT device's data needs to be inserted into the packet"
+  (§5.4) — :class:`BeaconTemplate` is exactly that precomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dot11 import (
+    Beacon,
+    CapabilityInfo,
+    DsssParameterSet,
+    MacAddress,
+    Ssid,
+    SupportedRates,
+    VendorSpecific,
+    find_element,
+    find_vendor_element,
+)
+from ..dot11.channels import supports_dsss
+from ..dot11.mac import WILE_OUI
+from .payload import WILE_VENDOR_TYPE, PayloadError, WileMessage
+
+
+class CodecError(ValueError):
+    """Raised when a frame cannot be built or is not a Wi-LE beacon."""
+
+
+def device_mac(device_id: int) -> MacAddress:
+    """Derive the injected beacon's source address from the device id.
+
+    Uses the locally administered Wi-LE OUI so injected BSSIDs can never
+    collide with real vendors' access points.
+    """
+    if not 0 <= device_id < (1 << 24):
+        # Wider device ids fold into the 24-bit NIC-specific space.
+        device_id &= (1 << 24) - 1
+    return MacAddress.from_oui(WILE_OUI, device_id)
+
+
+@dataclass(frozen=True, slots=True)
+class BeaconTemplate:
+    """Precomputed beacon skeleton for one device (paper §5.4).
+
+    Everything except the message payload is fixed at construction so
+    the per-transmission work is just the vendor-IE insert — mirroring
+    the microcontroller optimisation the paper describes.
+    """
+
+    source: MacAddress
+    channel: int = 6
+    beacon_interval_tu: int = 100
+    #: Keep the privacy bit clear and ESS set: a boring, ignorable "AP".
+    capabilities: CapabilityInfo = CapabilityInfo(privacy=False)
+
+    def build(self, message: WileMessage, timestamp_us: int = 0,
+              sequence: int = 0) -> Beacon:
+        """Wrap an encoded message into an injectable beacon frame.
+
+        The boilerplate elements are band-appropriate: DSSS basic rates
+        and a DSSS Parameter Set at 2.4 GHz; OFDM basic rates only at
+        5 GHz (where DSSS does not exist) — so injected beacons look
+        like any other AP's on either band.
+        """
+        blob = message.encode()
+        if supports_dsss(self.channel):
+            boilerplate: tuple = (
+                SupportedRates((0x82, 0x84, 0x8B, 0x96)),  # 1/2/5.5/11 basic
+                DsssParameterSet(self.channel),
+            )
+        else:
+            boilerplate = (
+                SupportedRates((0x8C, 0x98, 0xB0, 0x12, 0x24, 0x48, 0x6C)),
+            )
+        return Beacon(
+            source=self.source,
+            bssid=self.source,
+            timestamp_us=timestamp_us,
+            beacon_interval_tu=self.beacon_interval_tu,
+            capabilities=self.capabilities,
+            elements=(Ssid.hidden(), *boilerplate,
+                      VendorSpecific(WILE_OUI, WILE_VENDOR_TYPE, blob)),
+            sequence=sequence)
+
+
+def encode_beacon(message: WileMessage, channel: int = 6,
+                  timestamp_us: int = 0, sequence: int = 0) -> Beacon:
+    """One-shot encode without keeping a template around."""
+    template = BeaconTemplate(source=device_mac(message.device_id),
+                              channel=channel)
+    return template.build(message, timestamp_us=timestamp_us,
+                          sequence=sequence)
+
+
+def is_wile_beacon(frame: object) -> bool:
+    """Cheap test used by receivers to filter a monitor-mode stream."""
+    if not isinstance(frame, Beacon):
+        return False
+    return find_vendor_element(list(frame.elements), WILE_OUI,
+                               WILE_VENDOR_TYPE) is not None
+
+
+def decode_beacon(frame: Beacon, decrypt=None) -> WileMessage:
+    """Extract and validate the Wi-LE message from a captured beacon.
+
+    Raises :class:`CodecError` if the beacon is not Wi-LE's (wrong OUI),
+    violates the hidden-SSID rule, or carries a corrupt message.
+    """
+    vendor = find_vendor_element(list(frame.elements), WILE_OUI,
+                                 WILE_VENDOR_TYPE)
+    if vendor is None:
+        raise CodecError("no Wi-LE vendor element in beacon")
+    ssid = find_element(list(frame.elements), Ssid)
+    if ssid is not None and not ssid.is_hidden:
+        raise CodecError(
+            "Wi-LE beacons must use a hidden SSID (spam avoidance, §4.1)")
+    try:
+        return WileMessage.decode(vendor.data, decrypt=decrypt)
+    except PayloadError as error:
+        raise CodecError(f"bad Wi-LE message: {error}") from error

@@ -1,0 +1,98 @@
+"""Wi-LE payload encryption — the paper's §6 "Security" extension.
+
+"Security can be easily provided by encrypting the data prior to its
+transmission." Concretely: each device shares a 128-bit key with its
+receivers; message bodies are AES-CCM encrypted with a nonce derived
+from (device_id, sequence), and the cleartext header is bound in as
+additional authenticated data so a forged header fails the MIC.
+
+Replay protection falls out of the receiver's per-device sequence
+tracking (:class:`repro.core.receiver.WiLEReceiver` already
+deduplicates), and nonce uniqueness holds as long as a device never
+reuses a sequence number under the same key — the device rolls its key
+epoch on sequence wrap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..security.ccm import AuthenticationError, ccm_decrypt, ccm_encrypt
+
+#: CCM MIC length for Wi-LE payloads; 4 bytes keeps 245 bytes usable.
+WILE_MIC_BYTES = 4
+
+
+class WileCryptoError(ValueError):
+    """Raised for bad keys or failed authentication."""
+
+
+def derive_device_key(network_key: bytes, device_id: int) -> bytes:
+    """Per-device key from a deployment-wide master key.
+
+    HKDF-like single-step expansion: SHA-256(master || "wile-device" ||
+    id), truncated to 128 bits. Compromising one sensor then never
+    exposes its neighbours' traffic.
+    """
+    if len(network_key) < 16:
+        raise WileCryptoError("network key must be at least 16 bytes")
+    digest = hashlib.sha256(
+        network_key + b"wile-device" + device_id.to_bytes(4, "little")).digest()
+    return digest[:16]
+
+
+def _nonce(header: bytes, epoch: int = 0) -> bytes:
+    """13-byte CCM nonce binding device id + sequence (+ key epoch)."""
+    # header = version|device_id|seq|type|flags (9 bytes) + epoch (4)
+    return header[:9] + epoch.to_bytes(4, "little")
+
+
+def encrypt_body(key: bytes, header: bytes, body: bytes,
+                 epoch: int = 0) -> bytes:
+    """Encrypt a message body; returns ciphertext || MIC."""
+    if len(key) != 16:
+        raise WileCryptoError(f"device key must be 16 bytes, got {len(key)}")
+    if len(header) < 9:
+        raise WileCryptoError("header too short to derive a nonce")
+    return ccm_encrypt(key, _nonce(header, epoch), body, aad=header,
+                       mic_length=WILE_MIC_BYTES)
+
+
+def decrypt_body(key: bytes, header: bytes, body: bytes,
+                 epoch: int = 0) -> bytes:
+    """Verify and decrypt; raises :class:`WileCryptoError` on forgery."""
+    if len(key) != 16:
+        raise WileCryptoError(f"device key must be 16 bytes, got {len(key)}")
+    try:
+        return ccm_decrypt(key, _nonce(header, epoch), body, aad=header,
+                           mic_length=WILE_MIC_BYTES)
+    except AuthenticationError as error:
+        raise WileCryptoError("payload authentication failed") from error
+
+
+class DeviceKeyring:
+    """Receiver-side key store: device id -> key, with a master shortcut."""
+
+    def __init__(self, network_key: bytes | None = None) -> None:
+        self._network_key = network_key
+        self._keys: dict[int, bytes] = {}
+
+    def add_key(self, device_id: int, key: bytes) -> None:
+        if len(key) != 16:
+            raise WileCryptoError("device key must be 16 bytes")
+        self._keys[device_id] = key
+
+    def key_for(self, device_id: int) -> bytes | None:
+        key = self._keys.get(device_id)
+        if key is None and self._network_key is not None:
+            key = derive_device_key(self._network_key, device_id)
+            self._keys[device_id] = key
+        return key
+
+    def decryptor_for(self, device_id: int):
+        """A ``(header, body) -> plaintext`` callable for WileMessage.decode,
+        or None when no key is known for the device."""
+        key = self.key_for(device_id)
+        if key is None:
+            return None
+        return lambda header, body: decrypt_body(key, header, body)

@@ -1,0 +1,108 @@
+"""Channel scanning: finding Wi-LE devices on unknown channels.
+
+A receiver knows the band plan but not necessarily which channel each
+sensor was provisioned on. The scanner hops a monitor-mode receiver
+through a channel list with a fixed dwell time — like a WiFi scan, but
+listening for Wi-LE beacons instead of AP beacons — and records which
+devices were heard where. To guarantee catching a device transmitting
+every T seconds, dwell at least T (plus a beacon airtime) per channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..sim import Simulator
+from .receiver import WiLEReceiver
+from .sink import ReceivedMessage
+
+
+class ScannerError(RuntimeError):
+    """Raised for invalid scan plans or misuse."""
+
+
+@dataclass
+class ScanResult:
+    """Everything one full sweep learned."""
+
+    channels_scanned: list[int] = field(default_factory=list)
+    #: device id -> channel it was first heard on.
+    found: dict[int, int] = field(default_factory=dict)
+    #: per-channel count of Wi-LE messages heard.
+    messages_per_channel: dict[int, int] = field(default_factory=dict)
+
+    def channel_of(self, device_id: int) -> int | None:
+        return self.found.get(device_id)
+
+
+class ChannelScanner:
+    """Hop a receiver across channels, mapping devices to channels.
+
+    Args:
+        sim: event engine.
+        receiver: the Wi-LE receiver to retune (its message stream keeps
+            flowing to any other consumers).
+        channels: scan list, e.g. ``NON_OVERLAPPING_2_4GHZ`` or a mixed
+            2.4/5 GHz plan.
+        dwell_s: listen time per channel.
+    """
+
+    def __init__(self, sim: Simulator, receiver: WiLEReceiver,
+                 channels: tuple[int, ...], dwell_s: float) -> None:
+        if not channels:
+            raise ScannerError("scan list is empty")
+        if dwell_s <= 0:
+            raise ScannerError("dwell time must be positive")
+        self.sim = sim
+        self.receiver = receiver
+        self.channels = tuple(channels)
+        self.dwell_s = dwell_s
+        self.result = ScanResult()
+        self._running = False
+        self._index = 0
+        self._on_complete: Callable[[ScanResult], None] | None = None
+        receiver.on_message(self._on_message)
+
+    def start(self, on_complete: Callable[[ScanResult], None] | None = None) -> None:
+        """Run one sweep through the channel list."""
+        if self._running:
+            raise ScannerError("scan already in progress")
+        self._running = True
+        self._index = 0
+        self._on_complete = on_complete
+        self.result = ScanResult()
+        self._tune()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def sweep_duration_s(self) -> float:
+        return len(self.channels) * self.dwell_s
+
+    # -- internals ------------------------------------------------------------
+
+    def _tune(self) -> None:
+        channel = self.channels[self._index]
+        self.receiver.set_channel(channel)
+        self.result.channels_scanned.append(channel)
+        self.sim.schedule(self.dwell_s, self._next)
+
+    def _next(self) -> None:
+        self._index += 1
+        if self._index >= len(self.channels):
+            self._running = False
+            if self._on_complete is not None:
+                callback, self._on_complete = self._on_complete, None
+                callback(self.result)
+            return
+        self._tune()
+
+    def _on_message(self, received: ReceivedMessage) -> None:
+        if not self._running:
+            return
+        channel = self.receiver.channel
+        self.result.found.setdefault(received.message.device_id, channel)
+        self.result.messages_per_channel[channel] = (
+            self.result.messages_per_channel.get(channel, 0) + 1)

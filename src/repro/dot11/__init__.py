@@ -1,0 +1,97 @@
+"""802.11 frame layer: addresses, information elements, frames, airtime.
+
+This package is a from-scratch implementation of the subset of IEEE
+802.11 the Wi-LE reproduction exercises: management frames and the
+information elements they carry (beacons with hidden SSIDs and
+vendor-specific payloads are the heart of Wi-LE), control frames, data
+frames for the WPA2/DHCP/ARP association sequence, the frame check
+sequence, PHY rate tables, and per-rate airtime computation.
+"""
+
+from .airtime import (
+    ACK_BYTES,
+    DIFS_US,
+    SIFS_US,
+    SLOT_US,
+    AirtimeError,
+    ExchangeTiming,
+    ack_airtime_us,
+    data_exchange_us,
+    duration_field_us,
+    exchange_timing,
+    frame_airtime_us,
+)
+from .channels import (
+    CHANNELS_2_4GHZ,
+    CHANNELS_5GHZ,
+    NON_OVERLAPPING_2_4GHZ,
+    Band,
+    ChannelError,
+    band_of,
+    channel_frequency_hz,
+    channels_in_band,
+    supports_dsss,
+)
+from .elements import (
+    VENDOR_IE_MAX_DATA,
+    Country,
+    DsssParameterSet,
+    Element,
+    ElementError,
+    ElementId,
+    Erp,
+    ExtendedSupportedRates,
+    HtCapabilities,
+    RawElement,
+    Rsn,
+    Ssid,
+    SupportedRates,
+    Tim,
+    VendorSpecific,
+    encode_elements,
+    find_element,
+    find_vendor_element,
+    parse_elements,
+)
+from .fcs import append_fcs, check_fcs, crc32, strip_fcs
+from .frames import (
+    Ack,
+    AssociationRequest,
+    AssociationResponse,
+    AuthAlgorithm,
+    Authentication,
+    Beacon,
+    CapabilityInfo,
+    ControlSubtype,
+    DataFrame,
+    DataSubtype,
+    Deauthentication,
+    Disassociation,
+    FrameControl,
+    FrameError,
+    FrameType,
+    ManagementFrame,
+    ManagementSubtype,
+    ProbeRequest,
+    PsPoll,
+    ReasonCode,
+    StatusCode,
+    null_frame,
+)
+from .mac import WILE_OUI, MacAddress, MacAddressError
+from .parser import ParsedFrame, ParseError, parse_frame
+from .show import show, summarize
+from .rates import (
+    ALL_RATES,
+    DSSS_RATES,
+    HT_RATES,
+    OFDM_RATES,
+    WILE_DEFAULT_RATE,
+    Modulation,
+    PhyFamily,
+    PhyRate,
+    rate_by_name,
+    supported_rates_ie_values,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,69 @@
+"""WiFi channel plans: 2.4 GHz and 5 GHz.
+
+One of the paper's §1 selling points for Wi-LE over BLE is "enabling the
+use of the 5 GHz spectrum (allowing devices to avoid the increasingly
+crowded 2.4 GHz spectrum used by BLE)". This module maps channel numbers
+to centre frequencies so the propagation model, and therefore range and
+interference behaviour, is band-aware.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Band(enum.Enum):
+    """The ISM/U-NII band a channel lives in."""
+
+    GHZ_2_4 = "2.4GHz"
+    GHZ_5 = "5GHz"
+
+
+class ChannelError(ValueError):
+    """Raised for channel numbers outside the supported plans."""
+
+
+#: 2.4 GHz: channels 1..13 at 5 MHz spacing from 2412 MHz; 14 is special.
+_BAND_2_4_BASE_MHZ = 2407
+#: 5 GHz: channel N sits at 5000 + 5N MHz (U-NII plan).
+_BAND_5_BASE_MHZ = 5000
+
+#: Channels usable for 20 MHz operation in most regulatory domains.
+CHANNELS_2_4GHZ: tuple[int, ...] = tuple(range(1, 14))
+CHANNELS_5GHZ: tuple[int, ...] = (36, 40, 44, 48, 52, 56, 60, 64,
+                                  100, 104, 108, 112, 116, 120, 124, 128,
+                                  132, 136, 140, 144, 149, 153, 157, 161,
+                                  165)
+
+#: The non-overlapping 2.4 GHz trio every deployment guide recommends.
+NON_OVERLAPPING_2_4GHZ: tuple[int, ...] = (1, 6, 11)
+
+
+def band_of(channel: int) -> Band:
+    """Which band a channel number belongs to."""
+    if channel in (14,) or channel in CHANNELS_2_4GHZ:
+        return Band.GHZ_2_4
+    if channel in CHANNELS_5GHZ:
+        return Band.GHZ_5
+    raise ChannelError(f"unknown channel {channel}")
+
+
+def channel_frequency_hz(channel: int) -> float:
+    """Centre frequency of a 20 MHz channel."""
+    band = band_of(channel)
+    if band is Band.GHZ_2_4:
+        if channel == 14:
+            return 2484e6
+        return (_BAND_2_4_BASE_MHZ + 5 * channel) * 1e6
+    return (_BAND_5_BASE_MHZ + 5 * channel) * 1e6
+
+
+def channels_in_band(band: Band) -> tuple[int, ...]:
+    if band is Band.GHZ_2_4:
+        return CHANNELS_2_4GHZ
+    return CHANNELS_5GHZ
+
+
+def supports_dsss(channel: int) -> bool:
+    """DSSS/CCK rates exist only at 2.4 GHz; 5 GHz is OFDM-only."""
+    return band_of(channel) is Band.GHZ_2_4

@@ -1,0 +1,449 @@
+"""802.11 information elements (IEs).
+
+Management frame bodies carry a sequence of TLV-encoded information
+elements: one byte of element ID, one byte of length, then up to 255 bytes
+of payload. Wi-LE rides entirely on two of them — a zero-length (hidden)
+SSID element and a Vendor Specific element carrying the sensor payload —
+but the surrounding stack (AP beacons, probe/assoc exchanges) uses the
+usual set, so we implement the ones commodity APs emit.
+
+Every element knows how to serialise itself (``to_bytes``) and the module
+level :func:`parse_elements` walks a frame body back into typed objects,
+leaving unknown IDs as :class:`RawElement` so round-tripping foreign
+captures never loses data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ElementId(enum.IntEnum):
+    """Element IDs used in this stack (IEEE 802.11-2016 Table 9-77 subset)."""
+
+    SSID = 0
+    SUPPORTED_RATES = 1
+    DSSS_PARAMETER_SET = 3
+    TIM = 5
+    COUNTRY = 7
+    ERP = 42
+    HT_CAPABILITIES = 45
+    RSN = 48
+    EXTENDED_SUPPORTED_RATES = 50
+    HT_OPERATION = 61
+    VENDOR_SPECIFIC = 221
+
+
+class ElementError(ValueError):
+    """Raised when an information element cannot be encoded or decoded."""
+
+
+@dataclass(frozen=True, slots=True)
+class RawElement:
+    """An uninterpreted TLV, used for IDs we do not model."""
+
+    element_id: int
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.element_id <= 255:
+            raise ElementError(f"element id {self.element_id} out of range")
+        if len(self.data) > 255:
+            raise ElementError(f"element body {len(self.data)} exceeds 255 bytes")
+
+    def to_bytes(self) -> bytes:
+        return bytes([self.element_id, len(self.data)]) + self.data
+
+
+@dataclass(frozen=True, slots=True)
+class Ssid:
+    """The network name. A zero-length SSID is the "hidden SSID" form
+    Wi-LE uses so injected beacons do not appear in AP pickers (paper §4.1)."""
+
+    name: bytes = b""
+
+    def __post_init__(self) -> None:
+        if len(self.name) > 32:
+            raise ElementError(f"SSID longer than 32 bytes: {len(self.name)}")
+
+    @classmethod
+    def hidden(cls) -> "Ssid":
+        return cls(b"")
+
+    @classmethod
+    def named(cls, text: str) -> "Ssid":
+        return cls(text.encode("utf-8"))
+
+    @property
+    def is_hidden(self) -> bool:
+        return len(self.name) == 0
+
+    def to_bytes(self) -> bytes:
+        return bytes([ElementId.SSID, len(self.name)]) + self.name
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "Ssid":
+        return cls(body)
+
+
+@dataclass(frozen=True, slots=True)
+class SupportedRates:
+    """Rates in units of 500 kbps, top bit marking basic rates (max 8)."""
+
+    values: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.values) <= 8:
+            raise ElementError("Supported Rates element holds 1..8 rates")
+        for value in self.values:
+            if not 0 <= value <= 255:
+                raise ElementError(f"rate byte {value} out of range")
+
+    def to_bytes(self) -> bytes:
+        return bytes([ElementId.SUPPORTED_RATES, len(self.values)]) + bytes(self.values)
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "SupportedRates":
+        return cls(tuple(body))
+
+    @property
+    def rates_mbps(self) -> tuple[float, ...]:
+        return tuple((value & 0x7F) / 2 for value in self.values)
+
+
+@dataclass(frozen=True, slots=True)
+class ExtendedSupportedRates:
+    """Overflow rates beyond the first eight."""
+
+    values: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.values) <= 255:
+            raise ElementError("Extended Supported Rates element holds 1..255 rates")
+
+    def to_bytes(self) -> bytes:
+        return bytes([ElementId.EXTENDED_SUPPORTED_RATES, len(self.values)]) + bytes(self.values)
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "ExtendedSupportedRates":
+        return cls(tuple(body))
+
+
+@dataclass(frozen=True, slots=True)
+class DsssParameterSet:
+    """Current channel number (1..14 at 2.4 GHz)."""
+
+    channel: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.channel <= 196:
+            raise ElementError(f"channel {self.channel} out of range")
+
+    def to_bytes(self) -> bytes:
+        return bytes([ElementId.DSSS_PARAMETER_SET, 1, self.channel])
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "DsssParameterSet":
+        if len(body) != 1:
+            raise ElementError(f"DSSS parameter set body must be 1 byte, got {len(body)}")
+        return cls(body[0])
+
+
+@dataclass(frozen=True, slots=True)
+class Tim:
+    """Traffic Indication Map — the beacon field power-saving stations read
+    to learn whether the AP buffered frames for them (paper §3.2).
+
+    ``buffered_aids`` is the set of association IDs with pending traffic;
+    the partial virtual bitmap is encoded per the standard (octet-aligned,
+    offset in bitmap_control).
+    """
+
+    dtim_count: int
+    dtim_period: int
+    buffered_aids: frozenset[int] = field(default_factory=frozenset)
+    group_traffic: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.dtim_count <= 255:
+            raise ElementError("dtim_count out of range")
+        if not 1 <= self.dtim_period <= 255:
+            raise ElementError("dtim_period must be 1..255")
+        for aid in self.buffered_aids:
+            if not 1 <= aid <= 2007:
+                raise ElementError(f"AID {aid} out of range 1..2007")
+
+    def has_traffic_for(self, aid: int) -> bool:
+        return aid in self.buffered_aids
+
+    def to_bytes(self) -> bytes:
+        if self.buffered_aids:
+            low = min(self.buffered_aids) // 8
+            # Bitmap offset must be even per the standard encoding.
+            low &= ~1
+            high = max(self.buffered_aids) // 8
+            bitmap = bytearray(high - low + 1)
+            for aid in self.buffered_aids:
+                bitmap[aid // 8 - low] |= 1 << (aid % 8)
+        else:
+            low = 0
+            bitmap = bytearray(1)
+        control = (low & 0xFE) | (1 if self.group_traffic else 0)
+        body = bytes([self.dtim_count, self.dtim_period, control]) + bytes(bitmap)
+        return bytes([ElementId.TIM, len(body)]) + body
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "Tim":
+        if len(body) < 4:
+            raise ElementError(f"TIM body must be >= 4 bytes, got {len(body)}")
+        dtim_count, dtim_period, control = body[0], body[1], body[2]
+        offset = control & 0xFE
+        group = bool(control & 0x01)
+        aids = set()
+        for index, octet in enumerate(body[3:]):
+            for bit in range(8):
+                if octet & (1 << bit):
+                    aid = (offset + index) * 8 + bit
+                    if aid >= 1:
+                        aids.add(aid)
+        return cls(dtim_count, dtim_period, frozenset(aids), group)
+
+
+@dataclass(frozen=True, slots=True)
+class Country:
+    """Country information element (regulatory domain)."""
+
+    country_code: str = "CA"
+    first_channel: int = 1
+    num_channels: int = 11
+    max_tx_power_dbm: int = 20
+
+    def to_bytes(self) -> bytes:
+        code = self.country_code.encode("ascii")
+        if len(code) != 2:
+            raise ElementError("country code must be two ASCII letters")
+        body = code + b" " + bytes([self.first_channel, self.num_channels,
+                                    self.max_tx_power_dbm & 0xFF])
+        return bytes([ElementId.COUNTRY, len(body)]) + body
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "Country":
+        if len(body) < 6:
+            raise ElementError("country element too short")
+        return cls(body[:2].decode("ascii", "replace"), body[3], body[4],
+                   int.from_bytes(body[5:6], "big", signed=True))
+
+
+@dataclass(frozen=True, slots=True)
+class Erp:
+    """ERP information (802.11g protection flags)."""
+
+    non_erp_present: bool = False
+    use_protection: bool = False
+    barker_preamble_mode: bool = False
+
+    def to_bytes(self) -> bytes:
+        flags = (int(self.non_erp_present)
+                 | int(self.use_protection) << 1
+                 | int(self.barker_preamble_mode) << 2)
+        return bytes([ElementId.ERP, 1, flags])
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "Erp":
+        if len(body) != 1:
+            raise ElementError("ERP body must be 1 byte")
+        flags = body[0]
+        return cls(bool(flags & 1), bool(flags & 2), bool(flags & 4))
+
+
+@dataclass(frozen=True, slots=True)
+class HtCapabilities:
+    """802.11n HT capabilities (the subset the ESP32 advertises)."""
+
+    short_gi_20mhz: bool = True
+    rx_mcs_bitmask: int = 0xFF  # MCS 0-7, single stream
+
+    def to_bytes(self) -> bytes:
+        cap_info = 0
+        if self.short_gi_20mhz:
+            cap_info |= 0x0020
+        ampdu = 0x17
+        mcs_set = self.rx_mcs_bitmask.to_bytes(1, "little") + bytes(15)
+        body = cap_info.to_bytes(2, "little") + bytes([ampdu]) + mcs_set + bytes(2 + 4 + 1)
+        return bytes([ElementId.HT_CAPABILITIES, len(body)]) + body
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "HtCapabilities":
+        if len(body) < 19:
+            raise ElementError("HT capabilities body too short")
+        cap_info = int.from_bytes(body[:2], "little")
+        return cls(bool(cap_info & 0x0020), body[3])
+
+
+#: Cipher / AKM suite selectors (OUI 00-0F-AC).
+RSN_OUI = b"\x00\x0f\xac"
+CIPHER_CCMP = RSN_OUI + b"\x04"
+CIPHER_TKIP = RSN_OUI + b"\x02"
+AKM_PSK = RSN_OUI + b"\x02"
+
+
+@dataclass(frozen=True, slots=True)
+class Rsn:
+    """Robust Security Network element advertising WPA2-PSK with CCMP.
+
+    The reproduction AP (standing in for the paper's Google WiFi unit)
+    advertises exactly this, which is what forces the client through the
+    4-way handshake during association.
+    """
+
+    version: int = 1
+    group_cipher: bytes = CIPHER_CCMP
+    pairwise_ciphers: tuple[bytes, ...] = (CIPHER_CCMP,)
+    akm_suites: tuple[bytes, ...] = (AKM_PSK,)
+    capabilities: int = 0
+
+    def to_bytes(self) -> bytes:
+        body = self.version.to_bytes(2, "little")
+        body += self.group_cipher
+        body += len(self.pairwise_ciphers).to_bytes(2, "little")
+        for suite in self.pairwise_ciphers:
+            body += suite
+        body += len(self.akm_suites).to_bytes(2, "little")
+        for suite in self.akm_suites:
+            body += suite
+        body += self.capabilities.to_bytes(2, "little")
+        return bytes([ElementId.RSN, len(body)]) + body
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "Rsn":
+        if len(body) < 8:
+            raise ElementError("RSN body too short")
+        version = int.from_bytes(body[0:2], "little")
+        group = body[2:6]
+        pos = 6
+        n_pairwise = int.from_bytes(body[pos:pos + 2], "little")
+        pos += 2
+        pairwise = tuple(body[pos + 4 * i:pos + 4 * i + 4] for i in range(n_pairwise))
+        pos += 4 * n_pairwise
+        n_akm = int.from_bytes(body[pos:pos + 2], "little")
+        pos += 2
+        akm = tuple(body[pos + 4 * i:pos + 4 * i + 4] for i in range(n_akm))
+        pos += 4 * n_akm
+        caps = int.from_bytes(body[pos:pos + 2], "little") if len(body) >= pos + 2 else 0
+        return cls(version, group, pairwise, akm, caps)
+
+
+#: Maximum payload a vendor-specific element can carry after the 3-byte OUI
+#: and 1-byte vendor type. The paper quotes "up to 253 bytes" for the whole
+#: information field; 4 bytes of OUI+type leave 249 for Wi-LE data.
+VENDOR_IE_MAX_DATA = 255 - 4
+
+
+@dataclass(frozen=True, slots=True)
+class VendorSpecific:
+    """Vendor Specific element — the field Wi-LE smuggles sensor data in.
+
+    Body layout: 3-byte OUI, 1-byte vendor type, then free-form data with
+    "no specific format" (paper §4.1).
+    """
+
+    oui: bytes
+    vendor_type: int
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.oui) != 3:
+            raise ElementError(f"vendor OUI needs 3 octets, got {len(self.oui)}")
+        if not 0 <= self.vendor_type <= 255:
+            raise ElementError("vendor type out of range")
+        if len(self.data) > VENDOR_IE_MAX_DATA:
+            raise ElementError(
+                f"vendor data {len(self.data)} exceeds {VENDOR_IE_MAX_DATA} bytes")
+
+    def to_bytes(self) -> bytes:
+        body = self.oui + bytes([self.vendor_type]) + self.data
+        return bytes([ElementId.VENDOR_SPECIFIC, len(body)]) + body
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "VendorSpecific":
+        if len(body) < 4:
+            raise ElementError("vendor-specific body too short")
+        return cls(bytes(body[:3]), body[3], bytes(body[4:]))
+
+
+Element = (
+    Ssid | SupportedRates | ExtendedSupportedRates | DsssParameterSet | Tim
+    | Country | Erp | HtCapabilities | Rsn | VendorSpecific | RawElement
+)
+
+_DECODERS = {
+    ElementId.SSID: Ssid.from_body,
+    ElementId.SUPPORTED_RATES: SupportedRates.from_body,
+    ElementId.EXTENDED_SUPPORTED_RATES: ExtendedSupportedRates.from_body,
+    ElementId.DSSS_PARAMETER_SET: DsssParameterSet.from_body,
+    ElementId.TIM: Tim.from_body,
+    ElementId.COUNTRY: Country.from_body,
+    ElementId.ERP: Erp.from_body,
+    ElementId.HT_CAPABILITIES: HtCapabilities.from_body,
+    ElementId.RSN: Rsn.from_body,
+    ElementId.VENDOR_SPECIFIC: VendorSpecific.from_body,
+}
+
+
+def encode_elements(elements: list[Element] | tuple[Element, ...]) -> bytes:
+    """Serialise a sequence of elements back-to-back."""
+    return b"".join(element.to_bytes() for element in elements)
+
+
+def parse_elements(data: bytes, strict: bool = True) -> list[Element]:
+    """Parse a back-to-back element sequence.
+
+    Unknown element IDs become :class:`RawElement`. With ``strict`` (the
+    default) a truncated TLV raises :class:`ElementError`; with
+    ``strict=False`` trailing garbage is dropped, which is how a real
+    receiver treats a corrupted tail.
+    """
+    elements: list[Element] = []
+    pos = 0
+    while pos < len(data):
+        if pos + 2 > len(data):
+            if strict:
+                raise ElementError(f"truncated element header at offset {pos}")
+            break
+        element_id, length = data[pos], data[pos + 1]
+        body = data[pos + 2:pos + 2 + length]
+        if len(body) < length:
+            if strict:
+                raise ElementError(f"truncated element {element_id} at offset {pos}")
+            break
+        decoder = _DECODERS.get(element_id)
+        if decoder is None:
+            elements.append(RawElement(element_id, bytes(body)))
+        else:
+            try:
+                elements.append(decoder(bytes(body)))
+            except ElementError:
+                if strict:
+                    raise
+                elements.append(RawElement(element_id, bytes(body)))
+        pos += 2 + length
+    return elements
+
+
+def find_element(elements: list[Element], kind: type) -> Element | None:
+    """Return the first element of ``kind``, or None."""
+    for element in elements:
+        if isinstance(element, kind):
+            return element
+    return None
+
+
+def find_vendor_element(elements: list[Element], oui: bytes,
+                        vendor_type: int | None = None) -> VendorSpecific | None:
+    """Return the first vendor-specific element matching ``oui`` (and type)."""
+    for element in elements:
+        if isinstance(element, VendorSpecific) and element.oui == oui:
+            if vendor_type is None or element.vendor_type == vendor_type:
+                return element
+    return None

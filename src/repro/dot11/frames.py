@@ -1,0 +1,490 @@
+"""802.11 frame construction and serialisation.
+
+This module models the frames the reproduction actually puts on the
+simulated air: the management exchange used to associate with an AP
+(probe, authentication, association), beacons (both real AP beacons and
+the injected Wi-LE beacons), the control frames that acknowledge them,
+EAPOL-bearing data frames for the WPA2 handshake, and plain data frames
+for DHCP/ARP/UDP traffic.
+
+Frames serialise to real IEEE 802.11 wire format (little-endian fields,
+trailing FCS) so byte-level tests can compare against captures, and parse
+back via :mod:`repro.dot11.parser`.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field, replace
+
+from .elements import Element, encode_elements
+from .fcs import append_fcs
+from .mac import MacAddress
+
+
+class FrameType(enum.IntEnum):
+    MANAGEMENT = 0
+    CONTROL = 1
+    DATA = 2
+
+
+class ManagementSubtype(enum.IntEnum):
+    ASSOCIATION_REQUEST = 0
+    ASSOCIATION_RESPONSE = 1
+    PROBE_REQUEST = 4
+    PROBE_RESPONSE = 5
+    BEACON = 8
+    DISASSOCIATION = 10
+    AUTHENTICATION = 11
+    DEAUTHENTICATION = 12
+
+
+class ControlSubtype(enum.IntEnum):
+    PS_POLL = 10
+    RTS = 11
+    CTS = 12
+    ACK = 13
+
+
+class DataSubtype(enum.IntEnum):
+    DATA = 0
+    NULL = 4
+    QOS_DATA = 8
+    QOS_NULL = 12
+
+
+class FrameError(ValueError):
+    """Raised when a frame cannot be encoded or decoded."""
+
+
+@dataclass(frozen=True, slots=True)
+class FrameControl:
+    """The 16-bit Frame Control field."""
+
+    ftype: FrameType
+    subtype: int
+    protocol_version: int = 0
+    to_ds: bool = False
+    from_ds: bool = False
+    more_fragments: bool = False
+    retry: bool = False
+    power_management: bool = False
+    more_data: bool = False
+    protected: bool = False
+    order: bool = False
+
+    def to_int(self) -> int:
+        value = (self.protocol_version
+                 | (int(self.ftype) << 2)
+                 | (self.subtype << 4)
+                 | (int(self.to_ds) << 8)
+                 | (int(self.from_ds) << 9)
+                 | (int(self.more_fragments) << 10)
+                 | (int(self.retry) << 11)
+                 | (int(self.power_management) << 12)
+                 | (int(self.more_data) << 13)
+                 | (int(self.protected) << 14)
+                 | (int(self.order) << 15))
+        return value
+
+    def to_bytes(self) -> bytes:
+        return self.to_int().to_bytes(2, "little")
+
+    @classmethod
+    def from_int(cls, value: int) -> "FrameControl":
+        ftype = FrameType((value >> 2) & 0x3)
+        return cls(
+            ftype=ftype,
+            subtype=(value >> 4) & 0xF,
+            protocol_version=value & 0x3,
+            to_ds=bool(value & 0x0100),
+            from_ds=bool(value & 0x0200),
+            more_fragments=bool(value & 0x0400),
+            retry=bool(value & 0x0800),
+            power_management=bool(value & 0x1000),
+            more_data=bool(value & 0x2000),
+            protected=bool(value & 0x4000),
+            order=bool(value & 0x8000),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CapabilityInfo:
+    """The 16-bit Capability Information field of management frames."""
+
+    ess: bool = True
+    ibss: bool = False
+    privacy: bool = False
+    short_preamble: bool = True
+    short_slot_time: bool = True
+
+    def to_int(self) -> int:
+        return (int(self.ess)
+                | (int(self.ibss) << 1)
+                | (int(self.privacy) << 4)
+                | (int(self.short_preamble) << 5)
+                | (int(self.short_slot_time) << 10))
+
+    def to_bytes(self) -> bytes:
+        return self.to_int().to_bytes(2, "little")
+
+    @classmethod
+    def from_int(cls, value: int) -> "CapabilityInfo":
+        return cls(
+            ess=bool(value & 0x0001),
+            ibss=bool(value & 0x0002),
+            privacy=bool(value & 0x0010),
+            short_preamble=bool(value & 0x0020),
+            short_slot_time=bool(value & 0x0400),
+        )
+
+
+class AuthAlgorithm(enum.IntEnum):
+    OPEN_SYSTEM = 0
+    SHARED_KEY = 1
+
+
+class StatusCode(enum.IntEnum):
+    SUCCESS = 0
+    UNSPECIFIED_FAILURE = 1
+    CAPABILITY_MISMATCH = 10
+    REASSOC_DENIED = 11
+    ASSOC_DENIED = 12
+    AUTH_ALGORITHM_UNSUPPORTED = 13
+    ASSOC_DENIED_TOO_MANY = 17
+
+
+class ReasonCode(enum.IntEnum):
+    UNSPECIFIED = 1
+    PREV_AUTH_EXPIRED = 2
+    DEAUTH_LEAVING = 3
+    DISASSOC_INACTIVITY = 4
+    FOUR_WAY_TIMEOUT = 15
+
+
+# ---------------------------------------------------------------------------
+# Management frames
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class ManagementFrame:
+    """Common shape of all management frames.
+
+    Address layout for management frames is fixed: addr1 = destination,
+    addr2 = source (transmitter), addr3 = BSSID.
+    """
+
+    subtype: ManagementSubtype
+    destination: MacAddress
+    source: MacAddress
+    bssid: MacAddress
+    body: bytes
+    sequence: int = 0
+    duration_us: int = 0
+    retry: bool = False
+    power_management: bool = False
+
+    def frame_control(self) -> FrameControl:
+        return FrameControl(FrameType.MANAGEMENT, int(self.subtype),
+                            retry=self.retry,
+                            power_management=self.power_management)
+
+    def to_bytes(self, with_fcs: bool = True) -> bytes:
+        header = (self.frame_control().to_bytes()
+                  + struct.pack("<H", self.duration_us)
+                  + bytes(self.destination)
+                  + bytes(self.source)
+                  + bytes(self.bssid)
+                  + struct.pack("<H", (self.sequence & 0xFFF) << 4))
+        frame = header + self.body
+        return append_fcs(frame) if with_fcs else frame
+
+    def __len__(self) -> int:
+        return len(self.to_bytes())
+
+
+def _mgmt(subtype: ManagementSubtype, destination: MacAddress, source: MacAddress,
+          bssid: MacAddress, body: bytes, sequence: int = 0,
+          power_management: bool = False) -> ManagementFrame:
+    return ManagementFrame(subtype, destination, source, bssid, body,
+                           sequence=sequence, power_management=power_management)
+
+
+@dataclass(frozen=True, slots=True)
+class Beacon:
+    """A beacon (or the nearly identical probe response) body.
+
+    This is *the* frame type Wi-LE injects: ``timestamp`` and
+    ``beacon_interval_tu`` are what real beacons carry, and the interesting
+    content lives in ``elements`` (hidden SSID + vendor-specific payload
+    for Wi-LE; SSID/rates/TIM/RSN for a real AP).
+    """
+
+    source: MacAddress
+    bssid: MacAddress
+    timestamp_us: int = 0
+    beacon_interval_tu: int = 100  # time units of 1024 us; 100 TU ~ 102.4 ms
+    capabilities: CapabilityInfo = field(default_factory=CapabilityInfo)
+    elements: tuple[Element, ...] = ()
+    destination: MacAddress = field(default_factory=MacAddress.broadcast)
+    sequence: int = 0
+
+    def body_bytes(self) -> bytes:
+        if not 0 <= self.timestamp_us < (1 << 64):
+            raise FrameError("beacon timestamp out of 64-bit range")
+        if not 1 <= self.beacon_interval_tu <= 0xFFFF:
+            raise FrameError("beacon interval out of 16-bit range")
+        return (struct.pack("<QHH", self.timestamp_us, self.beacon_interval_tu,
+                            self.capabilities.to_int())
+                + encode_elements(list(self.elements)))
+
+    def to_frame(self, subtype: ManagementSubtype = ManagementSubtype.BEACON) -> ManagementFrame:
+        return _mgmt(subtype, self.destination, self.source, self.bssid,
+                     self.body_bytes(), sequence=self.sequence)
+
+    def to_bytes(self, with_fcs: bool = True) -> bytes:
+        return self.to_frame().to_bytes(with_fcs=with_fcs)
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeRequest:
+    """Active-scan probe; broadcast SSID probes every AP on channel."""
+
+    source: MacAddress
+    elements: tuple[Element, ...] = ()
+    destination: MacAddress = field(default_factory=MacAddress.broadcast)
+    sequence: int = 0
+
+    def to_frame(self) -> ManagementFrame:
+        return _mgmt(ManagementSubtype.PROBE_REQUEST, self.destination,
+                     self.source, self.destination,
+                     encode_elements(list(self.elements)), sequence=self.sequence)
+    def to_bytes(self, with_fcs: bool = True) -> bytes:
+        return self.to_frame().to_bytes(with_fcs=with_fcs)
+
+    def __len__(self) -> int:
+        return len(self.to_bytes())
+
+
+@dataclass(frozen=True, slots=True)
+class Authentication:
+    """Open System authentication request/response (algorithm 0)."""
+
+    destination: MacAddress
+    source: MacAddress
+    bssid: MacAddress
+    algorithm: AuthAlgorithm = AuthAlgorithm.OPEN_SYSTEM
+    transaction: int = 1
+    status: StatusCode = StatusCode.SUCCESS
+    sequence: int = 0
+
+    def to_frame(self) -> ManagementFrame:
+        body = struct.pack("<HHH", int(self.algorithm), self.transaction,
+                           int(self.status))
+        return _mgmt(ManagementSubtype.AUTHENTICATION, self.destination,
+                     self.source, self.bssid, body, sequence=self.sequence)
+    def to_bytes(self, with_fcs: bool = True) -> bytes:
+        return self.to_frame().to_bytes(with_fcs=with_fcs)
+
+    def __len__(self) -> int:
+        return len(self.to_bytes())
+
+
+@dataclass(frozen=True, slots=True)
+class AssociationRequest:
+    destination: MacAddress
+    source: MacAddress
+    bssid: MacAddress
+    capabilities: CapabilityInfo = field(default_factory=CapabilityInfo)
+    listen_interval: int = 3
+    elements: tuple[Element, ...] = ()
+    sequence: int = 0
+
+    def to_frame(self) -> ManagementFrame:
+        body = (struct.pack("<HH", self.capabilities.to_int(), self.listen_interval)
+                + encode_elements(list(self.elements)))
+        return _mgmt(ManagementSubtype.ASSOCIATION_REQUEST, self.destination,
+                     self.source, self.bssid, body, sequence=self.sequence)
+    def to_bytes(self, with_fcs: bool = True) -> bytes:
+        return self.to_frame().to_bytes(with_fcs=with_fcs)
+
+    def __len__(self) -> int:
+        return len(self.to_bytes())
+
+
+@dataclass(frozen=True, slots=True)
+class AssociationResponse:
+    destination: MacAddress
+    source: MacAddress
+    bssid: MacAddress
+    status: StatusCode = StatusCode.SUCCESS
+    association_id: int = 1
+    capabilities: CapabilityInfo = field(default_factory=CapabilityInfo)
+    elements: tuple[Element, ...] = ()
+    sequence: int = 0
+
+    def to_frame(self) -> ManagementFrame:
+        body = (struct.pack("<HHH", self.capabilities.to_int(), int(self.status),
+                            self.association_id | 0xC000)
+                + encode_elements(list(self.elements)))
+        return _mgmt(ManagementSubtype.ASSOCIATION_RESPONSE, self.destination,
+                     self.source, self.bssid, body, sequence=self.sequence)
+    def to_bytes(self, with_fcs: bool = True) -> bytes:
+        return self.to_frame().to_bytes(with_fcs=with_fcs)
+
+    def __len__(self) -> int:
+        return len(self.to_bytes())
+
+
+@dataclass(frozen=True, slots=True)
+class Disassociation:
+    destination: MacAddress
+    source: MacAddress
+    bssid: MacAddress
+    reason: ReasonCode = ReasonCode.DISASSOC_INACTIVITY
+    sequence: int = 0
+
+    def to_frame(self) -> ManagementFrame:
+        return _mgmt(ManagementSubtype.DISASSOCIATION, self.destination,
+                     self.source, self.bssid, struct.pack("<H", int(self.reason)),
+                     sequence=self.sequence)
+    def to_bytes(self, with_fcs: bool = True) -> bytes:
+        return self.to_frame().to_bytes(with_fcs=with_fcs)
+
+    def __len__(self) -> int:
+        return len(self.to_bytes())
+
+
+@dataclass(frozen=True, slots=True)
+class Deauthentication:
+    destination: MacAddress
+    source: MacAddress
+    bssid: MacAddress
+    reason: ReasonCode = ReasonCode.DEAUTH_LEAVING
+    sequence: int = 0
+
+    def to_frame(self) -> ManagementFrame:
+        return _mgmt(ManagementSubtype.DEAUTHENTICATION, self.destination,
+                     self.source, self.bssid, struct.pack("<H", int(self.reason)),
+                     sequence=self.sequence)
+    def to_bytes(self, with_fcs: bool = True) -> bytes:
+        return self.to_frame().to_bytes(with_fcs=with_fcs)
+
+    def __len__(self) -> int:
+        return len(self.to_bytes())
+
+
+# ---------------------------------------------------------------------------
+# Control frames
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Ack:
+    """The 14-byte acknowledgement control frame."""
+
+    receiver: MacAddress
+    duration_us: int = 0
+
+    def to_bytes(self, with_fcs: bool = True) -> bytes:
+        frame = (FrameControl(FrameType.CONTROL, int(ControlSubtype.ACK)).to_bytes()
+                 + struct.pack("<H", self.duration_us)
+                 + bytes(self.receiver))
+        return append_fcs(frame) if with_fcs else frame
+
+    def __len__(self) -> int:
+        return len(self.to_bytes())
+
+
+@dataclass(frozen=True, slots=True)
+class PsPoll:
+    """PS-Poll: a power-saving station asks the AP for buffered frames."""
+
+    bssid: MacAddress
+    transmitter: MacAddress
+    association_id: int
+
+    def to_bytes(self, with_fcs: bool = True) -> bytes:
+        if not 1 <= self.association_id <= 2007:
+            raise FrameError(f"AID {self.association_id} out of range")
+        frame = (FrameControl(FrameType.CONTROL, int(ControlSubtype.PS_POLL)).to_bytes()
+                 + struct.pack("<H", self.association_id | 0xC000)
+                 + bytes(self.bssid)
+                 + bytes(self.transmitter))
+        return append_fcs(frame) if with_fcs else frame
+
+    def __len__(self) -> int:
+        return len(self.to_bytes())
+
+
+# ---------------------------------------------------------------------------
+# Data frames
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class DataFrame:
+    """An 802.11 data frame carrying an LLC/SNAP payload.
+
+    Infrastructure addressing: with ``to_ds`` set, addr1 = BSSID,
+    addr2 = source STA, addr3 = final destination; with ``from_ds`` set,
+    addr1 = destination STA, addr2 = BSSID, addr3 = original source.
+    ``payload`` is the MSDU (LLC/SNAP + upper layers), already encrypted
+    if ``protected`` is set.
+    """
+
+    destination: MacAddress
+    source: MacAddress
+    bssid: MacAddress
+    payload: bytes
+    to_ds: bool = False
+    from_ds: bool = False
+    subtype: DataSubtype = DataSubtype.DATA
+    sequence: int = 0
+    protected: bool = False
+    power_management: bool = False
+    more_data: bool = False
+    duration_us: int = 0
+
+    def frame_control(self) -> FrameControl:
+        return FrameControl(FrameType.DATA, int(self.subtype),
+                            to_ds=self.to_ds, from_ds=self.from_ds,
+                            protected=self.protected,
+                            power_management=self.power_management,
+                            more_data=self.more_data)
+
+    def addresses(self) -> tuple[MacAddress, MacAddress, MacAddress]:
+        """(addr1, addr2, addr3) per the to_ds/from_ds matrix."""
+        if self.to_ds and not self.from_ds:
+            return self.bssid, self.source, self.destination
+        if self.from_ds and not self.to_ds:
+            return self.destination, self.bssid, self.source
+        if not self.to_ds and not self.from_ds:
+            return self.destination, self.source, self.bssid
+        raise FrameError("WDS (to_ds and from_ds) frames are not supported")
+
+    def to_bytes(self, with_fcs: bool = True) -> bytes:
+        addr1, addr2, addr3 = self.addresses()
+        header = (self.frame_control().to_bytes()
+                  + struct.pack("<H", self.duration_us)
+                  + bytes(addr1) + bytes(addr2) + bytes(addr3)
+                  + struct.pack("<H", (self.sequence & 0xFFF) << 4))
+        if self.subtype in (DataSubtype.QOS_DATA, DataSubtype.QOS_NULL):
+            header += b"\x00\x00"  # QoS control, TID 0
+        frame = header + self.payload
+        return append_fcs(frame) if with_fcs else frame
+
+    def with_payload(self, payload: bytes, protected: bool | None = None) -> "DataFrame":
+        """Copy with a new payload (used when encrypting in place)."""
+        return replace(self, payload=payload,
+                       protected=self.protected if protected is None else protected)
+
+    def __len__(self) -> int:
+        return len(self.to_bytes())
+
+
+def null_frame(station: MacAddress, bssid: MacAddress,
+               power_management: bool) -> DataFrame:
+    """A Null data frame used to signal power-save transitions to the AP."""
+    return DataFrame(destination=bssid, source=station, bssid=bssid,
+                     payload=b"", to_ds=True, subtype=DataSubtype.NULL,
+                     power_management=power_management)

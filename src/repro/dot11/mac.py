@@ -1,0 +1,117 @@
+"""MAC (EUI-48) address handling for the 802.11 frame layer.
+
+Addresses are immutable value objects so they can be used as dictionary
+keys (e.g. in association tables on the access point) and compared across
+serialisation round trips.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_MAC_RE = re.compile(r"^([0-9a-fA-F]{2})([-:]?)([0-9a-fA-F]{2})(?:\2([0-9a-fA-F]{2})){4}$")
+
+
+class MacAddressError(ValueError):
+    """Raised when a MAC address string or byte sequence is malformed."""
+
+
+@dataclass(frozen=True, slots=True)
+class MacAddress:
+    """An immutable EUI-48 MAC address.
+
+    Construct from six raw bytes, or use :meth:`parse` for the usual
+    colon/dash separated textual forms.
+
+    >>> MacAddress.parse("aa:bb:cc:dd:ee:ff").is_unicast
+    True
+    >>> MacAddress.broadcast().is_broadcast
+    True
+    """
+
+    octets: bytes
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.octets, (bytes, bytearray)):
+            raise MacAddressError(f"expected bytes, got {type(self.octets).__name__}")
+        if len(self.octets) != 6:
+            raise MacAddressError(f"MAC address needs 6 octets, got {len(self.octets)}")
+        object.__setattr__(self, "octets", bytes(self.octets))
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        """Parse ``aa:bb:cc:dd:ee:ff``, ``aa-bb-...`` or bare-hex forms."""
+        if not isinstance(text, str):
+            raise MacAddressError(f"expected str, got {type(text).__name__}")
+        if not _MAC_RE.match(text):
+            raise MacAddressError(f"malformed MAC address: {text!r}")
+        digits = re.sub(r"[-:]", "", text)
+        return cls(bytes.fromhex(digits))
+
+    @classmethod
+    def broadcast(cls) -> "MacAddress":
+        """The all-ones broadcast address ``ff:ff:ff:ff:ff:ff``."""
+        return _BROADCAST
+
+    @classmethod
+    def zero(cls) -> "MacAddress":
+        """The all-zero address (used as a placeholder, e.g. DHCP yiaddr)."""
+        return _ZERO
+
+    @classmethod
+    def from_oui(cls, oui: bytes, serial: int) -> "MacAddress":
+        """Build a locally administered address from a 3-byte OUI and serial."""
+        if len(oui) != 3:
+            raise MacAddressError(f"OUI needs 3 octets, got {len(oui)}")
+        if not 0 <= serial < (1 << 24):
+            raise MacAddressError(f"serial {serial} out of 24-bit range")
+        return cls(bytes(oui) + serial.to_bytes(3, "big"))
+
+    # -- properties -------------------------------------------------------
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.octets == b"\xff" * 6
+
+    @property
+    def is_multicast(self) -> bool:
+        """True for group addresses (I/G bit set), including broadcast."""
+        return bool(self.octets[0] & 0x01)
+
+    @property
+    def is_unicast(self) -> bool:
+        return not self.is_multicast
+
+    @property
+    def is_locally_administered(self) -> bool:
+        return bool(self.octets[0] & 0x02)
+
+    @property
+    def oui(self) -> bytes:
+        """The first three octets (organisationally unique identifier)."""
+        return self.octets[:3]
+
+    # -- conversions ------------------------------------------------------
+
+    def __bytes__(self) -> bytes:
+        return self.octets
+
+    def __str__(self) -> str:
+        return ":".join(f"{b:02x}" for b in self.octets)
+
+    def __repr__(self) -> str:
+        return f"MacAddress.parse('{self}')"
+
+    def __int__(self) -> int:
+        return int.from_bytes(self.octets, "big")
+
+
+_BROADCAST = MacAddress(b"\xff" * 6)
+_ZERO = MacAddress(b"\x00" * 6)
+
+#: OUI used by Wi-LE devices for locally administered source addresses and
+#: for the vendor-specific information element that carries sensor payloads.
+WILE_OUI = b"\x02\x57\x4c"  # locally-administered bit set, ASCII "WL"

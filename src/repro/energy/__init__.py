@@ -1,0 +1,15 @@
+"""Energy modelling: current traces, device power models, Eq. 1, batteries."""
+
+from . import calibration
+from .average import (
+    AveragePowerError,
+    DutyCycleProfile,
+    average_power_w,
+    crossover_interval_s,
+)
+from .battery import AA_LITHIUM, CR2032, TWO_AA_PACK, Battery, BatteryError
+from .cc2541 import Cc2541PowerModel
+from .esp32 import Esp32PowerModel, Esp32Recorder, Esp32State
+from .trace import CurrentTrace, TraceError, TraceSegment
+
+__all__ = [name for name in dir() if not name.startswith("_")]

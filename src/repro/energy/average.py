@@ -1,0 +1,107 @@
+"""Equation 1 of the paper: average power over a transmission cycle.
+
+    P_avg = (P_tx * T_tx + P_idle * (INT - T_tx)) / INT
+
+where ``P_tx`` is the power during a transmission event (including all
+overheads such as microcontroller initialisation), ``T_tx`` its
+duration, ``P_idle`` the sleep/idle power, and ``INT`` the interval
+between transmissions. Figure 4 sweeps INT from seconds to five minutes
+for the four scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class AveragePowerError(ValueError):
+    """Raised for physically meaningless inputs to Eq. 1."""
+
+
+def average_power_w(p_tx_w: float, t_tx_s: float, p_idle_w: float,
+                    interval_s: float) -> float:
+    """Equation 1, verbatim."""
+    if interval_s <= 0:
+        raise AveragePowerError(f"interval must be positive, got {interval_s}")
+    if t_tx_s < 0 or t_tx_s > interval_s:
+        raise AveragePowerError(
+            f"transmission time {t_tx_s}s must fit in interval {interval_s}s")
+    if p_tx_w < 0 or p_idle_w < 0:
+        raise AveragePowerError("negative power makes no sense")
+    return (p_tx_w * t_tx_s + p_idle_w * (interval_s - t_tx_s)) / interval_s
+
+
+@dataclass(frozen=True, slots=True)
+class DutyCycleProfile:
+    """One technology's Eq. 1 parameters, derived from its scenario run.
+
+    ``energy_per_packet_j`` = P_tx * T_tx, which is how the paper reports
+    Table 1; keeping both lets us apply Eq. 1 without re-deriving P_tx.
+    """
+
+    name: str
+    energy_per_packet_j: float
+    t_tx_s: float
+    idle_current_a: float
+    supply_voltage_v: float
+
+    def __post_init__(self) -> None:
+        if self.energy_per_packet_j < 0:
+            raise AveragePowerError("negative per-packet energy")
+        if self.t_tx_s <= 0:
+            raise AveragePowerError("transmission window must be positive")
+        if self.supply_voltage_v <= 0:
+            raise AveragePowerError("supply voltage must be positive")
+
+    @property
+    def p_tx_w(self) -> float:
+        return self.energy_per_packet_j / self.t_tx_s
+
+    @property
+    def p_idle_w(self) -> float:
+        return self.idle_current_a * self.supply_voltage_v
+
+    def average_power_w(self, interval_s: float) -> float:
+        """Eq. 1 for this technology at a given transmission interval."""
+        if interval_s <= self.t_tx_s:
+            # Back-to-back transmissions: the device is never idle.
+            return self.p_tx_w
+        return average_power_w(self.p_tx_w, self.t_tx_s, self.p_idle_w,
+                               interval_s)
+
+    def average_current_a(self, interval_s: float) -> float:
+        return self.average_power_w(interval_s) / self.supply_voltage_v
+
+
+def crossover_interval_s(first: DutyCycleProfile, second: DutyCycleProfile,
+                         low_s: float = 0.5, high_s: float = 3600.0,
+                         precision_s: float = 1e-3) -> float | None:
+    """Interval at which two technologies draw equal average power.
+
+    Returns None when one profile dominates over the whole range. Used to
+    reproduce the paper's observation that WiFi-PS beats WiFi-DC only for
+    sub-minute transmission intervals.
+    """
+
+    def difference(interval_s: float) -> float:
+        return (first.average_power_w(interval_s)
+                - second.average_power_w(interval_s))
+
+    d_low, d_high = difference(low_s), difference(high_s)
+    if d_low == 0.0:
+        return low_s
+    if d_high == 0.0:
+        return high_s
+    if (d_low > 0) == (d_high > 0):
+        return None
+    lo, hi = low_s, high_s
+    while hi - lo > precision_s:
+        mid = (lo + hi) / 2.0
+        d_mid = difference(mid)
+        if d_mid == 0.0:
+            return mid
+        if (d_mid > 0) == (d_low > 0):
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0

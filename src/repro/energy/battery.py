@@ -1,0 +1,73 @@
+"""Battery-life estimation from average current draw.
+
+The paper motivates BLE's dominance with "BLE modules can run on a small
+button battery for over a year" (§5.4); this module quantifies that and
+the equivalent claim for Wi-LE across transmission intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+HOURS_PER_YEAR = 24.0 * 365.25
+
+
+class BatteryError(ValueError):
+    """Raised for impossible battery parameters."""
+
+
+@dataclass(frozen=True, slots=True)
+class Battery:
+    """A primary cell characterised by capacity and self-discharge.
+
+    Attributes:
+        name: e.g. ``"CR2032"``.
+        capacity_mah: rated capacity in milliamp-hours.
+        nominal_voltage_v: cell voltage.
+        self_discharge_per_year: fraction of capacity lost per year
+            independent of the load (lithium coin cells: ~1 %/year).
+        usable_fraction: derating for cutoff voltage and pulse loads.
+    """
+
+    name: str
+    capacity_mah: float
+    nominal_voltage_v: float
+    self_discharge_per_year: float = 0.01
+    usable_fraction: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0:
+            raise BatteryError("capacity must be positive")
+        if not 0 <= self.self_discharge_per_year < 1:
+            raise BatteryError("self-discharge must be a fraction below 1")
+        if not 0 < self.usable_fraction <= 1:
+            raise BatteryError("usable fraction must be in (0, 1]")
+
+    def life_hours(self, average_current_a: float) -> float:
+        """Hours of operation at a constant average load.
+
+        Solves capacity = (load + self-discharge) * t for t, treating
+        self-discharge as an equivalent parallel current.
+        """
+        if average_current_a < 0:
+            raise BatteryError("negative load current")
+        usable_c = self.capacity_mah * 1e-3 * 3600.0 * self.usable_fraction
+        self_discharge_a = (self.capacity_mah * 1e-3
+                            * self.self_discharge_per_year / HOURS_PER_YEAR)
+        total_a = average_current_a + self_discharge_a
+        if total_a <= 0:
+            return float("inf")
+        return usable_c / total_a / 3600.0
+
+    def life_years(self, average_current_a: float) -> float:
+        return self.life_hours(average_current_a) / HOURS_PER_YEAR
+
+
+#: The "small button battery" of §5.4.
+CR2032 = Battery("CR2032", capacity_mah=225.0, nominal_voltage_v=3.0)
+
+#: A single AA lithium cell, a common IoT sensor power source.
+AA_LITHIUM = Battery("AA-lithium", capacity_mah=3000.0, nominal_voltage_v=1.5)
+
+#: Two-AA pack at 3 V, what commodity WiFi sensors actually need.
+TWO_AA_PACK = Battery("2xAA", capacity_mah=2500.0, nominal_voltage_v=3.0)

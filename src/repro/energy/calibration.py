@@ -1,0 +1,212 @@
+"""Calibration constants fit to the paper's measurements.
+
+Every number here is either (a) stated directly in the paper / chipset
+datasheets, or (b) a fit: chosen once so the simulated scenarios
+integrate to the paper's Table 1 / Figure 3 values, then frozen. The
+provenance of each constant is noted. Tests in
+``tests/test_scenarios.py`` assert the resulting scenario energies stay
+within tolerance of Table 1, so accidental edits here fail CI.
+
+Units: seconds, amperes, volts, joules throughout (SI, no prefixes).
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Supply
+# ---------------------------------------------------------------------------
+
+#: The paper powers the ESP32 from a clean 3.3 V bench supply (§5.1).
+SUPPLY_VOLTAGE_V = 3.3
+
+#: The CC2541 BLE reference numbers come from TI's app note, measured on
+#: a 3.0 V coin-cell supply.
+BLE_SUPPLY_VOLTAGE_V = 3.0
+
+# ---------------------------------------------------------------------------
+# ESP32 state currents
+# ---------------------------------------------------------------------------
+
+#: Deep sleep: CPU+RAM off, RTC timer only (paper §5.1: "as low as 2.5 uA").
+ESP32_DEEP_SLEEP_A = 2.5e-6
+
+#: Light sleep with full RAM retention (paper §5.1: "as low as 0.8 mA").
+ESP32_LIGHT_SLEEP_A = 0.8e-3
+
+#: Automatic light sleep with WiFi association maintained (paper §5.1:
+#: "about 5 mA"); Table 1 reports the long-run WiFi-PS idle average as
+#: 4.5 mA once beacon-skipping (listen interval 3) is active.
+ESP32_AUTO_LIGHT_SLEEP_A = 5.0e-3
+WIFI_PS_IDLE_A = 4.5e-3
+
+#: Modem-sleep baseline between attended beacons (fit so that a 4 ms
+#: beacon receive every third beacon averages to the 4.5 mA above).
+WIFI_PS_MODEM_SLEEP_BASE_A = 3.7e-3
+#: Receive window per attended beacon.
+WIFI_PS_BEACON_RX_S = 0.004
+
+#: CPU active at 80 MHz executing from flash during the boot/init phase.
+#: Fit to make the Figure 3a "MC/WiFi init" phase integrate consistently
+#: with the paper's 238.2 mJ total.
+ESP32_BOOT_A = 46.8e-3
+
+#: WiFi radio listening/receiving (RX chain on, CPU at 80 MHz with DFS).
+ESP32_WIFI_LISTEN_A = 65.0e-3
+
+#: WiFi TX at 0 dBm, the power used for Wi-LE (ESP32 datasheet: TX
+#: 802.11n MCS7 ~120 mA at low power settings).
+ESP32_WIFI_TX_A = 120.0e-3
+
+#: WiFi TX at the default 17-20 dBm power used for normal association
+#: traffic (datasheet: up to ~240 mA; Figure 3a spikes reach ~250 mA).
+ESP32_WIFI_TX_HIGH_A = 240.0e-3
+
+#: Average current of the brief active windows around each DHCP/ARP
+#: message (CPU processing + RX on), between which the chip drops into
+#: automatic light sleep (visible as the 20-30 mA valleys in Figure 3a).
+ESP32_NET_ACTIVE_A = 60.0e-3
+
+#: Current while flushing state and entering deep sleep after TX.
+ESP32_TEARDOWN_A = 90.0e-3
+
+# ---------------------------------------------------------------------------
+# WiFi-DC (duty-cycle) phase durations — Figure 3a
+# ---------------------------------------------------------------------------
+
+#: Sleep lead-in shown before the wake-up in Figure 3 plots.
+FIGURE3_SLEEP_LEAD_S = 0.2
+
+#: Microcontroller boot from deep sleep + WiFi stack init: Figure 3a
+#: shows this spanning 0.2 s - 0.85 s.
+WIFI_DC_BOOT_S = 0.65
+
+#: Probe/auth/assoc/WPA2 phase: Figure 3a spans 0.85 s - 1.15 s. The
+#: bulk is waiting on AP responses; per-step AP processing latency below
+#: is chosen so the simulated exchange fills this window.
+WIFI_DC_ASSOC_S = 0.30
+
+#: AP-side processing delay before each management/EAPOL response.
+#: Five AP responses (probe/auth/assoc/EAPOL-1/EAPOL-3) at ~29 ms plus
+#: five station-side preparation delays spread the exchange over 0.3 s.
+AP_RESPONSE_DELAY_S = 0.029
+
+#: Station-side preparation time before each management/EAPOL request —
+#: WPA2 key derivation and MIC computation on an 80 MHz microcontroller.
+STA_PROCESSING_DELAY_S = 0.030
+
+#: DHCP server latencies on a consumer AP (Figure 3a shows long valleys
+#: while the client waits in automatic light sleep).
+DHCP_OFFER_DELAY_S = 0.22
+DHCP_ACK_DELAY_S = 0.18
+
+#: Post-lease gratuitous-ARP settling wait before resolving the gateway.
+ARP_ANNOUNCE_WAIT_S = 0.10
+#: AP response latency for the gateway ARP reply.
+ARP_REPLY_DELAY_S = 0.030
+
+#: Station processing before each higher-layer message (stack traversal).
+NET_MSG_PREP_S = 0.020
+
+#: DHCP/ARP phase: Figure 3a spans roughly 1.15 s - 1.78 s, dominated by
+#: DHCP server latency with the chip in automatic light sleep.
+WIFI_DC_NET_S = 0.63
+
+#: Active window around each of the 7 higher-layer messages.
+NET_MSG_ACTIVE_S = 0.028
+
+#: Time to flush and re-enter deep sleep after the data transmission.
+WIFI_DC_TEARDOWN_S = 0.060
+
+#: Length of the application data payload (the sensor reading datagram).
+SENSOR_PAYLOAD_BYTES = 16
+
+# ---------------------------------------------------------------------------
+# WiFi-PS (power save, stays associated) — Table 1
+# ---------------------------------------------------------------------------
+
+#: Wake from automatic light sleep and resynchronise with the TSF.
+WIFI_PS_WAKE_S = 0.025
+WIFI_PS_WAKE_A = 35.0e-3
+
+#: Beacon reception + queue sync before the uplink transmission.
+WIFI_PS_SYNC_S = 0.012
+WIFI_PS_SYNC_A = 80.0e-3
+
+#: Active TX window (channel access, frame, ACK, MAC bookkeeping). Fit
+#: so the WiFi-PS energy/packet integrates to the paper's 19.8 mJ.
+WIFI_PS_TX_S = 0.03513
+WIFI_PS_TX_A = 110.0e-3
+
+#: ACK wait + return to automatic light sleep.
+WIFI_PS_SETTLE_S = 0.005
+WIFI_PS_SETTLE_A = 60.0e-3
+
+# ---------------------------------------------------------------------------
+# Wi-LE — Table 1 / Figure 3b
+# ---------------------------------------------------------------------------
+
+#: Boot from deep sleep for Wi-LE is shorter than for WiFi-DC (Figure 3b:
+#: "a simpler initialization phase" — no client/station mode prep).
+WILE_BOOT_S = 0.35
+
+#: Radio enable + PLL warm-up before the injected beacon leaves the
+#: antenna. Fit (with the computed beacon airtime at HT MCS7 SGI and the
+#: 120 mA TX current) so energy-per-packet = 84 uJ for the reference
+#: 16-byte payload, per the paper's accounting, which counts only the
+#: transmit window: "we consider only the time required to transmit the
+#: packet".
+WILE_RADIO_WARMUP_S = 159.33e-6
+
+#: Wi-LE deep-sleep idle current equals the ESP32 deep-sleep figure.
+WILE_IDLE_A = ESP32_DEEP_SLEEP_A
+
+#: The ESP32 ULP coprocessor: checks a sensor during deep sleep without
+#: booting the main cores (datasheet: ~150 uA while running). Used by
+#: delta-triggered reporting — a "nothing changed" wake costs a 2 ms ULP
+#: window instead of the 0.35 s main-core boot.
+ESP32_ULP_ACTIVE_A = 150.0e-6
+ULP_CHECK_S = 2.0e-3
+
+# ---------------------------------------------------------------------------
+# BLE (CC2541 reference module, TI swra347a measurement methodology)
+# ---------------------------------------------------------------------------
+
+#: Sleep current between connection events (Table 1: 1.1 uA).
+BLE_SLEEP_A = 1.1e-6
+
+#: Per-phase (duration_s, current_a) model of one BLE connection event,
+#: after TI swra347a's six-phase breakdown; durations fit so the event
+#: integrates to the paper's 71 uJ at 3.0 V.
+BLE_EVENT_PHASES: tuple[tuple[str, float, float], ...] = (
+    ("wake-up", 400e-6, 6.0e-3),
+    ("pre-processing", 340e-6, 7.4e-3),
+    ("pre-rx", 352e-6, 11.0e-3),
+    ("rx", 190e-6, 17.5e-3),
+    ("rx-tx-transition", 105e-6, 7.4e-3),
+    ("tx", 115e-6, 18.2e-3),
+    ("post-processing", 1080e-6, 7.4e-3),
+    ("pre-sleep", 160e-6, 4.1e-3),
+)
+
+# ---------------------------------------------------------------------------
+# Paper targets (Table 1), used by tests and the comparison benches
+# ---------------------------------------------------------------------------
+
+PAPER_ENERGY_PER_PACKET_J = {
+    "Wi-LE": 84e-6,
+    "BLE": 71e-6,
+    "WiFi-DC": 238.2e-3,
+    "WiFi-PS": 19.8e-3,
+}
+
+PAPER_IDLE_CURRENT_A = {
+    "Wi-LE": 2.5e-6,
+    "BLE": 1.1e-6,
+    "WiFi-DC": 2.5e-6,
+    "WiFi-PS": 4500e-6,
+}
+
+#: §3.1: management + security frames before any data can flow.
+PAPER_MAC_FRAME_COUNT = 20
+#: §3.1: DHCP + ARP messages on top of the MAC exchange.
+PAPER_HIGHER_LAYER_FRAME_COUNT = 7

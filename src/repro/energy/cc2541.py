@@ -1,0 +1,54 @@
+"""CC2541 BLE module power model.
+
+The paper deliberately does *not* use the ESP32's own BLE radio as the
+Bluetooth reference ("their Bluetooth implementation is inefficient ...
+and still under development", §5.4); it takes numbers from TI's
+"Measuring Bluetooth Low Energy Power Consumption" application note
+(swra347a) for the CC2541, an ultra-low-power BLE SoC. We encode that
+app note's phase-by-phase model of a slave connection event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import calibration as cal
+from .trace import CurrentTrace
+
+
+@dataclass(frozen=True, slots=True)
+class Cc2541PowerModel:
+    """Phase model of the CC2541 during one BLE connection event."""
+
+    supply_voltage_v: float = cal.BLE_SUPPLY_VOLTAGE_V
+    sleep_current_a: float = cal.BLE_SLEEP_A
+    event_phases: tuple[tuple[str, float, float], ...] = cal.BLE_EVENT_PHASES
+
+    def event_duration_s(self) -> float:
+        """Wall-clock length of one connection event (radio + CPU)."""
+        return sum(duration for _label, duration, _current in self.event_phases)
+
+    def event_charge_c(self) -> float:
+        return sum(duration * current
+                   for _label, duration, current in self.event_phases)
+
+    def energy_per_event_j(self) -> float:
+        """The Table 1 "energy per packet" figure for BLE."""
+        return self.event_charge_c() * self.supply_voltage_v
+
+    def record_event(self, trace: CurrentTrace) -> None:
+        """Append one connection event's phases at the trace cursor."""
+        for label, duration_s, current_a in self.event_phases:
+            trace.append(duration_s, current_a, f"ble-{label}")
+
+    def record_sleep(self, trace: CurrentTrace, duration_s: float) -> None:
+        if duration_s > 0:
+            trace.append(duration_s, self.sleep_current_a, "ble-sleep")
+
+    def average_current_a(self, interval_s: float) -> float:
+        """Long-run average when one event fires every ``interval_s``."""
+        if interval_s <= self.event_duration_s():
+            return self.event_charge_c() / self.event_duration_s()
+        idle_s = interval_s - self.event_duration_s()
+        return (self.event_charge_c()
+                + self.sleep_current_a * idle_s) / interval_s

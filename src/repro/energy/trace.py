@@ -1,0 +1,208 @@
+"""Current-draw traces: the reproduction's stand-in for multimeter data.
+
+The paper derives every result by sampling the ESP32's supply current at
+50 kS/s and integrating. Here, scenario runs emit a
+:class:`CurrentTrace` — an ordered list of labelled piecewise-constant
+segments — which integrates *exactly* (no sampling error), and which the
+simulated Keysight multimeter (:mod:`repro.testbed.multimeter`) can
+re-sample at 50 kS/s to emulate the paper's measurement front end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class TraceError(ValueError):
+    """Raised for malformed trace construction or queries."""
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSegment:
+    """A span of constant current draw.
+
+    Attributes:
+        start_s: segment start time (simulation seconds).
+        duration_s: length of the span.
+        current_a: supply current during the span, amperes.
+        label: phase name ("deep-sleep", "boot", "assoc", "tx", ...).
+    """
+
+    start_s: float
+    duration_s: float
+    current_a: float
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise TraceError(f"negative duration {self.duration_s}")
+        if self.current_a < 0:
+            raise TraceError(f"negative current {self.current_a}")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    @property
+    def charge_c(self) -> float:
+        return self.current_a * self.duration_s
+
+
+class CurrentTrace:
+    """An append-only, time-ordered sequence of current segments.
+
+    Build with :meth:`append` (advances an internal cursor) or
+    :meth:`add_segment` (explicit start time). Segments may not overlap;
+    gaps are treated as zero current.
+    """
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self._segments: list[TraceSegment] = []
+        self._cursor_s = start_s
+
+    # -- construction --------------------------------------------------------
+
+    def append(self, duration_s: float, current_a: float, label: str) -> TraceSegment:
+        """Add a segment at the cursor and advance it."""
+        segment = TraceSegment(self._cursor_s, duration_s, current_a, label)
+        self._push(segment)
+        self._cursor_s = segment.end_s
+        return segment
+
+    def add_segment(self, start_s: float, duration_s: float,
+                    current_a: float, label: str) -> TraceSegment:
+        """Add a segment at an explicit time (must not rewind)."""
+        segment = TraceSegment(start_s, duration_s, current_a, label)
+        self._push(segment)
+        self._cursor_s = max(self._cursor_s, segment.end_s)
+        return segment
+
+    def _push(self, segment: TraceSegment) -> None:
+        if self._segments and segment.start_s < self._segments[-1].end_s - 1e-12:
+            raise TraceError(
+                f"segment at {segment.start_s}s overlaps previous ending "
+                f"{self._segments[-1].end_s}s")
+        self._segments.append(segment)
+
+    @property
+    def cursor_s(self) -> float:
+        return self._cursor_s
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def segments(self) -> tuple[TraceSegment, ...]:
+        return tuple(self._segments)
+
+    @property
+    def start_s(self) -> float:
+        if not self._segments:
+            return self._cursor_s
+        return self._segments[0].start_s
+
+    @property
+    def end_s(self) -> float:
+        if not self._segments:
+            return self._cursor_s
+        return self._segments[-1].end_s
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __iter__(self):
+        return iter(self._segments)
+
+    # -- integration -------------------------------------------------------------
+
+    def charge_c(self, t0_s: float | None = None,
+                 t1_s: float | None = None) -> float:
+        """Integral of current over [t0, t1] in coulombs (exact)."""
+        t0 = self.start_s if t0_s is None else t0_s
+        t1 = self.end_s if t1_s is None else t1_s
+        if t1 < t0:
+            raise TraceError(f"bad integration window [{t0}, {t1}]")
+        total = 0.0
+        for segment in self._segments:
+            lo = max(segment.start_s, t0)
+            hi = min(segment.end_s, t1)
+            if hi > lo:
+                total += segment.current_a * (hi - lo)
+        return total
+
+    def energy_j(self, voltage_v: float, t0_s: float | None = None,
+                 t1_s: float | None = None) -> float:
+        """Energy drawn from a constant ``voltage_v`` supply."""
+        if voltage_v <= 0:
+            raise TraceError(f"supply voltage must be positive, got {voltage_v}")
+        return voltage_v * self.charge_c(t0_s, t1_s)
+
+    def average_current_a(self, t0_s: float | None = None,
+                          t1_s: float | None = None) -> float:
+        t0 = self.start_s if t0_s is None else t0_s
+        t1 = self.end_s if t1_s is None else t1_s
+        if t1 <= t0:
+            raise TraceError("empty averaging window")
+        return self.charge_c(t0, t1) / (t1 - t0)
+
+    def peak_current_a(self) -> float:
+        if not self._segments:
+            return 0.0
+        return max(segment.current_a for segment in self._segments)
+
+    def charge_by_label(self) -> dict[str, float]:
+        """Coulombs attributed to each phase label."""
+        totals: dict[str, float] = {}
+        for segment in self._segments:
+            totals[segment.label] = totals.get(segment.label, 0.0) + segment.charge_c
+        return totals
+
+    def duration_by_label(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for segment in self._segments:
+            totals[segment.label] = totals.get(segment.label, 0.0) + segment.duration_s
+        return totals
+
+    def labels(self) -> list[str]:
+        """Phase labels in first-appearance order."""
+        seen: list[str] = []
+        for segment in self._segments:
+            if segment.label not in seen:
+                seen.append(segment.label)
+        return seen
+
+    # -- sampling ----------------------------------------------------------------
+
+    def sample(self, rate_hz: float, t0_s: float | None = None,
+               t1_s: float | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Sample the trace at ``rate_hz`` like a bench multimeter.
+
+        Returns (times, currents). Each sample reports the current at the
+        sample instant (zero in gaps), matching an instantaneous-aperture
+        DMM reading.
+        """
+        if rate_hz <= 0:
+            raise TraceError(f"sample rate must be positive, got {rate_hz}")
+        t0 = self.start_s if t0_s is None else t0_s
+        t1 = self.end_s if t1_s is None else t1_s
+        if t1 < t0:
+            raise TraceError("bad sampling window")
+        times = np.arange(t0, t1, 1.0 / rate_hz)
+        currents = np.zeros_like(times)
+        starts = np.array([segment.start_s for segment in self._segments])
+        for segment, _start in zip(self._segments, starts):
+            mask = (times >= segment.start_s) & (times < segment.end_s)
+            currents[mask] = segment.current_a
+        return times, currents
+
+    def current_at(self, time_s: float) -> float:
+        """Instantaneous current at ``time_s`` (zero in gaps)."""
+        for segment in self._segments:
+            if segment.start_s <= time_s < segment.end_s:
+                return segment.current_a
+        return 0.0

@@ -1,0 +1,90 @@
+"""Run the whole evaluation: every table, figure, claim, and ablation.
+
+    python -m repro.experiments            # print all reports
+    python -m repro.experiments --out DIR  # also write CSV artifacts
+    python -m repro.experiments --quick    # core artifacts only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..scenarios import run_all_scenarios
+from . import (
+    ablations,
+    adaptive,
+    band_5ghz,
+    contention,
+    reliability,
+    scheduling,
+)
+from .artifacts import export_all
+from .battery_life import battery_life, render as render_battery
+from .figure3 import run_figure3
+from .figure4 import run_figure4
+from .frame_counts import run_frame_counts
+from .multi_device import run_multi_device
+from .table1 import run_table1
+from .two_way import run_two_way
+
+
+def _banner(title: str) -> None:
+    print()
+    print("#" * 72)
+    print(f"# {title}")
+    print("#" * 72)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate every artifact of the Wi-LE reproduction.")
+    parser.add_argument("--out", metavar="DIR", default=None,
+                        help="also write CSV artifacts into DIR")
+    parser.add_argument("--quick", action="store_true",
+                        help="core artifacts only (Table 1, Figures 3/4, "
+                             "frame counts)")
+    args = parser.parse_args(argv)
+
+    print("running the four measurement scenarios...")
+    results = run_all_scenarios()
+
+    _banner("Table 1")
+    print(run_table1(results).render())
+    _banner("Figure 3")
+    print(run_figure3().render())
+    _banner("Figure 4")
+    print(run_figure4(results).render())
+    _banner("Section 3.1 frame counts")
+    print(run_frame_counts().render())
+
+    if not args.quick:
+        _banner("Section 6: multi-device jitter")
+        print(run_multi_device().render())
+        _banner("Section 6: two-way communication")
+        print(run_two_way().render())
+        _banner("Ablations")
+        print(ablations.render_all())
+        _banner("Section 1: 5 GHz")
+        print(band_5ghz.render())
+        _banner("Contention")
+        print(contention.render(contention.run_contention()))
+        _banner("Fleet scheduling")
+        print(scheduling.render(scheduling.run_scheduling()))
+        _banner("Beacon repetition reliability")
+        print(reliability.render(reliability.run_reliability()))
+        _banner("Adaptive reporting")
+        print(adaptive.render(adaptive.run_adaptive()))
+        _banner("Battery life")
+        print(render_battery(battery_life(results)))
+
+    if args.out is not None:
+        _banner(f"Artifacts -> {args.out}")
+        for artifact in export_all(args.out, results):
+            print(f"  wrote {artifact.path} ({artifact.rows} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

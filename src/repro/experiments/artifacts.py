@@ -1,0 +1,112 @@
+"""Artifact export: CSV data files for every figure and table.
+
+Plotting tools live outside this repository (no matplotlib dependency),
+so each experiment can dump its numbers in a stable CSV schema; pointing
+gnuplot/pyplot at these files regenerates the paper's figures visually.
+``python -m repro.experiments --out <dir>`` writes the full set.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass
+
+from ..energy.trace import CurrentTrace
+from ..scenarios import ScenarioResult, figure4, run_all_scenarios, table1
+
+
+class ArtifactError(RuntimeError):
+    """Raised when an artifact cannot be written."""
+
+
+@dataclass(frozen=True, slots=True)
+class WrittenArtifact:
+    path: str
+    rows: int
+
+
+def _writer(path: str):
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    return open(path, "w", newline="")
+
+
+def write_table1_csv(path: str,
+                     results: dict[str, ScenarioResult]) -> WrittenArtifact:
+    rows = table1(results)
+    with _writer(path) as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["scenario", "energy_per_packet_j", "paper_energy_j",
+                         "idle_current_a", "paper_idle_a"])
+        for row in rows:
+            writer.writerow([row.name, f"{row.energy_per_packet_j:.9g}",
+                             f"{row.paper_energy_j:.9g}",
+                             f"{row.idle_current_a:.9g}",
+                             f"{row.paper_idle_a:.9g}"])
+    return WrittenArtifact(path, len(rows))
+
+
+def write_figure4_csv(path: str,
+                      results: dict[str, ScenarioResult]) -> WrittenArtifact:
+    series = figure4(results)
+    with _writer(path) as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["scenario", "interval_s", "average_power_w"])
+        count = 0
+        for entry in series:
+            for interval, power in zip(entry.intervals_s, entry.power_w):
+                writer.writerow([entry.name, f"{interval:.6g}",
+                                 f"{power:.9g}"])
+                count += 1
+    return WrittenArtifact(path, count)
+
+
+def write_trace_csv(path: str, trace: CurrentTrace,
+                    sample_rate_hz: float = 50_000.0) -> WrittenArtifact:
+    """A Figure 3-style trace, sampled as the paper's multimeter would."""
+    if trace is None:
+        raise ArtifactError("scenario produced no trace")
+    times, currents = trace.sample(sample_rate_hz)
+    with _writer(path) as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_s", "current_a"])
+        for time_s, current_a in zip(times, currents):
+            writer.writerow([f"{time_s:.6f}", f"{current_a:.9g}"])
+    return WrittenArtifact(path, len(times))
+
+
+def write_trace_segments_csv(path: str, trace: CurrentTrace) -> WrittenArtifact:
+    """The exact piecewise trace with phase labels (lossless form)."""
+    if trace is None:
+        raise ArtifactError("scenario produced no trace")
+    with _writer(path) as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["start_s", "duration_s", "current_a", "label"])
+        for segment in trace:
+            writer.writerow([f"{segment.start_s:.9g}",
+                             f"{segment.duration_s:.9g}",
+                             f"{segment.current_a:.9g}", segment.label])
+    return WrittenArtifact(path, len(trace))
+
+
+def export_all(output_dir: str,
+               results: dict[str, ScenarioResult] | None = None) -> list[WrittenArtifact]:
+    """Write the full artifact set under ``output_dir``."""
+    results = results if results is not None else run_all_scenarios()
+    artifacts = [
+        write_table1_csv(os.path.join(output_dir, "table1.csv"), results),
+        write_figure4_csv(os.path.join(output_dir, "figure4.csv"), results),
+        write_trace_csv(os.path.join(output_dir, "figure3a_wifi.csv"),
+                        results["WiFi-DC"].trace),
+        write_trace_csv(os.path.join(output_dir, "figure3b_wile.csv"),
+                        results["Wi-LE"].trace),
+        write_trace_segments_csv(
+            os.path.join(output_dir, "figure3a_wifi_segments.csv"),
+            results["WiFi-DC"].trace),
+        write_trace_segments_csv(
+            os.path.join(output_dir, "figure3b_wile_segments.csv"),
+            results["Wi-LE"].trace),
+    ]
+    return artifacts

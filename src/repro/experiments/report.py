@@ -1,0 +1,111 @@
+"""Plain-text rendering for experiment outputs.
+
+Benches and examples print their tables and curve summaries through
+these helpers so every artifact has the same, diff-friendly shape:
+a title, column-aligned rows, and (for figures) a coarse log-log ASCII
+sketch of each series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def format_si(value: float, unit: str, digits: int = 3) -> str:
+    """Engineering notation: 8.4e-05 J -> "84 uJ"."""
+    if value == 0:
+        return f"0 {unit}"
+    prefixes = [(1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""),
+                (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p")]
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}"
+    return f"{value:.{digits}g} {unit}"
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> str:
+    """Column-aligned ASCII table with a title rule."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(header).ljust(width)
+                           for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(width)
+                               for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(title: str, x_label: str, y_label: str,
+                  series: Sequence[tuple[str, Sequence[float], Sequence[float]]],
+                  samples: int = 8) -> str:
+    """Tabulate a few sample points per series (a text stand-in for a plot)."""
+    lines = [title, "=" * len(title), f"{x_label} -> {y_label}"]
+    for name, xs, ys in series:
+        if len(xs) == 0:
+            continue
+        step = max(1, len(xs) // samples)
+        points = ", ".join(
+            f"({xs[index]:.3g}, {ys[index]:.3g})"
+            for index in range(0, len(xs), step))
+        lines.append(f"  {name}: {points}")
+    return "\n".join(lines)
+
+
+def render_ladder(entries, left: str = "station", right: str = "AP",
+                  width: int = 46) -> str:
+    """A message sequence chart from a frame log.
+
+    ``entries`` are :class:`repro.mac.log.FrameLogEntry` items; direction
+    ``>`` draws left-to-right arrows. The §3.1 association renders as the
+    textbook ladder diagram.
+    """
+    lines = [f"{left:<12s}{'':{width - 24}}{right:>12s}",
+             f"{'|':<12s}{'':{width - 24}}{'|':>12s}"]
+    for entry in entries:
+        label = f" {entry.description} ({entry.time_s * 1e3:.0f} ms) "
+        if entry.direction.value == ">":
+            body = label.ljust(width - 4, "-") + ">"
+        else:
+            body = "<" + label.rjust(width - 4, "-")
+        lines.append(f"  |{body}|")
+    return "\n".join(lines)
+
+
+def render_log_sketch(series: Sequence[tuple[str, Sequence[float], Sequence[float]]],
+                      width: int = 64, height: int = 16) -> str:
+    """A coarse ASCII sketch of log10(y) vs x, one glyph per series.
+
+    Good enough to eyeball Figure 4's three-orders-of-magnitude gap and
+    the WiFi-PS/WiFi-DC crossover in a terminal.
+    """
+    glyphs = "*o+x#@"
+    finite = [(name, xs, ys) for name, xs, ys in series if len(xs) > 0]
+    if not finite:
+        return "(no data)"
+    all_x = [x for _name, xs, _ys in finite for x in xs]
+    all_y = [math.log10(y) for _name, _xs, ys in finite for y in ys if y > 0]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (name, xs, ys) in enumerate(finite):
+        glyph = glyphs[series_index % len(glyphs)]
+        for x, y in zip(xs, ys):
+            if y <= 0:
+                continue
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((math.log10(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = glyph
+    lines = ["".join(row) for row in grid]
+    legend = "  ".join(f"{glyphs[index % len(glyphs)]}={name}"
+                       for index, (name, _xs, _ys) in enumerate(finite))
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Multi-seed replication: means, deviations and intervals for the
+stochastic experiments.
+
+Most of the reproduction is deterministic, but the §6-family experiments
+(multi-device jitter, contention, scheduling) have seeded randomness.
+One seed is an anecdote; this module reruns an experiment across seeds
+and reports mean ± standard deviation with a normal-approximation
+confidence interval, so the benches can assert on population behaviour
+rather than one lucky draw.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+class StatisticsError(ValueError):
+    """Raised for degenerate sample sets."""
+
+
+@dataclass(frozen=True, slots=True)
+class Replication:
+    """Summary of one metric across seeds."""
+
+    values: tuple[float, ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mean = self.mean
+        variance = (sum((value - mean) ** 2 for value in self.values)
+                    / (len(self.values) - 1))
+        return math.sqrt(variance)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI for the mean (default 95 %)."""
+        if z <= 0:
+            raise StatisticsError("z must be positive")
+        half_width = z * self.std / math.sqrt(len(self.values))
+        return self.mean - half_width, self.mean + half_width
+
+    def describe(self, unit: str = "") -> str:
+        low, high = self.confidence_interval()
+        suffix = f" {unit}" if unit else ""
+        return (f"{self.mean:.4g}{suffix} +/- {self.std:.2g} "
+                f"(95% CI [{low:.4g}, {high:.4g}], n={self.count})")
+
+
+def replicate(metric: Callable[[int], float],
+              seeds: Sequence[int] = tuple(range(10))) -> Replication:
+    """Evaluate ``metric(seed)`` across seeds."""
+    if not seeds:
+        raise StatisticsError("need at least one seed")
+    return Replication(tuple(float(metric(seed)) for seed in seeds))
+
+
+def replicate_many(metrics: Callable[[int], dict[str, float]],
+                   seeds: Sequence[int] = tuple(range(10))) -> dict[str, Replication]:
+    """Like :func:`replicate` for functions returning several metrics."""
+    if not seeds:
+        raise StatisticsError("need at least one seed")
+    collected: dict[str, list[float]] = {}
+    for seed in seeds:
+        for name, value in metrics(seed).items():
+            collected.setdefault(name, []).append(float(value))
+    counts = {len(values) for values in collected.values()}
+    if len(counts) > 1:
+        raise StatisticsError("metric keys differ across seeds")
+    return {name: Replication(tuple(values))
+            for name, values in collected.items()}

@@ -1,0 +1,19 @@
+"""MAC-layer state machines: station, access point, monitor sniffer.
+
+These implement §3 of the paper — the full cost of establishing and
+maintaining an 802.11 connection — against which Wi-LE's connection-less
+beacon injection is compared.
+"""
+
+from .access_point import (
+    BEACON_INTERVAL_S,
+    DTIM_PERIOD,
+    AccessPoint,
+    StationContext,
+)
+from .csma import CW_MAX, CW_MIN, CsmaError, CsmaStats, CsmaTransmitter
+from .log import FrameDirection, FrameLayer, FrameLog, FrameLogEntry
+from .monitor import Capture, MonitorSniffer
+from .station import Station, StationError, StationState
+
+__all__ = [name for name in dir() if not name.startswith("_")]

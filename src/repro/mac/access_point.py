@@ -1,0 +1,444 @@
+"""A WPA2-PSK access point — the stand-in for the paper's Google WiFi unit.
+
+The AP runs the full server side of everything §3.1 describes: periodic
+beacons with a TIM element, probe/authentication/association responders,
+the 802.1x 4-way handshake authenticator, CCMP for data frames, a DHCP
+server, ARP for its gateway address, and power-save buffering keyed by
+the TIM. WiFi-DC and WiFi-PS scenarios associate against this AP; Wi-LE,
+pointedly, never talks to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dot11 import (
+    Ack,
+    AssociationRequest,
+    AssociationResponse,
+    Authentication,
+    Beacon,
+    CapabilityInfo,
+    DataFrame,
+    Deauthentication,
+    Disassociation,
+    DsssParameterSet,
+    HtCapabilities,
+    MacAddress,
+    ManagementSubtype,
+    ProbeRequest,
+    PsPoll,
+    Rsn,
+    Ssid,
+    SupportedRates,
+    Tim,
+    supported_rates_ie_values,
+)
+from ..dot11.rates import OFDM_24, PhyRate
+from ..energy import calibration as cal
+from ..netproto import (
+    DHCP_CLIENT_PORT,
+    DHCP_SERVER_PORT,
+    ETHERTYPE_ARP,
+    ETHERTYPE_EAPOL,
+    ETHERTYPE_IPV4,
+    ArpOperation,
+    ArpPacket,
+    DhcpMessage,
+    DhcpServer,
+    Ipv4Address,
+    Ipv4Packet,
+    LlcError,
+    UdpDatagram,
+    llc_decapsulate,
+    llc_encapsulate,
+)
+from ..security import (
+    Authenticator,
+    CcmpSession,
+    EapolKey,
+    HandshakeState,
+    NonceGenerator,
+    pmk_from_passphrase,
+)
+from ..sim import Position, Radio, Simulator, Transmission, WirelessMedium
+
+#: 802.11 beacon period used by consumer APs: 100 TU = 102.4 ms.
+BEACON_INTERVAL_S = 0.1024
+
+#: DTIM period advertised in the TIM element.
+DTIM_PERIOD = 3
+
+
+@dataclass
+class StationContext:
+    """What the AP knows about one (partially) associated station."""
+
+    mac: MacAddress
+    aid: int
+    authenticated: bool = False
+    associated: bool = False
+    authenticator: Authenticator | None = None
+    ccmp: CcmpSession | None = None
+    power_save: bool = False
+    buffered: list[DataFrame] = field(default_factory=list)
+
+    @property
+    def handshake_complete(self) -> bool:
+        return (self.authenticator is not None
+                and self.authenticator.state is HandshakeState.ESTABLISHED)
+
+
+class AccessPoint:
+    """A simulated infrastructure AP serving one BSS.
+
+    Args:
+        sim: event engine.
+        medium: shared channel.
+        ssid: network name (broadcast in beacons).
+        passphrase: WPA2-PSK passphrase.
+        mac: BSSID; also the source of all AP frames.
+        ip: the AP's LAN address; it is also the DHCP server and gateway.
+        channel: 2.4 GHz channel.
+        mgmt_rate: PHY rate for management/data responses.
+        response_delay_s: processing latency before management/EAPOL
+            responses (consumer-AP firmware is not instant; Figure 3a's
+            0.3 s association phase bakes this in).
+        beaconing: disable to keep protocol tests quiet.
+    """
+
+    def __init__(self, sim: Simulator, medium: WirelessMedium, ssid: str,
+                 passphrase: str,
+                 mac: MacAddress | None = None,
+                 ip: Ipv4Address | None = None,
+                 position: Position | None = None,
+                 channel: int = 6,
+                 mgmt_rate: PhyRate = OFDM_24,
+                 response_delay_s: float = cal.AP_RESPONSE_DELAY_S,
+                 dhcp_offer_delay_s: float = cal.DHCP_OFFER_DELAY_S,
+                 dhcp_ack_delay_s: float = cal.DHCP_ACK_DELAY_S,
+                 arp_reply_delay_s: float = cal.ARP_REPLY_DELAY_S,
+                 tx_power_dbm: float = 20.0,
+                 beaconing: bool = True,
+                 inactivity_timeout_s: float | None = None) -> None:
+        self.sim = sim
+        self.ssid = Ssid.named(ssid)
+        self.mac = mac if mac is not None else MacAddress.parse("f8:8f:ca:00:86:01")
+        self.ip = ip if ip is not None else Ipv4Address.parse("192.168.86.1")
+        self.channel = channel
+        self.mgmt_rate = mgmt_rate
+        self.response_delay_s = response_delay_s
+        self.dhcp_offer_delay_s = dhcp_offer_delay_s
+        self.dhcp_ack_delay_s = dhcp_ack_delay_s
+        self.arp_reply_delay_s = arp_reply_delay_s
+        self.pmk = pmk_from_passphrase(passphrase, self.ssid.name)
+        self.dhcp = DhcpServer(self.ip)
+        self.radio = Radio(sim, medium, self.mac, position=position,
+                           channel=channel, default_power_dbm=tx_power_dbm)
+        self.radio.rx_callback = self._on_frame
+        self.radio.power_on()
+        self._stations: dict[MacAddress, StationContext] = {}
+        #: Hook receiving every foreign beacon the AP hears.
+        self.beacon_callback = None
+        self._rx_dedup: dict[MacAddress, tuple[str, int]] = {}
+        self.duplicates_dropped = 0
+        self._next_aid = 1
+        self._sequence = 0
+        self._nonce_seed = bytes(self.mac) + b"-ap-nonces"
+        self.beacons_sent = 0
+        self.frames_acked = 0
+        if beaconing:
+            # Each AP's TSF starts at an arbitrary offset; derive it from
+            # the BSSID so co-channel APs do not beacon in lockstep.
+            offset = (int(self.mac) % 997) / 997.0 * BEACON_INTERVAL_S
+            sim.call_every(BEACON_INTERVAL_S, self._send_beacon,
+                           start_delay_s=BEACON_INTERVAL_S / 2 + offset)
+        # §3.2: "A client has to listen on the wireless channel to
+        # receive packets from the AP. Otherwise, the AP concludes that
+        # the client has disconnected." Stations that neither transmit
+        # nor power-save within the timeout are disassociated — the very
+        # pressure that makes WiFi-DC re-associate every cycle.
+        self.inactivity_timeout_s = inactivity_timeout_s
+        self.disassociations_sent = 0
+        self._last_activity_s: dict[MacAddress, float] = {}
+        if inactivity_timeout_s is not None:
+            if inactivity_timeout_s <= 0:
+                raise ValueError("inactivity timeout must be positive")
+            sim.call_every(inactivity_timeout_s / 4.0, self._sweep_inactive)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _seq(self) -> int:
+        self._sequence = (self._sequence + 1) & 0xFFF
+        return self._sequence
+
+    def _transmit(self, frame: object) -> Transmission:
+        return self.radio.transmit(frame, self.mgmt_rate)
+
+    def _ack(self, source: MacAddress) -> None:
+        """Send the control ACK a real AP emits a SIFS after unicast RX."""
+        self.frames_acked += 1
+        self._transmit(Ack(receiver=source))
+
+    def _later(self, delay_s: float, action) -> None:
+        self.sim.schedule(delay_s, action)
+
+    def station(self, mac: MacAddress) -> StationContext | None:
+        return self._stations.get(mac)
+
+    # -- beaconing ----------------------------------------------------------------
+
+    def beacon_elements(self) -> tuple:
+        buffered_aids = frozenset(
+            ctx.aid for ctx in self._stations.values()
+            if ctx.power_save and ctx.buffered)
+        return (
+            self.ssid,
+            SupportedRates(tuple(supported_rates_ie_values())),
+            DsssParameterSet(self.channel),
+            Tim(dtim_count=self.beacons_sent % DTIM_PERIOD,
+                dtim_period=DTIM_PERIOD, buffered_aids=buffered_aids),
+            HtCapabilities(),
+            Rsn(),
+        )
+
+    def _send_beacon(self) -> None:
+        beacon = Beacon(
+            source=self.mac, bssid=self.mac,
+            timestamp_us=int(self.sim.now_s * 1e6),
+            beacon_interval_tu=100,
+            capabilities=CapabilityInfo(privacy=True),
+            elements=self.beacon_elements(),
+            sequence=self._seq())
+        self.beacons_sent += 1
+        self._transmit(beacon)
+
+    # -- receive dispatch ------------------------------------------------------------
+
+    def _on_frame(self, frame: object, transmission: Transmission) -> None:
+        if isinstance(frame, Beacon):
+            # Foreign beacons (including injected Wi-LE ones) reach the
+            # AP through its normal receive path; a hook can collect
+            # them (see repro.core.sink.attach_to_access_point).
+            if self.beacon_callback is not None:
+                self.beacon_callback(frame)
+            return
+        # 802.11 duplicate detection: a retransmitted frame (the station
+        # lost our ACK) reuses its sequence number — re-acknowledge and
+        # drop rather than re-processing (a duplicate EAPOL message
+        # would otherwise derail the handshake state machine).
+        source = getattr(frame, "source", None)
+        sequence = getattr(frame, "sequence", None)
+        if source is not None and sequence is not None \
+                and not isinstance(frame, Beacon):
+            key = (type(frame).__name__, sequence)
+            if self._rx_dedup.get(source) == key:
+                self.duplicates_dropped += 1
+                self._ack(source)
+                return
+            self._rx_dedup[source] = key
+            self._last_activity_s[source] = self.sim.now_s
+        if isinstance(frame, ProbeRequest):
+            self._handle_probe(frame)
+        elif isinstance(frame, Authentication):
+            self._handle_auth(frame)
+        elif isinstance(frame, AssociationRequest):
+            self._handle_assoc(frame)
+        elif isinstance(frame, PsPoll):
+            self._handle_ps_poll(frame)
+        elif isinstance(frame, DataFrame):
+            self._handle_data(frame)
+
+    def _sweep_inactive(self) -> None:
+        """Disassociate stations that went dark without power-saving."""
+        assert self.inactivity_timeout_s is not None
+        now = self.sim.now_s
+        for mac, context in list(self._stations.items()):
+            if not context.associated or context.power_save:
+                continue
+            last = self._last_activity_s.get(mac, now)
+            if now - last >= self.inactivity_timeout_s:
+                self.disassociations_sent += 1
+                del self._stations[mac]
+                self._transmit(Disassociation(
+                    destination=mac, source=self.mac, bssid=self.mac,
+                    sequence=self._seq()))
+
+    # -- management ---------------------------------------------------------------------
+
+    def _handle_probe(self, frame: ProbeRequest) -> None:
+        if frame.destination != self.mac and not frame.destination.is_broadcast:
+            return
+        if frame.destination == self.mac:
+            self._ack(frame.source)
+        response = Beacon(
+            source=self.mac, bssid=self.mac,
+            timestamp_us=int(self.sim.now_s * 1e6),
+            capabilities=CapabilityInfo(privacy=True),
+            elements=self.beacon_elements(),
+            destination=frame.source,
+            sequence=self._seq())
+        self._later(self.response_delay_s, lambda: self._transmit(
+            response.to_frame(ManagementSubtype.PROBE_RESPONSE)))
+
+    def _handle_auth(self, frame: Authentication) -> None:
+        if frame.destination != self.mac:
+            return
+        self._ack(frame.source)
+        context = self._stations.get(frame.source)
+        if context is None:
+            context = StationContext(mac=frame.source, aid=self._next_aid)
+            self._next_aid += 1
+            self._stations[frame.source] = context
+        context.authenticated = True
+        response = Authentication(
+            destination=frame.source, source=self.mac, bssid=self.mac,
+            transaction=frame.transaction + 1, sequence=self._seq())
+        self._later(self.response_delay_s,
+                    lambda: self._transmit(response))
+
+    def _handle_assoc(self, frame: AssociationRequest) -> None:
+        if frame.destination != self.mac:
+            return
+        self._ack(frame.source)
+        context = self._stations.get(frame.source)
+        if context is None or not context.authenticated:
+            deauth = Deauthentication(destination=frame.source,
+                                      source=self.mac, bssid=self.mac,
+                                      sequence=self._seq())
+            self._later(self.response_delay_s, lambda: self._transmit(deauth))
+            return
+        context.associated = True
+        context.authenticator = Authenticator(
+            self.pmk, bytes(self.mac), bytes(frame.source),
+            NonceGenerator(self._nonce_seed + bytes(frame.source)))
+        response = AssociationResponse(
+            destination=frame.source, source=self.mac, bssid=self.mac,
+            association_id=context.aid,
+            capabilities=CapabilityInfo(privacy=True),
+            elements=(SupportedRates(tuple(supported_rates_ie_values())),),
+            sequence=self._seq())
+
+        def respond_and_start_handshake() -> None:
+            self._transmit(response)
+            # Message 1 of the 4-way handshake follows the association
+            # response after another processing delay.
+            self._later(self.response_delay_s,
+                        lambda: self._send_eapol(context,
+                                                 context.authenticator.message_1()))
+
+        self._later(self.response_delay_s, respond_and_start_handshake)
+
+    def _handle_ps_poll(self, frame: PsPoll) -> None:
+        context = self._stations.get(frame.transmitter)
+        if context is None or context.aid != frame.association_id:
+            return
+        self._ack(frame.transmitter)
+        if context.buffered:
+            from dataclasses import replace
+            buffered = context.buffered.pop(0)
+            frame_out = replace(buffered, more_data=bool(context.buffered))
+            # A SIFS after the ACK clears the air.
+            self._later(2e-4, lambda: self._transmit(frame_out))
+
+    # -- data path ---------------------------------------------------------------------------
+
+    def _handle_data(self, frame: DataFrame) -> None:
+        if frame.bssid != self.mac or not frame.to_ds:
+            return
+        context = self._stations.get(frame.source)
+        if context is None or not context.associated:
+            return
+        self._ack(frame.source)
+        context.power_save = frame.power_management
+        payload = frame.payload
+        if not payload:
+            return  # Null frame: pure power-save signalling.
+        if frame.protected:
+            if context.ccmp is None:
+                return
+            payload = context.ccmp.decrypt(frame).payload
+        ethertype, body = llc_decapsulate(payload)
+        if ethertype == ETHERTYPE_EAPOL:
+            self._handle_eapol(context, body)
+        elif ethertype == ETHERTYPE_ARP:
+            self._handle_arp(context, body)
+        elif ethertype == ETHERTYPE_IPV4:
+            self._handle_ipv4(context, body)
+
+    def _handle_eapol(self, context: StationContext, body: bytes) -> None:
+        if context.authenticator is None:
+            return
+        reply = context.authenticator.handle(EapolKey.from_bytes(body))
+        if reply is not None:
+            self._later(self.response_delay_s,
+                        lambda: self._send_eapol(context, reply))
+        elif context.handshake_complete:
+            context.ccmp = CcmpSession(context.authenticator.result.ptk.tk)
+
+    def _send_eapol(self, context: StationContext, message: EapolKey) -> None:
+        frame = DataFrame(
+            destination=context.mac, source=self.mac, bssid=self.mac,
+            payload=llc_encapsulate(ETHERTYPE_EAPOL, message.to_bytes()),
+            from_ds=True, sequence=self._seq())
+        self._send_or_buffer(context, frame)
+
+    def _handle_arp(self, context: StationContext, body: bytes) -> None:
+        packet = ArpPacket.from_bytes(body)
+        if packet.operation is not ArpOperation.REQUEST:
+            return
+        if packet.target_ip != self.ip:
+            return  # gratuitous ARP for the client's own address: no reply
+        reply = packet.reply_from(self.mac)
+        frame = DataFrame(
+            destination=context.mac, source=self.mac, bssid=self.mac,
+            payload=llc_encapsulate(ETHERTYPE_ARP, reply.to_bytes()),
+            from_ds=True, sequence=self._seq())
+        self._later(self.arp_reply_delay_s,
+                    lambda: self._send_or_buffer(context, frame))
+
+    def _handle_ipv4(self, context: StationContext, body: bytes) -> None:
+        packet = Ipv4Packet.from_bytes(body)
+        datagram = UdpDatagram.from_bytes(packet.payload)
+        if datagram.destination_port == DHCP_SERVER_PORT:
+            self._handle_dhcp(context, datagram.payload)
+        # Other UDP traffic (the sensor reading itself) terminates here.
+
+    def _handle_dhcp(self, context: StationContext, body: bytes) -> None:
+        message = DhcpMessage.from_bytes(body)
+        reply = self.dhcp.handle(message, now_s=self.sim.now_s)
+        if reply is None:
+            return
+        from ..netproto.dhcp import DhcpMessageType
+        delay = (self.dhcp_offer_delay_s
+                 if reply.message_type is DhcpMessageType.OFFER
+                 else self.dhcp_ack_delay_s)
+        datagram = UdpDatagram(DHCP_SERVER_PORT, DHCP_CLIENT_PORT,
+                               reply.to_bytes())
+        packet = datagram.in_ipv4(self.ip, Ipv4Address.broadcast())
+        frame = DataFrame(
+            destination=context.mac, source=self.mac, bssid=self.mac,
+            payload=llc_encapsulate(ETHERTYPE_IPV4, packet.to_bytes()),
+            from_ds=True, sequence=self._seq())
+        self._later(delay, lambda: self._send_or_buffer(context, frame))
+
+    def _send_or_buffer(self, context: StationContext, frame: DataFrame) -> None:
+        """Deliver now, or hold for the TIM/PS-Poll dance if the station
+        is power saving with its receiver off.
+
+        Post-handshake data frames go out CCMP-protected; EAPOL frames by
+        definition precede key installation and stay in the clear.
+        """
+        is_eapol = False
+        if frame.payload:
+            try:
+                ethertype, _body = llc_decapsulate(frame.payload)
+            except LlcError:
+                ethertype = None
+            is_eapol = ethertype == ETHERTYPE_EAPOL
+        if context.ccmp is not None and frame.payload and not is_eapol:
+            frame = context.ccmp.encrypt(frame)
+        if context.power_save:
+            context.buffered.append(frame)
+        else:
+            self._transmit(frame)

@@ -1,0 +1,137 @@
+"""CSMA/CA channel access (DCF-style listen-before-talk).
+
+The paper's prototype injects beacons through the ESP32 SDK, which runs
+the hardware's normal CSMA/CA path — injection defers to ongoing
+transmissions like any other frame. The base simulator's
+``Radio.transmit`` is raw (fire immediately, collide if unlucky); this
+module adds the deferral behaviour so the contention experiment can ask
+what happens to Wi-LE beacons on a *busy* channel, with and without
+carrier sense.
+
+Model: before transmitting, sense the medium. If busy, wait until it
+frees, then wait DIFS plus a uniformly drawn backoff (binary-exponential
+contention window on each further deferral) and sense again. No
+virtual-carrier NAV and no retransmission on collision (Wi-LE beacons
+are fire-and-forget broadcasts — there is no ACK to miss).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..dot11.airtime import DIFS_US, SLOT_US
+from ..dot11.rates import PhyRate
+from ..sim.engine import Simulator
+from ..sim.medium import Transmission
+from ..sim.radio import Radio
+
+#: Default DCF contention-window bounds (802.11 OFDM PHY).
+CW_MIN = 15
+CW_MAX = 1023
+
+
+class CsmaError(RuntimeError):
+    """Raised for misuse of the CSMA transmitter."""
+
+
+@dataclass
+class CsmaStats:
+    """Observable cost of polite channel access."""
+
+    transmissions: int = 0
+    deferrals: int = 0
+    total_wait_s: float = 0.0
+    max_wait_s: float = 0.0
+
+    def record_wait(self, wait_s: float) -> None:
+        self.total_wait_s += wait_s
+        self.max_wait_s = max(self.max_wait_s, wait_s)
+
+
+@dataclass
+class _PendingFrame:
+    frame: object
+    rate: PhyRate
+    power_dbm: float | None
+    on_sent: Callable[[Transmission, float], None] | None
+    enqueued_at_s: float
+    contention_window: int = CW_MIN
+    attempts: int = 0
+
+
+class CsmaTransmitter:
+    """Listen-before-talk front end for a radio.
+
+    Frames enqueue in FIFO order; each is transmitted once the channel
+    has been idle for DIFS plus a random backoff. ``on_sent`` callbacks
+    receive the transmission and the access delay actually paid.
+    """
+
+    def __init__(self, sim: Simulator, radio: Radio, seed: int = 0,
+                 cw_min: int = CW_MIN, cw_max: int = CW_MAX) -> None:
+        if not 0 < cw_min <= cw_max:
+            raise CsmaError(f"bad contention window bounds [{cw_min}, {cw_max}]")
+        self.sim = sim
+        self.radio = radio
+        self.cw_min = cw_min
+        self.cw_max = cw_max
+        self.stats = CsmaStats()
+        self._rng = random.Random(seed)
+        self._queue: list[_PendingFrame] = []
+        self._busy = False
+
+    def enqueue(self, frame: object, rate: PhyRate,
+                power_dbm: float | None = None,
+                on_sent: Callable[[Transmission, float], None] | None = None) -> None:
+        """Queue a frame for polite transmission."""
+        self._queue.append(_PendingFrame(frame, rate, power_dbm, on_sent,
+                                         self.sim.now_s))
+        if not self._busy:
+            self._service_next()
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # -- internals --------------------------------------------------------------
+
+    def _service_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        self._attempt(self._queue[0])
+
+    def _attempt(self, pending: _PendingFrame) -> None:
+        medium = self.radio.medium
+        channel = self.radio.channel
+        if medium.channel_busy(channel):
+            # Defer to the end of the current transmission, widen CW.
+            pending.attempts += 1
+            pending.contention_window = min(
+                2 * pending.contention_window + 1, self.cw_max)
+            self.stats.deferrals += 1
+            resume_at = medium.busy_until_s(channel) + 1e-9
+            self.sim.at(resume_at, lambda: self._attempt(pending))
+            return
+        backoff_slots = self._rng.randint(0, pending.contention_window)
+        wait_s = (DIFS_US + backoff_slots * SLOT_US) / 1e6
+
+        def fire() -> None:
+            if medium.channel_busy(channel):
+                # Someone grabbed the air during our backoff: defer again.
+                self._attempt(pending)
+                return
+            transmission = self.radio.transmit(pending.frame, pending.rate,
+                                               power_dbm=pending.power_dbm)
+            access_delay = self.sim.now_s - pending.enqueued_at_s
+            self.stats.transmissions += 1
+            self.stats.record_wait(access_delay)
+            self._queue.pop(0)
+            if pending.on_sent is not None:
+                pending.on_sent(transmission, access_delay)
+            self.sim.at(transmission.end_s, self._service_next)
+
+        self.sim.schedule(wait_s, fire)

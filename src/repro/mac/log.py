@@ -1,0 +1,86 @@
+"""Frame accounting for association runs.
+
+Section 3.1 of the paper counts what a WiFi client must exchange before
+it can send one byte of application data: "at least 8 frames" for the
+802.1x 4-way handshake, 20 MAC-layer frames in total, plus "7
+higher-layer frames including DHCP and ARP". The frame log tags every
+frame a simulation puts on the air so the reproduction can assert those
+exact counts (``repro.experiments.frame_counts``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FrameLayer(enum.Enum):
+    """Which §3.1 bucket a frame counts toward."""
+
+    MAC = "mac"               # management, control, EAPOL
+    HIGHER = "higher"         # DHCP, ARP (and the sensor datagram itself)
+    DATA = "data"             # application payload
+
+
+class FrameDirection(enum.Enum):
+    STATION_TO_AP = ">"
+    AP_TO_STATION = "<"
+
+
+@dataclass(frozen=True, slots=True)
+class FrameLogEntry:
+    """One frame on the air during an association/transmission run."""
+
+    time_s: float
+    direction: FrameDirection
+    layer: FrameLayer
+    description: str
+    size_bytes: int
+    phase: str
+
+
+@dataclass
+class FrameLog:
+    """Ordered record of every frame with per-layer counters."""
+
+    entries: list[FrameLogEntry] = field(default_factory=list)
+
+    def record(self, time_s: float, direction: FrameDirection,
+               layer: FrameLayer, description: str, size_bytes: int,
+               phase: str) -> None:
+        self.entries.append(FrameLogEntry(time_s, direction, layer,
+                                          description, size_bytes, phase))
+
+    def count(self, layer: FrameLayer | None = None,
+              phase: str | None = None) -> int:
+        return sum(
+            1 for entry in self.entries
+            if (layer is None or entry.layer is layer)
+            and (phase is None or entry.phase == phase))
+
+    @property
+    def mac_frames(self) -> int:
+        """MAC-layer frames: the paper's "20" for a full association."""
+        return self.count(FrameLayer.MAC)
+
+    @property
+    def higher_layer_frames(self) -> int:
+        """DHCP/ARP messages: the paper's "7"."""
+        return self.count(FrameLayer.HIGHER)
+
+    def descriptions(self, layer: FrameLayer | None = None) -> list[str]:
+        return [entry.description for entry in self.entries
+                if layer is None or entry.layer is layer]
+
+    def bytes_on_air(self) -> int:
+        return sum(entry.size_bytes for entry in self.entries)
+
+    def phases(self) -> list[str]:
+        seen: list[str] = []
+        for entry in self.entries:
+            if entry.phase not in seen:
+                seen.append(entry.phase)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,68 @@
+"""A monitor-mode sniffer.
+
+In the paper's Wi-LE evaluation, "the AP (i.e. another WiFi card) is in
+the monitor mode to receive and verify these beacon frames" (§5.3). The
+sniffer captures every decodable frame on its channel with no address
+filtering — the receive primitive on which :class:`repro.core.receiver.
+WiLEReceiver` is built — and keeps a pcap-like record for assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..dot11.mac import MacAddress
+from ..sim import Position, Radio, Simulator, Transmission, WirelessMedium
+
+
+@dataclass(frozen=True, slots=True)
+class Capture:
+    """One sniffed frame."""
+
+    time_s: float
+    frame: object
+    frame_bytes: bytes
+    rate_mbps: float
+    channel: int
+
+
+class MonitorSniffer:
+    """Promiscuous capture of everything decodable on one channel."""
+
+    def __init__(self, sim: Simulator, medium: WirelessMedium,
+                 mac: MacAddress | None = None,
+                 position: Position | None = None,
+                 channel: int = 6) -> None:
+        self.sim = sim
+        mac = mac if mac is not None else MacAddress.parse("02:00:00:00:00:fe")
+        self.radio = Radio(sim, medium, mac, position=position, channel=channel)
+        self.radio.rx_callback = self._on_frame
+        self.radio.power_on(monitor=True)
+        self.captures: list[Capture] = []
+        self._listeners: list[Callable[[Capture], None]] = []
+
+    def add_listener(self, listener: Callable[[Capture], None]) -> None:
+        """Get a callback for every captured frame (live processing)."""
+        self._listeners.append(listener)
+
+    def _on_frame(self, frame: object, transmission: Transmission) -> None:
+        capture = Capture(
+            time_s=self.sim.now_s,
+            frame=frame,
+            frame_bytes=transmission.frame_bytes,
+            rate_mbps=transmission.rate.data_rate_mbps,
+            channel=transmission.channel)
+        self.captures.append(capture)
+        for listener in self._listeners:
+            listener(capture)
+
+    def frames_of_type(self, kind: type) -> list[object]:
+        return [capture.frame for capture in self.captures
+                if isinstance(capture.frame, kind)]
+
+    def clear(self) -> None:
+        self.captures.clear()
+
+    def __len__(self) -> int:
+        return len(self.captures)

@@ -1,0 +1,550 @@
+"""The WiFi client (station) state machine.
+
+This is the device-side half of §3.1: a directed probe, Open System
+authentication, association, the WPA2 4-way handshake, then DHCP and ARP
+— every frame logged with its layer so the reproduction can assert the
+paper's counts (20 MAC-layer + 7 higher-layer frames), and every step
+time-stamped so the WiFi-DC scenario can lay the Figure 3a current trace
+over the real exchange timeline.
+
+The station also implements 802.11 power-save (listen interval, TIM
+reading, PS-Poll retrieval) for the WiFi-PS scenario and the Wi-LE
+two-way extension comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from ..dot11 import (
+    Ack,
+    AssociationRequest,
+    AssociationResponse,
+    Authentication,
+    Beacon,
+    CapabilityInfo,
+    DataFrame,
+    Deauthentication,
+    Disassociation,
+    HtCapabilities,
+    MacAddress,
+    ProbeRequest,
+    PsPoll,
+    Rsn,
+    Ssid,
+    StatusCode,
+    SupportedRates,
+    Tim,
+    find_element,
+    null_frame,
+    supported_rates_ie_values,
+)
+from ..dot11.rates import OFDM_24, PhyRate
+from ..energy import calibration as cal
+from ..netproto import (
+    DHCP_CLIENT_PORT,
+    DHCP_SERVER_PORT,
+    ETHERTYPE_ARP,
+    ETHERTYPE_EAPOL,
+    ETHERTYPE_IPV4,
+    ArpOperation,
+    ArpPacket,
+    DhcpClient,
+    DhcpMessage,
+    Ipv4Address,
+    Ipv4Packet,
+    UdpDatagram,
+    llc_decapsulate,
+    llc_encapsulate,
+)
+from ..security import CcmpSession, EapolKey, NonceGenerator, Supplicant
+from ..sim import Position, Radio, Simulator, Transmission, WirelessMedium
+from .log import FrameDirection, FrameLayer, FrameLog
+
+
+class StationError(RuntimeError):
+    """Protocol violation or misuse of the station state machine."""
+
+
+class StationState(enum.Enum):
+    IDLE = "idle"
+    PROBING = "probing"
+    AUTHENTICATING = "authenticating"
+    ASSOCIATING = "associating"
+    HANDSHAKING = "handshaking"
+    DHCP = "dhcp"
+    ARP = "arp"
+    CONNECTED = "connected"
+    POWER_SAVE = "power-save"
+
+
+class Station:
+    """A WPA2 client that can run the full association sequence.
+
+    Args:
+        sim / medium: simulation substrate.
+        mac: the station's address.
+        ssid / passphrase: credentials for the target network.
+        rate: PHY rate for all station transmissions.
+        processing_delay_s: MCU think-time before each management/EAPOL
+            frame (WPA2 math on an 80 MHz core).
+        net_prep_s: stack traversal time before each DHCP/ARP message.
+        arp_announce_wait_s: settle time after the gratuitous ARP.
+    """
+
+    def __init__(self, sim: Simulator, medium: WirelessMedium,
+                 mac: MacAddress, ssid: str, passphrase: str,
+                 position: Position | None = None,
+                 channel: int = 6,
+                 rate: PhyRate = OFDM_24,
+                 tx_power_dbm: float = 20.0,
+                 processing_delay_s: float = cal.STA_PROCESSING_DELAY_S,
+                 net_prep_s: float = cal.NET_MSG_PREP_S,
+                 arp_announce_wait_s: float = cal.ARP_ANNOUNCE_WAIT_S) -> None:
+        self.sim = sim
+        self.mac = mac
+        self.ssid = Ssid.named(ssid)
+        self.passphrase = passphrase
+        self.rate = rate
+        self.processing_delay_s = processing_delay_s
+        self.net_prep_s = net_prep_s
+        self.arp_announce_wait_s = arp_announce_wait_s
+        self.radio = Radio(sim, medium, mac, position=position,
+                           channel=channel, default_power_dbm=tx_power_dbm)
+        self.radio.rx_callback = self._on_frame
+        self.state = StationState.IDLE
+        self.frame_log = FrameLog()
+        self.phase_marks: dict[str, float] = {}
+        self.ap_mac: MacAddress | None = None
+        self.aid: int | None = None
+        self.ip: Ipv4Address | None = None
+        self.gateway_ip: Ipv4Address | None = None
+        self.gateway_mac: MacAddress | None = None
+        self._supplicant: Supplicant | None = None
+        self._ccmp: CcmpSession | None = None
+        self._dhcp: DhcpClient | None = None
+        self._sequence = 0
+        self._pending_payload: bytes | None = None
+        self._on_complete: Callable[[], None] | None = None
+        self._phase = "idle"
+        # Power-save bookkeeping
+        self.listen_interval = 3
+        self._beacons_seen = 0
+        self._ps_enabled = False
+        # MAC retry bookkeeping
+        self._awaiting_ack: object | None = None
+        self.retries = 0
+        self.retries_exhausted = 0
+        self.disassociated_count = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def connect_and_send(self, ap_mac: MacAddress, payload: bytes,
+                         on_complete: Callable[[], None] | None = None) -> None:
+        """Run the full §3.1 sequence, then deliver ``payload`` as a UDP
+        datagram to the gateway — the WiFi-DC duty cycle body."""
+        if self.state is not StationState.IDLE:
+            raise StationError(f"cannot connect from state {self.state}")
+        self.ap_mac = ap_mac
+        self._pending_payload = payload
+        self._on_complete = on_complete
+        self.radio.power_on()
+        self._mark("connect_start")
+        self._phase = "scan"
+        self.state = StationState.PROBING
+        self.sim.schedule(self.processing_delay_s, self._send_probe)
+
+    def send_data(self, payload: bytes,
+                  on_complete: Callable[[], None] | None = None) -> None:
+        """Transmit a datagram on the existing association (WiFi-PS path)."""
+        if self.state not in (StationState.CONNECTED, StationState.POWER_SAVE):
+            raise StationError(f"not associated (state {self.state})")
+        if self.gateway_mac is None or self.ip is None:
+            raise StationError("no resolved gateway to send to")
+        self._on_complete = on_complete
+        was_ps = self.state is StationState.POWER_SAVE
+        self._phase = "data"
+        if was_ps:
+            self.radio.power_on()
+            self._log_tx("null (PM=0)", FrameLayer.MAC, "ps")
+            self._transmit(self._null(power_management=False))
+            # The datagram follows once the null frame has cleared the air.
+            self.sim.schedule(1e-3, lambda: self._send_sensor_datagram(payload))
+            self.sim.schedule(self.processing_delay_s, self.enter_power_save)
+        else:
+            self._send_sensor_datagram(payload)
+
+    def enter_power_save(self) -> None:
+        """Signal PM=1 to the AP and drop into beacon-skipping sleep."""
+        if self.ap_mac is None or self.aid is None:
+            raise StationError("cannot power-save before association")
+        self._log_tx("null (PM=1)", FrameLayer.MAC, "ps")
+        self._transmit(self._null(power_management=True))
+        self._ps_enabled = True
+        self.state = StationState.POWER_SAVE
+        # The radio keeps listening; beacon skipping is modelled in the
+        # energy domain (the scenario charges the idle current), while the
+        # protocol domain still sees every TIM so buffered frames are
+        # fetched at the right beacon.
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _mark(self, name: str) -> None:
+        self.phase_marks[name] = self.sim.now_s
+
+    def _seq(self) -> int:
+        self._sequence = (self._sequence + 1) & 0xFFF
+        return self._sequence
+
+    def _transmit(self, frame: object) -> Transmission:
+        return self.radio.transmit(frame, self.rate)
+
+    def _null(self, power_management: bool) -> DataFrame:
+        """A Null frame with a fresh sequence number (the AP's duplicate
+        detection would drop a second sequence-0 null otherwise)."""
+        import dataclasses
+        frame = null_frame(self.mac, self.ap_mac,
+                           power_management=power_management)
+        return dataclasses.replace(frame, sequence=self._seq())
+
+    # -- MAC-level reliability -----------------------------------------------
+
+    #: Wait for the ACK this long after the frame leaves the air
+    #: (SIFS + ACK airtime is ~45 us; the margin absorbs nothing else).
+    ACK_TIMEOUT_S = 1.5e-3
+    #: 802.11 short retry limit.
+    RETRY_LIMIT = 4
+
+    def _transmit_with_retry(self, frame: object, description: str,
+                             attempt: int = 0) -> None:
+        """Unicast transmission with ACK-timeout retransmission.
+
+        The identical frame (same MAC sequence number) is resent, so the
+        AP's duplicate detection can drop re-deliveries when only the
+        ACK was lost — exactly the 802.11 retry rule.
+        """
+        transmission = self._transmit(frame)
+        self._awaiting_ack = frame
+        self.sim.at(transmission.end_s + self.ACK_TIMEOUT_S,
+                    lambda: self._ack_timeout(frame, description, attempt))
+
+    def _ack_timeout(self, frame: object, description: str,
+                     attempt: int) -> None:
+        if self._awaiting_ack is not frame:
+            return  # acknowledged (or superseded) in time
+        if attempt + 1 >= self.RETRY_LIMIT:
+            self._awaiting_ack = None
+            self.retries_exhausted += 1
+            return
+        self.retries += 1
+        self._log_tx(f"{description} (retry {attempt + 1})", FrameLayer.MAC)
+        self._transmit_with_retry(frame, description, attempt + 1)
+
+    def _log_tx(self, description: str, layer: FrameLayer,
+                phase: str | None = None, size: int = 0) -> None:
+        self.frame_log.record(self.sim.now_s, FrameDirection.STATION_TO_AP,
+                              layer, description, size,
+                              phase if phase is not None else self._phase)
+
+    def _log_rx(self, description: str, layer: FrameLayer,
+                size: int = 0) -> None:
+        self.frame_log.record(self.sim.now_s, FrameDirection.AP_TO_STATION,
+                              layer, description, size, self._phase)
+
+    def _ack_ap(self, description: str = "ack",
+                layer: FrameLayer = FrameLayer.MAC) -> None:
+        assert self.ap_mac is not None
+        self._log_tx(description, layer)
+        self._transmit(Ack(receiver=self.ap_mac))
+
+    def _after_processing(self, action: Callable[[], None]) -> None:
+        self.sim.schedule(self.processing_delay_s, action)
+
+    # -- association sequence ------------------------------------------------------
+
+    def _send_probe(self) -> None:
+        assert self.ap_mac is not None
+        self._mark("assoc_phase_start")
+        probe = ProbeRequest(
+            source=self.mac,
+            destination=self.ap_mac,
+            elements=(self.ssid,
+                      SupportedRates(tuple(supported_rates_ie_values())),
+                      HtCapabilities()),
+            sequence=self._seq())
+        self._log_tx("probe request", FrameLayer.MAC, size=len(probe))
+        self._transmit_with_retry(probe, "probe request")
+
+    def _send_auth(self) -> None:
+        assert self.ap_mac is not None
+        self.state = StationState.AUTHENTICATING
+        self._phase = "auth"
+        auth = Authentication(destination=self.ap_mac, source=self.mac,
+                              bssid=self.ap_mac, transaction=1,
+                              sequence=self._seq())
+        self._log_tx("authentication request", FrameLayer.MAC, size=len(auth))
+        self._transmit_with_retry(auth, "authentication request")
+
+    def _send_assoc(self) -> None:
+        assert self.ap_mac is not None
+        self.state = StationState.ASSOCIATING
+        self._phase = "assoc"
+        request = AssociationRequest(
+            destination=self.ap_mac, source=self.mac, bssid=self.ap_mac,
+            capabilities=CapabilityInfo(privacy=True),
+            listen_interval=self.listen_interval,
+            elements=(self.ssid,
+                      SupportedRates(tuple(supported_rates_ie_values())),
+                      Rsn(), HtCapabilities()),
+            sequence=self._seq())
+        self._log_tx("association request", FrameLayer.MAC, size=len(request))
+        self._transmit_with_retry(request, "association request")
+
+    # -- receive dispatch -------------------------------------------------------------
+
+    def _on_frame(self, frame: object, transmission: Transmission) -> None:
+        if isinstance(frame, Ack):
+            self._awaiting_ack = None
+            self._log_rx("ack", self._ack_layer_for_phase(), size=14)
+            return
+        if isinstance(frame, Beacon):
+            self._handle_beacon(frame)
+            return
+        if isinstance(frame, Authentication):
+            self._handle_auth_response(frame)
+            return
+        if isinstance(frame, AssociationResponse):
+            self._handle_assoc_response(frame)
+            return
+        if isinstance(frame, DataFrame):
+            self._handle_data(frame)
+            return
+        if isinstance(frame, (Disassociation, Deauthentication)):
+            self._handle_disassociation(frame)
+            return
+
+    def _handle_disassociation(self, frame) -> None:
+        """The AP kicked us (inactivity, §3.2): drop all connection
+        state; the next transmission needs a full re-association."""
+        if frame.source != self.ap_mac:
+            return
+        self._log_rx(f"disassociation ({frame.reason.name.lower()})",
+                     FrameLayer.MAC)
+        self.state = StationState.IDLE
+        self.aid = None
+        self.ip = None
+        self.gateway_mac = None
+        self._supplicant = None
+        self._ccmp = None
+        self._dhcp = None
+        self._ps_enabled = False
+        self.disassociated_count += 1
+
+    def _ack_layer_for_phase(self) -> FrameLayer:
+        """MAC ACKs count toward §3.1's "20" only during the MAC-layer
+        exchange; the paper's "7 higher-layer frames" excludes ACKs."""
+        if self._phase in ("scan", "auth", "assoc", "eapol", "ps"):
+            return FrameLayer.MAC
+        return FrameLayer.DATA
+
+    def _handle_beacon(self, frame: Beacon) -> None:
+        if frame.destination == self.mac:
+            # A probe response (parsed into the same shape as a beacon).
+            if self.state is StationState.PROBING:
+                self._log_rx("probe response", FrameLayer.MAC,
+                             size=len(frame.to_bytes()))
+                self._ack_ap()
+                self._after_processing(self._send_auth)
+            return
+        # A genuine broadcast beacon.
+        self._beacons_seen += 1
+        if self.state is StationState.POWER_SAVE and self._ps_enabled:
+            if self._beacons_seen % self.listen_interval == 0:
+                self._check_tim(frame)
+
+    def _check_tim(self, frame: Beacon) -> None:
+        tim = find_element(list(frame.elements), Tim)
+        if tim is None or self.aid is None:
+            return
+        if tim.has_traffic_for(self.aid):
+            poll = PsPoll(bssid=self.ap_mac, transmitter=self.mac,
+                          association_id=self.aid)
+            self._log_tx("ps-poll", FrameLayer.MAC, "ps")
+            self._transmit(poll)
+
+    def _handle_auth_response(self, frame: Authentication) -> None:
+        if self.state is not StationState.AUTHENTICATING:
+            return
+        self._log_rx("authentication response", FrameLayer.MAC,
+                     size=len(frame.to_bytes()))
+        if frame.status is not StatusCode.SUCCESS:
+            raise StationError(f"authentication failed: {frame.status}")
+        self._ack_ap()
+        self._after_processing(self._send_assoc)
+
+    def _handle_assoc_response(self, frame: AssociationResponse) -> None:
+        if self.state is not StationState.ASSOCIATING:
+            return
+        self._log_rx("association response", FrameLayer.MAC,
+                     size=len(frame.to_bytes()))
+        if frame.status is not StatusCode.SUCCESS:
+            raise StationError(f"association failed: {frame.status}")
+        self._ack_ap()
+        self.aid = frame.association_id
+        self.state = StationState.HANDSHAKING
+        self._phase = "eapol"
+        from ..security import pmk_from_passphrase
+        pmk = pmk_from_passphrase(self.passphrase, self.ssid.name)
+        self._supplicant = Supplicant(
+            pmk, bytes(self.ap_mac), bytes(self.mac),
+            NonceGenerator(bytes(self.mac) + b"-sta-nonces"))
+
+    # -- data frames ----------------------------------------------------------------------
+
+    def _handle_data(self, frame: DataFrame) -> None:
+        if frame.source != self.ap_mac and frame.bssid != self.ap_mac:
+            return
+        if frame.protected:
+            if self._ccmp is None:
+                return
+            frame = self._ccmp.decrypt(frame)
+        if not frame.payload:
+            return
+        ethertype, body = llc_decapsulate(frame.payload)
+        if ethertype == ETHERTYPE_EAPOL:
+            self._handle_eapol(body)
+        elif ethertype == ETHERTYPE_IPV4:
+            self._handle_ipv4(body)
+        elif ethertype == ETHERTYPE_ARP:
+            self._handle_arp(body)
+
+    def _handle_eapol(self, body: bytes) -> None:
+        if self._supplicant is None:
+            return
+        message = EapolKey.from_bytes(body)
+        label = "eapol msg1" if not message.has_mic else "eapol msg3"
+        self._log_rx(label, FrameLayer.MAC, size=len(body))
+        self._ack_ap()
+        reply = self._supplicant.handle(message)
+        reply_label = "eapol msg2" if label == "eapol msg1" else "eapol msg4"
+
+        def send_reply() -> None:
+            frame = DataFrame(
+                destination=self.ap_mac, source=self.mac, bssid=self.ap_mac,
+                payload=llc_encapsulate(ETHERTYPE_EAPOL, reply.to_bytes()),
+                to_ds=True, sequence=self._seq())
+            self._log_tx(reply_label, FrameLayer.MAC, size=len(frame))
+            self._transmit_with_retry(frame, reply_label)
+            if self._supplicant.result is not None:
+                self._ccmp = CcmpSession(self._supplicant.result.ptk.tk)
+                self._mark("assoc_phase_end")
+                self.sim.schedule(self.net_prep_s, self._start_dhcp)
+
+        self._after_processing(send_reply)
+
+    # -- DHCP / ARP -----------------------------------------------------------------------
+
+    def _send_udp(self, datagram: UdpDatagram, source_ip: Ipv4Address,
+                  destination_ip: Ipv4Address, destination_mac: MacAddress,
+                  description: str, layer: FrameLayer) -> None:
+        packet = datagram.in_ipv4(source_ip, destination_ip)
+        frame = DataFrame(
+            destination=destination_mac, source=self.mac, bssid=self.ap_mac,
+            payload=llc_encapsulate(ETHERTYPE_IPV4, packet.to_bytes()),
+            to_ds=True, sequence=self._seq())
+        if self._ccmp is not None:
+            frame = self._ccmp.encrypt(frame)
+        self._log_tx(description, layer, size=len(frame))
+        self._transmit_with_retry(frame, description)
+
+    def _start_dhcp(self) -> None:
+        self.state = StationState.DHCP
+        self._phase = "net"
+        self._mark("net_phase_start")
+        self._dhcp = DhcpClient(self.mac)
+        message = self._dhcp.discover()
+        self._send_udp(
+            UdpDatagram(DHCP_CLIENT_PORT, DHCP_SERVER_PORT, message.to_bytes()),
+            Ipv4Address.zero(), Ipv4Address.broadcast(),
+            MacAddress.broadcast(), "dhcp discover", FrameLayer.HIGHER)
+
+    def _handle_ipv4(self, body: bytes) -> None:
+        packet = Ipv4Packet.from_bytes(body)
+        datagram = UdpDatagram.from_bytes(packet.payload)
+        if datagram.destination_port != DHCP_CLIENT_PORT or self._dhcp is None:
+            return
+        message = DhcpMessage.from_bytes(datagram.payload)
+        self._log_rx(f"dhcp {message.message_type.name.lower()}",
+                     FrameLayer.HIGHER, size=len(datagram.payload))
+        self._ack_ap("ack", FrameLayer.DATA)
+        reply = self._dhcp.handle(message)
+        if reply is not None:
+            self.sim.schedule(self.net_prep_s, lambda: self._send_udp(
+                UdpDatagram(DHCP_CLIENT_PORT, DHCP_SERVER_PORT, reply.to_bytes()),
+                Ipv4Address.zero(), Ipv4Address.broadcast(),
+                MacAddress.broadcast(), "dhcp request", FrameLayer.HIGHER))
+        elif self._dhcp.lease_ip is not None:
+            self.ip = self._dhcp.lease_ip
+            self.gateway_ip = self._dhcp.router
+            self.sim.schedule(self.net_prep_s, self._announce_arp)
+
+    def _announce_arp(self) -> None:
+        """Gratuitous ARP claiming the fresh lease."""
+        self.state = StationState.ARP
+        announce = ArpPacket(ArpOperation.REQUEST, self.mac, self.ip,
+                             MacAddress.zero(), self.ip)
+        frame = DataFrame(
+            destination=MacAddress.broadcast(), source=self.mac,
+            bssid=self.ap_mac,
+            payload=llc_encapsulate(ETHERTYPE_ARP, announce.to_bytes()),
+            to_ds=True, sequence=self._seq())
+        if self._ccmp is not None:
+            frame = self._ccmp.encrypt(frame)
+        self._log_tx("arp announce", FrameLayer.HIGHER, size=len(frame))
+        self._transmit_with_retry(frame, "arp announce")
+        self.sim.schedule(self.arp_announce_wait_s, self._resolve_gateway)
+
+    def _resolve_gateway(self) -> None:
+        request = ArpPacket.request(self.mac, self.ip, self.gateway_ip)
+        frame = DataFrame(
+            destination=MacAddress.broadcast(), source=self.mac,
+            bssid=self.ap_mac,
+            payload=llc_encapsulate(ETHERTYPE_ARP, request.to_bytes()),
+            to_ds=True, sequence=self._seq())
+        if self._ccmp is not None:
+            frame = self._ccmp.encrypt(frame)
+        self._log_tx("arp request", FrameLayer.HIGHER, size=len(frame))
+        self._transmit_with_retry(frame, "arp request")
+
+    def _handle_arp(self, body: bytes) -> None:
+        packet = ArpPacket.from_bytes(body)
+        if packet.operation is not ArpOperation.REPLY:
+            return
+        self._log_rx("arp reply", FrameLayer.HIGHER, size=len(body))
+        self._ack_ap("ack", FrameLayer.DATA)
+        self.gateway_mac = packet.sender_mac
+        self._mark("net_phase_end")
+        if self._pending_payload is not None:
+            payload = self._pending_payload
+            self._pending_payload = None
+            self._phase = "data"
+            self.sim.schedule(self.net_prep_s,
+                              lambda: self._send_sensor_datagram(payload))
+        else:
+            self._finish()
+
+    def _send_sensor_datagram(self, payload: bytes) -> None:
+        self._send_udp(
+            UdpDatagram(49152, 5683, payload),
+            self.ip, self.gateway_ip, self.gateway_mac,
+            "sensor datagram", FrameLayer.DATA)
+        self._mark("data_sent")
+        self._finish()
+
+    def _finish(self) -> None:
+        self.state = StationState.CONNECTED
+        self._mark("sequence_complete")
+        if self._on_complete is not None:
+            callback, self._on_complete = self._on_complete, None
+            callback()

@@ -1,0 +1,27 @@
+"""The Internet checksum (RFC 1071), used by IPv4 and UDP headers."""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """One's-complement sum of 16-bit words, padded with a trailing zero."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for offset in range(0, len(data), 2):
+        total += (data[offset] << 8) | data[offset + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """A block with a correct embedded checksum sums to zero."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for offset in range(0, len(data), 2):
+        total += (data[offset] << 8) | data[offset + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total == 0xFFFF

@@ -1,0 +1,266 @@
+"""DHCP (RFC 2131/2132): message format, client and server state machines.
+
+The paper's §3.1 counts DHCP among the higher-layer frames a WiFi client
+must exchange after associating: DISCOVER -> OFFER -> REQUEST -> ACK.
+The server side lives on the simulated AP (the Google WiFi unit hands out
+leases itself); the client side runs in the station state machine.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+from ..dot11.mac import MacAddress
+from .ip import Ipv4Address
+
+DHCP_SERVER_PORT = 67
+DHCP_CLIENT_PORT = 68
+_MAGIC_COOKIE = b"\x63\x82\x53\x63"
+
+
+class DhcpError(ValueError):
+    """Raised for malformed DHCP messages or protocol violations."""
+
+
+class DhcpMessageType(enum.IntEnum):
+    DISCOVER = 1
+    OFFER = 2
+    REQUEST = 3
+    DECLINE = 4
+    ACK = 5
+    NAK = 6
+    RELEASE = 7
+
+
+class DhcpOption(enum.IntEnum):
+    SUBNET_MASK = 1
+    ROUTER = 3
+    DNS_SERVERS = 6
+    REQUESTED_IP = 50
+    LEASE_TIME = 51
+    MESSAGE_TYPE = 53
+    SERVER_ID = 54
+    PARAMETER_REQUEST_LIST = 55
+    END = 255
+
+
+@dataclass(frozen=True, slots=True)
+class DhcpMessage:
+    """A BOOTP-framed DHCP message with TLV options."""
+
+    op: int                      # 1 = BOOTREQUEST, 2 = BOOTREPLY
+    transaction_id: int
+    client_mac: MacAddress
+    message_type: DhcpMessageType
+    client_ip: Ipv4Address = field(default_factory=Ipv4Address.zero)
+    your_ip: Ipv4Address = field(default_factory=Ipv4Address.zero)
+    server_ip: Ipv4Address = field(default_factory=Ipv4Address.zero)
+    options: tuple[tuple[int, bytes], ...] = ()
+
+    def option(self, code: int) -> bytes | None:
+        for option_code, value in self.options:
+            if option_code == code:
+                return value
+        return None
+
+    def to_bytes(self) -> bytes:
+        header = struct.pack(
+            ">BBBB I HH 4s4s4s4s",
+            self.op, 1, 6, 0,
+            self.transaction_id,
+            0, 0x8000,  # secs, broadcast flag
+            bytes(self.client_ip), bytes(self.your_ip),
+            bytes(self.server_ip), bytes(Ipv4Address.zero()))
+        chaddr = bytes(self.client_mac) + bytes(10)
+        sname_file = bytes(64 + 128)
+        options = _MAGIC_COOKIE
+        options += bytes([DhcpOption.MESSAGE_TYPE, 1, int(self.message_type)])
+        for code, value in self.options:
+            if len(value) > 255:
+                raise DhcpError(f"option {code} too long")
+            options += bytes([code, len(value)]) + value
+        options += bytes([DhcpOption.END])
+        return header + chaddr + sname_file + options
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DhcpMessage":
+        if len(data) < 240:
+            raise DhcpError(f"DHCP message too short: {len(data)}")
+        op, htype, hlen, _hops = data[0], data[1], data[2], data[3]
+        if htype != 1 or hlen != 6:
+            raise DhcpError(f"unsupported hardware type {htype}/{hlen}")
+        transaction_id = struct.unpack(">I", data[4:8])[0]
+        client_ip = Ipv4Address.from_bytes(data[12:16])
+        your_ip = Ipv4Address.from_bytes(data[16:20])
+        server_ip = Ipv4Address.from_bytes(data[20:24])
+        client_mac = MacAddress(data[28:34])
+        if data[236:240] != _MAGIC_COOKIE:
+            raise DhcpError("missing DHCP magic cookie")
+        options: list[tuple[int, bytes]] = []
+        message_type: DhcpMessageType | None = None
+        pos = 240
+        while pos < len(data):
+            code = data[pos]
+            if code == DhcpOption.END:
+                break
+            if code == 0:  # pad
+                pos += 1
+                continue
+            if pos + 2 > len(data):
+                raise DhcpError("truncated DHCP option header")
+            length = data[pos + 1]
+            value = data[pos + 2:pos + 2 + length]
+            if len(value) != length:
+                raise DhcpError(f"truncated DHCP option {code}")
+            if code == DhcpOption.MESSAGE_TYPE:
+                if length != 1:
+                    raise DhcpError("bad message-type option length")
+                message_type = DhcpMessageType(value[0])
+            else:
+                options.append((code, bytes(value)))
+            pos += 2 + length
+        if message_type is None:
+            raise DhcpError("DHCP message lacks a message-type option")
+        return cls(op=op, transaction_id=transaction_id, client_mac=client_mac,
+                   message_type=message_type, client_ip=client_ip,
+                   your_ip=your_ip, server_ip=server_ip,
+                   options=tuple(options))
+
+
+@dataclass(frozen=True, slots=True)
+class Lease:
+    """An address lease granted by the server."""
+
+    ip: Ipv4Address
+    mac: MacAddress
+    router: Ipv4Address
+    subnet_prefix: int
+    lease_time_s: int
+    expires_at_s: float
+
+
+class DhcpServer:
+    """Lease-granting server, as run by the simulated access point.
+
+    Hands out addresses from a /24 pool and remembers client bindings so
+    a returning WiFi-DC client gets its previous address back — matching
+    how the paper's Google WiFi unit behaves across reconnections.
+    """
+
+    def __init__(self, server_ip: Ipv4Address, pool_start: int = 100,
+                 pool_size: int = 100, lease_time_s: int = 86400) -> None:
+        if not (1 <= pool_start and pool_start + pool_size <= 255):
+            raise DhcpError("DHCP pool must fit in the /24 host range")
+        self.server_ip = server_ip
+        self._network = Ipv4Address(server_ip.value & 0xFFFFFF00)
+        self._pool = [Ipv4Address(self._network.value + pool_start + i)
+                      for i in range(pool_size)]
+        self._lease_time_s = lease_time_s
+        self._bindings: dict[MacAddress, Lease] = {}
+        self.messages_handled = 0
+
+    def _allocate(self, mac: MacAddress, now_s: float) -> Lease:
+        existing = self._bindings.get(mac)
+        if existing is not None:
+            return Lease(existing.ip, mac, self.server_ip, 24,
+                         self._lease_time_s, now_s + self._lease_time_s)
+        taken = {lease.ip for lease in self._bindings.values()}
+        for candidate in self._pool:
+            if candidate not in taken:
+                return Lease(candidate, mac, self.server_ip, 24,
+                             self._lease_time_s, now_s + self._lease_time_s)
+        raise DhcpError("DHCP pool exhausted")
+
+    def handle(self, message: DhcpMessage, now_s: float = 0.0) -> DhcpMessage | None:
+        """Process a client message; returns the reply (OFFER/ACK/NAK)."""
+        self.messages_handled += 1
+        common = dict(op=2, transaction_id=message.transaction_id,
+                      client_mac=message.client_mac, server_ip=self.server_ip)
+        base_options = (
+            (int(DhcpOption.SERVER_ID), bytes(self.server_ip)),
+            (int(DhcpOption.SUBNET_MASK), bytes(Ipv4Address(0xFFFFFF00))),
+            (int(DhcpOption.ROUTER), bytes(self.server_ip)),
+            (int(DhcpOption.LEASE_TIME),
+             struct.pack(">I", self._lease_time_s)),
+        )
+        if message.message_type is DhcpMessageType.DISCOVER:
+            lease = self._allocate(message.client_mac, now_s)
+            return DhcpMessage(message_type=DhcpMessageType.OFFER,
+                               your_ip=lease.ip, options=base_options, **common)
+        if message.message_type is DhcpMessageType.REQUEST:
+            requested = message.option(DhcpOption.REQUESTED_IP)
+            lease = self._allocate(message.client_mac, now_s)
+            if requested is not None and Ipv4Address.from_bytes(requested) != lease.ip:
+                return DhcpMessage(message_type=DhcpMessageType.NAK, **common)
+            self._bindings[message.client_mac] = lease
+            return DhcpMessage(message_type=DhcpMessageType.ACK,
+                               your_ip=lease.ip, options=base_options, **common)
+        if message.message_type is DhcpMessageType.RELEASE:
+            self._bindings.pop(message.client_mac, None)
+            return None
+        return None
+
+    def lease_for(self, mac: MacAddress) -> Lease | None:
+        return self._bindings.get(mac)
+
+
+class DhcpClientState(enum.Enum):
+    INIT = "init"
+    SELECTING = "selecting"
+    REQUESTING = "requesting"
+    BOUND = "bound"
+
+
+class DhcpClient:
+    """Client state machine: DISCOVER -> (OFFER) -> REQUEST -> (ACK)."""
+
+    def __init__(self, mac: MacAddress, transaction_id: int = 0x3903F326) -> None:
+        self.mac = mac
+        self._transaction_id = transaction_id
+        self.state = DhcpClientState.INIT
+        self.lease_ip: Ipv4Address | None = None
+        self.router: Ipv4Address | None = None
+        self.server_id: Ipv4Address | None = None
+
+    def discover(self) -> DhcpMessage:
+        if self.state is not DhcpClientState.INIT:
+            raise DhcpError(f"discover not valid in state {self.state}")
+        self.state = DhcpClientState.SELECTING
+        return DhcpMessage(op=1, transaction_id=self._transaction_id,
+                           client_mac=self.mac,
+                           message_type=DhcpMessageType.DISCOVER)
+
+    def handle(self, message: DhcpMessage) -> DhcpMessage | None:
+        """Feed a server reply; returns the next client message, if any."""
+        if message.transaction_id != self._transaction_id:
+            raise DhcpError("DHCP transaction id mismatch")
+        if self.state is DhcpClientState.SELECTING:
+            if message.message_type is not DhcpMessageType.OFFER:
+                raise DhcpError(f"expected OFFER, got {message.message_type}")
+            self.state = DhcpClientState.REQUESTING
+            server_id = message.option(DhcpOption.SERVER_ID)
+            options = ((int(DhcpOption.REQUESTED_IP), bytes(message.your_ip)),)
+            if server_id is not None:
+                options += ((int(DhcpOption.SERVER_ID), server_id),)
+            return DhcpMessage(op=1, transaction_id=self._transaction_id,
+                               client_mac=self.mac,
+                               message_type=DhcpMessageType.REQUEST,
+                               options=options)
+        if self.state is DhcpClientState.REQUESTING:
+            if message.message_type is DhcpMessageType.NAK:
+                self.state = DhcpClientState.INIT
+                return None
+            if message.message_type is not DhcpMessageType.ACK:
+                raise DhcpError(f"expected ACK, got {message.message_type}")
+            self.state = DhcpClientState.BOUND
+            self.lease_ip = message.your_ip
+            router = message.option(DhcpOption.ROUTER)
+            self.router = (Ipv4Address.from_bytes(router)
+                           if router is not None else message.server_ip)
+            server_id = message.option(DhcpOption.SERVER_ID)
+            self.server_id = (Ipv4Address.from_bytes(server_id)
+                              if server_id is not None else message.server_ip)
+            return None
+        raise DhcpError(f"unexpected DHCP message in state {self.state}")

@@ -1,0 +1,111 @@
+"""IPv4 addresses and headers (the subset DHCP/UDP traffic needs)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .checksum import internet_checksum, verify_checksum
+
+PROTO_UDP = 17
+
+
+class IpError(ValueError):
+    """Raised for malformed addresses or headers."""
+
+
+@dataclass(frozen=True, slots=True)
+class Ipv4Address:
+    """An immutable IPv4 address usable as a dict key."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < (1 << 32):
+            raise IpError(f"IPv4 address {self.value} out of range")
+
+    @classmethod
+    def parse(cls, text: str) -> "Ipv4Address":
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise IpError(f"malformed IPv4 address {text!r}")
+        value = 0
+        for part in parts:
+            if not part.isdigit() or not 0 <= int(part) <= 255:
+                raise IpError(f"malformed IPv4 address {text!r}")
+            value = (value << 8) | int(part)
+        return cls(value)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Ipv4Address":
+        if len(data) != 4:
+            raise IpError(f"IPv4 address needs 4 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    @classmethod
+    def zero(cls) -> "Ipv4Address":
+        return cls(0)
+
+    @classmethod
+    def broadcast(cls) -> "Ipv4Address":
+        return cls(0xFFFFFFFF)
+
+    def __bytes__(self) -> bytes:
+        return self.value.to_bytes(4, "big")
+
+    def __str__(self) -> str:
+        return ".".join(str((self.value >> shift) & 0xFF)
+                        for shift in (24, 16, 8, 0))
+
+    def in_subnet(self, network: "Ipv4Address", prefix_length: int) -> bool:
+        if not 0 <= prefix_length <= 32:
+            raise IpError(f"bad prefix length {prefix_length}")
+        mask = ((1 << prefix_length) - 1) << (32 - prefix_length) if prefix_length else 0
+        return (self.value & mask) == (network.value & mask)
+
+
+@dataclass(frozen=True, slots=True)
+class Ipv4Packet:
+    """An IPv4 packet with no options (IHL=5)."""
+
+    source: Ipv4Address
+    destination: Ipv4Address
+    protocol: int
+    payload: bytes
+    ttl: int = 64
+    identification: int = 0
+
+    def to_bytes(self) -> bytes:
+        total_length = 20 + len(self.payload)
+        if total_length > 0xFFFF:
+            raise IpError(f"packet too large: {total_length}")
+        header = struct.pack(
+            ">BBHHHBBH4s4s",
+            0x45, 0, total_length, self.identification, 0,
+            self.ttl, self.protocol, 0,
+            bytes(self.source), bytes(self.destination))
+        checksum = internet_checksum(header)
+        header = header[:10] + struct.pack(">H", checksum) + header[12:]
+        return header + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Ipv4Packet":
+        if len(data) < 20:
+            raise IpError(f"IPv4 packet too short: {len(data)}")
+        version_ihl = data[0]
+        if version_ihl >> 4 != 4:
+            raise IpError(f"not IPv4 (version {version_ihl >> 4})")
+        ihl = (version_ihl & 0xF) * 4
+        if ihl < 20 or len(data) < ihl:
+            raise IpError(f"bad IHL {ihl}")
+        if not verify_checksum(data[:ihl]):
+            raise IpError("IPv4 header checksum mismatch")
+        total_length = struct.unpack(">H", data[2:4])[0]
+        if total_length > len(data):
+            raise IpError("truncated IPv4 packet")
+        identification = struct.unpack(">H", data[4:6])[0]
+        ttl, protocol = data[8], data[9]
+        source = Ipv4Address.from_bytes(data[12:16])
+        destination = Ipv4Address.from_bytes(data[16:20])
+        return cls(source, destination, protocol, data[ihl:total_length],
+                   ttl=ttl, identification=identification)

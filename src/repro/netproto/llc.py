@@ -1,0 +1,37 @@
+"""LLC/SNAP encapsulation for 802.11 data-frame payloads.
+
+When Ethernet-style traffic (IPv4, ARP, EAPOL) rides in an 802.11 data
+frame, the MSDU starts with an 8-byte LLC/SNAP header: DSAP/SSAP 0xAA,
+control 0x03, zero OUI, then the 16-bit EtherType.
+"""
+
+from __future__ import annotations
+
+import struct
+
+LLC_SNAP_HEADER = b"\xaa\xaa\x03\x00\x00\x00"
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_EAPOL = 0x888E
+
+
+class LlcError(ValueError):
+    """Raised when an LLC/SNAP header is malformed."""
+
+
+def llc_encapsulate(ethertype: int, payload: bytes) -> bytes:
+    """Prefix ``payload`` with an LLC/SNAP header for ``ethertype``."""
+    if not 0 <= ethertype <= 0xFFFF:
+        raise LlcError(f"ethertype {ethertype:#x} out of range")
+    return LLC_SNAP_HEADER + struct.pack(">H", ethertype) + payload
+
+
+def llc_decapsulate(msdu: bytes) -> tuple[int, bytes]:
+    """Split an MSDU into (ethertype, payload); raises on bad headers."""
+    if len(msdu) < 8:
+        raise LlcError(f"MSDU too short for LLC/SNAP: {len(msdu)} bytes")
+    if msdu[:6] != LLC_SNAP_HEADER:
+        raise LlcError(f"not an LLC/SNAP header: {msdu[:6].hex()}")
+    ethertype = struct.unpack(">H", msdu[6:8])[0]
+    return ethertype, msdu[8:]

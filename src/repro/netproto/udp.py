@@ -1,0 +1,54 @@
+"""UDP datagrams with the IPv4 pseudo-header checksum."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .checksum import internet_checksum
+from .ip import PROTO_UDP, Ipv4Address, Ipv4Packet
+
+
+class UdpError(ValueError):
+    """Raised for malformed UDP datagrams."""
+
+
+@dataclass(frozen=True, slots=True)
+class UdpDatagram:
+    source_port: int
+    destination_port: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.source_port <= 0xFFFF:
+            raise UdpError(f"bad source port {self.source_port}")
+        if not 0 <= self.destination_port <= 0xFFFF:
+            raise UdpError(f"bad destination port {self.destination_port}")
+
+    def to_bytes(self, source_ip: Ipv4Address, destination_ip: Ipv4Address) -> bytes:
+        length = 8 + len(self.payload)
+        header = struct.pack(">HHHH", self.source_port, self.destination_port,
+                             length, 0)
+        pseudo = (bytes(source_ip) + bytes(destination_ip)
+                  + struct.pack(">BBH", 0, PROTO_UDP, length))
+        checksum = internet_checksum(pseudo + header + self.payload)
+        if checksum == 0:
+            checksum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
+        header = header[:6] + struct.pack(">H", checksum)
+        return header + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "UdpDatagram":
+        if len(data) < 8:
+            raise UdpError(f"UDP datagram too short: {len(data)}")
+        source_port, destination_port, length, _checksum = struct.unpack(
+            ">HHHH", data[:8])
+        if length < 8 or length > len(data):
+            raise UdpError(f"bad UDP length {length}")
+        return cls(source_port, destination_port, data[8:length])
+
+    def in_ipv4(self, source_ip: Ipv4Address,
+                destination_ip: Ipv4Address) -> Ipv4Packet:
+        """Wrap this datagram in an IPv4 packet."""
+        return Ipv4Packet(source_ip, destination_ip, PROTO_UDP,
+                          self.to_bytes(source_ip, destination_ip))

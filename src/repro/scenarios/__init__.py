@@ -1,0 +1,19 @@
+"""The four §5.3 evaluation scenarios and cross-scenario comparisons."""
+
+from .base import Burst, ScenarioError, ScenarioResult, overlay_window
+from .ble import run_ble
+from .compare import (
+    SCENARIO_ORDER,
+    Figure4Findings,
+    Figure4Series,
+    Table1Row,
+    figure4,
+    figure4_findings,
+    run_all_scenarios,
+    table1,
+)
+from .wifi_dc import run_wifi_dc
+from .wifi_ps import run_wifi_ps
+from .wile import run_wile
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,59 @@
+"""BLE scenario — §5.3, Table 1 column 2.
+
+"The BLE chip is in the slave mode, and periodically transmits a data
+packet to another BLE device which is in the master mode. The
+microcontroller goes into the deep sleep mode between the transmissions."
+
+The link-layer exchange runs on the simulator (:class:`BleConnection`
+slave events), and the energy comes from the CC2541 phase model — the
+same source the paper uses, since it takes BLE numbers from TI's app
+note rather than measuring the ESP32's "inefficient" BLE radio.
+"""
+
+from __future__ import annotations
+
+from ..energy import calibration as cal
+from ..energy.cc2541 import Cc2541PowerModel
+from ..energy.trace import CurrentTrace
+from ..sim import Simulator
+from ..ble import BleConnection
+from .base import ScenarioError, ScenarioResult
+
+
+def run_ble(payload: bytes = bytes(cal.SENSOR_PAYLOAD_BYTES),
+            model: Cc2541PowerModel | None = None,
+            connection_interval_s: float = 1.0,
+            sleep_lead_s: float = cal.FIGURE3_SLEEP_LEAD_S,
+            sleep_tail_s: float = 0.2) -> ScenarioResult:
+    """Run one slave connection event carrying ``payload``."""
+    model = model if model is not None else Cc2541PowerModel()
+    sim = Simulator()
+    connection = BleConnection(sim, connection_interval_s=connection_interval_s)
+    connection.queue_payload(payload)
+    connection.start()
+    sim.run(until_s=2 * connection_interval_s + 1.0)
+    connection.stop()
+    if not connection.records:
+        raise ScenarioError("BLE connection event never ran")
+    carrying = [record for record in connection.records
+                if record.slave_pdu.payload == payload]
+    if not carrying:
+        raise ScenarioError("payload was never transmitted to the master")
+
+    trace = CurrentTrace()
+    model.record_sleep(trace, sleep_lead_s)
+    model.record_event(trace)
+    model.record_sleep(trace, sleep_tail_s)
+
+    return ScenarioResult(
+        name="BLE",
+        energy_per_packet_j=model.energy_per_event_j(),
+        t_tx_s=model.event_duration_s(),
+        idle_current_a=model.sleep_current_a,
+        supply_voltage_v=model.supply_voltage_v,
+        trace=trace,
+        details={
+            "link_exchange_s": carrying[0].duration_s,
+            "connection_interval_s": connection_interval_s,
+            "events_run": len(connection.records),
+        })

@@ -1,0 +1,121 @@
+"""Cross-scenario comparison: Table 1 rows and the Figure 4 sweep."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..energy import calibration as cal
+from ..energy.average import DutyCycleProfile, crossover_interval_s
+from .base import ScenarioResult
+from .ble import run_ble
+from .wifi_dc import run_wifi_dc
+from .wifi_ps import run_wifi_ps
+from .wile import run_wile
+
+SCENARIO_ORDER = ("Wi-LE", "BLE", "WiFi-DC", "WiFi-PS")
+
+
+def run_all_scenarios() -> dict[str, ScenarioResult]:
+    """One run of each §5.3 scenario, keyed by the Table 1 column name."""
+    return {
+        "Wi-LE": run_wile(),
+        "BLE": run_ble(),
+        "WiFi-DC": run_wifi_dc(),
+        "WiFi-PS": run_wifi_ps(),
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class Table1Row:
+    """One technology's Table 1 entries, paper vs reproduced."""
+
+    name: str
+    energy_per_packet_j: float
+    idle_current_a: float
+    paper_energy_j: float
+    paper_idle_a: float
+
+    @property
+    def energy_ratio(self) -> float:
+        return self.energy_per_packet_j / self.paper_energy_j
+
+    @property
+    def idle_ratio(self) -> float:
+        return self.idle_current_a / self.paper_idle_a
+
+
+def table1(results: dict[str, ScenarioResult] | None = None) -> list[Table1Row]:
+    """Reproduce Table 1: energy per message + idle current, vs paper."""
+    results = results if results is not None else run_all_scenarios()
+    rows = []
+    for name in SCENARIO_ORDER:
+        result = results[name]
+        rows.append(Table1Row(
+            name=name,
+            energy_per_packet_j=result.energy_per_packet_j,
+            idle_current_a=result.idle_current_a,
+            paper_energy_j=cal.PAPER_ENERGY_PER_PACKET_J[name],
+            paper_idle_a=cal.PAPER_IDLE_CURRENT_A[name]))
+    return rows
+
+
+@dataclass(frozen=True, slots=True)
+class Figure4Series:
+    """One technology's average-power curve over transmission intervals."""
+
+    name: str
+    intervals_s: np.ndarray
+    power_w: np.ndarray
+
+
+def figure4(results: dict[str, ScenarioResult] | None = None,
+            max_interval_min: float = 5.0,
+            points: int = 121) -> list[Figure4Series]:
+    """Reproduce Figure 4: Eq. 1 swept over 0..5-minute intervals.
+
+    Intervals start just above each scenario's own transmission window
+    (Eq. 1 is undefined for INT < T_tx).
+    """
+    results = results if results is not None else run_all_scenarios()
+    series = []
+    for name in SCENARIO_ORDER:
+        profile = results[name].profile()
+        start = max(profile.t_tx_s * 1.01, 1.0)
+        intervals = np.linspace(start, max_interval_min * 60.0, points)
+        power = np.array([profile.average_power_w(interval)
+                          for interval in intervals])
+        series.append(Figure4Series(name, intervals, power))
+    return series
+
+
+@dataclass(frozen=True, slots=True)
+class Figure4Findings:
+    """The qualitative claims the paper draws from Figure 4."""
+
+    wifi_ps_dc_crossover_s: float | None
+    wile_ble_ratio_at_1min: float
+    wile_vs_best_wifi_orders_at_1min: float
+
+
+def figure4_findings(results: dict[str, ScenarioResult] | None = None) -> Figure4Findings:
+    """Check the three headline observations of §5.5.
+
+    1. WiFi-PS beats WiFi-DC only at sub-minute intervals (crossover).
+    2. Wi-LE's power is close to BLE's (small ratio).
+    3. Wi-LE sits ~3 orders of magnitude below the best WiFi option.
+    """
+    results = results if results is not None else run_all_scenarios()
+    profiles: dict[str, DutyCycleProfile] = {
+        name: results[name].profile() for name in SCENARIO_ORDER}
+    crossover = crossover_interval_s(profiles["WiFi-PS"], profiles["WiFi-DC"])
+    at_minute = 60.0
+    wile = profiles["Wi-LE"].average_power_w(at_minute)
+    ble = profiles["BLE"].average_power_w(at_minute)
+    best_wifi = min(profiles["WiFi-DC"].average_power_w(at_minute),
+                    profiles["WiFi-PS"].average_power_w(at_minute))
+    return Figure4Findings(
+        wifi_ps_dc_crossover_s=crossover,
+        wile_ble_ratio_at_1min=wile / ble,
+        wile_vs_best_wifi_orders_at_1min=float(np.log10(best_wifi / wile)))

@@ -1,0 +1,39 @@
+"""WPA2 security substrate: AES, AES-CCM, CCMP, 802.11i keys, 4-way handshake.
+
+Everything here exists because the paper's baseline scenarios must pay
+the real cost of WiFi security: the WiFi-DC client re-derives its PTK via
+the 4-way handshake on every wake-up, and data frames (DHCP, ARP, sensor
+payload) are CCMP-protected. Wi-LE's §6 security extension reuses the
+same AES-CCM core to encrypt payloads before beacon injection.
+"""
+
+from .aes import Aes, AesError
+from .ccm import AuthenticationError, CcmError, ccm_decrypt, ccm_encrypt
+from .ccmp import (
+    CCMP_HEADER_BYTES,
+    CCMP_MIC_BYTES,
+    CCMP_OVERHEAD_BYTES,
+    CcmpError,
+    CcmpHeader,
+    CcmpSession,
+    ReplayError,
+)
+from .eapol import EAPOL_ETHERTYPE, EapolError, EapolKey
+from .handshake import (
+    Authenticator,
+    HandshakeError,
+    HandshakeResult,
+    HandshakeState,
+    Supplicant,
+    run_handshake,
+)
+from .keys import (
+    NonceGenerator,
+    Ptk,
+    derive_ptk,
+    eapol_mic,
+    pmk_from_passphrase,
+    prf,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

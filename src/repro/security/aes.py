@@ -1,0 +1,177 @@
+"""AES block cipher implemented from first principles.
+
+The Python standard library has hashes (used for the 802.11i key
+derivation) but no block cipher, and the reproduction environment has no
+third-party crypto packages — so CCMP needs its own AES. This is a
+straightforward table-free implementation of FIPS-197: S-box generated
+from the GF(2^8) inverse at import time, 4x4 column-major state,
+key schedules for 128/192/256-bit keys.
+
+Performance is adequate for protocol simulation (a handshake encrypts a
+handful of blocks); it is *not* constant-time and must never be used to
+protect real data.
+"""
+
+from __future__ import annotations
+
+
+class AesError(ValueError):
+    """Raised for invalid key or block sizes."""
+
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36,
+         0x6C, 0xD8, 0xAB, 0x4D)
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x in GF(2^8) with the AES reduction polynomial."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two GF(2^8) elements (Russian peasant method)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[tuple[int, ...], tuple[int, ...]]:
+    # Multiplicative inverses via exponentiation by generator 3.
+    exp = [0] * 256
+    log = [0] * 256
+    value = 1
+    for i in range(255):
+        exp[i] = value
+        log[value] = i
+        value = _gf_mul(value, 3)
+    exp[255] = exp[0]
+
+    def inverse(x: int) -> int:
+        return 0 if x == 0 else exp[255 - log[x]]
+
+    sbox = [0] * 256
+    for x in range(256):
+        inv = inverse(x)
+        # Affine transformation.
+        result = 0x63
+        for shift in (0, 1, 2, 3, 4):
+            rotated = ((inv << shift) | (inv >> (8 - shift))) & 0xFF
+            result ^= rotated
+        sbox[x] = result
+    inv_sbox = [0] * 256
+    for x, y in enumerate(sbox):
+        inv_sbox[y] = x
+    return tuple(sbox), tuple(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+
+class Aes:
+    """AES with a 128, 192 or 256-bit key.
+
+    >>> cipher = Aes(bytes(16))
+    >>> cipher.decrypt_block(cipher.encrypt_block(bytes(16))) == bytes(16)
+    True
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (16, 24, 32):
+            raise AesError(f"AES key must be 16/24/32 bytes, got {len(key)}")
+        self.key = bytes(key)
+        self._nk = len(key) // 4
+        self._nr = self._nk + 6
+        self._round_keys = self._expand_key(self.key)
+
+    # -- key schedule ------------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> list[tuple[int, int, int, int]]:
+        words = [tuple(key[4 * i:4 * i + 4]) for i in range(self._nk)]
+        for i in range(self._nk, 4 * (self._nr + 1)):
+            temp = words[i - 1]
+            if i % self._nk == 0:
+                temp = (temp[1], temp[2], temp[3], temp[0])  # RotWord
+                temp = tuple(_SBOX[b] for b in temp)          # SubWord
+                temp = (temp[0] ^ _RCON[i // self._nk - 1],
+                        temp[1], temp[2], temp[3])
+            elif self._nk > 6 and i % self._nk == 4:
+                temp = tuple(_SBOX[b] for b in temp)
+            prev = words[i - self._nk]
+            words.append((prev[0] ^ temp[0], prev[1] ^ temp[1],
+                          prev[2] ^ temp[2], prev[3] ^ temp[3]))
+        return words
+
+    # -- round operations ---------------------------------------------------
+    # The state is a flat 16-byte list in column-major order, matching the
+    # byte order of the input block (FIPS-197 section 3.4).
+
+    def _add_round_key(self, state: list[int], round_index: int) -> None:
+        for col in range(4):
+            word = self._round_keys[4 * round_index + col]
+            for row in range(4):
+                state[4 * col + row] ^= word[row]
+
+    @staticmethod
+    def _sub_bytes(state: list[int], box: tuple[int, ...]) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: list[int], inverse: bool = False) -> None:
+        for row in range(1, 4):
+            values = [state[4 * col + row] for col in range(4)]
+            shift = -row if inverse else row
+            values = values[shift % 4:] + values[:shift % 4]
+            for col in range(4):
+                state[4 * col + row] = values[col]
+
+    @staticmethod
+    def _mix_columns(state: list[int], inverse: bool = False) -> None:
+        matrix = ((0x0E, 0x0B, 0x0D, 0x09) if inverse else (0x02, 0x03, 0x01, 0x01))
+        for col in range(4):
+            column = state[4 * col:4 * col + 4]
+            for row in range(4):
+                state[4 * col + row] = (
+                    _gf_mul(column[0], matrix[(0 - row) % 4])
+                    ^ _gf_mul(column[1], matrix[(1 - row) % 4])
+                    ^ _gf_mul(column[2], matrix[(2 - row) % 4])
+                    ^ _gf_mul(column[3], matrix[(3 - row) % 4]))
+
+    # -- public API ----------------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise AesError(f"AES block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, 0)
+        for round_index in range(1, self._nr):
+            self._sub_bytes(state, _SBOX)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, round_index)
+        self._sub_bytes(state, _SBOX)
+        self._shift_rows(state)
+        self._add_round_key(state, self._nr)
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise AesError(f"AES block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._nr)
+        for round_index in range(self._nr - 1, 0, -1):
+            self._shift_rows(state, inverse=True)
+            self._sub_bytes(state, _INV_SBOX)
+            self._add_round_key(state, round_index)
+            self._mix_columns(state, inverse=True)
+        self._shift_rows(state, inverse=True)
+        self._sub_bytes(state, _INV_SBOX)
+        self._add_round_key(state, 0)
+        return bytes(state)

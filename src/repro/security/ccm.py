@@ -1,0 +1,109 @@
+"""AES-CCM (Counter with CBC-MAC) authenticated encryption, RFC 3610.
+
+CCMP — the WPA2 data confidentiality protocol — is CCM with AES-128, a
+13-byte nonce and an 8-byte MIC. The Wi-LE §6 security extension also
+uses this module directly to encrypt sensor payloads before they are
+placed in the vendor-specific information element.
+"""
+
+from __future__ import annotations
+
+from .aes import Aes
+
+
+class CcmError(ValueError):
+    """Raised for malformed parameters or authentication failure."""
+
+
+class AuthenticationError(CcmError):
+    """The MIC did not verify — the message is forged or corrupted."""
+
+
+def _format_b0(nonce: bytes, message_length: int, mic_length: int,
+               has_aad: bool) -> bytes:
+    length_field_size = 15 - len(nonce)
+    flags = ((0x40 if has_aad else 0)
+             | (((mic_length - 2) // 2) << 3)
+             | (length_field_size - 1))
+    return bytes([flags]) + nonce + message_length.to_bytes(length_field_size, "big")
+
+
+def _format_counter(nonce: bytes, counter: int) -> bytes:
+    length_field_size = 15 - len(nonce)
+    flags = length_field_size - 1
+    return bytes([flags]) + nonce + counter.to_bytes(length_field_size, "big")
+
+
+def _encode_aad(aad: bytes) -> bytes:
+    if len(aad) == 0:
+        return b""
+    if len(aad) < 0xFF00:
+        encoded = len(aad).to_bytes(2, "big") + aad
+    else:
+        encoded = b"\xff\xfe" + len(aad).to_bytes(4, "big") + aad
+    if len(encoded) % 16:
+        encoded += bytes(16 - len(encoded) % 16)
+    return encoded
+
+
+def _cbc_mac(cipher: Aes, nonce: bytes, aad: bytes, message: bytes,
+             mic_length: int) -> bytes:
+    block = cipher.encrypt_block(_format_b0(nonce, len(message), mic_length,
+                                            bool(aad)))
+    stream = _encode_aad(aad) + message
+    if len(message) % 16:
+        stream += bytes(16 - len(message) % 16)
+    for offset in range(0, len(stream), 16):
+        chunk = stream[offset:offset + 16]
+        block = cipher.encrypt_block(bytes(a ^ b for a, b in zip(block, chunk)))
+    return block[:mic_length]
+
+
+def _ctr_crypt(cipher: Aes, nonce: bytes, data: bytes, start_counter: int) -> bytes:
+    out = bytearray()
+    counter = start_counter
+    for offset in range(0, len(data), 16):
+        keystream = cipher.encrypt_block(_format_counter(nonce, counter))
+        chunk = data[offset:offset + 16]
+        out.extend(a ^ b for a, b in zip(chunk, keystream))
+        counter += 1
+    return bytes(out)
+
+
+def _check_params(key: bytes, nonce: bytes, mic_length: int) -> None:
+    if len(key) not in (16, 24, 32):
+        raise CcmError(f"bad key length {len(key)}")
+    if not 7 <= len(nonce) <= 13:
+        raise CcmError(f"CCM nonce must be 7..13 bytes, got {len(nonce)}")
+    if mic_length not in (4, 6, 8, 10, 12, 14, 16):
+        raise CcmError(f"bad MIC length {mic_length}")
+
+
+def ccm_encrypt(key: bytes, nonce: bytes, plaintext: bytes,
+                aad: bytes = b"", mic_length: int = 8) -> bytes:
+    """Encrypt and authenticate; returns ciphertext || MIC."""
+    _check_params(key, nonce, mic_length)
+    cipher = Aes(key)
+    mic = _cbc_mac(cipher, nonce, aad, plaintext, mic_length)
+    ciphertext = _ctr_crypt(cipher, nonce, plaintext, start_counter=1)
+    encrypted_mic = _ctr_crypt(cipher, nonce, mic, start_counter=0)[:mic_length]
+    return ciphertext + encrypted_mic
+
+
+def ccm_decrypt(key: bytes, nonce: bytes, ciphertext_and_mic: bytes,
+                aad: bytes = b"", mic_length: int = 8) -> bytes:
+    """Verify the MIC and decrypt; raises :class:`AuthenticationError` on
+    any tampering."""
+    _check_params(key, nonce, mic_length)
+    if len(ciphertext_and_mic) < mic_length:
+        raise AuthenticationError("message shorter than its MIC")
+    cipher = Aes(key)
+    ciphertext = ciphertext_and_mic[:-mic_length]
+    received_mic = ciphertext_and_mic[-mic_length:]
+    plaintext = _ctr_crypt(cipher, nonce, ciphertext, start_counter=1)
+    expected_encrypted = _ctr_crypt(
+        cipher, nonce, _cbc_mac(cipher, nonce, aad, plaintext, mic_length),
+        start_counter=0)[:mic_length]
+    if expected_encrypted != received_mic:
+        raise AuthenticationError("CCM MIC verification failed")
+    return plaintext

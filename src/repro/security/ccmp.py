@@ -1,0 +1,129 @@
+"""CCMP — the WPA2 data-frame confidentiality protocol (802.11-2016 12.5.3).
+
+Encrypts the payload of 802.11 data frames under the temporal key (TK)
+established by the 4-way handshake. Each frame carries an 8-byte CCMP
+header holding the 48-bit packet number (PN); the nonce binds the PN to
+the transmitter address, and the AAD binds the MAC header fields, so
+replayed or re-addressed frames fail the 8-byte MIC.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..dot11.frames import DataFrame
+from .ccm import AuthenticationError, ccm_decrypt, ccm_encrypt
+
+CCMP_HEADER_BYTES = 8
+CCMP_MIC_BYTES = 8
+#: Total per-frame byte overhead CCMP adds to a data frame.
+CCMP_OVERHEAD_BYTES = CCMP_HEADER_BYTES + CCMP_MIC_BYTES
+
+MAX_PN = (1 << 48) - 1
+
+
+class CcmpError(ValueError):
+    """Raised for malformed CCMP parameters or headers."""
+
+
+class ReplayError(CcmpError):
+    """A received packet number did not increase — replay detected."""
+
+
+@dataclass(frozen=True, slots=True)
+class CcmpHeader:
+    """The 8-byte header carrying the packet number and key ID."""
+
+    pn: int
+    key_id: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.pn <= MAX_PN:
+            raise CcmpError(f"packet number {self.pn} out of 48-bit range")
+        if not 0 <= self.key_id <= 3:
+            raise CcmpError(f"key id {self.key_id} out of range")
+
+    def to_bytes(self) -> bytes:
+        pn_bytes = self.pn.to_bytes(6, "big")
+        # Layout: PN0 PN1 rsvd [ExtIV|KeyID] PN2 PN3 PN4 PN5
+        return bytes([
+            pn_bytes[5], pn_bytes[4], 0x00, 0x20 | (self.key_id << 6),
+            pn_bytes[3], pn_bytes[2], pn_bytes[1], pn_bytes[0],
+        ])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CcmpHeader":
+        if len(data) < CCMP_HEADER_BYTES:
+            raise CcmpError("CCMP header truncated")
+        if not data[3] & 0x20:
+            raise CcmpError("ExtIV bit not set")
+        pn = int.from_bytes(
+            bytes([data[7], data[6], data[5], data[4], data[1], data[0]]), "big")
+        return cls(pn=pn, key_id=(data[3] >> 6) & 0x3)
+
+
+def _nonce(transmitter: bytes, pn: int, priority: int = 0) -> bytes:
+    return bytes([priority]) + transmitter + pn.to_bytes(6, "big")
+
+
+def _aad(frame: DataFrame) -> bytes:
+    """Additional authenticated data: masked frame control + addresses.
+
+    We authenticate the fields CCMP protects: frame control (with the
+    mutable retry/PM/more-data bits masked), the three addresses, and the
+    sequence-control fragment number.
+    """
+    fc = frame.frame_control().to_int() & ~0x3800 | 0x4000
+    addr1, addr2, addr3 = frame.addresses()
+    return (struct.pack("<H", fc) + bytes(addr1) + bytes(addr2)
+            + bytes(addr3) + struct.pack("<H", 0))
+
+
+class CcmpSession:
+    """Per-link CCMP state: the TK, a TX packet number, RX replay window."""
+
+    def __init__(self, tk: bytes) -> None:
+        if len(tk) != 16:
+            raise CcmpError("temporal key must be 16 bytes")
+        self._tk = tk
+        self._tx_pn = 0
+        self._rx_pn: dict[bytes, int] = {}
+
+    def encrypt(self, frame: DataFrame) -> DataFrame:
+        """Return a protected copy of ``frame`` (CCMP header + ciphertext + MIC)."""
+        if self._tx_pn >= MAX_PN:
+            raise CcmpError("packet number space exhausted; rekey required")
+        self._tx_pn += 1
+        header = CcmpHeader(self._tx_pn)
+        nonce = _nonce(bytes(frame.source), self._tx_pn)
+        ciphertext = ccm_encrypt(self._tk, nonce, frame.payload,
+                                 aad=_aad(frame), mic_length=CCMP_MIC_BYTES)
+        return frame.with_payload(header.to_bytes() + ciphertext, protected=True)
+
+    def decrypt(self, frame: DataFrame) -> DataFrame:
+        """Verify and strip protection; raises on forgery or replay."""
+        if not frame.protected:
+            raise CcmpError("frame is not protected")
+        if len(frame.payload) < CCMP_OVERHEAD_BYTES:
+            raise CcmpError("protected payload too short")
+        header = CcmpHeader.from_bytes(frame.payload[:CCMP_HEADER_BYTES])
+        source = bytes(frame.source)
+        last_pn = self._rx_pn.get(source, 0)
+        if header.pn <= last_pn:
+            raise ReplayError(
+                f"replayed PN {header.pn} (last seen {last_pn}) from {frame.source}")
+        nonce = _nonce(source, header.pn)
+        # _aad must describe the frame as it was protected (protected=True).
+        try:
+            plaintext = ccm_decrypt(self._tk, nonce,
+                                    frame.payload[CCMP_HEADER_BYTES:],
+                                    aad=_aad(frame), mic_length=CCMP_MIC_BYTES)
+        except AuthenticationError:
+            raise
+        self._rx_pn[source] = header.pn
+        return frame.with_payload(plaintext, protected=False)
+
+    @property
+    def tx_packet_number(self) -> int:
+        return self._tx_pn

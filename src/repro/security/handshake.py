@@ -1,0 +1,220 @@
+"""The WPA2-PSK 4-way handshake (IEEE 802.11-2016 12.7.6).
+
+Two small state machines — :class:`Authenticator` (AP side) and
+:class:`Supplicant` (client side) — exchange the four EAPOL-Key messages:
+
+1. AP -> STA: ANonce (no MIC).
+2. STA -> AP: SNonce + MIC (+ the STA's RSN element as key data).
+3. AP -> STA: install flag + MIC + KEK-wrapped GTK.
+4. STA -> AP: confirmation MIC.
+
+After message 4 both sides hold the same PTK, and the temporal key (TK)
+protects subsequent data frames via CCMP. In the WiFi-DC scenario the
+simulated ESP32 runs this exchange on every wake-up — each message rides
+in its own acknowledged 802.11 data frame, which is how the paper gets to
+"at least 8 frames" for this phase alone.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .ccm import ccm_decrypt, ccm_encrypt
+from .eapol import (
+    DESC_VERSION_AES,
+    KEYINFO_ACK,
+    KEYINFO_ENCRYPTED_KEY_DATA,
+    KEYINFO_INSTALL,
+    KEYINFO_KEY_TYPE_PAIRWISE,
+    KEYINFO_MIC,
+    KEYINFO_SECURE,
+    EapolKey,
+)
+from .keys import NonceGenerator, Ptk, derive_ptk
+
+
+class HandshakeError(Exception):
+    """Protocol violation during the 4-way handshake."""
+
+
+class HandshakeState(enum.Enum):
+    IDLE = "idle"
+    WAITING_MSG2 = "waiting_msg2"   # authenticator sent msg1
+    WAITING_MSG3 = "waiting_msg3"   # supplicant sent msg2
+    WAITING_MSG4 = "waiting_msg4"   # authenticator sent msg3
+    ESTABLISHED = "established"
+
+
+@dataclass(frozen=True, slots=True)
+class HandshakeResult:
+    """Keys both sides agree on once the handshake completes."""
+
+    ptk: Ptk
+    gtk: bytes
+
+
+def _gtk_key_data(gtk: bytes, kek: bytes) -> bytes:
+    """Wrap the GTK for message 3.
+
+    Real WPA2 uses NIST AES key wrap; we use AES-CCM with a fixed
+    zero nonce, which provides the same confidentiality+integrity
+    property for the single wrapped blob and keeps the codebase to one
+    AEAD primitive. (Documented substitution — the frame counts and sizes
+    are preserved to within a few bytes.)
+    """
+    return ccm_encrypt(kek, bytes(13), gtk, aad=b"GTK", mic_length=8)
+
+
+def _unwrap_gtk(key_data: bytes, kek: bytes) -> bytes:
+    return ccm_decrypt(kek, bytes(13), key_data, aad=b"GTK", mic_length=8)
+
+
+class Authenticator:
+    """AP-side handshake driver.
+
+    Usage: call :meth:`message_1` to start, feed the supplicant's replies
+    to :meth:`handle`, and send whatever frames it returns. ``result`` is
+    available once the state reaches ESTABLISHED.
+    """
+
+    def __init__(self, pmk: bytes, aa: bytes, spa: bytes,
+                 nonces: NonceGenerator, gtk: bytes | None = None) -> None:
+        if len(pmk) != 32:
+            raise HandshakeError("PMK must be 32 bytes")
+        self._pmk = pmk
+        self._aa = aa
+        self._spa = spa
+        self._anonce = nonces.next_nonce()
+        self._gtk = gtk if gtk is not None else nonces.next_nonce()[:16]
+        self._replay = 0
+        self._ptk: Ptk | None = None
+        self.state = HandshakeState.IDLE
+        self.result: HandshakeResult | None = None
+
+    def message_1(self) -> EapolKey:
+        """Build handshake message 1 (ANonce, no MIC)."""
+        if self.state is not HandshakeState.IDLE:
+            raise HandshakeError(f"message 1 not valid in state {self.state}")
+        self._replay += 1
+        self.state = HandshakeState.WAITING_MSG2
+        return EapolKey(
+            key_info=DESC_VERSION_AES | KEYINFO_KEY_TYPE_PAIRWISE | KEYINFO_ACK,
+            replay_counter=self._replay,
+            nonce=self._anonce,
+        )
+
+    def handle(self, message: EapolKey) -> EapolKey | None:
+        """Process a supplicant frame; returns the next frame to send."""
+        if self.state is HandshakeState.WAITING_MSG2:
+            return self._handle_msg2(message)
+        if self.state is HandshakeState.WAITING_MSG4:
+            self._handle_msg4(message)
+            return None
+        raise HandshakeError(f"unexpected message in state {self.state}")
+
+    def _handle_msg2(self, message: EapolKey) -> EapolKey:
+        if message.replay_counter != self._replay:
+            raise HandshakeError(
+                f"replay counter mismatch: {message.replay_counter} != {self._replay}")
+        if not message.has_mic:
+            raise HandshakeError("message 2 must carry a MIC")
+        snonce = message.nonce
+        self._ptk = derive_ptk(self._pmk, self._aa, self._spa,
+                               self._anonce, snonce)
+        if not message.verify_mic(self._ptk.kck):
+            raise HandshakeError("message 2 MIC invalid (wrong passphrase?)")
+        self._replay += 1
+        self.state = HandshakeState.WAITING_MSG4
+        msg3 = EapolKey(
+            key_info=(DESC_VERSION_AES | KEYINFO_KEY_TYPE_PAIRWISE | KEYINFO_ACK
+                      | KEYINFO_MIC | KEYINFO_INSTALL | KEYINFO_SECURE
+                      | KEYINFO_ENCRYPTED_KEY_DATA),
+            replay_counter=self._replay,
+            nonce=self._anonce,
+            key_data=_gtk_key_data(self._gtk, self._ptk.kek),
+        )
+        return msg3.with_mic(self._ptk.kck)
+
+    def _handle_msg4(self, message: EapolKey) -> None:
+        assert self._ptk is not None
+        if message.replay_counter != self._replay:
+            raise HandshakeError("message 4 replay counter mismatch")
+        if not message.verify_mic(self._ptk.kck):
+            raise HandshakeError("message 4 MIC invalid")
+        self.state = HandshakeState.ESTABLISHED
+        self.result = HandshakeResult(ptk=self._ptk, gtk=self._gtk)
+
+
+class Supplicant:
+    """Client-side handshake driver — feed it message 1 and 3, send replies."""
+
+    def __init__(self, pmk: bytes, aa: bytes, spa: bytes,
+                 nonces: NonceGenerator) -> None:
+        if len(pmk) != 32:
+            raise HandshakeError("PMK must be 32 bytes")
+        self._pmk = pmk
+        self._aa = aa
+        self._spa = spa
+        self._snonce = nonces.next_nonce()
+        self._ptk: Ptk | None = None
+        self.state = HandshakeState.IDLE
+        self.result: HandshakeResult | None = None
+
+    def handle(self, message: EapolKey) -> EapolKey:
+        """Process an authenticator frame; returns the reply to send."""
+        if self.state is HandshakeState.IDLE:
+            return self._handle_msg1(message)
+        if self.state is HandshakeState.WAITING_MSG3:
+            return self._handle_msg3(message)
+        raise HandshakeError(f"unexpected message in state {self.state}")
+
+    def _handle_msg1(self, message: EapolKey) -> EapolKey:
+        if not message.has_ack or message.has_mic:
+            raise HandshakeError("malformed handshake message 1")
+        anonce = message.nonce
+        self._ptk = derive_ptk(self._pmk, self._aa, self._spa,
+                               anonce, self._snonce)
+        self.state = HandshakeState.WAITING_MSG3
+        msg2 = EapolKey(
+            key_info=DESC_VERSION_AES | KEYINFO_KEY_TYPE_PAIRWISE | KEYINFO_MIC,
+            replay_counter=message.replay_counter,
+            nonce=self._snonce,
+        )
+        return msg2.with_mic(self._ptk.kck)
+
+    def _handle_msg3(self, message: EapolKey) -> EapolKey:
+        assert self._ptk is not None
+        if not (message.has_mic and message.install):
+            raise HandshakeError("malformed handshake message 3")
+        if not message.verify_mic(self._ptk.kck):
+            raise HandshakeError("message 3 MIC invalid")
+        gtk = _unwrap_gtk(message.key_data, self._ptk.kek)
+        msg4 = EapolKey(
+            key_info=(DESC_VERSION_AES | KEYINFO_KEY_TYPE_PAIRWISE
+                      | KEYINFO_MIC | KEYINFO_SECURE),
+            replay_counter=message.replay_counter,
+            nonce=bytes(32),
+        ).with_mic(self._ptk.kck)
+        self.state = HandshakeState.ESTABLISHED
+        self.result = HandshakeResult(ptk=self._ptk, gtk=gtk)
+        return msg4
+
+
+def run_handshake(pmk: bytes, aa: bytes, spa: bytes,
+                  seed: bytes = b"wile-handshake") -> tuple[HandshakeResult, HandshakeResult, list[EapolKey]]:
+    """Run a complete in-memory handshake; returns both results + transcript.
+
+    Used by tests and by the association state machine's fast path.
+    """
+    authenticator = Authenticator(pmk, aa, spa, NonceGenerator(seed + b"-a"))
+    supplicant = Supplicant(pmk, aa, spa, NonceGenerator(seed + b"-s"))
+    msg1 = authenticator.message_1()
+    msg2 = supplicant.handle(msg1)
+    msg3 = authenticator.handle(msg2)
+    assert msg3 is not None
+    msg4 = supplicant.handle(msg3)
+    authenticator.handle(msg4)
+    if authenticator.result is None or supplicant.result is None:
+        raise HandshakeError("handshake did not complete")
+    return authenticator.result, supplicant.result, [msg1, msg2, msg3, msg4]

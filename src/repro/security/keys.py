@@ -1,0 +1,122 @@
+"""IEEE 802.11i (WPA2-PSK) key hierarchy.
+
+Implements the pieces the 4-way handshake needs:
+
+* passphrase -> PMK via PBKDF2-HMAC-SHA1 with the SSID as salt
+  (4096 iterations, 256-bit output — IEEE 802.11-2016 Annex J),
+* the 802.11i PRF (HMAC-SHA1 based, IEEE 802.11-2016 12.7.1.2),
+* PTK derivation from PMK + both MAC addresses + both nonces,
+* the KCK/KEK/TK split of the PTK.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+PMK_BYTES = 32
+PTK_BYTES = 48  # CCMP: KCK(16) | KEK(16) | TK(16)
+NONCE_BYTES = 32
+
+
+class KeyDerivationError(ValueError):
+    """Raised for invalid inputs to the key hierarchy."""
+
+
+def pmk_from_passphrase(passphrase: str, ssid: bytes) -> bytes:
+    """Derive the Pairwise Master Key from a WPA2 passphrase.
+
+    The standard requires an 8..63 character ASCII passphrase.
+    """
+    if not 8 <= len(passphrase) <= 63:
+        raise KeyDerivationError(
+            f"WPA2 passphrase must be 8..63 characters, got {len(passphrase)}")
+    if not 0 < len(ssid) <= 32:
+        raise KeyDerivationError(f"SSID must be 1..32 bytes, got {len(ssid)}")
+    return hashlib.pbkdf2_hmac("sha1", passphrase.encode("ascii"), ssid,
+                               4096, PMK_BYTES)
+
+
+def prf(key: bytes, label: str, data: bytes, output_bytes: int) -> bytes:
+    """The 802.11i PRF: HMAC-SHA1(key, label || 0x00 || data || counter)."""
+    if output_bytes < 0:
+        raise KeyDerivationError("negative PRF output length")
+    blob = b""
+    counter = 0
+    while len(blob) < output_bytes:
+        message = label.encode("ascii") + b"\x00" + data + bytes([counter])
+        blob += hmac.new(key, message, hashlib.sha1).digest()
+        counter += 1
+    return blob[:output_bytes]
+
+
+@dataclass(frozen=True, slots=True)
+class Ptk:
+    """A derived Pairwise Transient Key, split into its purposes.
+
+    Attributes:
+        kck: Key Confirmation Key — authenticates EAPOL-Key MICs.
+        kek: Key Encryption Key — wraps the GTK in message 3.
+        tk:  Temporal Key — the CCMP data-encryption key.
+    """
+
+    kck: bytes
+    kek: bytes
+    tk: bytes
+
+    @property
+    def raw(self) -> bytes:
+        return self.kck + self.kek + self.tk
+
+
+def derive_ptk(pmk: bytes, aa: bytes, spa: bytes,
+               anonce: bytes, snonce: bytes) -> Ptk:
+    """Derive the PTK per 802.11i: PRF-384 over min/max of addresses+nonces.
+
+    Args:
+        pmk: 32-byte pairwise master key.
+        aa: authenticator (AP) MAC address, 6 bytes.
+        spa: supplicant (STA) MAC address, 6 bytes.
+        anonce/snonce: the 32-byte nonces from handshake messages 1 and 2.
+    """
+    if len(pmk) != PMK_BYTES:
+        raise KeyDerivationError(f"PMK must be {PMK_BYTES} bytes")
+    if len(aa) != 6 or len(spa) != 6:
+        raise KeyDerivationError("MAC addresses must be 6 bytes")
+    if len(anonce) != NONCE_BYTES or len(snonce) != NONCE_BYTES:
+        raise KeyDerivationError(f"nonces must be {NONCE_BYTES} bytes")
+    data = (min(aa, spa) + max(aa, spa)
+            + min(anonce, snonce) + max(anonce, snonce))
+    raw = prf(pmk, "Pairwise key expansion", data, PTK_BYTES)
+    return Ptk(kck=raw[0:16], kek=raw[16:32], tk=raw[32:48])
+
+
+def eapol_mic(kck: bytes, eapol_frame: bytes) -> bytes:
+    """EAPOL-Key MIC for AKM 00-0F-AC:2 — HMAC-SHA1 truncated to 16 bytes.
+
+    ``eapol_frame`` must have its MIC field zeroed.
+    """
+    if len(kck) != 16:
+        raise KeyDerivationError("KCK must be 16 bytes")
+    return hmac.new(kck, eapol_frame, hashlib.sha1).digest()[:16]
+
+
+class NonceGenerator:
+    """Deterministic nonce source for reproducible simulations.
+
+    Real implementations mix in entropy; a reproduction wants the same
+    handshake bytes on every run, so nonces are derived from a seed and a
+    counter with SHA-256. Distinct seeds (e.g. AP vs STA MAC) give
+    distinct, non-repeating streams.
+    """
+
+    def __init__(self, seed: bytes) -> None:
+        self._seed = bytes(seed)
+        self._counter = 0
+
+    def next_nonce(self) -> bytes:
+        value = hashlib.sha256(
+            self._seed + self._counter.to_bytes(8, "big")).digest()
+        self._counter += 1
+        return value

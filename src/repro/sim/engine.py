@@ -1,0 +1,157 @@
+"""A small deterministic discrete-event simulation engine.
+
+Everything in the reproduction that has a timeline — beacon schedules,
+association exchanges, sleep timers, the multimeter's sample clock —
+runs on this engine. Events fire in (time, insertion-order) order, so
+two runs of the same scenario produce byte-identical traces.
+
+Time is a float in **seconds**. Microsecond-scale protocol steps and
+multi-minute sleep intervals coexist fine within double precision.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling into the past or running a broken event loop."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time_s: float
+    order: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`Simulator.schedule`; lets the owner cancel."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time_s(self) -> float:
+        return self._event.time_s
+
+
+class Simulator:
+    """The event loop: schedule callbacks, then :meth:`run`.
+
+    >>> sim = Simulator()
+    >>> order = []
+    >>> _ = sim.schedule(2.0, lambda: order.append("b"))
+    >>> _ = sim.schedule(1.0, lambda: order.append("a"))
+    >>> sim.run()
+    >>> order
+    ['a', 'b']
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_ScheduledEvent] = []
+        self._order = itertools.count()
+        self._now_s = 0.0
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now_s(self) -> float:
+        return self._now_s
+
+    def schedule(self, delay_s: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` after ``delay_s`` simulated seconds."""
+        if delay_s < 0:
+            raise SimulationError(f"cannot schedule {delay_s}s into the past")
+        return self.at(self._now_s + delay_s, callback)
+
+    def at(self, time_s: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` at absolute simulated time ``time_s``."""
+        if time_s < self._now_s:
+            raise SimulationError(
+                f"cannot schedule at {time_s}s, now is {self._now_s}s")
+        event = _ScheduledEvent(time_s, next(self._order), callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def run(self, until_s: float | None = None,
+            max_events: int | None = None) -> None:
+        """Process events until the queue drains, ``until_s`` is reached,
+        or ``max_events`` callbacks have fired.
+
+        Advancing to ``until_s`` with an empty queue still moves the clock,
+        so idle periods integrate correctly in the energy model.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until_s is not None and event.time_s > until_s:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                heapq.heappop(self._heap)
+                self._now_s = event.time_s
+                event.callback()
+                processed += 1
+                self.events_processed += 1
+            if until_s is not None and until_s > self._now_s:
+                self._now_s = until_s
+        finally:
+            self._running = False
+
+    def pending_events(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def call_every(self, interval_s: float, callback: Callable[[], None],
+                   start_delay_s: float | None = None) -> "PeriodicTask":
+        """Schedule ``callback`` every ``interval_s`` until cancelled."""
+        return PeriodicTask(self, interval_s, callback, start_delay_s)
+
+
+class PeriodicTask:
+    """A repeating event; cancel with :meth:`stop`."""
+
+    def __init__(self, sim: Simulator, interval_s: float,
+                 callback: Callable[[], None],
+                 start_delay_s: float | None = None) -> None:
+        if interval_s <= 0:
+            raise SimulationError(f"interval must be positive, got {interval_s}")
+        self._sim = sim
+        self._interval_s = interval_s
+        self._callback = callback
+        self._stopped = False
+        self._handle: EventHandle | None = None
+        first = interval_s if start_delay_s is None else start_delay_s
+        self._handle = sim.schedule(first, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._handle = self._sim.schedule(self._interval_s, self._fire)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()

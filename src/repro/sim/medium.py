@@ -1,0 +1,212 @@
+"""The shared wireless medium: propagation, interference, delivery.
+
+All radios attached to a :class:`WirelessMedium` share the channel the
+way real 2.4 GHz devices do: a transmission occupies the air for its
+computed airtime; receivers on the same channel decode it if the link
+SNR supports the PHY rate *and* no overlapping transmission drowns it
+out (with physical-layer capture if one signal is much stronger).
+
+Collisions matter for the paper's §6 multi-device discussion — two Wi-LE
+sensors transmitting in the same slot lose both beacons unless one
+captures — and the jitter study shows the overlap decaying over time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from ..dot11.airtime import frame_airtime_us
+from ..dot11.channels import channel_frequency_hz
+from ..dot11.rates import PhyRate
+from ..phy.link import frame_delivered
+from ..phy.pathloss import noise_floor_dbm, received_power_dbm
+from .engine import Simulator
+
+if TYPE_CHECKING:
+    from .radio import Radio
+
+
+@dataclass(frozen=True, slots=True)
+class Position:
+    """A point in the 2-D deployment plane, metres."""
+
+    x_m: float = 0.0
+    y_m: float = 0.0
+
+    def distance_to(self, other: "Position") -> float:
+        return math.hypot(self.x_m - other.x_m, self.y_m - other.y_m)
+
+
+@dataclass
+class Transmission:
+    """One frame in flight on the medium."""
+
+    sender: "Radio"
+    frame: object
+    frame_bytes: bytes
+    rate: PhyRate
+    power_dbm: float
+    channel: int
+    start_s: float
+    end_s: float
+    overlapping: list["Transmission"] = field(default_factory=list)
+
+    @property
+    def airtime_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveryReport:
+    """Why a frame did or did not arrive at one receiver (for tests/stats)."""
+
+    receiver: "Radio"
+    delivered: bool
+    reason: str
+    snr_db: float
+
+
+class MediumError(RuntimeError):
+    """Raised for protocol-impossible medium operations."""
+
+
+class WirelessMedium:
+    """The 2.4 GHz channel shared by every attached radio.
+
+    Args:
+        sim: the event engine driving completion callbacks.
+        path_loss_exponent: log-distance exponent (3.0 ~ light indoor).
+        capture_threshold_db: SINR above which the stronger of two
+            overlapping frames still decodes (physical-layer capture).
+        min_distance_m: radios closer than this are clamped apart, since
+            the path-loss model diverges at zero distance.
+    """
+
+    def __init__(self, sim: Simulator, path_loss_exponent: float = 3.0,
+                 capture_threshold_db: float = 10.0,
+                 bandwidth_hz: float = 20e6,
+                 min_distance_m: float = 0.1) -> None:
+        self.sim = sim
+        self.path_loss_exponent = path_loss_exponent
+        self.capture_threshold_db = capture_threshold_db
+        self.bandwidth_hz = bandwidth_hz
+        self.min_distance_m = min_distance_m
+        self._radios: list[Radio] = []
+        self._active: list[Transmission] = []
+        self.frames_transmitted = 0
+        self.frames_delivered = 0
+        self.frames_lost_collision = 0
+        self.frames_lost_snr = 0
+        self.frames_lost_injected = 0
+        #: Fault injection for tests: ``(transmission, radio) -> True``
+        #: drops that delivery (models deep fades, interference bursts).
+        self.fault_injector: Callable[[Transmission, "Radio"], bool] | None = None
+        self._delivery_listeners: list[Callable[[Transmission, DeliveryReport], None]] = []
+
+    # -- membership --------------------------------------------------------
+
+    def attach(self, radio: "Radio") -> None:
+        if radio in self._radios:
+            raise MediumError("radio already attached")
+        self._radios.append(radio)
+
+    def detach(self, radio: "Radio") -> None:
+        self._radios.remove(radio)
+
+    def add_delivery_listener(
+            self, listener: Callable[[Transmission, DeliveryReport], None]) -> None:
+        """Observe every delivery decision (used by experiment harnesses)."""
+        self._delivery_listeners.append(listener)
+
+    # -- transmission -------------------------------------------------------
+
+    def transmit(self, sender: "Radio", frame: object, rate: PhyRate,
+                 power_dbm: float) -> Transmission:
+        """Put ``frame`` on the air from ``sender``; returns the in-flight
+        record. Completion (delivery decisions) fires at end of airtime."""
+        frame_bytes = frame.to_bytes() if hasattr(frame, "to_bytes") else bytes(frame)
+        airtime_s = frame_airtime_us(len(frame_bytes), rate) / 1e6
+        now = self.sim.now_s
+        transmission = Transmission(
+            sender=sender, frame=frame, frame_bytes=frame_bytes, rate=rate,
+            power_dbm=power_dbm, channel=sender.channel,
+            start_s=now, end_s=now + airtime_s)
+        # Record mutual overlap with everything already in the air on the
+        # same channel; collisions are symmetric.
+        for other in self._active:
+            if other.channel == transmission.channel:
+                other.overlapping.append(transmission)
+                transmission.overlapping.append(other)
+        self._active.append(transmission)
+        self.frames_transmitted += 1
+        self.sim.at(transmission.end_s, lambda: self._complete(transmission))
+        return transmission
+
+    def _complete(self, transmission: Transmission) -> None:
+        self._active.remove(transmission)
+        for radio in self._radios:
+            if radio is transmission.sender:
+                continue
+            report = self._deliver_to(transmission, radio)
+            if report is None:
+                continue
+            for listener in self._delivery_listeners:
+                listener(transmission, report)
+            if report.delivered:
+                self.frames_delivered += 1
+                radio.deliver(transmission)
+            elif report.reason == "collision":
+                self.frames_lost_collision += 1
+            elif report.reason == "snr":
+                self.frames_lost_snr += 1
+
+    def _deliver_to(self, transmission: Transmission,
+                    radio: "Radio") -> DeliveryReport | None:
+        """Decide delivery at one receiver; None if it was not listening."""
+        if not radio.is_listening(transmission.channel):
+            return None
+        # Half-duplex: a radio that was itself transmitting during any
+        # part of this frame's airtime cannot have received it.
+        if any(other.sender is radio for other in transmission.overlapping):
+            return None
+        if self.fault_injector is not None and self.fault_injector(
+                transmission, radio):
+            self.frames_lost_injected += 1
+            return DeliveryReport(radio, False, "injected-fault", 0.0)
+        frequency_hz = channel_frequency_hz(transmission.channel)
+        distance = max(self.min_distance_m,
+                       transmission.sender.position.distance_to(radio.position))
+        signal_dbm = received_power_dbm(
+            transmission.power_dbm, distance,
+            exponent=self.path_loss_exponent, frequency_hz=frequency_hz)
+        noise_dbm = noise_floor_dbm(self.bandwidth_hz)
+        interference_mw = 0.0
+        for other in transmission.overlapping:
+            other_distance = max(self.min_distance_m,
+                                 other.sender.position.distance_to(radio.position))
+            other_dbm = received_power_dbm(other.power_dbm, other_distance,
+                                           exponent=self.path_loss_exponent,
+                                           frequency_hz=frequency_hz)
+            interference_mw += 10.0 ** (other_dbm / 10.0)
+        noise_plus_interference_mw = 10.0 ** (noise_dbm / 10.0) + interference_mw
+        sinr_db = signal_dbm - 10.0 * math.log10(noise_plus_interference_mw)
+
+        if transmission.overlapping and sinr_db < self.capture_threshold_db:
+            return DeliveryReport(radio, False, "collision", sinr_db)
+        if not frame_delivered(sinr_db, len(transmission.frame_bytes),
+                               transmission.rate):
+            return DeliveryReport(radio, False, "snr", sinr_db)
+        return DeliveryReport(radio, True, "ok", sinr_db)
+
+    # -- carrier sense -------------------------------------------------------
+
+    def channel_busy(self, channel: int) -> bool:
+        """Is any transmission currently occupying ``channel``?"""
+        return any(tx.channel == channel for tx in self._active)
+
+    def busy_until_s(self, channel: int) -> float:
+        """Simulation time when ``channel`` next goes idle (now if idle)."""
+        ends = [tx.end_s for tx in self._active if tx.channel == channel]
+        return max(ends, default=self.sim.now_s)

@@ -1,0 +1,23 @@
+"""Simulated lab equipment: the paper's Figure 2 measurement chain."""
+
+from .esp32_module import Esp32Module, FirmwareError
+from .multimeter import (
+    CURRENT_RANGES,
+    MAX_SAMPLE_RATE_HZ,
+    Keysight34465A,
+    MultimeterError,
+    Reading,
+)
+from .pcap import (
+    LINKTYPE_IEEE802_11,
+    PcapError,
+    PcapPacket,
+    parse_pcap,
+    pcap_bytes,
+    read_pcap,
+    write_pcap,
+)
+from .rig import ExperimentRig, Measurement
+from .supply import BenchSupply, SupplyError
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,112 @@
+"""Pcap export: open simulated captures in Wireshark.
+
+Frames in this reproduction are real IEEE 802.11 wire format, so a
+monitor-mode capture can be written as a standard pcap file
+(LINKTYPE_IEEE802_11 = 105, frames including their FCS) and dissected by
+any off-the-shelf tool — the strongest possible check that the frame
+layer is honest, and handy for debugging protocol work.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..mac.monitor import Capture
+
+#: Classic pcap global header magic (microsecond timestamps).
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_VERSION = (2, 4)
+
+#: Raw 802.11 frames, FCS included.
+LINKTYPE_IEEE802_11 = 105
+
+#: Per-spec snapshot length bound.
+DEFAULT_SNAPLEN = 65535
+
+
+class PcapError(ValueError):
+    """Raised for malformed pcap data."""
+
+
+def _global_header(snaplen: int = DEFAULT_SNAPLEN) -> bytes:
+    return struct.pack("<IHHiIII", PCAP_MAGIC, PCAP_VERSION[0],
+                       PCAP_VERSION[1], 0, 0, snaplen, LINKTYPE_IEEE802_11)
+
+
+def _record(time_s: float, frame: bytes, snaplen: int) -> bytes:
+    seconds = int(time_s)
+    microseconds = int(round((time_s - seconds) * 1e6))
+    if microseconds >= 1_000_000:
+        seconds += 1
+        microseconds -= 1_000_000
+    included = frame[:snaplen]
+    header = struct.pack("<IIII", seconds, microseconds, len(included),
+                         len(frame))
+    return header + included
+
+
+def write_pcap(path: str, captures: list[Capture],
+               snaplen: int = DEFAULT_SNAPLEN) -> int:
+    """Write a sniffer's captures as a pcap file; returns frames written."""
+    if snaplen <= 0:
+        raise PcapError("snaplen must be positive")
+    with open(path, "wb") as handle:
+        handle.write(_global_header(snaplen))
+        for capture in captures:
+            handle.write(_record(capture.time_s, capture.frame_bytes,
+                                 snaplen))
+    return len(captures)
+
+
+def pcap_bytes(captures: list[Capture],
+               snaplen: int = DEFAULT_SNAPLEN) -> bytes:
+    """The same file as :func:`write_pcap`, in memory."""
+    if snaplen <= 0:
+        raise PcapError("snaplen must be positive")
+    chunks = [_global_header(snaplen)]
+    chunks.extend(_record(capture.time_s, capture.frame_bytes, snaplen)
+                  for capture in captures)
+    return b"".join(chunks)
+
+
+@dataclass(frozen=True, slots=True)
+class PcapPacket:
+    """One packet read back from a pcap file."""
+
+    time_s: float
+    data: bytes
+    original_length: int
+
+
+def read_pcap(path: str) -> list[PcapPacket]:
+    """Parse a classic pcap written by :func:`write_pcap` (or tcpdump)."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    return parse_pcap(blob)
+
+
+def parse_pcap(blob: bytes) -> list[PcapPacket]:
+    if len(blob) < 24:
+        raise PcapError("truncated pcap global header")
+    magic = struct.unpack("<I", blob[:4])[0]
+    if magic != PCAP_MAGIC:
+        raise PcapError(f"bad pcap magic {magic:#x}")
+    linktype = struct.unpack("<I", blob[20:24])[0]
+    if linktype != LINKTYPE_IEEE802_11:
+        raise PcapError(f"unexpected linktype {linktype}")
+    packets = []
+    position = 24
+    while position < len(blob):
+        if position + 16 > len(blob):
+            raise PcapError("truncated packet record header")
+        seconds, microseconds, included, original = struct.unpack(
+            "<IIII", blob[position:position + 16])
+        position += 16
+        data = blob[position:position + included]
+        if len(data) != included:
+            raise PcapError("truncated packet data")
+        position += included
+        packets.append(PcapPacket(seconds + microseconds / 1e6, data,
+                                  original))
+    return packets

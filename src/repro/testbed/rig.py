@@ -1,0 +1,45 @@
+"""The paper's Figure 2 experiment rig: supply -> ammeter -> module.
+
+Wires a bench supply and the simulated Keysight meter around a device's
+current trace, reproducing the measurement chain ("we place the
+multimeter in series with the 3.3 volt DC power source and the module").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..energy.trace import CurrentTrace
+from .multimeter import Keysight34465A, Reading
+from .supply import BenchSupply
+
+
+@dataclass(frozen=True, slots=True)
+class Measurement:
+    """One measured window with derived quantities."""
+
+    reading: Reading
+    supply_voltage_v: float
+
+    @property
+    def energy_j(self) -> float:
+        return self.reading.energy_j(self.supply_voltage_v)
+
+    @property
+    def average_power_w(self) -> float:
+        return self.reading.average_current_a() * self.supply_voltage_v
+
+
+class ExperimentRig:
+    """Supply + series multimeter, pointed at a device's current trace."""
+
+    def __init__(self, supply: BenchSupply | None = None,
+                 meter: Keysight34465A | None = None) -> None:
+        self.supply = supply if supply is not None else BenchSupply()
+        self.meter = meter if meter is not None else Keysight34465A()
+
+    def measure(self, trace: CurrentTrace, t0_s: float | None = None,
+                t1_s: float | None = None) -> Measurement:
+        reading = self.meter.acquire(trace, t0_s, t1_s)
+        return Measurement(reading=reading,
+                           supply_voltage_v=self.supply.voltage_v)

@@ -1,0 +1,45 @@
+"""The clean bench supply feeding the device under test.
+
+Paper §5.1, footnote 1: "we removed the voltage regulator and LED from
+the board and provide a clean 3.3 volt DC source of power directly from
+a power supply" — i.e. measurements see the bare module, no dev-board
+parasitics. The supply model is correspondingly simple: a fixed voltage
+with optional series resistance for sag studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class SupplyError(ValueError):
+    """Raised for non-physical supply parameters."""
+
+
+@dataclass(frozen=True, slots=True)
+class BenchSupply:
+    """An ideal (or slightly resistive) DC source."""
+
+    voltage_v: float = 3.3
+    series_resistance_ohm: float = 0.0
+    current_limit_a: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.voltage_v <= 0:
+            raise SupplyError("supply voltage must be positive")
+        if self.series_resistance_ohm < 0:
+            raise SupplyError("series resistance cannot be negative")
+        if self.current_limit_a <= 0:
+            raise SupplyError("current limit must be positive")
+
+    def voltage_at_load(self, current_a: float) -> float:
+        """Terminal voltage under load (sag across series resistance)."""
+        if current_a < 0:
+            raise SupplyError("negative load current")
+        if current_a > self.current_limit_a:
+            raise SupplyError(
+                f"load {current_a} A exceeds the {self.current_limit_a} A limit")
+        return self.voltage_v - current_a * self.series_resistance_ohm
+
+    def power_w(self, current_a: float) -> float:
+        return self.voltage_at_load(current_a) * current_a

@@ -1,0 +1,105 @@
+"""Tests for CSV artifact export and the evaluation CLI."""
+
+import csv
+import os
+
+import pytest
+
+from repro.experiments.artifacts import (
+    ArtifactError,
+    export_all,
+    write_figure4_csv,
+    write_table1_csv,
+    write_trace_csv,
+    write_trace_segments_csv,
+)
+from repro.scenarios import run_all_scenarios
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_all_scenarios()
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestTable1Csv:
+    def test_schema_and_rows(self, results, tmp_path):
+        artifact = write_table1_csv(str(tmp_path / "t1.csv"), results)
+        rows = read_csv(artifact.path)
+        assert rows[0] == ["scenario", "energy_per_packet_j", "paper_energy_j",
+                           "idle_current_a", "paper_idle_a"]
+        assert len(rows) == 5
+        assert artifact.rows == 4
+
+    def test_values_parse_back(self, results, tmp_path):
+        artifact = write_table1_csv(str(tmp_path / "t1.csv"), results)
+        rows = read_csv(artifact.path)[1:]
+        by_name = {row[0]: float(row[1]) for row in rows}
+        assert by_name["Wi-LE"] == pytest.approx(84e-6, rel=0.01)
+        assert by_name["WiFi-DC"] == pytest.approx(238.2e-3, rel=0.01)
+
+
+class TestFigure4Csv:
+    def test_long_format(self, results, tmp_path):
+        artifact = write_figure4_csv(str(tmp_path / "f4.csv"), results)
+        rows = read_csv(artifact.path)
+        assert rows[0] == ["scenario", "interval_s", "average_power_w"]
+        scenarios = {row[0] for row in rows[1:]}
+        assert scenarios == {"Wi-LE", "BLE", "WiFi-DC", "WiFi-PS"}
+        assert artifact.rows == len(rows) - 1
+
+    def test_power_column_monotone_per_scenario(self, results, tmp_path):
+        artifact = write_figure4_csv(str(tmp_path / "f4.csv"), results)
+        rows = read_csv(artifact.path)[1:]
+        for name in ("Wi-LE", "WiFi-DC"):
+            powers = [float(row[2]) for row in rows if row[0] == name]
+            assert powers == sorted(powers, reverse=True)
+
+
+class TestTraceCsv:
+    def test_sampled_trace(self, results, tmp_path):
+        artifact = write_trace_csv(str(tmp_path / "trace.csv"),
+                                   results["Wi-LE"].trace,
+                                   sample_rate_hz=10_000.0)
+        rows = read_csv(artifact.path)
+        assert rows[0] == ["time_s", "current_a"]
+        assert artifact.rows > 5000
+
+    def test_segments_lossless(self, results, tmp_path):
+        trace = results["Wi-LE"].trace
+        artifact = write_trace_segments_csv(str(tmp_path / "seg.csv"), trace)
+        rows = read_csv(artifact.path)[1:]
+        assert len(rows) == len(trace)
+        total = sum(float(row[1]) * float(row[2]) for row in rows)
+        assert total == pytest.approx(trace.charge_c(), rel=1e-6)
+
+    def test_missing_trace_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            write_trace_csv(str(tmp_path / "x.csv"), None)
+
+
+class TestExportAll:
+    def test_full_set(self, results, tmp_path):
+        artifacts = export_all(str(tmp_path / "artifacts"), results)
+        names = {os.path.basename(artifact.path) for artifact in artifacts}
+        assert names == {"table1.csv", "figure4.csv", "figure3a_wifi.csv",
+                         "figure3b_wile.csv", "figure3a_wifi_segments.csv",
+                         "figure3b_wile_segments.csv"}
+        for artifact in artifacts:
+            assert os.path.exists(artifact.path)
+            assert artifact.rows > 0
+
+
+class TestCli:
+    def test_quick_run(self, results, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+        code = main(["--quick", "--out", str(tmp_path / "out")])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "Figure 4" in output
+        assert os.path.exists(tmp_path / "out" / "table1.csv")

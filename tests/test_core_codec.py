@@ -1,0 +1,139 @@
+"""Tests for the Wi-LE beacon codec (repro.core.codec)."""
+
+import pytest
+
+from repro.core.codec import (
+    BeaconTemplate,
+    CodecError,
+    decode_beacon,
+    device_mac,
+    encode_beacon,
+    is_wile_beacon,
+)
+from repro.core.payload import (
+    SensorKind,
+    SensorReading,
+    WileMessage,
+)
+from repro.dot11 import (
+    Beacon,
+    DsssParameterSet,
+    MacAddress,
+    Ssid,
+    VendorSpecific,
+    find_element,
+    parse_frame,
+)
+from repro.dot11.mac import WILE_OUI
+
+
+def message(device_id=0x1234, sequence=1):
+    return WileMessage(device_id=device_id, sequence=sequence,
+                       readings=(SensorReading(SensorKind.TEMPERATURE_C, 17.0),))
+
+
+class TestDeviceMac:
+    def test_uses_wile_oui(self):
+        assert device_mac(0x42).oui == WILE_OUI
+
+    def test_locally_administered(self):
+        assert device_mac(0x42).is_locally_administered
+
+    def test_wide_ids_fold(self):
+        assert device_mac(0x12345678) == device_mac(0x00345678)
+
+    def test_distinct_ids_distinct_macs(self):
+        assert device_mac(1) != device_mac(2)
+
+
+class TestEncode:
+    def test_beacon_has_hidden_ssid(self):
+        beacon = encode_beacon(message())
+        ssid = find_element(list(beacon.elements), Ssid)
+        assert ssid is not None and ssid.is_hidden
+
+    def test_beacon_carries_vendor_element(self):
+        beacon = encode_beacon(message())
+        vendor = [element for element in beacon.elements
+                  if isinstance(element, VendorSpecific)]
+        assert vendor and vendor[0].oui == WILE_OUI
+
+    def test_beacon_source_is_device_mac(self):
+        beacon = encode_beacon(message(device_id=0x99))
+        assert beacon.source == device_mac(0x99)
+        assert beacon.bssid == beacon.source
+
+    def test_channel_element(self):
+        beacon = encode_beacon(message(), channel=11)
+        assert find_element(list(beacon.elements), DsssParameterSet).channel == 11
+
+    def test_survives_wire_round_trip(self):
+        beacon = encode_beacon(message())
+        parsed = parse_frame(beacon.to_bytes())
+        decoded = decode_beacon(parsed)
+        assert decoded.device_id == 0x1234
+        assert decoded.readings[0].value == pytest.approx(17.0)
+
+
+class TestTemplate:
+    def test_template_reuse(self):
+        template = BeaconTemplate(source=device_mac(7))
+        first = template.build(message(7, 1))
+        second = template.build(message(7, 2), sequence=2)
+        assert first.source == second.source
+        assert decode_beacon(first).sequence == 1
+        assert decode_beacon(second).sequence == 2
+
+    def test_capabilities_look_like_an_ap(self):
+        template = BeaconTemplate(source=device_mac(7))
+        beacon = template.build(message(7, 1))
+        assert beacon.capabilities.ess
+        assert not beacon.capabilities.privacy
+
+
+class TestIsWileBeacon:
+    def test_true_for_wile(self):
+        assert is_wile_beacon(encode_beacon(message()))
+
+    def test_false_for_plain_ap_beacon(self):
+        ap_beacon = Beacon(source=MacAddress.parse("f8:8f:ca:00:86:01"),
+                           bssid=MacAddress.parse("f8:8f:ca:00:86:01"),
+                           elements=(Ssid.named("GoogleWifi"),))
+        assert not is_wile_beacon(ap_beacon)
+
+    def test_false_for_other_vendor_element(self):
+        beacon = Beacon(source=MacAddress.parse("02:00:00:00:00:01"),
+                        bssid=MacAddress.parse("02:00:00:00:00:01"),
+                        elements=(VendorSpecific(b"\x00\x50\xf2", 2, b"wmm"),))
+        assert not is_wile_beacon(beacon)
+
+    def test_false_for_non_beacon(self):
+        assert not is_wile_beacon(b"some bytes")
+
+
+class TestDecode:
+    def test_rejects_non_wile(self):
+        ap_beacon = Beacon(source=MacAddress.parse("02:00:00:00:00:01"),
+                           bssid=MacAddress.parse("02:00:00:00:00:01"),
+                           elements=(Ssid.named("x"),))
+        with pytest.raises(CodecError, match="vendor"):
+            decode_beacon(ap_beacon)
+
+    def test_rejects_visible_ssid(self):
+        """Spam avoidance is mandatory: a Wi-LE beacon with a visible
+        SSID violates §4.1 and is treated as malformed."""
+        bad = Beacon(source=device_mac(1), bssid=device_mac(1),
+                     elements=(Ssid.named("I-AM-SPAM"),
+                               VendorSpecific(WILE_OUI, 0x4C,
+                                              message().encode())))
+        with pytest.raises(CodecError, match="hidden"):
+            decode_beacon(bad)
+
+    def test_rejects_corrupt_message(self):
+        blob = bytearray(message().encode())
+        blob[3] ^= 0xFF
+        bad = Beacon(source=device_mac(1), bssid=device_mac(1),
+                     elements=(Ssid.hidden(),
+                               VendorSpecific(WILE_OUI, 0x4C, bytes(blob))))
+        with pytest.raises(CodecError, match="bad Wi-LE message"):
+            decode_beacon(bad)

@@ -1,0 +1,111 @@
+"""Tests for Wi-LE payload encryption (repro.core.crypto)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.crypto import (
+    DeviceKeyring,
+    WileCryptoError,
+    decrypt_body,
+    derive_device_key,
+    encrypt_body,
+)
+
+NETWORK_KEY = b"farm-master-key-2019!"
+HEADER = bytes(9)
+
+
+class TestKeyDerivation:
+    def test_deterministic(self):
+        assert (derive_device_key(NETWORK_KEY, 7)
+                == derive_device_key(NETWORK_KEY, 7))
+
+    def test_per_device_isolation(self):
+        assert (derive_device_key(NETWORK_KEY, 7)
+                != derive_device_key(NETWORK_KEY, 8))
+
+    def test_key_length(self):
+        assert len(derive_device_key(NETWORK_KEY, 7)) == 16
+
+    def test_short_master_rejected(self):
+        with pytest.raises(WileCryptoError):
+            derive_device_key(b"short", 1)
+
+
+class TestEncryptDecrypt:
+    KEY = derive_device_key(NETWORK_KEY, 7)
+
+    def test_round_trip(self):
+        ciphertext = encrypt_body(self.KEY, HEADER, b"readings")
+        assert decrypt_body(self.KEY, HEADER, ciphertext) == b"readings"
+
+    def test_ciphertext_differs_from_plaintext(self):
+        assert encrypt_body(self.KEY, HEADER, b"readings") != b"readings"
+
+    def test_wrong_key_rejected(self):
+        ciphertext = encrypt_body(self.KEY, HEADER, b"readings")
+        other = derive_device_key(NETWORK_KEY, 8)
+        with pytest.raises(WileCryptoError):
+            decrypt_body(other, HEADER, ciphertext)
+
+    def test_header_bound_as_aad(self):
+        """Changing device id or sequence in the clear header must break
+        authentication — no splicing payloads across devices."""
+        ciphertext = encrypt_body(self.KEY, HEADER, b"readings")
+        forged_header = b"\x01" + HEADER[1:]
+        with pytest.raises(WileCryptoError):
+            decrypt_body(self.KEY, forged_header, ciphertext)
+
+    def test_tampered_ciphertext_rejected(self):
+        blob = bytearray(encrypt_body(self.KEY, HEADER, b"readings"))
+        blob[0] ^= 1
+        with pytest.raises(WileCryptoError):
+            decrypt_body(self.KEY, HEADER, bytes(blob))
+
+    def test_epoch_separates_keystreams(self):
+        first = encrypt_body(self.KEY, HEADER, b"readings", epoch=0)
+        second = encrypt_body(self.KEY, HEADER, b"readings", epoch=1)
+        assert first != second
+
+    def test_key_length_enforced(self):
+        with pytest.raises(WileCryptoError):
+            encrypt_body(b"short", HEADER, b"x")
+        with pytest.raises(WileCryptoError):
+            decrypt_body(b"short", HEADER, b"x" * 8)
+
+    def test_header_length_enforced(self):
+        with pytest.raises(WileCryptoError):
+            encrypt_body(self.KEY, b"tiny", b"x")
+
+    @given(st.binary(max_size=200))
+    def test_any_body_round_trips(self, body):
+        ciphertext = encrypt_body(self.KEY, HEADER, body)
+        assert decrypt_body(self.KEY, HEADER, ciphertext) == body
+        assert len(ciphertext) == len(body) + 4  # 4-byte MIC
+
+
+class TestKeyring:
+    def test_explicit_key(self):
+        keyring = DeviceKeyring()
+        keyring.add_key(7, bytes(16))
+        assert keyring.key_for(7) == bytes(16)
+        assert keyring.key_for(8) is None
+
+    def test_network_key_fallback(self):
+        keyring = DeviceKeyring(NETWORK_KEY)
+        assert keyring.key_for(7) == derive_device_key(NETWORK_KEY, 7)
+
+    def test_decryptor_integrates_with_encrypt(self):
+        keyring = DeviceKeyring(NETWORK_KEY)
+        key = derive_device_key(NETWORK_KEY, 7)
+        ciphertext = encrypt_body(key, HEADER, b"reading")
+        decryptor = keyring.decryptor_for(7)
+        assert decryptor(HEADER, ciphertext) == b"reading"
+
+    def test_decryptor_none_without_key(self):
+        assert DeviceKeyring().decryptor_for(7) is None
+
+    def test_bad_key_length_rejected(self):
+        with pytest.raises(WileCryptoError):
+            DeviceKeyring().add_key(7, b"short")

@@ -1,0 +1,143 @@
+"""Tests for infrastructure-mode collection and channel scanning.
+
+Covers the §1 claim "when available, Wi-LE can utilize existing WiFi
+infrastructure (which Bluetooth cannot)": an AP serving a normal WPA2
+client simultaneously collects Wi-LE beacons through its ordinary
+receive path — no monitor mode, no second radio.
+"""
+
+import pytest
+
+from repro.core import (
+    ChannelScanner,
+    ScannerError,
+    SensorKind,
+    SensorReading,
+    WiLEDevice,
+    WiLEReceiver,
+    attach_to_access_point,
+)
+from repro.dot11 import MacAddress
+from repro.mac import AccessPoint, Station
+from repro.sim import Position, Simulator, WirelessMedium
+
+READING = (SensorReading(SensorKind.TEMPERATURE_C, 21.5),)
+
+
+class TestApCollection:
+    def build(self, beaconing=False):
+        sim = Simulator()
+        medium = WirelessMedium(sim)
+        ap = AccessPoint(sim, medium, ssid="HomeNet", passphrase="password1",
+                         position=Position(0, 0), beaconing=beaconing)
+        sink = attach_to_access_point(ap)
+        device = WiLEDevice(sim, medium, device_id=0x17,
+                            position=Position(2, 0))
+        return sim, medium, ap, sink, device
+
+    def test_ap_collects_wile_beacons(self):
+        sim, _medium, _ap, sink, device = self.build()
+        device.start(5.0, lambda: READING)
+        sim.run(until_s=12.0)
+        assert sink.stats.decoded == 2
+        assert sink.latest_reading(0x17, SensorKind.TEMPERATURE_C) == 21.5
+
+    def test_collection_while_serving_a_client(self):
+        """The coexistence story: the AP associates a WPA2 station and
+        collects sensor data at the same time, on one radio."""
+        sim, medium, ap, sink, device = self.build()
+        station = Station(sim, medium, MacAddress.parse("24:0a:c4:00:00:77"),
+                          ssid="HomeNet", passphrase="password1",
+                          position=Position(1, 1))
+        done = {}
+        device.start(0.4, lambda: READING)
+        station.connect_and_send(ap.mac, b"client traffic",
+                                 on_complete=lambda: done.setdefault("t", 1))
+        sim.run(until_s=5.0)
+        assert "t" in done, "the WPA2 client must still associate"
+        assert station.frame_log.mac_frames == 20
+        assert sink.stats.decoded >= 5, "sensor data must keep flowing"
+
+    def test_ap_own_beacons_not_miscounted(self):
+        """The AP never hears its own beacons (no self-reception), and a
+        second AP's beacons are seen but not decoded as Wi-LE."""
+        sim, medium, ap, sink, device = self.build(beaconing=True)
+        AccessPoint(sim, medium, ssid="Neighbour", passphrase="password2",
+                    mac=MacAddress.parse("f8:8f:ca:00:86:99"),
+                    position=Position(3, 3), beaconing=True)
+        device.start(1.0, lambda: READING)
+        sim.run(until_s=3.0)
+        assert sink.stats.beacons_seen > sink.stats.wile_beacons
+        assert sink.stats.decoded >= 1
+
+    def test_chained_callbacks_preserved(self):
+        sim, _medium, ap, _sink, device = self.build()
+        seen = []
+        # attach again: previous hook (the first sink) must keep working.
+        second = attach_to_access_point(ap)
+        ap_hook_before = ap.beacon_callback
+        assert ap_hook_before is not None
+        device.start(2.0, lambda: READING)
+        sim.run(until_s=3.0)
+        assert second.stats.decoded == 1
+
+
+class TestChannelScanner:
+    def build(self, device_channels=(1, 11), interval_s=0.2):
+        sim = Simulator()
+        medium = WirelessMedium(sim)
+        receiver = WiLEReceiver(sim, medium, position=Position(3, 0),
+                                channel=6)
+        devices = []
+        for index, channel in enumerate(device_channels):
+            device = WiLEDevice(sim, medium, device_id=0x400 + index,
+                                channel=channel, position=Position(0, index),
+                                boot_time_s=1e-3)
+            device.start(interval_s, lambda: READING)
+            devices.append(device)
+        return sim, receiver, devices
+
+    def test_finds_devices_across_channels(self):
+        sim, receiver, _devices = self.build()
+        scanner = ChannelScanner(sim, receiver, channels=(1, 6, 11),
+                                 dwell_s=1.0)
+        done = {}
+        scanner.start(on_complete=lambda result: done.setdefault("r", result))
+        sim.run(until_s=scanner.sweep_duration_s() + 0.5)
+        result = done["r"]
+        assert result.channel_of(0x400) == 1
+        assert result.channel_of(0x401) == 11
+        assert result.channels_scanned == [1, 6, 11]
+        assert not scanner.running
+
+    def test_misses_devices_when_dwell_too_short(self):
+        """Dwell below the device period cannot guarantee discovery."""
+        sim, receiver, _devices = self.build(device_channels=(1,),
+                                             interval_s=5.0)
+        scanner = ChannelScanner(sim, receiver, channels=(1, 6, 11),
+                                 dwell_s=0.05)
+        scanner.start()
+        sim.run(until_s=1.0)
+        assert scanner.result.channel_of(0x400) is None
+
+    def test_counts_messages_per_channel(self):
+        sim, receiver, _devices = self.build(device_channels=(1,),
+                                             interval_s=0.2)
+        scanner = ChannelScanner(sim, receiver, channels=(1,), dwell_s=1.0)
+        scanner.start()
+        sim.run(until_s=1.5)
+        assert scanner.result.messages_per_channel[1] >= 3
+
+    def test_validation(self):
+        sim, receiver, _devices = self.build()
+        with pytest.raises(ScannerError):
+            ChannelScanner(sim, receiver, channels=(), dwell_s=1.0)
+        with pytest.raises(ScannerError):
+            ChannelScanner(sim, receiver, channels=(1,), dwell_s=0.0)
+
+    def test_no_reentrant_scan(self):
+        sim, receiver, _devices = self.build()
+        scanner = ChannelScanner(sim, receiver, channels=(1, 6), dwell_s=0.5)
+        scanner.start()
+        with pytest.raises(ScannerError):
+            scanner.start()

@@ -1,0 +1,142 @@
+"""Tests for the band/channel plan (repro.dot11.channels)."""
+
+import pytest
+
+from repro.dot11.channels import (
+    CHANNELS_2_4GHZ,
+    CHANNELS_5GHZ,
+    NON_OVERLAPPING_2_4GHZ,
+    Band,
+    ChannelError,
+    band_of,
+    channel_frequency_hz,
+    channels_in_band,
+    supports_dsss,
+)
+
+
+class TestBandMapping:
+    def test_2_4ghz_channels(self):
+        for channel in CHANNELS_2_4GHZ:
+            assert band_of(channel) is Band.GHZ_2_4
+
+    def test_5ghz_channels(self):
+        for channel in CHANNELS_5GHZ:
+            assert band_of(channel) is Band.GHZ_5
+
+    def test_channel_14(self):
+        assert band_of(14) is Band.GHZ_2_4
+
+    def test_unknown_channel(self):
+        for bad in (0, 15, 35, 166, -1):
+            with pytest.raises(ChannelError):
+                band_of(bad)
+
+    def test_non_overlapping_trio(self):
+        assert NON_OVERLAPPING_2_4GHZ == (1, 6, 11)
+
+    def test_channels_in_band(self):
+        assert channels_in_band(Band.GHZ_2_4) == CHANNELS_2_4GHZ
+        assert 36 in channels_in_band(Band.GHZ_5)
+
+
+class TestFrequencies:
+    def test_channel_1(self):
+        assert channel_frequency_hz(1) == pytest.approx(2412e6)
+
+    def test_channel_6(self):
+        assert channel_frequency_hz(6) == pytest.approx(2437e6)
+
+    def test_channel_11(self):
+        assert channel_frequency_hz(11) == pytest.approx(2462e6)
+
+    def test_channel_14_is_special(self):
+        assert channel_frequency_hz(14) == pytest.approx(2484e6)
+
+    def test_channel_36(self):
+        assert channel_frequency_hz(36) == pytest.approx(5180e6)
+
+    def test_channel_165(self):
+        assert channel_frequency_hz(165) == pytest.approx(5825e6)
+
+    def test_5mhz_spacing_within_2_4(self):
+        assert (channel_frequency_hz(7) - channel_frequency_hz(6)
+                == pytest.approx(5e6))
+
+
+class TestDsssSupport:
+    def test_2_4ghz_supports_dsss(self):
+        assert supports_dsss(6)
+
+    def test_5ghz_is_ofdm_only(self):
+        assert not supports_dsss(36)
+
+
+class TestBandAwarePropagation:
+    def test_5ghz_has_more_path_loss(self):
+        from repro.phy.pathloss import fspl_db
+        assert (fspl_db(10.0, channel_frequency_hz(36))
+                > fspl_db(10.0, channel_frequency_hz(6)) + 6.0)
+
+    def test_range_penalty_is_frequency_ratio(self):
+        """Friis: range scales as 1/f at fixed loss budget, softened by
+        the log-distance exponent (3) beyond the 1 m reference."""
+        from repro.dot11.rates import HT_MCS7_SGI
+        from repro.phy.range_model import max_range_m
+        range_2_4 = max_range_m(HT_MCS7_SGI, 0.0,
+                                frequency_hz=channel_frequency_hz(6))
+        range_5 = max_range_m(HT_MCS7_SGI, 0.0,
+                              frequency_hz=channel_frequency_hz(36))
+        # ~6.5 dB extra FSPL across an n=3 region: 10^(6.5/30) ~ 1.65x.
+        assert range_2_4 / range_5 == pytest.approx(1.65, rel=0.05)
+
+    def test_medium_delivery_is_band_aware(self):
+        """The same geometry that works on 2.4 GHz fails on 5 GHz when
+        placed just beyond the 5 GHz range."""
+        from repro.core import SensorKind, SensorReading, WiLEDevice, WiLEReceiver
+        from repro.sim import Position, Simulator, WirelessMedium
+        reading = (SensorReading(SensorKind.TEMPERATURE_C, 1.0),)
+        outcomes = {}
+        for channel in (6, 36):
+            sim = Simulator()
+            medium = WirelessMedium(sim)
+            device = WiLEDevice(sim, medium, device_id=1, channel=channel,
+                                position=Position(0, 0))
+            receiver = WiLEReceiver(sim, medium, channel=channel,
+                                    position=Position(10.0, 0))
+            device.start(1.0, lambda: reading)
+            sim.run(until_s=2.0)
+            outcomes[channel] = receiver.stats.decoded
+        assert outcomes[6] == 1
+        assert outcomes[36] == 0
+
+
+class TestDeviceBandValidation:
+    def test_dsss_rate_rejected_on_5ghz(self):
+        from repro.core import WiLEDevice
+        from repro.dot11.rates import DSSS_1
+        from repro.sim import Simulator, WirelessMedium
+        sim = Simulator()
+        medium = WirelessMedium(sim)
+        with pytest.raises(ValueError, match="5 GHz"):
+            WiLEDevice(sim, medium, device_id=1, channel=36, rate=DSSS_1)
+
+    def test_5ghz_beacon_has_no_dsss_elements(self):
+        from repro.core import WiLEDevice
+        from repro.dot11 import DsssParameterSet, find_element
+        from repro.sim import Simulator, WirelessMedium
+        sim = Simulator()
+        medium = WirelessMedium(sim)
+        device = WiLEDevice(sim, medium, device_id=1, channel=36)
+        beacon = device.template.build(device.build_message(()))
+        assert find_element(list(beacon.elements), DsssParameterSet) is None
+
+    def test_5ghz_beacon_still_decodes(self):
+        from repro.core import WiLEDevice, decode_beacon
+        from repro.dot11 import parse_frame
+        from repro.sim import Simulator, WirelessMedium
+        sim = Simulator()
+        medium = WirelessMedium(sim)
+        device = WiLEDevice(sim, medium, device_id=7, channel=36)
+        beacon = device.template.build(device.build_message(()))
+        assert decode_beacon(parse_frame(beacon.to_bytes())).device_id == 7

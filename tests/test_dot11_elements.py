@@ -1,0 +1,214 @@
+"""Tests for 802.11 information elements (repro.dot11.elements)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dot11.elements import (
+    VENDOR_IE_MAX_DATA,
+    Country,
+    DsssParameterSet,
+    ElementError,
+    ElementId,
+    Erp,
+    ExtendedSupportedRates,
+    HtCapabilities,
+    RawElement,
+    Rsn,
+    Ssid,
+    SupportedRates,
+    Tim,
+    VendorSpecific,
+    encode_elements,
+    find_element,
+    find_vendor_element,
+    parse_elements,
+)
+from repro.dot11.mac import WILE_OUI
+
+
+def roundtrip(element):
+    parsed = parse_elements(element.to_bytes())
+    assert len(parsed) == 1
+    return parsed[0]
+
+
+class TestSsid:
+    def test_named_round_trip(self):
+        assert roundtrip(Ssid.named("GoogleWifi")) == Ssid(b"GoogleWifi")
+
+    def test_hidden_is_zero_length(self):
+        hidden = Ssid.hidden()
+        assert hidden.is_hidden
+        assert hidden.to_bytes() == bytes([ElementId.SSID, 0])
+
+    def test_hidden_round_trip(self):
+        assert roundtrip(Ssid.hidden()).is_hidden
+
+    def test_max_length(self):
+        Ssid(b"x" * 32)
+        with pytest.raises(ElementError):
+            Ssid(b"x" * 33)
+
+
+class TestSupportedRates:
+    def test_round_trip(self):
+        rates = SupportedRates((0x82, 0x84, 0x8B, 0x96, 0x0C, 0x12, 0x18, 0x24))
+        assert roundtrip(rates) == rates
+
+    def test_rates_mbps_masks_basic_bit(self):
+        rates = SupportedRates((0x82, 0x0C))
+        assert rates.rates_mbps == (1.0, 6.0)
+
+    def test_bounds(self):
+        with pytest.raises(ElementError):
+            SupportedRates(())
+        with pytest.raises(ElementError):
+            SupportedRates(tuple(range(9)))
+
+    def test_extended_round_trip(self):
+        extended = ExtendedSupportedRates((0x30, 0x48, 0x60, 0x6C))
+        assert roundtrip(extended) == extended
+
+
+class TestDsssParameterSet:
+    def test_round_trip(self):
+        assert roundtrip(DsssParameterSet(6)) == DsssParameterSet(6)
+
+    def test_channel_bounds(self):
+        with pytest.raises(ElementError):
+            DsssParameterSet(0)
+
+    def test_decode_rejects_wrong_length(self):
+        with pytest.raises(ElementError):
+            DsssParameterSet.from_body(b"\x06\x07")
+
+
+class TestTim:
+    def test_empty_round_trip(self):
+        tim = Tim(dtim_count=0, dtim_period=3)
+        parsed = roundtrip(tim)
+        assert parsed.buffered_aids == frozenset()
+        assert parsed.dtim_period == 3
+
+    def test_single_aid(self):
+        tim = Tim(0, 1, frozenset({5}))
+        assert roundtrip(tim).has_traffic_for(5)
+        assert not roundtrip(tim).has_traffic_for(6)
+
+    def test_multiple_aids_spanning_octets(self):
+        aids = frozenset({1, 8, 17, 42, 2007})
+        parsed = roundtrip(Tim(2, 3, aids))
+        assert parsed.buffered_aids == aids
+
+    def test_high_aid_offset_encoding(self):
+        # AIDs far from zero exercise the bitmap-offset encoding.
+        tim = Tim(0, 1, frozenset({1000, 1001}))
+        assert roundtrip(tim).buffered_aids == frozenset({1000, 1001})
+
+    def test_group_traffic_flag(self):
+        assert roundtrip(Tim(0, 1, frozenset(), group_traffic=True)).group_traffic
+
+    def test_aid_bounds(self):
+        with pytest.raises(ElementError):
+            Tim(0, 1, frozenset({0}))
+        with pytest.raises(ElementError):
+            Tim(0, 1, frozenset({2008}))
+
+    def test_dtim_period_bounds(self):
+        with pytest.raises(ElementError):
+            Tim(0, 0)
+
+    @given(st.frozensets(st.integers(1, 2007), max_size=20))
+    def test_any_aid_set_round_trips(self, aids):
+        assert roundtrip(Tim(1, 3, aids)).buffered_aids == aids
+
+
+class TestOtherElements:
+    def test_country_round_trip(self):
+        country = Country("CA", 1, 11, 20)
+        parsed = roundtrip(country)
+        assert parsed.country_code == "CA"
+        assert parsed.num_channels == 11
+
+    def test_erp_round_trip(self):
+        erp = Erp(non_erp_present=True, use_protection=True)
+        assert roundtrip(erp) == erp
+
+    def test_ht_capabilities_round_trip(self):
+        parsed = roundtrip(HtCapabilities(short_gi_20mhz=True))
+        assert parsed.short_gi_20mhz
+
+    def test_rsn_round_trip(self):
+        rsn = Rsn()
+        parsed = roundtrip(rsn)
+        assert parsed.version == 1
+        assert parsed.pairwise_ciphers == rsn.pairwise_ciphers
+        assert parsed.akm_suites == rsn.akm_suites
+
+
+class TestVendorSpecific:
+    def test_round_trip(self):
+        vendor = VendorSpecific(WILE_OUI, 0x4C, b"temperature=17C")
+        assert roundtrip(vendor) == vendor
+
+    def test_max_data(self):
+        VendorSpecific(WILE_OUI, 1, b"x" * VENDOR_IE_MAX_DATA)
+        with pytest.raises(ElementError):
+            VendorSpecific(WILE_OUI, 1, b"x" * (VENDOR_IE_MAX_DATA + 1))
+
+    def test_paper_253_byte_claim(self):
+        # "This field can be up to 253 bytes" — OUI(3) + type(1) + 251
+        # gives a 255-byte body; our data capacity is 251.
+        assert VENDOR_IE_MAX_DATA == 251
+
+    def test_oui_validation(self):
+        with pytest.raises(ElementError):
+            VendorSpecific(b"\x00\x01", 1, b"")
+
+    @given(st.binary(max_size=VENDOR_IE_MAX_DATA))
+    def test_any_payload_round_trips(self, data):
+        assert roundtrip(VendorSpecific(WILE_OUI, 0x4C, data)).data == data
+
+
+class TestParsing:
+    def test_multiple_elements_in_order(self):
+        elements = [Ssid.hidden(), SupportedRates((0x82,)),
+                    DsssParameterSet(6), VendorSpecific(WILE_OUI, 1, b"hi")]
+        parsed = parse_elements(encode_elements(elements))
+        assert [type(item) for item in parsed] == [type(item) for item in elements]
+
+    def test_unknown_element_preserved_raw(self):
+        raw = bytes([200, 3, 1, 2, 3])
+        parsed = parse_elements(raw)
+        assert parsed == [RawElement(200, b"\x01\x02\x03")]
+        assert parsed[0].to_bytes() == raw
+
+    def test_truncated_strict_raises(self):
+        with pytest.raises(ElementError):
+            parse_elements(bytes([0, 5, 1, 2]))
+
+    def test_truncated_lenient_drops_tail(self):
+        good = Ssid.named("ok").to_bytes()
+        parsed = parse_elements(good + bytes([0, 5, 1]), strict=False)
+        assert parsed == [Ssid(b"ok")]
+
+    def test_find_element(self):
+        elements = parse_elements(encode_elements(
+            [Ssid.hidden(), DsssParameterSet(11)]))
+        assert find_element(elements, DsssParameterSet).channel == 11
+        assert find_element(elements, Tim) is None
+
+    def test_find_vendor_element_by_oui_and_type(self):
+        elements = [VendorSpecific(b"\x00\x50\xf2", 2, b"wmm"),
+                    VendorSpecific(WILE_OUI, 0x4C, b"wile")]
+        assert find_vendor_element(elements, WILE_OUI).data == b"wile"
+        assert find_vendor_element(elements, WILE_OUI, 0x4C).data == b"wile"
+        assert find_vendor_element(elements, WILE_OUI, 0x99) is None
+        assert find_vendor_element(elements, b"\x11\x22\x33") is None
+
+    def test_raw_element_bounds(self):
+        with pytest.raises(ElementError):
+            RawElement(256, b"")
+        with pytest.raises(ElementError):
+            RawElement(1, b"x" * 256)

@@ -1,0 +1,249 @@
+"""Tests for 802.11 frame construction and parsing round trips."""
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.dot11 import (
+    Ack,
+    AssociationRequest,
+    AssociationResponse,
+    Authentication,
+    Beacon,
+    CapabilityInfo,
+    DataFrame,
+    DataSubtype,
+    Deauthentication,
+    Disassociation,
+    FrameControl,
+    FrameError,
+    FrameType,
+    MacAddress,
+    ManagementSubtype,
+    ProbeRequest,
+    PsPoll,
+    ReasonCode,
+    Ssid,
+    StatusCode,
+    SupportedRates,
+    VendorSpecific,
+    null_frame,
+    parse_frame,
+)
+from repro.dot11.mac import WILE_OUI
+
+AP = MacAddress.parse("f8:8f:ca:00:86:01")
+STA = MacAddress.parse("24:0a:c4:32:17:01")
+
+
+class TestFrameControl:
+    def test_beacon_frame_control_bytes(self):
+        fc = FrameControl(FrameType.MANAGEMENT, int(ManagementSubtype.BEACON))
+        assert fc.to_bytes() == b"\x80\x00"
+
+    def test_ack_frame_control_bytes(self):
+        fc = FrameControl(FrameType.CONTROL, 13)
+        assert fc.to_bytes() == b"\xd4\x00"
+
+    def test_data_to_ds_bytes(self):
+        fc = FrameControl(FrameType.DATA, 0, to_ds=True)
+        assert fc.to_bytes() == b"\x08\x01"
+
+    @given(st.integers(0, 0xFFFF))
+    def test_int_round_trip(self, value):
+        assume((value >> 2) & 0x3 != 3)  # type 3 is reserved in 802.11
+        fc = FrameControl.from_int(value)
+        assert fc.to_int() == value
+
+    def test_flags_round_trip(self):
+        fc = FrameControl(FrameType.DATA, 8, to_ds=True, retry=True,
+                          power_management=True, more_data=True,
+                          protected=True)
+        assert FrameControl.from_int(fc.to_int()) == fc
+
+
+class TestCapabilityInfo:
+    def test_round_trip(self):
+        caps = CapabilityInfo(ess=True, privacy=True, short_preamble=False)
+        assert CapabilityInfo.from_int(caps.to_int()) == caps
+
+    def test_privacy_bit_position(self):
+        assert CapabilityInfo(privacy=True).to_int() & 0x0010
+
+
+class TestBeacon:
+    def make(self, **kwargs):
+        defaults = dict(source=AP, bssid=AP,
+                        timestamp_us=123456, beacon_interval_tu=100,
+                        elements=(Ssid.named("net"),
+                                  SupportedRates((0x82, 0x84))))
+        defaults.update(kwargs)
+        return Beacon(**defaults)
+
+    def test_round_trip(self):
+        beacon = self.make()
+        parsed = parse_frame(beacon.to_bytes())
+        assert isinstance(parsed, Beacon)
+        assert parsed.timestamp_us == 123456
+        assert parsed.beacon_interval_tu == 100
+        assert parsed.source == AP and parsed.bssid == AP
+        assert parsed.elements == beacon.elements
+
+    def test_broadcast_destination_by_default(self):
+        assert self.make().destination.is_broadcast
+
+    def test_sequence_round_trip(self):
+        parsed = parse_frame(self.make(sequence=777).to_bytes())
+        assert parsed.sequence == 777
+
+    def test_timestamp_bounds(self):
+        with pytest.raises(FrameError):
+            self.make(timestamp_us=1 << 64).to_bytes()
+
+    def test_interval_bounds(self):
+        with pytest.raises(FrameError):
+            self.make(beacon_interval_tu=0).to_bytes()
+
+    def test_probe_response_parses_as_unicast_beacon(self):
+        frame = self.make(destination=STA).to_frame(
+            ManagementSubtype.PROBE_RESPONSE)
+        parsed = parse_frame(frame.to_bytes())
+        assert isinstance(parsed, Beacon)
+        assert parsed.destination == STA
+
+    def test_wile_beacon_round_trip(self):
+        beacon = self.make(elements=(
+            Ssid.hidden(), VendorSpecific(WILE_OUI, 0x4C, b"\x01\x02\x03")))
+        parsed = parse_frame(beacon.to_bytes())
+        vendor = [e for e in parsed.elements if isinstance(e, VendorSpecific)]
+        assert vendor[0].data == b"\x01\x02\x03"
+
+
+class TestManagementFrames:
+    def test_probe_request_round_trip(self):
+        probe = ProbeRequest(source=STA, destination=AP,
+                             elements=(Ssid.named("net"),), sequence=3)
+        parsed = parse_frame(probe.to_bytes())
+        assert isinstance(parsed, ProbeRequest)
+        assert parsed.source == STA and parsed.destination == AP
+
+    def test_authentication_round_trip(self):
+        auth = Authentication(destination=AP, source=STA, bssid=AP,
+                              transaction=2, status=StatusCode.SUCCESS)
+        parsed = parse_frame(auth.to_bytes())
+        assert isinstance(parsed, Authentication)
+        assert parsed.transaction == 2
+        assert parsed.status is StatusCode.SUCCESS
+
+    def test_association_request_round_trip(self):
+        request = AssociationRequest(
+            destination=AP, source=STA, bssid=AP, listen_interval=5,
+            elements=(Ssid.named("net"),))
+        parsed = parse_frame(request.to_bytes())
+        assert isinstance(parsed, AssociationRequest)
+        assert parsed.listen_interval == 5
+
+    def test_association_response_round_trip(self):
+        response = AssociationResponse(
+            destination=STA, source=AP, bssid=AP, association_id=7)
+        parsed = parse_frame(response.to_bytes())
+        assert isinstance(parsed, AssociationResponse)
+        assert parsed.association_id == 7
+        assert parsed.status is StatusCode.SUCCESS
+
+    def test_disassociation_round_trip(self):
+        parsed = parse_frame(Disassociation(
+            destination=STA, source=AP, bssid=AP,
+            reason=ReasonCode.DISASSOC_INACTIVITY).to_bytes())
+        assert isinstance(parsed, Disassociation)
+        assert parsed.reason is ReasonCode.DISASSOC_INACTIVITY
+
+    def test_deauthentication_round_trip(self):
+        parsed = parse_frame(Deauthentication(
+            destination=STA, source=AP, bssid=AP).to_bytes())
+        assert isinstance(parsed, Deauthentication)
+        assert parsed.reason is ReasonCode.DEAUTH_LEAVING
+
+
+class TestControlFrames:
+    def test_ack_round_trip(self):
+        parsed = parse_frame(Ack(receiver=STA).to_bytes())
+        assert isinstance(parsed, Ack)
+        assert parsed.receiver == STA
+
+    def test_ack_is_14_bytes(self):
+        assert len(Ack(receiver=STA).to_bytes()) == 14
+
+    def test_ps_poll_round_trip(self):
+        parsed = parse_frame(PsPoll(bssid=AP, transmitter=STA,
+                                    association_id=42).to_bytes())
+        assert isinstance(parsed, PsPoll)
+        assert parsed.association_id == 42
+        assert parsed.bssid == AP and parsed.transmitter == STA
+
+    def test_ps_poll_aid_bounds(self):
+        with pytest.raises(FrameError):
+            PsPoll(bssid=AP, transmitter=STA, association_id=0).to_bytes()
+
+
+class TestDataFrames:
+    def test_to_ds_address_matrix(self):
+        frame = DataFrame(destination=MacAddress.broadcast(), source=STA,
+                          bssid=AP, payload=b"x", to_ds=True)
+        addr1, addr2, addr3 = frame.addresses()
+        assert addr1 == AP and addr2 == STA
+        assert addr3 == MacAddress.broadcast()
+
+    def test_from_ds_address_matrix(self):
+        frame = DataFrame(destination=STA, source=AP, bssid=AP,
+                          payload=b"x", from_ds=True)
+        addr1, _addr2, _addr3 = frame.addresses()
+        assert addr1 == STA
+
+    def test_wds_rejected(self):
+        frame = DataFrame(destination=STA, source=AP, bssid=AP,
+                          payload=b"", to_ds=True, from_ds=True)
+        with pytest.raises(FrameError):
+            frame.to_bytes()
+
+    def test_round_trip_to_ds(self):
+        frame = DataFrame(destination=MacAddress.broadcast(), source=STA,
+                          bssid=AP, payload=b"hello dhcp", to_ds=True,
+                          sequence=9)
+        parsed = parse_frame(frame.to_bytes())
+        assert parsed.payload == b"hello dhcp"
+        assert parsed.to_ds and not parsed.from_ds
+        assert parsed.source == STA and parsed.bssid == AP
+        assert parsed.sequence == 9
+
+    def test_round_trip_from_ds(self):
+        frame = DataFrame(destination=STA, source=AP, bssid=AP,
+                          payload=b"reply", from_ds=True)
+        parsed = parse_frame(frame.to_bytes())
+        assert parsed.destination == STA and parsed.from_ds
+
+    def test_protected_flag_round_trip(self):
+        frame = DataFrame(destination=AP, source=STA, bssid=AP,
+                          payload=b"ct", to_ds=True, protected=True)
+        assert parse_frame(frame.to_bytes()).protected
+
+    def test_qos_data_round_trip(self):
+        frame = DataFrame(destination=AP, source=STA, bssid=AP,
+                          payload=b"q", to_ds=True,
+                          subtype=DataSubtype.QOS_DATA)
+        parsed = parse_frame(frame.to_bytes())
+        assert parsed.subtype is DataSubtype.QOS_DATA
+        assert parsed.payload == b"q"
+
+    def test_null_frame_sets_pm_bit(self):
+        frame = null_frame(STA, AP, power_management=True)
+        parsed = parse_frame(frame.to_bytes())
+        assert parsed.power_management
+        assert parsed.subtype is DataSubtype.NULL
+        assert parsed.payload == b""
+
+    @given(st.binary(max_size=512))
+    def test_any_payload_round_trips(self, payload):
+        frame = DataFrame(destination=AP, source=STA, bssid=AP,
+                          payload=payload, to_ds=True)
+        assert parse_frame(frame.to_bytes()).payload == payload

@@ -1,0 +1,121 @@
+"""Tests for MAC address handling (repro.dot11.mac)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dot11.mac import WILE_OUI, MacAddress, MacAddressError
+
+
+class TestConstruction:
+    def test_from_bytes(self):
+        mac = MacAddress(b"\x00\x11\x22\x33\x44\x55")
+        assert str(mac) == "00:11:22:33:44:55"
+
+    def test_parse_colon_form(self):
+        assert MacAddress.parse("aa:bb:cc:dd:ee:ff").octets == bytes.fromhex("aabbccddeeff")
+
+    def test_parse_dash_form(self):
+        assert MacAddress.parse("AA-BB-CC-DD-EE-FF").octets == bytes.fromhex("aabbccddeeff")
+
+    def test_parse_bare_hex(self):
+        assert MacAddress.parse("001122334455").octets == bytes.fromhex("001122334455")
+
+    def test_parse_rejects_mixed_separators(self):
+        with pytest.raises(MacAddressError):
+            MacAddress.parse("aa:bb-cc:dd-ee:ff")
+
+    def test_parse_rejects_short(self):
+        with pytest.raises(MacAddressError):
+            MacAddress.parse("aa:bb:cc")
+
+    def test_parse_rejects_non_hex(self):
+        with pytest.raises(MacAddressError):
+            MacAddress.parse("gg:hh:ii:jj:kk:ll")
+
+    def test_parse_rejects_non_string(self):
+        with pytest.raises(MacAddressError):
+            MacAddress.parse(123456)
+
+    def test_wrong_byte_count(self):
+        with pytest.raises(MacAddressError):
+            MacAddress(b"\x00\x11\x22")
+
+    def test_wrong_type(self):
+        with pytest.raises(MacAddressError):
+            MacAddress("aa:bb:cc:dd:ee:ff")  # must use parse()
+
+    def test_from_bytearray_normalises(self):
+        mac = MacAddress(bytearray(6))
+        assert isinstance(mac.octets, bytes)
+
+
+class TestProperties:
+    def test_broadcast(self):
+        mac = MacAddress.broadcast()
+        assert mac.is_broadcast and mac.is_multicast and not mac.is_unicast
+
+    def test_zero_is_unicast(self):
+        assert MacAddress.zero().is_unicast
+
+    def test_multicast_bit(self):
+        assert MacAddress(b"\x01\x00\x5e\x00\x00\x01").is_multicast
+        assert not MacAddress(b"\x00\x00\x5e\x00\x00\x01").is_multicast
+
+    def test_locally_administered(self):
+        assert MacAddress(b"\x02\x00\x00\x00\x00\x01").is_locally_administered
+        assert not MacAddress(b"\x00\x00\x00\x00\x00\x01").is_locally_administered
+
+    def test_oui(self):
+        assert MacAddress.parse("aa:bb:cc:dd:ee:ff").oui == b"\xaa\xbb\xcc"
+
+    def test_int_conversion(self):
+        assert int(MacAddress(b"\x00\x00\x00\x00\x00\x10")) == 16
+
+    def test_repr_round_trip(self):
+        mac = MacAddress.parse("02:57:4c:00:00:07")
+        assert eval(repr(mac)) == mac  # noqa: S307 - controlled input
+
+
+class TestFromOui:
+    def test_from_oui(self):
+        mac = MacAddress.from_oui(WILE_OUI, 0x123456)
+        assert mac.oui == WILE_OUI
+        assert mac.octets[3:] == b"\x12\x34\x56"
+
+    def test_wile_oui_is_locally_administered(self):
+        assert MacAddress.from_oui(WILE_OUI, 1).is_locally_administered
+
+    def test_from_oui_rejects_bad_oui(self):
+        with pytest.raises(MacAddressError):
+            MacAddress.from_oui(b"\x02\x57", 1)
+
+    def test_from_oui_rejects_large_serial(self):
+        with pytest.raises(MacAddressError):
+            MacAddress.from_oui(WILE_OUI, 1 << 24)
+
+    def test_from_oui_rejects_negative_serial(self):
+        with pytest.raises(MacAddressError):
+            MacAddress.from_oui(WILE_OUI, -1)
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        first = MacAddress.parse("aa:bb:cc:dd:ee:ff")
+        second = MacAddress(bytes.fromhex("aabbccddeeff"))
+        assert first == second
+        assert hash(first) == hash(second)
+        assert len({first, second}) == 1
+
+    def test_usable_as_dict_key(self):
+        table = {MacAddress.broadcast(): "everyone"}
+        assert table[MacAddress(b"\xff" * 6)] == "everyone"
+
+    @given(st.binary(min_size=6, max_size=6))
+    def test_bytes_round_trip(self, raw):
+        assert bytes(MacAddress(raw)) == raw
+
+    @given(st.binary(min_size=6, max_size=6))
+    def test_str_parse_round_trip(self, raw):
+        mac = MacAddress(raw)
+        assert MacAddress.parse(str(mac)) == mac

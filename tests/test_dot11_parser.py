@@ -1,0 +1,82 @@
+"""Tests for the wire-format parser's failure modes (repro.dot11.parser)."""
+
+import pytest
+
+from repro.dot11 import (
+    Ack,
+    Beacon,
+    MacAddress,
+    ParseError,
+    Ssid,
+    parse_frame,
+)
+
+AP = MacAddress.parse("f8:8f:ca:00:86:01")
+
+
+def valid_beacon_bytes() -> bytes:
+    return Beacon(source=AP, bssid=AP, elements=(Ssid.named("x"),)).to_bytes()
+
+
+class TestFcsHandling:
+    def test_bad_fcs_rejected(self):
+        frame = bytearray(valid_beacon_bytes())
+        frame[10] ^= 0xFF
+        with pytest.raises(ParseError, match="FCS"):
+            parse_frame(bytes(frame))
+
+    def test_no_fcs_mode(self):
+        frame = Beacon(source=AP, bssid=AP).to_bytes(with_fcs=False)
+        parsed = parse_frame(frame, has_fcs=False)
+        assert isinstance(parsed, Beacon)
+
+    def test_empty_frame(self):
+        with pytest.raises(ParseError):
+            parse_frame(b"")
+
+
+class TestTruncation:
+    def test_truncated_management_header(self):
+        frame = valid_beacon_bytes()
+        with pytest.raises(ParseError):
+            parse_frame(frame[:10], has_fcs=False)
+
+    def test_truncated_beacon_fixed_fields(self):
+        frame = valid_beacon_bytes()[:-4]  # drop FCS
+        with pytest.raises(ParseError):
+            parse_frame(frame[:28], has_fcs=False)
+
+    def test_truncated_ack(self):
+        ack = Ack(receiver=AP).to_bytes(with_fcs=False)
+        with pytest.raises(ParseError):
+            parse_frame(ack[:6], has_fcs=False)
+
+
+class TestProtocolValidation:
+    def test_unknown_protocol_version(self):
+        frame = bytearray(valid_beacon_bytes()[:-4])
+        frame[0] |= 0x03  # version bits
+        with pytest.raises(ParseError, match="version"):
+            parse_frame(bytes(frame), has_fcs=False)
+
+    def test_unsupported_management_subtype(self):
+        # ATIM (subtype 9) is not modelled.
+        frame = bytearray(valid_beacon_bytes()[:-4])
+        frame[0] = (frame[0] & 0x0F) | (9 << 4)
+        with pytest.raises(ParseError):
+            parse_frame(bytes(frame), has_fcs=False)
+
+    def test_unsupported_control_subtype(self):
+        # CTS frames are not used by this stack.
+        cts = bytes([0xC4, 0x00, 0x00, 0x00]) + bytes(AP)
+        with pytest.raises(ParseError):
+            parse_frame(cts, has_fcs=False)
+
+    def test_strict_elements_propagates(self):
+        beacon = Beacon(source=AP, bssid=AP).to_bytes(with_fcs=False)
+        mangled = beacon + bytes([0, 200])  # claims 200 bytes, has none
+        with pytest.raises(Exception):
+            parse_frame(mangled, has_fcs=False, strict_elements=True)
+        # Lenient mode shrugs the bad tail off.
+        parsed = parse_frame(mangled, has_fcs=False)
+        assert isinstance(parsed, Beacon)

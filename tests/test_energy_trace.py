@@ -1,0 +1,144 @@
+"""Tests for current traces and their integration (repro.energy.trace)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.energy.trace import CurrentTrace, TraceError, TraceSegment
+
+
+def simple_trace():
+    trace = CurrentTrace()
+    trace.append(1.0, 0.001, "sleep")
+    trace.append(0.5, 0.100, "active")
+    trace.append(1.0, 0.001, "sleep")
+    return trace
+
+
+class TestConstruction:
+    def test_append_advances_cursor(self):
+        trace = CurrentTrace()
+        trace.append(1.0, 0.01, "a")
+        assert trace.cursor_s == 1.0
+        segment = trace.append(2.0, 0.02, "b")
+        assert segment.start_s == 1.0 and segment.end_s == 3.0
+
+    def test_add_segment_with_gap(self):
+        trace = CurrentTrace()
+        trace.add_segment(0.0, 1.0, 0.01, "a")
+        trace.add_segment(5.0, 1.0, 0.02, "b")
+        assert trace.duration_s == 6.0
+        assert trace.current_at(3.0) == 0.0  # the gap is zero current
+
+    def test_overlap_rejected(self):
+        trace = CurrentTrace()
+        trace.add_segment(0.0, 2.0, 0.01, "a")
+        with pytest.raises(TraceError, match="overlap"):
+            trace.add_segment(1.0, 1.0, 0.02, "b")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(TraceError):
+            TraceSegment(0.0, -1.0, 0.01, "bad")
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(TraceError):
+            TraceSegment(0.0, 1.0, -0.01, "bad")
+
+    def test_start_offset(self):
+        trace = CurrentTrace(start_s=10.0)
+        trace.append(1.0, 0.01, "a")
+        assert trace.start_s == 10.0 and trace.end_s == 11.0
+
+    def test_iteration_and_len(self):
+        trace = simple_trace()
+        assert len(trace) == 3
+        assert [segment.label for segment in trace] == ["sleep", "active", "sleep"]
+
+
+class TestIntegration:
+    def test_total_charge(self):
+        trace = simple_trace()
+        expected = 1.0 * 0.001 + 0.5 * 0.100 + 1.0 * 0.001
+        assert trace.charge_c() == pytest.approx(expected)
+
+    def test_energy(self):
+        trace = simple_trace()
+        assert trace.energy_j(3.3) == pytest.approx(3.3 * trace.charge_c())
+
+    def test_windowed_charge(self):
+        trace = simple_trace()
+        # Window covering only half of the active segment.
+        assert trace.charge_c(1.0, 1.25) == pytest.approx(0.25 * 0.100)
+
+    def test_window_straddling_segments(self):
+        trace = simple_trace()
+        expected = 0.5 * 0.001 + 0.5 * 0.100 + 0.5 * 0.001
+        assert trace.charge_c(0.5, 2.0) == pytest.approx(expected)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(TraceError):
+            simple_trace().charge_c(2.0, 1.0)
+
+    def test_bad_voltage_rejected(self):
+        with pytest.raises(TraceError):
+            simple_trace().energy_j(0.0)
+
+    def test_average_current(self):
+        trace = simple_trace()
+        assert trace.average_current_a() == pytest.approx(
+            trace.charge_c() / 2.5)
+
+    def test_peak(self):
+        assert simple_trace().peak_current_a() == 0.100
+        assert CurrentTrace().peak_current_a() == 0.0
+
+    @given(st.lists(st.tuples(st.floats(1e-6, 10.0), st.floats(0.0, 1.0)),
+                    min_size=1, max_size=20))
+    def test_charge_is_sum_of_segments(self, spans):
+        trace = CurrentTrace()
+        for duration, current in spans:
+            trace.append(duration, current, "x")
+        assert trace.charge_c() == pytest.approx(
+            sum(duration * current for duration, current in spans), rel=1e-9)
+
+
+class TestLabels:
+    def test_charge_by_label(self):
+        totals = simple_trace().charge_by_label()
+        assert totals["sleep"] == pytest.approx(0.002)
+        assert totals["active"] == pytest.approx(0.05)
+
+    def test_duration_by_label(self):
+        durations = simple_trace().duration_by_label()
+        assert durations["sleep"] == pytest.approx(2.0)
+
+    def test_labels_in_first_appearance_order(self):
+        assert simple_trace().labels() == ["sleep", "active"]
+
+
+class TestSampling:
+    def test_sample_count(self):
+        times, currents = simple_trace().sample(1000.0)
+        assert len(times) == len(currents) == 2500
+
+    def test_sampled_values_match_segments(self):
+        _times, currents = simple_trace().sample(100.0)
+        assert currents[0] == pytest.approx(0.001)
+        assert currents[120] == pytest.approx(0.100)
+
+    def test_sampled_integral_approximates_exact(self):
+        trace = simple_trace()
+        times, currents = trace.sample(50_000.0)
+        sampled_charge = float(np.sum(currents)) / 50_000.0
+        assert sampled_charge == pytest.approx(trace.charge_c(), rel=1e-3)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(TraceError):
+            simple_trace().sample(0.0)
+
+    def test_current_at(self):
+        trace = simple_trace()
+        assert trace.current_at(0.5) == 0.001
+        assert trace.current_at(1.2) == 0.100
+        assert trace.current_at(99.0) == 0.0

@@ -1,0 +1,199 @@
+"""Tests for the experiment harnesses and report rendering."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    listen_interval_sweep,
+    payload_sweep,
+    rate_sweep,
+)
+from repro.experiments.battery_life import battery_life
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.frame_counts import run_frame_counts
+from repro.experiments.multi_device import run_multi_device
+from repro.experiments.report import (
+    format_si,
+    render_log_sketch,
+    render_series,
+    render_table,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.two_way import run_two_way, window_sweep
+from repro.scenarios import run_all_scenarios
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_all_scenarios()
+
+
+class TestReportHelpers:
+    def test_format_si(self):
+        assert format_si(84e-6, "J") == "84 uJ"
+        assert format_si(238.2e-3, "J") == "238 mJ"
+        assert format_si(2.5e-6, "A") == "2.5 uA"
+        assert format_si(0, "W") == "0 W"
+        assert format_si(1.5e3, "Hz") == "1.5 kHz"
+
+    def test_render_table_alignment(self):
+        text = render_table("T", ["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[2:]}) == 1  # aligned
+
+    def test_render_series(self):
+        text = render_series("S", "x", "y", [("curve", [1, 2, 3], [4, 5, 6])])
+        assert "curve" in text and "(1, 4)" in text
+
+    def test_render_log_sketch(self):
+        text = render_log_sketch([("a", [1, 2, 3], [1e-6, 1e-3, 1.0])])
+        assert "*=a" in text
+
+    def test_render_log_sketch_empty(self):
+        assert render_log_sketch([]) == "(no data)"
+
+    def test_render_ladder(self):
+        from repro.experiments.report import render_ladder
+        from repro.mac.log import FrameDirection, FrameLayer, FrameLogEntry
+        entries = [
+            FrameLogEntry(0.03, FrameDirection.STATION_TO_AP,
+                          FrameLayer.MAC, "probe request", 32, "scan"),
+            FrameLogEntry(0.031, FrameDirection.AP_TO_STATION,
+                          FrameLayer.MAC, "ack", 14, "scan"),
+        ]
+        text = render_ladder(entries)
+        lines = text.splitlines()
+        assert "station" in lines[0] and "AP" in lines[0]
+        assert "probe request (30 ms)" in lines[2] and lines[2].endswith(">|")
+        assert "ack" in lines[3] and "<" in lines[3]
+
+    def test_ladder_renders_full_association(self):
+        from repro.experiments.report import render_ladder
+        from repro.scenarios import run_wifi_dc
+        log = run_wifi_dc().frame_log
+        text = render_ladder(log.entries)
+        assert text.count("eapol") == 4
+        assert "dhcp discover" in text and "arp reply" in text
+
+
+class TestTable1Experiment:
+    def test_report(self, results):
+        report = run_table1(results)
+        assert report.max_energy_error() < 0.05
+        assert report.max_idle_error() < 0.01
+        text = report.render()
+        assert "Wi-LE" in text and "WiFi-DC" in text
+
+
+class TestFigure3Experiment:
+    def test_report(self):
+        report = run_figure3()
+        assert report.wifi_peak_a > report.wile_peak_a
+        wifi_labels = [phase.label for phase in report.wifi_phases]
+        assert "probe/auth/assoc" in wifi_labels and "dhcp/arp" in wifi_labels
+        wile_labels = [phase.label for phase in report.wile_phases]
+        assert wile_labels == ["sleep", "mc/wifi-init", "tx"]
+        # The simulated 50 kS/s meter really sampled both traces.
+        assert report.wifi_samples > report.wile_samples > 10_000
+        assert "Figure 3a" in report.render()
+
+
+class TestFigure4Experiment:
+    def test_report(self, results):
+        report = run_figure4(results)
+        text = report.render()
+        assert "crossover" in text
+        assert len(report.series) == 4
+
+
+class TestFrameCountExperiment:
+    def test_counts(self):
+        report = run_frame_counts()
+        assert report.mac_frames == report.paper_mac_frames == 20
+        assert report.higher_layer_frames == report.paper_higher_frames == 7
+        assert report.eapol_phase_frames == 8
+        assert report.wile_frames == 1
+        assert "section 3.1" in report.render()
+
+
+class TestMultiDeviceExperiment:
+    def test_jitter_claim_holds(self):
+        report = run_multi_device(device_count=6, rounds=20, interval_s=5.0)
+        assert report.sent == 6 * 20
+        assert report.delivery_rate > 0.9
+        # §6's claim: synchronised fleets drift apart, so the second half
+        # is no worse than the first.
+        assert report.desynchronised
+
+    def test_no_jitter_means_persistent_collisions(self):
+        """Control experiment: with perfect clocks the synchronised
+        fleet never separates and deliveries stay at zero."""
+        report = run_multi_device(device_count=4, rounds=10, interval_s=5.0,
+                                  drift_std_ppm=0.0, jitter_std_s=0.0)
+        assert report.delivered_unique == 0
+        assert report.lost_collision > 0
+
+    def test_render(self):
+        report = run_multi_device(device_count=4, rounds=10, interval_s=5.0)
+        assert "devices" in report.render()
+
+
+class TestTwoWayExperiment:
+    def test_end_to_end(self):
+        report = run_two_way(interval_s=5.0, window_ms=20, commands=2)
+        assert report.commands_received == report.commands_sent == 2
+        assert report.savings_factor > 100
+
+    def test_window_sweep_monotone(self):
+        sweep = window_sweep(interval_s=60.0)
+        energies = [energy for _w, energy, _f in sweep]
+        factors = [factor for _w, _e, factor in sweep]
+        assert energies == sorted(energies)
+        assert factors == sorted(factors, reverse=True)
+
+
+class TestAblations:
+    def test_rate_sweep_tradeoff(self):
+        points = rate_sweep()
+        by_name = {point.rate.name: point for point in points}
+        # Slow rates reach further but cost more energy per packet.
+        assert by_name["DSSS-1"].range_m > by_name["HT-MCS7-SGI"].range_m
+        assert by_name["DSSS-1"].energy_j > by_name["HT-MCS7-SGI"].energy_j
+
+    def test_rate_sweep_top_rate_matches_table1(self):
+        points = rate_sweep()
+        top = [point for point in points
+               if point.rate.name == "HT-MCS7-SGI"][0]
+        assert top.energy_j == pytest.approx(84e-6, rel=0.05)
+
+    def test_payload_sweep_delivers_and_fragments(self):
+        points = payload_sweep(sizes=(32, 400))
+        assert all(point.delivered for point in points)
+        assert points[0].beacons_needed == 1
+        assert points[1].beacons_needed == 2
+
+    def test_payload_sweep_efficiency_improves_up_to_ie_limit(self):
+        points = payload_sweep(sizes=(8, 64, 200))
+        per_byte = [point.energy_per_byte_j for point in points]
+        assert per_byte == sorted(per_byte, reverse=True)
+
+    def test_listen_interval_sweep(self):
+        points = listen_interval_sweep(intervals=(1, 3, 10))
+        idles = [point.idle_current_a for point in points]
+        assert idles == sorted(idles, reverse=True)
+        at_three = points[1]
+        assert at_three.idle_current_a == pytest.approx(4.5e-3, rel=0.02)
+
+
+class TestBatteryLife:
+    def test_paper_claims(self, results):
+        cells = {(cell.scenario, cell.interval_s): cell
+                 for cell in battery_life(results)}
+        # "BLE modules can run on a small button battery for over a year"
+        assert cells[("BLE", 600.0)].cr2032_years > 1.0
+        # Wi-LE matches that deployment class.
+        assert cells[("Wi-LE", 600.0)].cr2032_years > 1.0
+        # Neither WiFi mode comes close.
+        assert cells[("WiFi-DC", 600.0)].cr2032_years < 1.0
+        assert cells[("WiFi-PS", 600.0)].cr2032_years < 0.1

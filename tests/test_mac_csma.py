@@ -1,0 +1,134 @@
+"""Tests for CSMA/CA channel access (repro.mac.csma)."""
+
+import pytest
+
+from repro.dot11 import Beacon, MacAddress, Ssid
+from repro.dot11.airtime import DIFS_US, frame_airtime_us
+from repro.dot11.rates import OFDM_6, OFDM_24
+from repro.mac.csma import CsmaError, CsmaTransmitter
+from repro.sim import Position, Radio, Simulator, WirelessMedium
+
+A = MacAddress.parse("02:00:00:00:00:0a")
+B = MacAddress.parse("02:00:00:00:00:0b")
+C = MacAddress.parse("02:00:00:00:00:0c")
+
+
+def setup():
+    sim = Simulator()
+    medium = WirelessMedium(sim)
+    tx = Radio(sim, medium, A, position=Position(0, 0), default_power_dbm=20.0)
+    blocker = Radio(sim, medium, B, position=Position(0, 1),
+                    default_power_dbm=20.0)
+    rx = Radio(sim, medium, C, position=Position(2, 0))
+    tx.power_on()
+    blocker.power_on()
+    rx.power_on()
+    return sim, medium, tx, blocker, rx
+
+
+def beacon(source=A):
+    return Beacon(source=source, bssid=source, elements=(Ssid.named("t"),))
+
+
+class TestIdleChannel:
+    def test_transmits_after_difs_and_backoff(self):
+        sim, _medium, tx, _blocker, rx = setup()
+        received = []
+        rx.rx_callback = lambda frame, t: received.append(sim.now_s)
+        transmitter = CsmaTransmitter(sim, tx, seed=1)
+        sent = []
+        transmitter.enqueue(beacon(), OFDM_24,
+                            on_sent=lambda t, delay: sent.append(delay))
+        sim.run()
+        assert len(received) == 1
+        assert len(sent) == 1
+        # Access delay is at least DIFS, at most DIFS + CWmin slots.
+        assert DIFS_US / 1e6 <= sent[0] <= (DIFS_US + 15 * 9) / 1e6
+        assert transmitter.stats.deferrals == 0
+
+    def test_fifo_order(self):
+        sim, _medium, tx, _blocker, rx = setup()
+        received = []
+        rx.rx_callback = lambda frame, t: received.append(frame.sequence)
+        transmitter = CsmaTransmitter(sim, tx, seed=1)
+        for sequence in (1, 2, 3):
+            transmitter.enqueue(
+                Beacon(source=A, bssid=A, sequence=sequence), OFDM_24)
+        sim.run()
+        assert received == [1, 2, 3]
+        assert transmitter.pending == 0
+
+
+class TestBusyChannel:
+    def test_defers_until_channel_clears(self):
+        sim, medium, tx, blocker, rx = setup()
+        received = []
+        rx.rx_callback = lambda frame, t: received.append(
+            (frame.source, sim.now_s))
+        # A long, slow frame occupies the channel first.
+        blocker.transmit(beacon(B), OFDM_6)
+        busy_until = medium.busy_until_s(6)
+        transmitter = CsmaTransmitter(sim, tx, seed=1)
+        transmitter.enqueue(beacon(A), OFDM_24)
+        sim.run()
+        ours = [time_s for source, time_s in received if source == A]
+        assert len(ours) == 1
+        assert ours[0] > busy_until  # waited the blocker out
+        assert transmitter.stats.deferrals >= 1
+        assert medium.frames_lost_collision == 0
+
+    def test_raw_transmit_would_have_collided(self):
+        """Control for the test above: fire-blind injection during the
+        blocker's frame destroys both."""
+        sim, medium, tx, blocker, _rx = setup()
+        blocker.transmit(beacon(B), OFDM_6)
+        tx.transmit(beacon(A), OFDM_24)
+        sim.run()
+        assert medium.frames_lost_collision > 0
+
+    def test_contention_window_grows_on_deferral(self):
+        sim, medium, tx, blocker, _rx = setup()
+        transmitter = CsmaTransmitter(sim, tx, seed=1, cw_min=15, cw_max=63)
+        # Keep the channel busy with back-to-back long frames for a while.
+        def keep_busy(count):
+            if count <= 0:
+                return
+            blocker.transmit(beacon(B), OFDM_6)
+            airtime = frame_airtime_us(len(beacon(B).to_bytes()), OFDM_6) / 1e6
+            sim.schedule(airtime + 1e-5, lambda: keep_busy(count - 1))
+        keep_busy(4)
+        transmitter.enqueue(beacon(A), OFDM_24)
+        sim.run()
+        assert transmitter.stats.transmissions == 1
+        assert transmitter.stats.deferrals >= 1
+        assert transmitter.stats.total_wait_s > 0
+
+    def test_validation(self):
+        sim, _medium, tx, _blocker, _rx = setup()
+        with pytest.raises(CsmaError):
+            CsmaTransmitter(sim, tx, cw_min=0)
+        with pytest.raises(CsmaError):
+            CsmaTransmitter(sim, tx, cw_min=31, cw_max=15)
+
+
+class TestDeviceIntegration:
+    def test_carrier_sense_device_records_stats(self):
+        from repro.core import SensorKind, SensorReading, WiLEDevice, WiLEReceiver
+        sim = Simulator()
+        medium = WirelessMedium(sim)
+        device = WiLEDevice(sim, medium, device_id=1, carrier_sense=True,
+                            position=Position(0, 0))
+        receiver = WiLEReceiver(sim, medium, position=Position(2, 0))
+        device.start(1.0, lambda: (
+            SensorReading(SensorKind.TEMPERATURE_C, 17.0),))
+        sim.run(until_s=3.0)
+        assert receiver.stats.decoded >= 1
+        assert device.csma_stats.transmissions >= 1
+        assert len(device.transmissions) == device.csma_stats.transmissions
+
+    def test_raw_device_has_no_stats(self):
+        from repro.core import WiLEDevice
+        sim = Simulator()
+        medium = WirelessMedium(sim)
+        device = WiLEDevice(sim, medium, device_id=1)
+        assert device.csma_stats is None

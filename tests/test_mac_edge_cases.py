@@ -1,0 +1,172 @@
+"""Edge-case coverage for the AP and station state machines."""
+
+import pytest
+
+from repro.dot11 import (
+    Ack,
+    AssociationResponse,
+    Authentication,
+    Beacon,
+    DataFrame,
+    MacAddress,
+    ProbeRequest,
+    PsPoll,
+    StatusCode,
+)
+from repro.mac import AccessPoint, Station, StationError, StationState
+from repro.sim import Position, Radio, Simulator, WirelessMedium
+
+STA_MAC = MacAddress.parse("24:0a:c4:32:17:01")
+ROGUE_MAC = MacAddress.parse("66:00:00:00:00:66")
+
+
+def build(beaconing=False):
+    sim = Simulator()
+    medium = WirelessMedium(sim)
+    ap = AccessPoint(sim, medium, ssid="Net", passphrase="password1",
+                     position=Position(0, 0), beaconing=beaconing)
+    return sim, medium, ap
+
+
+def rogue_radio(sim, medium):
+    radio = Radio(sim, medium, ROGUE_MAC, position=Position(1, 0),
+                  default_power_dbm=20.0)
+    received = []
+    radio.rx_callback = lambda frame, t: received.append(frame)
+    radio.power_on()
+    return radio, received
+
+
+class TestApEdgeCases:
+    def test_broadcast_probe_answered_without_ack(self):
+        sim, medium, ap = build()
+        radio, received = rogue_radio(sim, medium)
+        radio.transmit(ProbeRequest(source=ROGUE_MAC), ap.mgmt_rate)
+        sim.run(until_s=1.0)
+        # Response (a unicast probe-response beacon) but no control ACK.
+        assert any(isinstance(frame, Beacon) for frame in received)
+        assert not any(isinstance(frame, Ack) for frame in received)
+
+    def test_probe_for_other_bssid_ignored(self):
+        sim, medium, ap = build()
+        radio, received = rogue_radio(sim, medium)
+        other = MacAddress.parse("aa:aa:aa:aa:aa:aa")
+        radio.transmit(ProbeRequest(source=ROGUE_MAC, destination=other),
+                       ap.mgmt_rate)
+        sim.run(until_s=1.0)
+        assert not received
+
+    def test_ps_poll_with_wrong_aid_ignored(self):
+        sim, medium, ap = build()
+        radio, received = rogue_radio(sim, medium)
+        radio.transmit(PsPoll(bssid=ap.mac, transmitter=ROGUE_MAC,
+                              association_id=99), ap.mgmt_rate)
+        sim.run(until_s=1.0)
+        assert not received
+
+    def test_data_from_unassociated_station_ignored(self):
+        sim, medium, ap = build()
+        radio, received = rogue_radio(sim, medium)
+        frame = DataFrame(destination=ap.mac, source=ROGUE_MAC, bssid=ap.mac,
+                          payload=b"\xaa\xaa\x03\x00\x00\x00\x08\x00junk",
+                          to_ds=True)
+        radio.transmit(frame, ap.mgmt_rate)
+        sim.run(until_s=1.0)
+        assert not received  # not even an ACK: no station context
+
+    def test_data_for_other_bss_ignored(self):
+        sim, medium, ap = build()
+        radio, received = rogue_radio(sim, medium)
+        other = MacAddress.parse("aa:aa:aa:aa:aa:aa")
+        frame = DataFrame(destination=MacAddress.broadcast(),
+                          source=ROGUE_MAC, bssid=other, payload=b"",
+                          to_ds=True)
+        radio.transmit(frame, ap.mgmt_rate)
+        sim.run(until_s=1.0)
+        assert not received
+
+    def test_auth_creates_context_and_succeeds(self):
+        sim, medium, ap = build()
+        radio, received = rogue_radio(sim, medium)
+        radio.transmit(Authentication(destination=ap.mac, source=ROGUE_MAC,
+                                      bssid=ap.mac), ap.mgmt_rate)
+        sim.run(until_s=1.0)
+        responses = [frame for frame in received
+                     if isinstance(frame, Authentication)]
+        assert responses and responses[0].status is StatusCode.SUCCESS
+        assert ap.station(ROGUE_MAC) is not None
+        assert ap.station(ROGUE_MAC).authenticated
+        assert not ap.station(ROGUE_MAC).associated
+
+
+class TestStationEdgeCases:
+    def build_station(self):
+        sim, medium, ap = build()
+        station = Station(sim, medium, STA_MAC, ssid="Net",
+                          passphrase="password1", position=Position(2, 0))
+        return sim, medium, ap, station
+
+    def test_connect_twice_rejected(self):
+        sim, _medium, ap, station = self.build_station()
+        station.connect_and_send(ap.mac, b"x")
+        with pytest.raises(StationError):
+            station.connect_and_send(ap.mac, b"y")
+
+    def test_send_data_before_association_rejected(self):
+        _sim, _medium, _ap, station = self.build_station()
+        with pytest.raises(StationError):
+            station.send_data(b"x")
+
+    def test_power_save_before_association_rejected(self):
+        _sim, _medium, _ap, station = self.build_station()
+        with pytest.raises(StationError):
+            station.enter_power_save()
+
+    def test_failed_auth_status_raises(self):
+        sim, medium, _ap, station = self.build_station()
+        station.ap_mac = MacAddress.parse("aa:aa:aa:aa:aa:aa")
+        station.state = StationState.AUTHENTICATING
+        bad = Authentication(destination=STA_MAC,
+                             source=station.ap_mac, bssid=station.ap_mac,
+                             status=StatusCode.UNSPECIFIED_FAILURE,
+                             transaction=2)
+        with pytest.raises(StationError, match="authentication failed"):
+            station._handle_auth_response(bad)
+
+    def test_failed_assoc_status_raises(self):
+        sim, medium, _ap, station = self.build_station()
+        station.ap_mac = MacAddress.parse("aa:aa:aa:aa:aa:aa")
+        station.state = StationState.ASSOCIATING
+        bad = AssociationResponse(destination=STA_MAC,
+                                  source=station.ap_mac,
+                                  bssid=station.ap_mac,
+                                  status=StatusCode.ASSOC_DENIED_TOO_MANY)
+        with pytest.raises(StationError, match="association failed"):
+            station._handle_assoc_response(bad)
+
+    def test_frames_from_foreign_bss_ignored_after_association(self):
+        sim, medium, ap, station = self.build_station()
+        done = {}
+        station.connect_and_send(ap.mac, b"x",
+                                 on_complete=lambda: done.setdefault("t", 1))
+        sim.run(until_s=5.0)
+        assert "t" in done
+        decoded_before = len(station.frame_log)
+        foreign = MacAddress.parse("aa:aa:aa:aa:aa:aa")
+        rogue = Radio(sim, medium, foreign, position=Position(1, 1),
+                      default_power_dbm=20.0)
+        rogue.power_on()
+        frame = DataFrame(destination=STA_MAC, source=foreign, bssid=foreign,
+                          payload=b"\xaa\xaa\x03\x00\x00\x00\x08\x00evil",
+                          from_ds=True)
+        rogue.transmit(frame, ap.mgmt_rate)
+        sim.run(until_s=sim.now_s + 0.5)
+        assert len(station.frame_log) == decoded_before
+
+    def test_beacon_counting_only_in_power_save(self):
+        sim, _medium, ap, station = self.build_station()
+        # Broadcast beacons before association do not disturb probing.
+        beacons = Beacon(source=ap.mac, bssid=ap.mac)
+        station.radio.power_on()
+        station._handle_beacon(beacons)
+        assert station.state is StationState.IDLE

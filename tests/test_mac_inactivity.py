@@ -1,0 +1,91 @@
+"""Tests for AP inactivity disassociation (§3.2's maintenance pressure)."""
+
+import pytest
+
+from repro.dot11 import MacAddress
+from repro.mac import AccessPoint, Station, StationState
+from repro.sim import Position, Simulator, WirelessMedium
+
+STA_MAC = MacAddress.parse("24:0a:c4:32:17:01")
+
+
+def build(timeout_s=2.0):
+    sim = Simulator()
+    medium = WirelessMedium(sim)
+    ap = AccessPoint(sim, medium, ssid="Net", passphrase="password1",
+                     position=Position(0, 0), beaconing=True,
+                     inactivity_timeout_s=timeout_s)
+    station = Station(sim, medium, STA_MAC, ssid="Net",
+                      passphrase="password1", position=Position(2, 0))
+    return sim, medium, ap, station
+
+
+def associate(sim, ap, station):
+    done = {}
+    station.connect_and_send(ap.mac, b"x",
+                             on_complete=lambda: done.setdefault("t", 1))
+    # Advance in small steps and stop as soon as the association lands,
+    # so the post-association silence each test controls starts at a
+    # known point (well inside the inactivity timeout).
+    deadline = sim.now_s + 5.0
+    while "t" not in done and sim.now_s < deadline:
+        sim.run(until_s=sim.now_s + 0.2)
+    assert "t" in done
+
+
+class TestInactivitySweep:
+    def test_silent_station_disassociated(self):
+        sim, _medium, ap, station = build(timeout_s=2.0)
+        associate(sim, ap, station)
+        # Go completely silent (no power-save announcement).
+        sim.run(until_s=sim.now_s + 8.0)
+        assert ap.disassociations_sent == 1
+        assert ap.station(STA_MAC) is None
+        assert station.state is StationState.IDLE
+        assert station.disassociated_count == 1
+
+    def test_power_saving_station_kept(self):
+        """§3.2: power save exists precisely so the AP does not conclude
+        the client disconnected."""
+        sim, _medium, ap, station = build(timeout_s=2.0)
+        associate(sim, ap, station)
+        station.enter_power_save()
+        sim.run(until_s=sim.now_s + 8.0)
+        assert ap.disassociations_sent == 0
+        assert ap.station(STA_MAC) is not None
+
+    def test_active_station_kept(self):
+        sim, _medium, ap, station = build(timeout_s=2.0)
+        associate(sim, ap, station)
+        for _ in range(6):
+            sim.schedule(sim.now_s, lambda: None)  # keep loop warm
+            station.send_data(b"ping")
+            sim.run(until_s=sim.now_s + 1.0)
+        assert ap.disassociations_sent == 0
+
+    def test_station_can_reassociate_after_kick(self):
+        sim, _medium, ap, station = build(timeout_s=2.0)
+        associate(sim, ap, station)
+        sim.run(until_s=sim.now_s + 8.0)
+        assert station.state is StationState.IDLE
+        associate(sim, ap, station)  # full 27-frame sequence again
+        assert station.state is StationState.CONNECTED
+        assert station.frame_log.mac_frames >= 40  # two associations
+
+    def test_no_timeout_means_no_sweeps(self):
+        sim = Simulator()
+        medium = WirelessMedium(sim)
+        ap = AccessPoint(sim, medium, ssid="Net", passphrase="password1",
+                         position=Position(0, 0), beaconing=False)
+        station = Station(sim, medium, STA_MAC, ssid="Net",
+                          passphrase="password1", position=Position(2, 0))
+        associate(sim, ap, station)
+        sim.run(until_s=sim.now_s + 30.0)
+        assert ap.station(STA_MAC) is not None
+
+    def test_bad_timeout_rejected(self):
+        sim = Simulator()
+        medium = WirelessMedium(sim)
+        with pytest.raises(ValueError):
+            AccessPoint(sim, medium, ssid="Net", passphrase="password1",
+                        inactivity_timeout_s=0.0)

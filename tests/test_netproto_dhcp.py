@@ -1,0 +1,174 @@
+"""Tests for the DHCP message format and client/server state machines."""
+
+import pytest
+
+from repro.dot11 import MacAddress
+from repro.netproto.dhcp import (
+    DhcpClient,
+    DhcpClientState,
+    DhcpError,
+    DhcpMessage,
+    DhcpMessageType,
+    DhcpOption,
+    DhcpServer,
+)
+from repro.netproto.ip import Ipv4Address
+
+STA = MacAddress.parse("24:0a:c4:32:17:01")
+SERVER_IP = Ipv4Address.parse("192.168.86.1")
+
+
+def over_wire(message: DhcpMessage) -> DhcpMessage:
+    return DhcpMessage.from_bytes(message.to_bytes())
+
+
+def full_handshake(server: DhcpServer, client: DhcpClient) -> None:
+    offer = server.handle(over_wire(client.discover()))
+    request = client.handle(over_wire(offer))
+    ack = server.handle(over_wire(request))
+    assert client.handle(over_wire(ack)) is None
+
+
+class TestMessageFormat:
+    def test_round_trip(self):
+        message = DhcpMessage(op=1, transaction_id=0xDEADBEEF, client_mac=STA,
+                              message_type=DhcpMessageType.DISCOVER)
+        parsed = over_wire(message)
+        assert parsed.transaction_id == 0xDEADBEEF
+        assert parsed.client_mac == STA
+        assert parsed.message_type is DhcpMessageType.DISCOVER
+
+    def test_options_round_trip(self):
+        message = DhcpMessage(
+            op=1, transaction_id=1, client_mac=STA,
+            message_type=DhcpMessageType.REQUEST,
+            options=((int(DhcpOption.REQUESTED_IP), bytes(4)),))
+        assert over_wire(message).option(DhcpOption.REQUESTED_IP) == bytes(4)
+
+    def test_missing_option_is_none(self):
+        message = DhcpMessage(op=1, transaction_id=1, client_mac=STA,
+                              message_type=DhcpMessageType.DISCOVER)
+        assert message.option(DhcpOption.ROUTER) is None
+
+    def test_bad_cookie_rejected(self):
+        raw = bytearray(DhcpMessage(
+            op=1, transaction_id=1, client_mac=STA,
+            message_type=DhcpMessageType.DISCOVER).to_bytes())
+        raw[236] ^= 0xFF
+        with pytest.raises(DhcpError, match="cookie"):
+            DhcpMessage.from_bytes(bytes(raw))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(DhcpError):
+            DhcpMessage.from_bytes(bytes(100))
+
+    def test_missing_message_type_rejected(self):
+        raw = bytearray(DhcpMessage(
+            op=1, transaction_id=1, client_mac=STA,
+            message_type=DhcpMessageType.DISCOVER).to_bytes())
+        # Overwrite the message-type option with padding.
+        raw[240:243] = b"\x00\x00\x00"
+        with pytest.raises(DhcpError, match="message-type"):
+            DhcpMessage.from_bytes(bytes(raw))
+
+
+class TestServer:
+    def test_discover_gets_offer(self):
+        server = DhcpServer(SERVER_IP)
+        client = DhcpClient(STA)
+        offer = server.handle(over_wire(client.discover()))
+        assert offer.message_type is DhcpMessageType.OFFER
+        assert offer.your_ip.in_subnet(SERVER_IP, 24)
+        assert offer.option(DhcpOption.SERVER_ID) == bytes(SERVER_IP)
+
+    def test_full_handshake_binds(self):
+        server = DhcpServer(SERVER_IP)
+        client = DhcpClient(STA)
+        full_handshake(server, client)
+        assert client.state is DhcpClientState.BOUND
+        assert client.lease_ip is not None
+        assert client.router == SERVER_IP
+        assert server.lease_for(STA).ip == client.lease_ip
+
+    def test_returning_client_keeps_address(self):
+        """The paper's WiFi-DC client re-runs DHCP every cycle; consumer
+        APs (and this server) re-issue the same binding."""
+        server = DhcpServer(SERVER_IP)
+        first = DhcpClient(STA)
+        full_handshake(server, first)
+        second = DhcpClient(STA, transaction_id=0x1111)
+        full_handshake(server, second)
+        assert second.lease_ip == first.lease_ip
+
+    def test_distinct_clients_distinct_addresses(self):
+        server = DhcpServer(SERVER_IP)
+        other_mac = MacAddress.parse("24:0a:c4:32:17:02")
+        first, second = DhcpClient(STA), DhcpClient(other_mac)
+        full_handshake(server, first)
+        full_handshake(server, second)
+        assert first.lease_ip != second.lease_ip
+
+    def test_nak_on_wrong_requested_ip(self):
+        server = DhcpServer(SERVER_IP)
+        request = DhcpMessage(
+            op=1, transaction_id=5, client_mac=STA,
+            message_type=DhcpMessageType.REQUEST,
+            options=((int(DhcpOption.REQUESTED_IP),
+                      bytes(Ipv4Address.parse("10.9.9.9"))),))
+        reply = server.handle(request)
+        assert reply.message_type is DhcpMessageType.NAK
+
+    def test_release_frees_binding(self):
+        server = DhcpServer(SERVER_IP)
+        client = DhcpClient(STA)
+        full_handshake(server, client)
+        release = DhcpMessage(op=1, transaction_id=9, client_mac=STA,
+                              message_type=DhcpMessageType.RELEASE)
+        assert server.handle(release) is None
+        assert server.lease_for(STA) is None
+
+    def test_pool_exhaustion(self):
+        server = DhcpServer(SERVER_IP, pool_start=100, pool_size=2)
+        for index in range(2):
+            mac = MacAddress(bytes(5) + bytes([index + 1]))
+            full_handshake(server, DhcpClient(mac))
+        with pytest.raises(DhcpError, match="exhausted"):
+            server.handle(DhcpClient(MacAddress(bytes(5) + b"\x63")).discover())
+
+    def test_bad_pool_rejected(self):
+        with pytest.raises(DhcpError):
+            DhcpServer(SERVER_IP, pool_start=200, pool_size=100)
+
+
+class TestClient:
+    def test_discover_only_from_init(self):
+        client = DhcpClient(STA)
+        client.discover()
+        with pytest.raises(DhcpError):
+            client.discover()
+
+    def test_transaction_id_checked(self):
+        client = DhcpClient(STA, transaction_id=1)
+        client.discover()
+        bogus = DhcpMessage(op=2, transaction_id=2, client_mac=STA,
+                            message_type=DhcpMessageType.OFFER)
+        with pytest.raises(DhcpError, match="transaction"):
+            client.handle(bogus)
+
+    def test_unexpected_message_in_selecting(self):
+        client = DhcpClient(STA, transaction_id=1)
+        client.discover()
+        ack = DhcpMessage(op=2, transaction_id=1, client_mac=STA,
+                          message_type=DhcpMessageType.ACK)
+        with pytest.raises(DhcpError, match="OFFER"):
+            client.handle(ack)
+
+    def test_nak_resets_to_init(self):
+        server = DhcpServer(SERVER_IP)
+        client = DhcpClient(STA)
+        offer = server.handle(over_wire(client.discover()))
+        client.handle(over_wire(offer))
+        nak = DhcpMessage(op=2, transaction_id=client._transaction_id,
+                          client_mac=STA, message_type=DhcpMessageType.NAK)
+        assert client.handle(nak) is None
+        assert client.state is DhcpClientState.INIT

@@ -1,0 +1,164 @@
+"""Tests for pcap export/import and the frame pretty-printer."""
+
+import pytest
+
+from repro.core import SensorKind, SensorReading, WiLEDevice
+from repro.dot11 import (
+    Ack,
+    Beacon,
+    DataFrame,
+    MacAddress,
+    ProbeRequest,
+    Ssid,
+    parse_frame,
+)
+from repro.dot11.show import show, summarize
+from repro.mac import AccessPoint, MonitorSniffer, Station
+from repro.sim import Position, Simulator, WirelessMedium
+from repro.testbed.pcap import (
+    LINKTYPE_IEEE802_11,
+    PcapError,
+    parse_pcap,
+    pcap_bytes,
+    read_pcap,
+    write_pcap,
+)
+
+AP_MAC = MacAddress.parse("f8:8f:ca:00:86:01")
+
+
+def captured_association(tmp_path):
+    """A full association run, sniffed and written to a pcap file."""
+    sim = Simulator()
+    medium = WirelessMedium(sim)
+    sniffer = MonitorSniffer(sim, medium, position=Position(1, 1))
+    ap = AccessPoint(sim, medium, ssid="Net", passphrase="password1",
+                     position=Position(0, 0), beaconing=False)
+    station = Station(sim, medium, MacAddress.parse("24:0a:c4:00:00:01"),
+                      ssid="Net", passphrase="password1",
+                      position=Position(2, 0))
+    station.connect_and_send(ap.mac, b"reading")
+    sim.run(until_s=5.0)
+    path = str(tmp_path / "assoc.pcap")
+    count = write_pcap(path, sniffer.captures)
+    return path, count, sniffer
+
+
+class TestPcapRoundTrip:
+    def test_write_and_read(self, tmp_path):
+        path, count, sniffer = captured_association(tmp_path)
+        packets = read_pcap(path)
+        assert len(packets) == count == len(sniffer.captures)
+
+    def test_frame_bytes_preserved(self, tmp_path):
+        path, _count, sniffer = captured_association(tmp_path)
+        packets = read_pcap(path)
+        for packet, capture in zip(packets, sniffer.captures):
+            assert packet.data == capture.frame_bytes
+            assert packet.original_length == len(capture.frame_bytes)
+
+    def test_timestamps_preserved_to_microseconds(self, tmp_path):
+        path, _count, sniffer = captured_association(tmp_path)
+        packets = read_pcap(path)
+        for packet, capture in zip(packets, sniffer.captures):
+            assert packet.time_s == pytest.approx(capture.time_s, abs=2e-6)
+
+    def test_frames_reparse_from_file(self, tmp_path):
+        """Every exported frame parses back through the 802.11 parser —
+        FCS intact — which is what Wireshark would do."""
+        path, _count, _sniffer = captured_association(tmp_path)
+        for packet in read_pcap(path):
+            parse_frame(packet.data)
+
+    def test_global_header(self, tmp_path):
+        path, _count, _sniffer = captured_association(tmp_path)
+        with open(path, "rb") as handle:
+            header = handle.read(24)
+        assert int.from_bytes(header[:4], "little") == 0xA1B2C3D4
+        assert int.from_bytes(header[20:24], "little") == LINKTYPE_IEEE802_11
+
+    def test_snaplen_truncates(self, tmp_path):
+        path, _count, sniffer = captured_association(tmp_path)
+        short_path = str(tmp_path / "short.pcap")
+        write_pcap(short_path, sniffer.captures, snaplen=20)
+        for packet in read_pcap(short_path):
+            assert len(packet.data) <= 20
+            assert packet.original_length >= len(packet.data)
+
+    def test_in_memory_equals_file(self, tmp_path):
+        path, _count, sniffer = captured_association(tmp_path)
+        with open(path, "rb") as handle:
+            assert handle.read() == pcap_bytes(sniffer.captures)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(PcapError):
+            parse_pcap(b"\x00" * 40)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(PcapError):
+            parse_pcap(pcap_bytes([])[:-4] + b"\x01\x02\x03\x04\x05")
+
+    def test_bad_snaplen_rejected(self, tmp_path):
+        with pytest.raises(PcapError):
+            write_pcap(str(tmp_path / "x.pcap"), [], snaplen=0)
+
+
+class TestShow:
+    def wile_beacon(self):
+        sim = Simulator()
+        medium = WirelessMedium(sim)
+        device = WiLEDevice(sim, medium, device_id=0x17)
+        return device.template.build(device.build_message(
+            (SensorReading(SensorKind.TEMPERATURE_C, 17.0),)))
+
+    def test_wile_beacon_summary(self):
+        text = summarize(self.wile_beacon())
+        assert "Beacon" in text and "<hidden>" in text and "+vendor-ie" in text
+
+    def test_wile_beacon_detail(self):
+        text = show(self.wile_beacon())
+        assert "SSID: <hidden>" in text
+        assert "Vendor IE" in text
+        assert "Channel: 6" in text
+
+    def test_ap_beacon_shows_name(self):
+        beacon = Beacon(source=AP_MAC, bssid=AP_MAC,
+                        elements=(Ssid.named("HomeNet"),))
+        assert "HomeNet" in summarize(beacon)
+
+    def test_ack(self):
+        assert "Ack" in summarize(Ack(receiver=AP_MAC))
+
+    def test_probe_request(self):
+        probe = ProbeRequest(source=AP_MAC)
+        assert "ProbeRequest" in summarize(probe)
+
+    def test_data_frame_llc(self):
+        from repro.netproto import ETHERTYPE_ARP, llc_encapsulate
+        frame = DataFrame(destination=AP_MAC, source=AP_MAC, bssid=AP_MAC,
+                          payload=llc_encapsulate(ETHERTYPE_ARP, b"x" * 28),
+                          to_ds=True)
+        text = show(frame)
+        assert "to-DS" in text and "ARP" in text
+
+    def test_protected_data_flagged(self):
+        frame = DataFrame(destination=AP_MAC, source=AP_MAC, bssid=AP_MAC,
+                          payload=b"ciphertext", to_ds=True, protected=True)
+        assert "protected" in summarize(frame)
+
+    def test_every_association_frame_summarises(self):
+        """No frame in a real exchange falls through to the fallback."""
+        sim = Simulator()
+        medium = WirelessMedium(sim)
+        sniffer = MonitorSniffer(sim, medium, position=Position(1, 1))
+        ap = AccessPoint(sim, medium, ssid="Net", passphrase="password1",
+                         position=Position(0, 0), beaconing=False)
+        station = Station(sim, medium,
+                          MacAddress.parse("24:0a:c4:00:00:01"),
+                          ssid="Net", passphrase="password1",
+                          position=Position(2, 0))
+        station.connect_and_send(ap.mac, b"reading")
+        sim.run(until_s=5.0)
+        for capture in sniffer.captures:
+            text = summarize(capture.frame)
+            assert text and not text.startswith("object")

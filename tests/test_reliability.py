@@ -1,0 +1,117 @@
+"""Tests for beacon-repetition reliability."""
+
+import pytest
+
+from repro.core import SensorKind, SensorReading, WiLEDevice, WiLEReceiver
+from repro.experiments.reliability import (
+    run_reliability_point,
+    train_energy_j,
+)
+from repro.sim import Position, Simulator, WirelessMedium
+
+READING = (SensorReading(SensorKind.TEMPERATURE_C, 17.0),)
+
+
+class TestRepeatTrains:
+    def build(self, repeats, **kwargs):
+        sim = Simulator()
+        medium = WirelessMedium(sim)
+        device = WiLEDevice(sim, medium, device_id=1, repeats=repeats,
+                            position=Position(0, 0), **kwargs)
+        receiver = WiLEReceiver(sim, medium, position=Position(2, 0))
+        return sim, medium, device, receiver
+
+    def test_copies_on_air(self):
+        sim, medium, device, receiver = self.build(repeats=3)
+        device.start(1.0, lambda: READING)
+        sim.run(until_s=2.0)
+        assert device.radio.frames_sent == 3
+        assert len(device.transmissions) == 1  # one message
+
+    def test_receiver_dedups_to_one_message(self):
+        sim, _medium, device, receiver = self.build(repeats=3)
+        device.start(1.0, lambda: READING)
+        sim.run(until_s=2.0)
+        assert receiver.stats.decoded == 1
+        assert receiver.stats.duplicates == 2
+
+    def test_repeats_one_is_unchanged_behaviour(self):
+        sim, _medium, device, receiver = self.build(repeats=1)
+        device.start(1.0, lambda: READING)
+        sim.run(until_s=2.0)
+        assert device.radio.frames_sent == 1
+        assert receiver.stats.duplicates == 0
+
+    def test_radio_off_after_train(self):
+        from repro.sim import RadioState
+        sim, _medium, device, _receiver = self.build(repeats=3)
+        device.start(1.0, lambda: READING)
+        sim.run(until_s=2.0)
+        assert device.radio.state is RadioState.OFF
+
+    def test_train_recorded_in_energy_trace(self):
+        from repro.energy.esp32 import Esp32Recorder
+        sim = Simulator()
+        medium = WirelessMedium(sim)
+        recorder = Esp32Recorder()
+        device = WiLEDevice(sim, medium, device_id=1, repeats=3,
+                            recorder=recorder)
+        device.start(1.0, lambda: READING)
+        sim.run(until_s=2.0)
+        durations = recorder.trace.duration_by_label()
+        assert "tx" in durations and "tx-repeat" in durations
+        assert durations["repeat-gap"] == pytest.approx(2 * 2e-3)
+
+    def test_rx_window_follows_last_repeat(self):
+        sim, medium, device, receiver = self.build(repeats=2)
+        device.rx_window_ms = 10
+        got = []
+        device.downlink_callback = got.append
+        from repro.core import TwoWayResponder
+        responder = TwoWayResponder(sim, medium, receiver,
+                                    position=Position(2, 0))
+        responder.queue_command(1, b"cmd")
+        device.start(1.0, lambda: READING)
+        sim.run(until_s=3.0)
+        assert len(got) == 1
+
+    def test_validation(self):
+        sim = Simulator()
+        medium = WirelessMedium(sim)
+        with pytest.raises(ValueError):
+            WiLEDevice(sim, medium, device_id=1, repeats=0)
+        with pytest.raises(ValueError):
+            WiLEDevice(sim, medium, device_id=1, repeat_gap_s=-1.0)
+
+
+class TestTrainEnergy:
+    def test_single_matches_table1(self):
+        assert train_energy_j(1) == pytest.approx(84e-6, rel=0.02)
+
+    def test_monotone_in_repeats(self):
+        energies = [train_energy_j(k) for k in (1, 2, 3, 4)]
+        assert energies == sorted(energies)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            train_energy_j(0)
+
+
+class TestReliabilitySweep:
+    def test_delivery_improves_with_repeats(self):
+        single = run_reliability_point(1, offered_load=0.5, rounds=20)
+        triple = run_reliability_point(3, offered_load=0.5, rounds=20)
+        assert triple.delivery_rate > single.delivery_rate + 0.2
+
+    def test_follows_independent_loss_model_roughly(self):
+        single = run_reliability_point(1, offered_load=0.5, rounds=30)
+        double = run_reliability_point(2, offered_load=0.5, rounds=30)
+        p = single.delivery_rate
+        expected = 1 - (1 - p) ** 2
+        assert double.delivery_rate == pytest.approx(expected, abs=0.15)
+
+    def test_clean_channel_needs_no_repeats(self):
+        point = run_reliability_point(3, offered_load=0.0, rounds=10)
+        assert point.delivery_rate == 1.0
+        assert point.energy_per_delivered_j == pytest.approx(
+            point.train_energy_j)

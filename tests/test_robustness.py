@@ -1,0 +1,189 @@
+"""Adversarial-input and measurement-error robustness.
+
+A receiver in the field sees arbitrary RF garbage; a parser that can be
+crashed by a malformed frame is a vulnerability. These tests fuzz the
+whole decode path with hypothesis and check that measurement noise in
+the simulated multimeter cannot move the Table 1 results.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import WiLEDevice, decode_beacon, is_wile_beacon
+from repro.core.codec import CodecError
+from repro.core.payload import PayloadError, WileMessage
+from repro.dot11 import Beacon, ParseError, parse_frame
+from repro.dot11.elements import ElementError, parse_elements
+from repro.dot11.fcs import append_fcs
+from repro.netproto import DhcpError, DhcpMessage
+from repro.security.eapol import EapolError, EapolKey
+
+
+class TestParserFuzz:
+    @given(st.binary(max_size=256))
+    @settings(max_examples=300)
+    def test_parse_frame_never_crashes(self, data):
+        """Random bytes either parse or raise ParseError — nothing else."""
+        try:
+            parse_frame(data)
+        except ParseError:
+            pass
+
+    @given(st.binary(max_size=256))
+    @settings(max_examples=300)
+    def test_parse_frame_with_valid_fcs_never_crashes(self, body):
+        """Even with a valid FCS (so parsing proceeds past the CRC), the
+        header/body parsing must stay contained."""
+        try:
+            parse_frame(append_fcs(body))
+        except ParseError:
+            pass
+
+    @given(st.binary(max_size=128))
+    def test_element_parser_strict_contained(self, data):
+        try:
+            parse_elements(data)
+        except ElementError:
+            pass
+
+    @given(st.binary(max_size=128))
+    def test_element_parser_lenient_never_raises(self, data):
+        parse_elements(data, strict=False)
+
+    @given(st.binary(max_size=300))
+    def test_wile_message_decode_contained(self, blob):
+        try:
+            WileMessage.decode(blob)
+        except PayloadError:
+            pass
+
+    @given(st.binary(max_size=200))
+    def test_eapol_decode_contained(self, data):
+        try:
+            EapolKey.from_bytes(data)
+        except EapolError:
+            pass
+
+    @given(st.binary(max_size=300))
+    def test_dhcp_decode_contained(self, data):
+        try:
+            DhcpMessage.from_bytes(data)
+        except (DhcpError, ValueError):
+            pass
+
+    @given(st.binary(max_size=256))
+    @settings(max_examples=200)
+    def test_decode_beacon_contained_on_fuzzed_frames(self, data):
+        """The full monitor-mode pipeline: bytes -> frame -> message."""
+        try:
+            frame = parse_frame(append_fcs(data))
+        except ParseError:
+            return
+        if isinstance(frame, Beacon) and is_wile_beacon(frame):
+            try:
+                decode_beacon(frame)
+            except CodecError:
+                pass
+
+
+class TestVendorIeTamper:
+    """Bit-level tampering with a genuine Wi-LE beacon."""
+
+    def beacon_bytes(self):
+        from repro.sim import Simulator, WirelessMedium
+        sim = Simulator()
+        medium = WirelessMedium(sim)
+        device = WiLEDevice(sim, medium, device_id=0x55)
+        beacon = device.template.build(device.build_message(()))
+        return bytearray(beacon.to_bytes())
+
+    def test_every_payload_byte_is_protected(self):
+        """Flip each byte in turn: either the FCS or the message CRC
+        catches it — a corrupted reading can never be delivered."""
+        reference = self.beacon_bytes()
+        survived = 0
+        for index in range(24, len(reference) - 4):
+            mutated = bytearray(reference)
+            mutated[index] ^= 0xFF
+            try:
+                frame = parse_frame(bytes(mutated))
+            except ParseError:
+                continue  # FCS caught it
+            if not is_wile_beacon(frame):
+                continue  # damaged out of recognition: dropped
+            try:
+                decode_beacon(frame)
+                survived += 1
+            except CodecError:
+                continue  # message CRC caught it
+        assert survived == 0
+
+    def test_refreshing_fcs_still_caught_by_crc16(self):
+        """An attacker who fixes up the FCS still trips the app CRC."""
+        from repro.dot11.fcs import append_fcs, strip_fcs
+        reference = self.beacon_bytes()
+        body = bytearray(strip_fcs(bytes(reference)))
+        body[-4] ^= 0x01  # inside the Wi-LE message
+        frame = parse_frame(append_fcs(bytes(body)))
+        with pytest.raises(CodecError):
+            decode_beacon(frame)
+
+
+class TestMeasurementNoise:
+    """The simulated Keysight's spec-sheet error cannot move Table 1."""
+
+    def test_noisy_meter_reproduces_wile_energy(self):
+        from repro.scenarios import run_wile
+        from repro.testbed import Keysight34465A
+        result = run_wile()
+        meter = Keysight34465A(noise=True, seed=7)
+        reading = meter.acquire(result.trace)
+        exact = result.trace.charge_c()
+        assert reading.charge_c() == pytest.approx(exact, rel=0.02)
+
+    def test_noisy_meter_reproduces_wifi_dc_energy(self):
+        from repro.scenarios import run_wifi_dc
+        from repro.testbed import Keysight34465A
+        result = run_wifi_dc()
+        meter = Keysight34465A(noise=True, seed=7)
+        reading = meter.acquire(result.trace)
+        energy = reading.energy_j(result.supply_voltage_v)
+        # Still within the 5% reproduction tolerance of the paper value.
+        assert energy == pytest.approx(238.2e-3, rel=0.05)
+
+    def test_ten_seeds_all_within_tolerance(self):
+        from repro.scenarios import run_wifi_ps
+        from repro.testbed import Keysight34465A
+        result = run_wifi_ps()
+        for seed in range(10):
+            meter = Keysight34465A(noise=True, seed=seed)
+            reading = meter.acquire(result.trace)
+            assert reading.energy_j(3.3) == pytest.approx(19.8e-3, rel=0.05)
+
+
+class TestDeterminism:
+    """Byte-identical artifacts across runs — the reproduction contract."""
+
+    def test_scenario_traces_identical(self):
+        from repro.scenarios import run_wile
+        first = run_wile()
+        second = run_wile()
+        assert first.energy_per_packet_j == second.energy_per_packet_j
+        assert [tuple((s.start_s, s.duration_s, s.current_a, s.label))
+                for s in first.trace] == \
+               [tuple((s.start_s, s.duration_s, s.current_a, s.label))
+                for s in second.trace]
+
+    def test_multi_device_identical(self):
+        from repro.experiments.multi_device import run_multi_device
+        first = run_multi_device(device_count=4, rounds=8, interval_s=2.0)
+        second = run_multi_device(device_count=4, rounds=8, interval_s=2.0)
+        assert first.per_round_unique == second.per_round_unique
+
+    def test_handshake_bytes_identical(self):
+        from repro.security import pmk_from_passphrase, run_handshake
+        pmk = pmk_from_passphrase("hotnets2019", b"GoogleWifi")
+        _a1, _s1, first = run_handshake(pmk, b"\x02" * 6, b"\x04" * 6)
+        _a2, _s2, second = run_handshake(pmk, b"\x02" * 6, b"\x04" * 6)
+        assert [m.to_bytes() for m in first] == [m.to_bytes() for m in second]

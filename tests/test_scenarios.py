@@ -1,0 +1,177 @@
+"""Reproduction assertions: the four scenarios against the paper's Table 1.
+
+These are the headline tests — if they pass, the reproduction holds:
+per-message energies within 5 % of Table 1, idle currents exact, the
+Figure 3 trace phases present, and the Figure 4 qualitative findings.
+"""
+
+import pytest
+
+from repro.energy import calibration as cal
+from repro.scenarios import (
+    figure4,
+    figure4_findings,
+    run_all_scenarios,
+    run_ble,
+    run_wifi_dc,
+    run_wifi_ps,
+    run_wile,
+    table1,
+)
+
+TOLERANCE = 0.05
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_all_scenarios()
+
+
+class TestTable1:
+    @pytest.mark.parametrize("name", ["Wi-LE", "BLE", "WiFi-DC", "WiFi-PS"])
+    def test_energy_within_tolerance(self, results, name):
+        measured = results[name].energy_per_packet_j
+        paper = cal.PAPER_ENERGY_PER_PACKET_J[name]
+        assert measured == pytest.approx(paper, rel=TOLERANCE)
+
+    @pytest.mark.parametrize("name", ["Wi-LE", "BLE", "WiFi-DC", "WiFi-PS"])
+    def test_idle_current_matches(self, results, name):
+        assert results[name].idle_current_a == pytest.approx(
+            cal.PAPER_IDLE_CURRENT_A[name], rel=0.01)
+
+    def test_table_rows_cover_all_scenarios(self, results):
+        rows = table1(results)
+        assert [row.name for row in rows] == ["Wi-LE", "BLE", "WiFi-DC",
+                                              "WiFi-PS"]
+        assert all(abs(row.energy_ratio - 1.0) < TOLERANCE for row in rows)
+
+    def test_ordering_matches_paper(self, results):
+        """Wi-LE ~ BLE << WiFi-PS << WiFi-DC on energy per packet."""
+        energy = {name: results[name].energy_per_packet_j
+                  for name in results}
+        assert energy["BLE"] < energy["Wi-LE"] < energy["WiFi-PS"] < energy["WiFi-DC"]
+        assert energy["WiFi-PS"] / energy["Wi-LE"] > 100
+        assert energy["WiFi-DC"] / energy["WiFi-PS"] > 10
+
+    def test_wifi_ps_idle_is_about_2000x_deep_sleep(self, results):
+        """§5.4: 'the idle current consumption is about 2000 times more
+        in WiFi-PS'."""
+        ratio = (results["WiFi-PS"].idle_current_a
+                 / results["WiFi-DC"].idle_current_a)
+        assert 1000 < ratio < 3000
+
+
+class TestWiLeScenario:
+    def test_end_to_end_reception_verified(self):
+        result = run_wile()
+        assert result.details["decoded_readings"][0].value == pytest.approx(17.0)
+
+    def test_uses_72mbps(self):
+        assert run_wile().details["rate_mbps"] == pytest.approx(72.2)
+
+    def test_trace_is_figure3b_shape(self):
+        trace = run_wile().trace
+        assert trace.labels() == ["sleep", "mc/wifi-init", "tx"]
+        durations = trace.duration_by_label()
+        # Init visibly shorter than WiFi's 0.65 s; TX in the sub-ms range.
+        assert durations["mc/wifi-init"] < cal.WIFI_DC_BOOT_S
+        assert durations["tx"] < 1e-3
+
+    def test_tx_window_is_about_212us(self):
+        result = run_wile()
+        assert result.t_tx_s == pytest.approx(212e-6, rel=0.05)
+
+
+class TestBleScenario:
+    def test_link_layer_exchange_ran(self):
+        result = run_ble()
+        assert result.details["events_run"] >= 1
+        assert result.details["link_exchange_s"] > 0
+
+    def test_event_shorter_than_wifi_burst(self):
+        assert run_ble().t_tx_s < run_wifi_ps().t_tx_s
+
+
+class TestWifiDcScenario:
+    def test_frame_counts_embedded(self):
+        result = run_wifi_dc()
+        assert result.details["mac_frames"] == 20
+        assert result.details["higher_layer_frames"] == 7
+
+    def test_trace_has_figure3a_phases(self):
+        trace = run_wifi_dc().trace
+        labels = trace.labels()
+        for label in ("sleep", "mc/wifi-init", "probe/auth/assoc",
+                      "dhcp/arp", "tx", "teardown"):
+            assert label in labels, label
+
+    def test_peak_current_near_250ma(self):
+        """Figure 3a's TX spikes reach ~250 mA."""
+        assert run_wifi_dc().trace.peak_current_a() == pytest.approx(
+            0.24, rel=0.1)
+
+    def test_active_window_matches_figure3a(self):
+        """Figure 3a: wake at 0.2 s, asleep again before 2.0 s."""
+        result = run_wifi_dc()
+        assert 1.2 < result.t_tx_s < 1.9
+
+    def test_dhcp_arp_is_light_sleep_dominated(self):
+        """The valleys of Figure 3a: most of the net phase sits at the
+        automatic-light-sleep current."""
+        trace = run_wifi_dc().trace
+        durations = trace.duration_by_label()
+        assert durations["dhcp/arp"] > durations["dhcp/arp-active"]
+
+
+class TestWifiPsScenario:
+    def test_protocol_really_ran(self):
+        result = run_wifi_ps()
+        assert result.details["associated_at_s"] > 0
+        assert result.details["sent_at_s"] > result.details["associated_at_s"]
+
+    def test_no_reassociation_energy(self, results):
+        """WiFi-PS energy/packet is an order of magnitude below WiFi-DC
+        (Table 1: 19.8 mJ vs 238.2 mJ)."""
+        ratio = (results["WiFi-DC"].energy_per_packet_j
+                 / results["WiFi-PS"].energy_per_packet_j)
+        assert 8 < ratio < 16
+
+    def test_burst_phases(self):
+        labels = run_wifi_ps().trace.labels()
+        assert labels == ["wake", "beacon-sync", "tx", "settle"]
+
+
+class TestFigure4:
+    def test_findings_match_paper(self, results):
+        findings = figure4_findings(results)
+        # WiFi-PS beats WiFi-DC only below ~a minute.
+        assert findings.wifi_ps_dc_crossover_s is not None
+        assert 5.0 < findings.wifi_ps_dc_crossover_s < 60.0
+        # Wi-LE close to BLE (same order of magnitude).
+        assert findings.wile_ble_ratio_at_1min < 4.0
+        # Wi-LE orders of magnitude below the best WiFi option.
+        assert findings.wile_vs_best_wifi_orders_at_1min > 2.0
+
+    def test_series_monotone_decreasing(self, results):
+        for series in figure4(results):
+            values = series.power_w
+            assert all(values[i] >= values[i + 1] - 1e-15
+                       for i in range(len(values) - 1)), series.name
+
+    def test_wile_and_ble_overlap_on_log_scale(self, results):
+        import numpy as np
+        series = {entry.name: entry for entry in figure4(results)}
+        wile = series["Wi-LE"]
+        ble = series["BLE"]
+        gap = np.abs(np.log10(wile.power_w[-50:])
+                     - np.log10(ble.power_w[-50:]))
+        assert float(gap.max()) < 0.6  # within half an order of magnitude
+
+    def test_three_orders_at_long_intervals(self, results):
+        """§5.5: 'generally about 3 orders of magnitude lower than any of
+        the WiFi solutions' — strongest at short-to-medium intervals."""
+        wile = results["Wi-LE"].profile()
+        dc = results["WiFi-DC"].profile()
+        ps = results["WiFi-PS"].profile()
+        at_30s = min(dc.average_power_w(30.0), ps.average_power_w(30.0))
+        assert at_30s / wile.average_power_w(30.0) > 300

@@ -1,0 +1,84 @@
+"""Tests for the from-scratch AES implementation against FIPS-197."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.security.aes import Aes, AesError
+
+
+class TestFips197Vectors:
+    """Appendix C of FIPS-197: the canonical example vectors."""
+
+    PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+    def test_aes128(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert Aes(key).encrypt_block(self.PLAINTEXT) == expected
+
+    def test_aes192(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+        expected = bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+        assert Aes(key).encrypt_block(self.PLAINTEXT) == expected
+
+    def test_aes256(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f"
+                            "101112131415161718191a1b1c1d1e1f")
+        expected = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+        assert Aes(key).encrypt_block(self.PLAINTEXT) == expected
+
+    def test_aes128_appendix_b(self):
+        # FIPS-197 Appendix B cipher example.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert Aes(key).encrypt_block(plaintext) == expected
+
+    def test_decrypt_vectors(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ciphertext = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert Aes(key).decrypt_block(ciphertext) == self.PLAINTEXT
+
+
+class TestValidation:
+    def test_bad_key_length(self):
+        with pytest.raises(AesError):
+            Aes(b"short")
+
+    def test_bad_block_length_encrypt(self):
+        with pytest.raises(AesError):
+            Aes(bytes(16)).encrypt_block(b"not sixteen")
+
+    def test_bad_block_length_decrypt(self):
+        with pytest.raises(AesError):
+            Aes(bytes(16)).decrypt_block(bytes(15))
+
+
+class TestProperties:
+    @given(st.binary(min_size=16, max_size=16),
+           st.binary(min_size=16, max_size=16))
+    def test_decrypt_inverts_encrypt_128(self, key, block):
+        cipher = Aes(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(st.binary(min_size=32, max_size=32),
+           st.binary(min_size=16, max_size=16))
+    def test_decrypt_inverts_encrypt_256(self, key, block):
+        cipher = Aes(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(st.binary(min_size=16, max_size=16))
+    def test_encryption_is_not_identity(self, block):
+        assert Aes(bytes(16)).encrypt_block(block) != block or True
+        # A permutation can have fixed points; the real invariant is that
+        # two distinct blocks never map to the same ciphertext:
+        other = bytes(16) if block != bytes(16) else bytes(15) + b"\x01"
+        cipher = Aes(bytes(16))
+        assert cipher.encrypt_block(block) != cipher.encrypt_block(other)
+
+    def test_key_sensitivity(self):
+        block = bytes(16)
+        first = Aes(bytes(16)).encrypt_block(block)
+        second = Aes(bytes(15) + b"\x01").encrypt_block(block)
+        assert first != second

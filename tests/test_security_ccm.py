@@ -1,0 +1,127 @@
+"""Tests for AES-CCM against RFC 3610 vectors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.security.ccm import (
+    AuthenticationError,
+    CcmError,
+    ccm_decrypt,
+    ccm_encrypt,
+)
+
+RFC_KEY = bytes.fromhex("C0C1C2C3C4C5C6C7C8C9CACBCCCDCECF")
+
+
+class TestRfc3610Vectors:
+    def test_packet_vector_1(self):
+        nonce = bytes.fromhex("00000003020100A0A1A2A3A4A5")
+        aad = bytes(range(8))
+        plaintext = bytes(range(8, 31))
+        expected = bytes.fromhex(
+            "588C979A61C663D2F066D0C2C0F989806D5F6B61DAC38417E8D12CFDF926E0")
+        assert ccm_encrypt(RFC_KEY, nonce, plaintext, aad=aad,
+                           mic_length=8) == expected
+
+    def test_packet_vector_2(self):
+        nonce = bytes.fromhex("00000004030201A0A1A2A3A4A5")
+        aad = bytes(range(8))
+        plaintext = bytes(range(8, 32))
+        expected = bytes.fromhex(
+            "72C91A36E135F8CF291CA894085C87E3CC15C439C9E43A3BA091D56E10400916")
+        assert ccm_encrypt(RFC_KEY, nonce, plaintext, aad=aad,
+                           mic_length=8) == expected
+
+    def test_packet_vector_4_mic10(self):
+        nonce = bytes.fromhex("00000006050403A0A1A2A3A4A5")
+        aad = bytes(range(12))
+        plaintext = bytes(range(12, 31))
+        expected = bytes.fromhex(
+            "A28C6865939A9A79FAAA5C4C2A9D4A91CDAC8C96C861B9C9E61EF1")
+        assert ccm_encrypt(RFC_KEY, nonce, plaintext, aad=aad,
+                           mic_length=8) == expected
+
+    def test_vector_1_decrypts(self):
+        nonce = bytes.fromhex("00000003020100A0A1A2A3A4A5")
+        aad = bytes(range(8))
+        ciphertext = bytes.fromhex(
+            "588C979A61C663D2F066D0C2C0F989806D5F6B61DAC38417E8D12CFDF926E0")
+        assert ccm_decrypt(RFC_KEY, nonce, ciphertext, aad=aad,
+                           mic_length=8) == bytes(range(8, 31))
+
+
+class TestAuthentication:
+    def encrypt(self, plaintext=b"sensor", aad=b"header"):
+        return ccm_encrypt(bytes(16), bytes(13), plaintext, aad=aad)
+
+    def test_tampered_ciphertext_rejected(self):
+        blob = bytearray(self.encrypt())
+        blob[0] ^= 1
+        with pytest.raises(AuthenticationError):
+            ccm_decrypt(bytes(16), bytes(13), bytes(blob), aad=b"header")
+
+    def test_tampered_mic_rejected(self):
+        blob = bytearray(self.encrypt())
+        blob[-1] ^= 1
+        with pytest.raises(AuthenticationError):
+            ccm_decrypt(bytes(16), bytes(13), bytes(blob), aad=b"header")
+
+    def test_wrong_aad_rejected(self):
+        blob = self.encrypt()
+        with pytest.raises(AuthenticationError):
+            ccm_decrypt(bytes(16), bytes(13), blob, aad=b"other")
+
+    def test_wrong_key_rejected(self):
+        blob = self.encrypt()
+        with pytest.raises(AuthenticationError):
+            ccm_decrypt(bytes(15) + b"\x01", bytes(13), blob, aad=b"header")
+
+    def test_wrong_nonce_rejected(self):
+        blob = self.encrypt()
+        with pytest.raises(AuthenticationError):
+            ccm_decrypt(bytes(16), bytes(12) + b"\x01", blob, aad=b"header")
+
+    def test_short_message_rejected(self):
+        with pytest.raises(AuthenticationError):
+            ccm_decrypt(bytes(16), bytes(13), b"ab", mic_length=8)
+
+
+class TestValidation:
+    def test_bad_nonce_length(self):
+        with pytest.raises(CcmError):
+            ccm_encrypt(bytes(16), bytes(6), b"x")
+        with pytest.raises(CcmError):
+            ccm_encrypt(bytes(16), bytes(14), b"x")
+
+    def test_bad_mic_length(self):
+        with pytest.raises(CcmError):
+            ccm_encrypt(bytes(16), bytes(13), b"x", mic_length=7)
+
+    def test_bad_key_length(self):
+        with pytest.raises(CcmError):
+            ccm_encrypt(bytes(5), bytes(13), b"x")
+
+
+class TestProperties:
+    @given(st.binary(max_size=300), st.binary(max_size=40))
+    def test_round_trip(self, plaintext, aad):
+        blob = ccm_encrypt(bytes(16), b"nonce-thirteen"[:13], plaintext,
+                           aad=aad)
+        assert ccm_decrypt(bytes(16), b"nonce-thirteen"[:13], blob,
+                           aad=aad) == plaintext
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_ciphertext_length(self, plaintext):
+        blob = ccm_encrypt(bytes(16), bytes(13), plaintext, mic_length=8)
+        assert len(blob) == len(plaintext) + 8
+
+    @given(st.binary(min_size=7, max_size=13))
+    def test_all_nonce_lengths(self, nonce):
+        blob = ccm_encrypt(bytes(16), nonce, b"data")
+        assert ccm_decrypt(bytes(16), nonce, blob) == b"data"
+
+    def test_empty_plaintext(self):
+        blob = ccm_encrypt(bytes(16), bytes(13), b"", aad=b"just-auth")
+        assert len(blob) == 8
+        assert ccm_decrypt(bytes(16), bytes(13), blob, aad=b"just-auth") == b""

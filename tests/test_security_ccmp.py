@@ -1,0 +1,138 @@
+"""Tests for CCMP data-frame protection (repro.security.ccmp)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dot11 import DataFrame, MacAddress
+from repro.security.ccmp import (
+    CCMP_HEADER_BYTES,
+    CCMP_OVERHEAD_BYTES,
+    CcmpError,
+    CcmpHeader,
+    CcmpSession,
+    ReplayError,
+)
+
+AP = MacAddress.parse("f8:8f:ca:00:86:01")
+STA = MacAddress.parse("24:0a:c4:32:17:01")
+TK = bytes(range(16))
+
+
+def frame(payload=b"sensor data", source=STA):
+    return DataFrame(destination=AP, source=source, bssid=AP,
+                     payload=payload, to_ds=True)
+
+
+class TestCcmpHeader:
+    def test_round_trip(self):
+        header = CcmpHeader(pn=0x123456789ABC, key_id=2)
+        parsed = CcmpHeader.from_bytes(header.to_bytes())
+        assert parsed == header
+
+    def test_ext_iv_bit_set(self):
+        assert CcmpHeader(pn=1).to_bytes()[3] & 0x20
+
+    def test_missing_ext_iv_rejected(self):
+        raw = bytearray(CcmpHeader(pn=1).to_bytes())
+        raw[3] &= ~0x20
+        with pytest.raises(CcmpError):
+            CcmpHeader.from_bytes(bytes(raw))
+
+    def test_pn_bounds(self):
+        with pytest.raises(CcmpError):
+            CcmpHeader(pn=1 << 48)
+        with pytest.raises(CcmpError):
+            CcmpHeader(pn=-1)
+
+    @given(st.integers(0, (1 << 48) - 1))
+    def test_any_pn_round_trips(self, pn):
+        assert CcmpHeader.from_bytes(CcmpHeader(pn).to_bytes()).pn == pn
+
+
+class TestSession:
+    def test_round_trip(self):
+        tx, rx = CcmpSession(TK), CcmpSession(TK)
+        protected = tx.encrypt(frame())
+        assert protected.protected
+        assert protected.payload != b"sensor data"
+        clear = rx.decrypt(protected)
+        assert clear.payload == b"sensor data"
+        assert not clear.protected
+
+    def test_overhead(self):
+        protected = CcmpSession(TK).encrypt(frame(b"x" * 40))
+        assert len(protected.payload) == 40 + CCMP_OVERHEAD_BYTES
+
+    def test_pn_increments(self):
+        session = CcmpSession(TK)
+        session.encrypt(frame())
+        session.encrypt(frame())
+        assert session.tx_packet_number == 2
+
+    def test_replay_rejected(self):
+        tx, rx = CcmpSession(TK), CcmpSession(TK)
+        protected = tx.encrypt(frame())
+        rx.decrypt(protected)
+        with pytest.raises(ReplayError):
+            rx.decrypt(protected)
+
+    def test_out_of_order_rejected(self):
+        tx, rx = CcmpSession(TK), CcmpSession(TK)
+        first = tx.encrypt(frame(b"one"))
+        second = tx.encrypt(frame(b"two"))
+        rx.decrypt(second)
+        with pytest.raises(ReplayError):
+            rx.decrypt(first)
+
+    def test_per_source_replay_windows(self):
+        tx_sta = CcmpSession(TK)
+        tx_other = CcmpSession(TK)
+        rx = CcmpSession(TK)
+        other = MacAddress.parse("24:0a:c4:32:17:99")
+        rx.decrypt(tx_sta.encrypt(frame(b"a", source=STA)))
+        # PN 1 from a different transmitter is fine.
+        rx.decrypt(tx_other.encrypt(frame(b"b", source=other)))
+
+    def test_wrong_key_rejected(self):
+        protected = CcmpSession(TK).encrypt(frame())
+        with pytest.raises(Exception):
+            CcmpSession(bytes(16)).decrypt(protected)
+
+    def test_tampered_payload_rejected(self):
+        protected = CcmpSession(TK).encrypt(frame())
+        mangled = protected.with_payload(
+            protected.payload[:CCMP_HEADER_BYTES]
+            + bytes([protected.payload[CCMP_HEADER_BYTES] ^ 1])
+            + protected.payload[CCMP_HEADER_BYTES + 1:])
+        with pytest.raises(Exception):
+            CcmpSession(TK).decrypt(mangled)
+
+    def test_readdressed_frame_rejected(self):
+        """The AAD binds the addresses: moving ciphertext to a different
+        source must fail the MIC."""
+        import dataclasses
+        protected = CcmpSession(TK).encrypt(frame())
+        moved = dataclasses.replace(
+            protected, source=MacAddress.parse("66:66:66:66:66:66"))
+        with pytest.raises(Exception):
+            CcmpSession(TK).decrypt(moved)
+
+    def test_unprotected_frame_rejected(self):
+        with pytest.raises(CcmpError):
+            CcmpSession(TK).decrypt(frame())
+
+    def test_short_payload_rejected(self):
+        import dataclasses
+        bogus = dataclasses.replace(frame(b"tiny"), protected=True)
+        with pytest.raises(CcmpError):
+            CcmpSession(TK).decrypt(bogus)
+
+    def test_bad_key_length(self):
+        with pytest.raises(CcmpError):
+            CcmpSession(bytes(8))
+
+    @given(st.binary(max_size=600))
+    def test_any_payload_round_trips(self, payload):
+        tx, rx = CcmpSession(TK), CcmpSession(TK)
+        assert rx.decrypt(tx.encrypt(frame(payload))).payload == payload

@@ -1,0 +1,171 @@
+"""Tests for EAPOL-Key frames and the 4-way handshake."""
+
+import dataclasses
+
+import pytest
+
+from repro.security.eapol import (
+    DESC_VERSION_AES,
+    KEYINFO_ACK,
+    KEYINFO_KEY_TYPE_PAIRWISE,
+    KEYINFO_MIC,
+    EapolError,
+    EapolKey,
+)
+from repro.security.handshake import (
+    Authenticator,
+    HandshakeError,
+    HandshakeState,
+    Supplicant,
+    run_handshake,
+)
+from repro.security.keys import NonceGenerator, pmk_from_passphrase
+
+PMK = pmk_from_passphrase("hotnets2019", b"GoogleWifi")
+AA = bytes.fromhex("f88fca008601")
+SPA = bytes.fromhex("240ac4321701")
+
+
+class TestEapolKeyFrames:
+    def make(self, **kwargs):
+        defaults = dict(
+            key_info=DESC_VERSION_AES | KEYINFO_KEY_TYPE_PAIRWISE | KEYINFO_ACK,
+            replay_counter=1, nonce=bytes(range(32)))
+        defaults.update(kwargs)
+        return EapolKey(**defaults)
+
+    def test_round_trip(self):
+        frame = self.make(key_data=b"wrapped-gtk")
+        parsed = EapolKey.from_bytes(frame.to_bytes())
+        assert parsed == frame
+
+    def test_flag_accessors(self):
+        frame = self.make()
+        assert frame.is_pairwise and frame.has_ack and not frame.has_mic
+
+    def test_mic_round_trip(self):
+        kck = bytes(16)
+        frame = self.make(key_info=DESC_VERSION_AES | KEYINFO_KEY_TYPE_PAIRWISE
+                          | KEYINFO_MIC).with_mic(kck)
+        assert frame.verify_mic(kck)
+
+    def test_mic_detects_tamper(self):
+        kck = bytes(16)
+        frame = self.make(key_info=DESC_VERSION_AES | KEYINFO_KEY_TYPE_PAIRWISE
+                          | KEYINFO_MIC).with_mic(kck)
+        tampered = dataclasses.replace(frame, replay_counter=99)
+        assert not tampered.verify_mic(kck)
+
+    def test_mic_detects_wrong_kck(self):
+        frame = self.make(key_info=KEYINFO_MIC).with_mic(bytes(16))
+        assert not frame.verify_mic(bytes(15) + b"\x01")
+
+    def test_frames_without_mic_flag_pass_verification(self):
+        assert self.make().verify_mic(bytes(16))
+
+    def test_validation(self):
+        with pytest.raises(EapolError):
+            EapolKey(key_info=0, replay_counter=-1)
+        with pytest.raises(EapolError):
+            EapolKey(key_info=0, replay_counter=0, nonce=bytes(31))
+
+    def test_from_bytes_rejects_junk(self):
+        with pytest.raises(EapolError):
+            EapolKey.from_bytes(b"\x02\x03")
+        with pytest.raises(EapolError):
+            EapolKey.from_bytes(b"\x02\x00\x00\x04abcd")  # not type KEY
+
+
+class TestHandshake:
+    def test_completes_and_agrees(self):
+        auth_result, supp_result, messages = run_handshake(PMK, AA, SPA)
+        assert auth_result.ptk.raw == supp_result.ptk.raw
+        assert auth_result.gtk == supp_result.gtk
+        assert len(messages) == 4
+
+    def test_message_shapes(self):
+        _auth, _supp, messages = run_handshake(PMK, AA, SPA)
+        msg1, msg2, msg3, msg4 = messages
+        assert msg1.has_ack and not msg1.has_mic
+        assert msg2.has_mic and not msg2.has_ack
+        assert msg3.has_mic and msg3.install and msg3.has_encrypted_key_data
+        assert msg4.has_mic and msg4.is_secure
+
+    def test_exactly_four_messages_plus_acks_is_papers_eight(self):
+        # Paper §3.1: "At least 8 frames are exchanged during this
+        # process" — 4 EAPOL-Key frames, each acknowledged at the MAC.
+        _auth, _supp, messages = run_handshake(PMK, AA, SPA)
+        assert len(messages) + len(messages) == 8
+
+    def test_wrong_passphrase_fails_at_message_2(self):
+        wrong_pmk = pmk_from_passphrase("wrong-password", b"GoogleWifi")
+        authenticator = Authenticator(PMK, AA, SPA, NonceGenerator(b"a"))
+        supplicant = Supplicant(wrong_pmk, AA, SPA, NonceGenerator(b"s"))
+        msg2 = supplicant.handle(authenticator.message_1())
+        with pytest.raises(HandshakeError, match="MIC"):
+            authenticator.handle(msg2)
+
+    def test_replay_counter_enforced(self):
+        authenticator = Authenticator(PMK, AA, SPA, NonceGenerator(b"a"))
+        supplicant = Supplicant(PMK, AA, SPA, NonceGenerator(b"s"))
+        msg2 = supplicant.handle(authenticator.message_1())
+        stale = dataclasses.replace(msg2, replay_counter=77)
+        with pytest.raises(HandshakeError, match="replay"):
+            authenticator.handle(stale)
+
+    def test_state_machine_rejects_out_of_order(self):
+        authenticator = Authenticator(PMK, AA, SPA, NonceGenerator(b"a"))
+        with pytest.raises(HandshakeError):
+            authenticator.handle(EapolKey(key_info=0, replay_counter=1))
+
+    def test_message_1_only_from_idle(self):
+        authenticator = Authenticator(PMK, AA, SPA, NonceGenerator(b"a"))
+        authenticator.message_1()
+        with pytest.raises(HandshakeError):
+            authenticator.message_1()
+
+    def test_supplicant_rejects_malformed_msg1(self):
+        supplicant = Supplicant(PMK, AA, SPA, NonceGenerator(b"s"))
+        bogus = EapolKey(key_info=KEYINFO_MIC, replay_counter=1)
+        with pytest.raises(HandshakeError):
+            supplicant.handle(bogus)
+
+    def test_supplicant_rejects_tampered_msg3(self):
+        authenticator = Authenticator(PMK, AA, SPA, NonceGenerator(b"a"))
+        supplicant = Supplicant(PMK, AA, SPA, NonceGenerator(b"s"))
+        msg2 = supplicant.handle(authenticator.message_1())
+        msg3 = authenticator.handle(msg2)
+        tampered = dataclasses.replace(msg3, key_data=b"\x00" * len(msg3.key_data))
+        with pytest.raises(HandshakeError):
+            supplicant.handle(tampered)
+
+    def test_states_progress(self):
+        authenticator = Authenticator(PMK, AA, SPA, NonceGenerator(b"a"))
+        supplicant = Supplicant(PMK, AA, SPA, NonceGenerator(b"s"))
+        assert authenticator.state is HandshakeState.IDLE
+        msg1 = authenticator.message_1()
+        assert authenticator.state is HandshakeState.WAITING_MSG2
+        msg2 = supplicant.handle(msg1)
+        assert supplicant.state is HandshakeState.WAITING_MSG3
+        msg3 = authenticator.handle(msg2)
+        assert authenticator.state is HandshakeState.WAITING_MSG4
+        msg4 = supplicant.handle(msg3)
+        assert supplicant.state is HandshakeState.ESTABLISHED
+        authenticator.handle(msg4)
+        assert authenticator.state is HandshakeState.ESTABLISHED
+
+    def test_gtk_survives_wire_round_trip(self):
+        """The whole handshake through byte serialisation."""
+        authenticator = Authenticator(PMK, AA, SPA, NonceGenerator(b"a"))
+        supplicant = Supplicant(PMK, AA, SPA, NonceGenerator(b"s"))
+        wire = lambda frame: EapolKey.from_bytes(frame.to_bytes())  # noqa: E731
+        msg2 = supplicant.handle(wire(authenticator.message_1()))
+        msg3 = authenticator.handle(wire(msg2))
+        msg4 = supplicant.handle(wire(msg3))
+        authenticator.handle(wire(msg4))
+        assert authenticator.result.gtk == supplicant.result.gtk
+
+    def test_distinct_sessions_distinct_keys(self):
+        first, _s1, _m1 = run_handshake(PMK, AA, SPA, seed=b"one")
+        second, _s2, _m2 = run_handshake(PMK, AA, SPA, seed=b"two")
+        assert first.ptk.raw != second.ptk.raw

@@ -1,0 +1,147 @@
+"""Tests for the 802.11i key hierarchy (repro.security.keys)."""
+
+import hashlib
+import hmac
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.security.keys import (
+    NONCE_BYTES,
+    PMK_BYTES,
+    PTK_BYTES,
+    KeyDerivationError,
+    NonceGenerator,
+    derive_ptk,
+    eapol_mic,
+    pmk_from_passphrase,
+    prf,
+)
+
+
+class TestPmk:
+    def test_ieee_annex_vector_password_ieee(self):
+        # IEEE 802.11i Annex H.4.1 test vector.
+        pmk = pmk_from_passphrase("password", b"IEEE")
+        assert pmk.hex() == ("f42c6fc52df0ebef9ebb4b90b38a5f90"
+                             "2e83fe1b135a70e23aed762e9710a12e")
+
+    def test_ieee_annex_vector_thisisapassword(self):
+        pmk = pmk_from_passphrase("ThisIsAPassword", b"ThisIsASSID")
+        assert pmk.hex() == ("0dc0d6eb90555ed6419756b9a15ec3e3"
+                             "209b63df707dd508d14581f8982721af")
+
+    def test_length(self):
+        assert len(pmk_from_passphrase("hotnets2019", b"GoogleWifi")) == PMK_BYTES
+
+    def test_passphrase_length_bounds(self):
+        with pytest.raises(KeyDerivationError):
+            pmk_from_passphrase("short", b"net")
+        with pytest.raises(KeyDerivationError):
+            pmk_from_passphrase("x" * 64, b"net")
+
+    def test_ssid_bounds(self):
+        with pytest.raises(KeyDerivationError):
+            pmk_from_passphrase("password", b"")
+        with pytest.raises(KeyDerivationError):
+            pmk_from_passphrase("password", b"x" * 33)
+
+    def test_different_ssids_differ(self):
+        assert (pmk_from_passphrase("password", b"one")
+                != pmk_from_passphrase("password", b"two"))
+
+
+class TestPrf:
+    def test_matches_reference_construction(self):
+        key = b"k" * 16
+        label = "Pairwise key expansion"
+        data = b"d" * 10
+        blob = prf(key, label, data, 40)
+        expected = b""
+        for counter in range(3):
+            expected += hmac.new(
+                key, label.encode() + b"\x00" + data + bytes([counter]),
+                hashlib.sha1).digest()
+        assert blob == expected[:40]
+
+    def test_prefix_property(self):
+        key, data = b"k" * 16, b"d"
+        assert prf(key, "l", data, 16) == prf(key, "l", data, 48)[:16]
+
+    def test_zero_length(self):
+        assert prf(b"k", "l", b"", 0) == b""
+
+    def test_negative_rejected(self):
+        with pytest.raises(KeyDerivationError):
+            prf(b"k", "l", b"", -1)
+
+
+class TestPtk:
+    PMK = bytes(range(32))
+    AA = b"\x02" * 6
+    SPA = b"\x04" * 6
+    ANONCE = bytes(range(32))
+    SNONCE = bytes(range(32, 64))
+
+    def test_split_lengths(self):
+        ptk = derive_ptk(self.PMK, self.AA, self.SPA, self.ANONCE, self.SNONCE)
+        assert len(ptk.kck) == 16 and len(ptk.kek) == 16 and len(ptk.tk) == 16
+        assert len(ptk.raw) == PTK_BYTES
+
+    def test_symmetric_in_addresses(self):
+        """The min/max canonicalisation makes PTK independent of which
+        side computes it."""
+        first = derive_ptk(self.PMK, self.AA, self.SPA, self.ANONCE, self.SNONCE)
+        second = derive_ptk(self.PMK, self.SPA, self.AA, self.ANONCE, self.SNONCE)
+        assert first.raw == second.raw
+
+    def test_symmetric_in_nonces(self):
+        first = derive_ptk(self.PMK, self.AA, self.SPA, self.ANONCE, self.SNONCE)
+        second = derive_ptk(self.PMK, self.AA, self.SPA, self.SNONCE, self.ANONCE)
+        assert first.raw == second.raw
+
+    def test_nonce_sensitivity(self):
+        other = bytes(range(1, 33))
+        first = derive_ptk(self.PMK, self.AA, self.SPA, self.ANONCE, self.SNONCE)
+        second = derive_ptk(self.PMK, self.AA, self.SPA, other, self.SNONCE)
+        assert first.raw != second.raw
+
+    def test_validation(self):
+        with pytest.raises(KeyDerivationError):
+            derive_ptk(b"short", self.AA, self.SPA, self.ANONCE, self.SNONCE)
+        with pytest.raises(KeyDerivationError):
+            derive_ptk(self.PMK, b"\x02" * 5, self.SPA, self.ANONCE, self.SNONCE)
+        with pytest.raises(KeyDerivationError):
+            derive_ptk(self.PMK, self.AA, self.SPA, b"short", self.SNONCE)
+
+
+class TestEapolMic:
+    def test_is_truncated_hmac_sha1(self):
+        kck = b"\x0b" * 16
+        frame = b"eapol frame bytes"
+        assert eapol_mic(kck, frame) == hmac.new(
+            kck, frame, hashlib.sha1).digest()[:16]
+
+    def test_kck_length_checked(self):
+        with pytest.raises(KeyDerivationError):
+            eapol_mic(b"short", b"frame")
+
+
+class TestNonceGenerator:
+    def test_deterministic_per_seed(self):
+        assert (NonceGenerator(b"seed").next_nonce()
+                == NonceGenerator(b"seed").next_nonce())
+
+    def test_stream_never_repeats(self):
+        generator = NonceGenerator(b"seed")
+        seen = {generator.next_nonce() for _ in range(100)}
+        assert len(seen) == 100
+
+    def test_distinct_seeds_distinct_streams(self):
+        assert (NonceGenerator(b"a").next_nonce()
+                != NonceGenerator(b"b").next_nonce())
+
+    @given(st.binary(max_size=16))
+    def test_nonce_size(self, seed):
+        assert len(NonceGenerator(seed).next_nonce()) == NONCE_BYTES

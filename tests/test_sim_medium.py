@@ -1,0 +1,246 @@
+"""Tests for the wireless medium and radio model (collisions, filtering)."""
+
+import pytest
+
+from repro.dot11 import Ack, Beacon, DataFrame, MacAddress, Ssid
+from repro.dot11.rates import HT_MCS7_SGI, OFDM_6, OFDM_24
+from repro.sim import (
+    MediumError,
+    Position,
+    Radio,
+    RadioState,
+    Simulator,
+    WirelessMedium,
+)
+
+A = MacAddress.parse("02:00:00:00:00:0a")
+B = MacAddress.parse("02:00:00:00:00:0b")
+C = MacAddress.parse("02:00:00:00:00:0c")
+
+
+def setup(positions=((0.0, 0.0), (2.0, 0.0))):
+    sim = Simulator()
+    medium = WirelessMedium(sim)
+    macs = (A, B, C)
+    radios = [Radio(sim, medium, macs[index], position=Position(*pos),
+                    default_power_dbm=20.0)
+              for index, pos in enumerate(positions)]
+    return sim, medium, radios
+
+
+def beacon(source=A):
+    return Beacon(source=source, bssid=source, elements=(Ssid.named("t"),))
+
+
+class TestDelivery:
+    def test_broadcast_beacon_reaches_listener(self):
+        sim, medium, (tx, rx) = setup()
+        received = []
+        rx.rx_callback = lambda frame, t: received.append(frame)
+        tx.power_on()
+        rx.power_on()
+        tx.transmit(beacon(), OFDM_24)
+        sim.run()
+        assert len(received) == 1
+        assert isinstance(received[0], Beacon)
+        assert medium.frames_delivered == 1
+
+    def test_sender_does_not_hear_itself(self):
+        sim, _medium, (tx, _rx) = setup()
+        echoes = []
+        tx.rx_callback = lambda frame, t: echoes.append(frame)
+        tx.power_on()
+        tx.transmit(beacon(), OFDM_24)
+        sim.run()
+        assert not echoes
+
+    def test_out_of_range_lost(self):
+        sim, medium, (tx, rx) = setup(positions=((0, 0), (5000.0, 0)))
+        received = []
+        rx.rx_callback = lambda frame, t: received.append(frame)
+        tx.power_on()
+        rx.power_on()
+        tx.transmit(beacon(), HT_MCS7_SGI)
+        sim.run()
+        assert not received
+        assert medium.frames_lost_snr == 1
+
+    def test_radio_off_hears_nothing(self):
+        sim, medium, (tx, rx) = setup()
+        received = []
+        rx.rx_callback = lambda frame, t: received.append(frame)
+        tx.power_on()
+        tx.transmit(beacon(), OFDM_24)
+        sim.run()
+        assert not received
+
+    def test_channel_mismatch(self):
+        sim, _medium, (tx, rx) = setup()
+        received = []
+        rx.rx_callback = lambda frame, t: received.append(frame)
+        rx.set_channel(11)
+        tx.power_on()
+        rx.power_on()
+        tx.transmit(beacon(), OFDM_24)
+        sim.run()
+        assert not received
+
+    def test_slower_rate_reaches_further(self):
+        """Same geometry: OFDM-6 decodes where MCS7 cannot."""
+        for rate, expected in ((HT_MCS7_SGI, 0), (OFDM_6, 1)):
+            sim, _medium, (tx, rx) = setup(positions=((0, 0), (120.0, 0)))
+            received = []
+            rx.rx_callback = lambda frame, t: received.append(frame)
+            tx.power_on()
+            rx.power_on()
+            tx.transmit(beacon(), rate)
+            sim.run()
+            assert len(received) == expected, rate.name
+
+
+class TestAddressFilter:
+    def test_unicast_to_me_passes(self):
+        sim, _medium, (tx, rx) = setup()
+        received = []
+        rx.rx_callback = lambda frame, t: received.append(frame)
+        tx.power_on()
+        rx.power_on()
+        tx.transmit(Ack(receiver=B), OFDM_24)
+        sim.run()
+        assert len(received) == 1
+
+    def test_unicast_to_other_filtered(self):
+        sim, _medium, (tx, rx) = setup()
+        received = []
+        rx.rx_callback = lambda frame, t: received.append(frame)
+        tx.power_on()
+        rx.power_on()
+        tx.transmit(Ack(receiver=C), OFDM_24)
+        sim.run()
+        assert not received
+
+    def test_monitor_mode_sees_everything(self):
+        sim, _medium, (tx, rx) = setup()
+        received = []
+        rx.rx_callback = lambda frame, t: received.append(frame)
+        tx.power_on()
+        rx.power_on(monitor=True)
+        tx.transmit(Ack(receiver=C), OFDM_24)
+        sim.run()
+        assert len(received) == 1
+
+    def test_data_frame_filter_uses_final_destination(self):
+        sim, _medium, (tx, rx) = setup()
+        received = []
+        rx.rx_callback = lambda frame, t: received.append(frame)
+        tx.power_on()
+        rx.power_on()
+        # to_ds frame whose final destination is broadcast: passes.
+        frame = DataFrame(destination=MacAddress.broadcast(), source=A,
+                          bssid=C, payload=b"", to_ds=True)
+        tx.transmit(frame, OFDM_24)
+        sim.run()
+        assert len(received) == 1
+
+
+class TestCollisions:
+    def test_equidistant_overlap_destroys_both(self):
+        sim, medium, (first, second, rx) = setup(
+            positions=((0.0, 1.0), (0.0, -1.0), (10.0, 0.0)))
+        received = []
+        rx.rx_callback = lambda frame, t: received.append(frame)
+        for radio in (first, second, rx):
+            radio.power_on()
+        first.transmit(beacon(A), OFDM_6)
+        second.transmit(beacon(B), OFDM_6)
+        sim.run()
+        assert not received
+        assert medium.frames_lost_collision == 2
+
+    def test_capture_of_much_stronger_signal(self):
+        # One transmitter sits next to the receiver, the other far away:
+        # physical-layer capture decodes the strong one.
+        sim, medium, (near, far, rx) = setup(
+            positions=((9.5, 0.0), (0.0, 0.0), (10.0, 0.0)))
+        received = []
+        rx.rx_callback = lambda frame, t: received.append(frame)
+        for radio in (near, far, rx):
+            radio.power_on()
+        near.transmit(beacon(A), OFDM_6)
+        far.transmit(beacon(B), OFDM_6)
+        sim.run()
+        assert [frame.source for frame in received] == [A]
+
+    def test_non_overlapping_sequential_frames_both_arrive(self):
+        sim, _medium, (first, second, rx) = setup(
+            positions=((0.0, 1.0), (0.0, -1.0), (5.0, 0.0)))
+        received = []
+        rx.rx_callback = lambda frame, t: received.append(frame)
+        for radio in (first, second, rx):
+            radio.power_on()
+        first.transmit(beacon(A), OFDM_24)
+        sim.schedule(0.01, lambda: second.transmit(beacon(B), OFDM_24))
+        sim.run()
+        assert len(received) == 2
+
+    def test_busy_flag_during_transmission(self):
+        sim, medium, (tx, _rx) = setup()
+        tx.power_on()
+        tx.transmit(beacon(), OFDM_6)
+        assert medium.channel_busy(6)
+        assert medium.busy_until_s(6) > sim.now_s
+        sim.run()
+        assert not medium.channel_busy(6)
+
+
+class TestRadioStates:
+    def test_tx_state_during_airtime(self):
+        sim, _medium, (tx, _rx) = setup()
+        tx.power_on()
+        tx.transmit(beacon(), OFDM_6)
+        assert tx.state is RadioState.TX
+        sim.run()
+        assert tx.state is RadioState.IDLE
+
+    def test_cannot_transmit_while_off(self):
+        _sim, _medium, (tx, _rx) = setup()
+        with pytest.raises(MediumError):
+            tx.transmit(beacon(), OFDM_6)
+
+    def test_cannot_transmit_while_transmitting(self):
+        sim, _medium, (tx, _rx) = setup()
+        tx.power_on()
+        tx.transmit(beacon(), OFDM_6)
+        with pytest.raises(MediumError):
+            tx.transmit(beacon(), OFDM_6)
+
+    def test_state_listener_sees_transitions(self):
+        sim, _medium, (tx, _rx) = setup()
+        transitions = []
+        tx.add_state_listener(
+            lambda old, new, time_s: transitions.append((old, new)))
+        tx.power_on()
+        tx.transmit(beacon(), OFDM_6)
+        sim.run()
+        assert (RadioState.OFF, RadioState.IDLE) in transitions
+        assert (RadioState.IDLE, RadioState.TX) in transitions
+        assert (RadioState.TX, RadioState.IDLE) in transitions
+
+    def test_bad_channel_rejected(self):
+        _sim, _medium, (tx, _rx) = setup()
+        with pytest.raises(MediumError):
+            tx.set_channel(0)
+
+    def test_double_attach_rejected(self):
+        sim, medium, (tx, _rx) = setup()
+        with pytest.raises(MediumError):
+            medium.attach(tx)
+
+    def test_frame_counters(self):
+        sim, _medium, (tx, rx) = setup()
+        tx.power_on()
+        rx.power_on()
+        tx.transmit(beacon(), OFDM_24)
+        sim.run()
+        assert tx.frames_sent == 1
+        assert rx.frames_received == 1

@@ -1,0 +1,88 @@
+"""Tests for the multi-seed replication helper and its use on the
+stochastic experiments."""
+
+import pytest
+
+from repro.experiments.statistics import (
+    Replication,
+    StatisticsError,
+    replicate,
+    replicate_many,
+)
+
+
+class TestReplication:
+    def test_mean_and_std(self):
+        replication = Replication((1.0, 2.0, 3.0, 4.0))
+        assert replication.mean == pytest.approx(2.5)
+        assert replication.std == pytest.approx(1.29099, rel=1e-4)
+        assert replication.minimum == 1.0 and replication.maximum == 4.0
+
+    def test_single_value_std_zero(self):
+        assert Replication((5.0,)).std == 0.0
+
+    def test_confidence_interval_contains_mean(self):
+        replication = Replication((1.0, 2.0, 3.0))
+        low, high = replication.confidence_interval()
+        assert low < replication.mean < high
+
+    def test_ci_shrinks_with_samples(self):
+        narrow = Replication(tuple([1.0, 2.0] * 20))
+        wide = Replication((1.0, 2.0))
+        assert (narrow.confidence_interval()[1] - narrow.confidence_interval()[0]
+                < wide.confidence_interval()[1] - wide.confidence_interval()[0])
+
+    def test_describe(self):
+        text = Replication((1.0, 2.0)).describe("s")
+        assert "+/-" in text and "n=2" in text and "s" in text
+
+    def test_bad_z(self):
+        with pytest.raises(StatisticsError):
+            Replication((1.0,)).confidence_interval(z=0.0)
+
+
+class TestReplicate:
+    def test_calls_metric_per_seed(self):
+        replication = replicate(lambda seed: float(seed), seeds=(1, 2, 3))
+        assert replication.values == (1.0, 2.0, 3.0)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(StatisticsError):
+            replicate(lambda seed: 0.0, seeds=())
+
+    def test_replicate_many(self):
+        results = replicate_many(
+            lambda seed: {"a": seed, "b": seed * 2}, seeds=(1, 2))
+        assert results["a"].values == (1.0, 2.0)
+        assert results["b"].values == (2.0, 4.0)
+
+    def test_replicate_many_inconsistent_keys(self):
+        def metrics(seed):
+            return {"a": 1.0} if seed == 0 else {"a": 1.0, "b": 2.0}
+        with pytest.raises(StatisticsError):
+            replicate_many(metrics, seeds=(0, 1))
+
+
+class TestOnStochasticExperiments:
+    def test_multi_device_delivery_across_seeds(self):
+        from repro.experiments.multi_device import run_multi_device
+        replication = replicate(
+            lambda seed: run_multi_device(device_count=4, rounds=8,
+                                          interval_s=5.0,
+                                          seed=seed).delivery_rate,
+            seeds=range(5))
+        # The §6 claim holds in the population, not just one seed.
+        assert replication.minimum > 0.8
+        assert replication.mean > 0.9
+
+    def test_contention_raw_delivery_tracks_free_airtime(self):
+        from repro.experiments.contention import run_contention_point
+        replication = replicate(
+            lambda seed: run_contention_point(
+                0.5, carrier_sense=False, rounds=15,
+                seed=seed).delivery_rate,
+            seeds=range(5))
+        low, high = replication.confidence_interval()
+        # Expected success ~ free airtime fraction (0.5), loosely.
+        assert 0.3 < replication.mean < 0.7
+        assert low < 0.5 < high or abs(replication.mean - 0.5) < 0.15

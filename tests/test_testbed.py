@@ -1,0 +1,169 @@
+"""Tests for the simulated lab equipment (repro.testbed)."""
+
+import pytest
+
+from repro.dot11 import MacAddress
+from repro.energy.trace import CurrentTrace
+from repro.sim import Position, Simulator, WirelessMedium
+from repro.testbed import (
+    MAX_SAMPLE_RATE_HZ,
+    BenchSupply,
+    Esp32Module,
+    ExperimentRig,
+    FirmwareError,
+    Keysight34465A,
+    MultimeterError,
+    SupplyError,
+)
+
+
+def bench_trace():
+    trace = CurrentTrace()
+    trace.append(0.1, 2.5e-6, "sleep")
+    trace.append(0.05, 0.120, "tx")
+    trace.append(0.1, 2.5e-6, "sleep")
+    return trace
+
+
+class TestMultimeter:
+    def test_50ks_default(self):
+        assert Keysight34465A().sample_rate_hz == MAX_SAMPLE_RATE_HZ
+
+    def test_rate_bounds(self):
+        with pytest.raises(MultimeterError):
+            Keysight34465A(sample_rate_hz=60_000.0)
+        with pytest.raises(MultimeterError):
+            Keysight34465A(sample_rate_hz=0.0)
+
+    def test_acquisition_sample_count(self):
+        reading = Keysight34465A().acquire(bench_trace())
+        assert len(reading.times_s) == pytest.approx(0.25 * 50_000, abs=2)
+
+    def test_charge_matches_exact_integral(self):
+        trace = bench_trace()
+        reading = Keysight34465A().acquire(trace)
+        assert reading.charge_c() == pytest.approx(trace.charge_c(), rel=1e-3)
+
+    def test_energy(self):
+        reading = Keysight34465A().acquire(bench_trace())
+        assert reading.energy_j(3.3) == pytest.approx(
+            3.3 * reading.charge_c())
+
+    def test_peak_and_average(self):
+        reading = Keysight34465A().acquire(bench_trace())
+        assert reading.peak_current_a() == pytest.approx(0.120)
+        assert reading.average_current_a() < 0.120
+
+    def test_range_selection(self):
+        range_a, _gain, _offset = Keysight34465A.select_range(0.05)
+        assert range_a == 0.1
+        range_a, _gain, _offset = Keysight34465A.select_range(50e-6)
+        assert range_a == 100e-6
+
+    def test_over_range_rejected(self):
+        with pytest.raises(MultimeterError):
+            Keysight34465A.select_range(5.0)
+
+    def test_noise_mode_stays_close(self):
+        trace = bench_trace()
+        noisy = Keysight34465A(noise=True, seed=1).acquire(trace)
+        assert noisy.charge_c() == pytest.approx(trace.charge_c(), rel=0.02)
+
+    def test_noise_is_reproducible(self):
+        trace = bench_trace()
+        first = Keysight34465A(noise=True, seed=5).acquire(trace)
+        second = Keysight34465A(noise=True, seed=5).acquire(trace)
+        assert first.charge_c() == second.charge_c()
+
+    def test_windowed_acquisition(self):
+        reading = Keysight34465A().acquire(bench_trace(), t0_s=0.1, t1_s=0.15)
+        assert reading.average_current_a() == pytest.approx(0.120, rel=1e-6)
+
+
+class TestSupply:
+    def test_ideal(self):
+        supply = BenchSupply()
+        assert supply.voltage_at_load(0.2) == 3.3
+
+    def test_sag(self):
+        supply = BenchSupply(series_resistance_ohm=0.5)
+        assert supply.voltage_at_load(0.2) == pytest.approx(3.2)
+
+    def test_current_limit(self):
+        with pytest.raises(SupplyError):
+            BenchSupply(current_limit_a=0.1).voltage_at_load(0.2)
+
+    def test_power(self):
+        assert BenchSupply().power_w(0.1) == pytest.approx(0.33)
+
+    def test_validation(self):
+        with pytest.raises(SupplyError):
+            BenchSupply(voltage_v=0.0)
+        with pytest.raises(SupplyError):
+            BenchSupply(series_resistance_ohm=-1.0)
+        with pytest.raises(SupplyError):
+            BenchSupply().voltage_at_load(-0.1)
+
+
+class TestRig:
+    def test_measurement_chain(self):
+        rig = ExperimentRig()
+        measurement = rig.measure(bench_trace())
+        assert measurement.energy_j == pytest.approx(
+            bench_trace().energy_j(3.3), rel=1e-3)
+        assert measurement.average_power_w > 0
+
+
+class TestEsp32Module:
+    def build(self):
+        sim = Simulator()
+        medium = WirelessMedium(sim)
+        module = Esp32Module(sim, medium,
+                             MacAddress.parse("24:0a:c4:00:00:33"),
+                             position=Position(0, 0))
+        return sim, medium, module
+
+    def test_tx_requires_init(self):
+        _sim, _medium, module = self.build()
+        from repro.core import encode_beacon, WileMessage
+        beacon = encode_beacon(WileMessage(device_id=1, sequence=1))
+        with pytest.raises(FirmwareError):
+            module.wifi_80211_tx(beacon)
+
+    def test_inject_flow_and_energy(self):
+        sim, medium, module = self.build()
+        from repro.core import WiLEReceiver, WileMessage, encode_beacon
+        receiver = WiLEReceiver(sim, medium, position=Position(2, 0))
+        module.wifi_init()
+        beacon = encode_beacon(WileMessage(device_id=5, sequence=1))
+        tx_energy = module.wifi_80211_tx(beacon)
+        sim.run(until_s=1.0)
+        assert receiver.stats.wile_beacons == 1
+        assert tx_energy == pytest.approx(84e-6, rel=0.1)
+
+    def test_deep_sleep_wakes_and_charges(self):
+        sim, _medium, module = self.build()
+        woke = []
+        module.deep_sleep(10.0, lambda: woke.append(sim.now_s))
+        sim.run()
+        assert woke == [10.0]
+        charges = module.recorder.trace.charge_by_label()
+        assert charges["deep-sleep"] == pytest.approx(10.0 * 2.5e-6)
+
+    def test_deep_sleep_validation(self):
+        _sim, _medium, module = self.build()
+        with pytest.raises(FirmwareError):
+            module.deep_sleep(0.0, lambda: None)
+
+    def test_station_facade(self):
+        sim, medium, module = self.build()
+        from repro.mac import AccessPoint
+        ap = AccessPoint(sim, medium, ssid="Net", passphrase="password1",
+                         position=Position(1, 0), beaconing=False)
+        station = module.station("Net", "password1")
+        done = {}
+        station.connect_and_send(ap.mac, b"x",
+                                 on_complete=lambda: done.setdefault("t", 1))
+        sim.run(until_s=5.0)
+        assert "t" in done
+        assert module.station("Net", "password1") is station
