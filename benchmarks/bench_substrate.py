@@ -11,8 +11,10 @@ from repro.core.codec import decode_beacon
 from repro.dot11 import parse_frame
 from repro.dot11.airtime import frame_airtime_us
 from repro.dot11.rates import HT_MCS7_SGI
+from repro.experiments.reliability import run_reliability_point
+from repro.experiments.runner import ParallelRunner
 from repro.security import Aes, ccm_encrypt, run_handshake
-from repro.security.keys import pmk_from_passphrase
+from repro.security.keys import derive_pmk, pmk_cache_clear, pmk_from_passphrase
 
 
 def wile_beacon():
@@ -45,8 +47,17 @@ def test_wile_decode_pipeline(benchmark):
 
 
 def test_aes_block(benchmark):
+    """The T-table fast path (the production `encrypt_block`)."""
     cipher = Aes(bytes(16))
     out = benchmark(cipher.encrypt_block, bytes(16))
+    assert len(out) == 16
+
+
+def test_aes_block_reference(benchmark):
+    """The table-free FIPS-197 reference path — the 'before' number the
+    T-table speedup is measured against."""
+    cipher = Aes(bytes(16))
+    out = benchmark(cipher.encrypt_block_reference, bytes(16))
     assert len(out) == 16
 
 
@@ -56,8 +67,16 @@ def test_ccm_encrypt_64b(benchmark):
 
 
 def test_pmk_derivation(benchmark):
-    """PBKDF2 with 4096 iterations — the expensive step real stations
-    cache across associations."""
+    """Uncached PBKDF2 with 4096 iterations — what every association
+    would pay without the PMK cache."""
+    pmk = benchmark(derive_pmk, "hotnets2019", b"GoogleWifi")
+    assert len(pmk) == 32
+
+
+def test_pmk_cached(benchmark):
+    """The memoized lookup real stations' PMKSA caching corresponds to."""
+    pmk_cache_clear()
+    pmk_from_passphrase("hotnets2019", b"GoogleWifi")  # warm the cache
     pmk = benchmark(pmk_from_passphrase, "hotnets2019", b"GoogleWifi")
     assert len(pmk) == 32
 
@@ -78,3 +97,30 @@ def test_association_simulation(benchmark):
     from repro.scenarios.wifi_dc import run_wifi_dc
     result = benchmark.pedantic(run_wifi_dc, rounds=1, iterations=1)
     assert result.details["mac_frames"] == 20
+
+
+_SWEEP_SEEDS = tuple(range(8))
+
+
+def _reliability_seed_cell(seed):
+    """One seed's reliability cell (module-level, so pool tasks pickle)."""
+    return run_reliability_point(2, offered_load=0.2, rounds=6, seed=seed)
+
+
+def _sweep(workers):
+    runner = ParallelRunner(workers=workers)
+    points = runner.map(_reliability_seed_cell, _SWEEP_SEEDS)
+    return [point.delivery_rate for point in points]
+
+
+def test_seed_sweep_serial(benchmark):
+    """Eight independent reliability cells, serial loop (the 'before')."""
+    rates = benchmark.pedantic(_sweep, args=(1,), rounds=1, iterations=1)
+    assert len(rates) == len(_SWEEP_SEEDS)
+
+
+def test_seed_sweep_parallel(benchmark):
+    """Same eight cells through the process pool. On multi-core hosts
+    this shows the fan-out win; everywhere it must match serial exactly."""
+    rates = benchmark.pedantic(_sweep, args=(4,), rounds=1, iterations=1)
+    assert rates == _sweep(1)

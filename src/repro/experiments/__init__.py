@@ -5,6 +5,11 @@ also driven by a matching bench in ``benchmarks/``. The per-experiment
 index lives in DESIGN.md; paper-vs-measured numbers in EXPERIMENTS.md.
 """
 
+# runner/statistics first: they import nothing from the simulation
+# layers, and the experiment modules below depend on them.
+from .runner import TIMINGS, ParallelRunner, StageTimings, run_grid
+from .statistics import Replication, replicate, replicate_many
+
 from . import (
     ablations,
     adaptive,
@@ -16,7 +21,9 @@ from . import (
     frame_counts,
     multi_device,
     reliability,
+    runner,
     scheduling,
+    statistics,
     table1,
     two_way,
 )
@@ -30,8 +37,18 @@ from .scheduling import run_scheduling
 from .figure3 import Figure3Report, run_figure3
 from .figure4 import Figure4Report, run_figure4
 from .frame_counts import FrameCountReport, run_frame_counts
-from .multi_device import MultiDeviceReport, run_multi_device
-from .report import format_si, render_log_sketch, render_series, render_table
+from .multi_device import (
+    MultiDeviceReport,
+    run_multi_device,
+    run_multi_device_sweep,
+)
+from .report import (
+    format_si,
+    render_log_sketch,
+    render_series,
+    render_table,
+    render_timings,
+)
 from .table1 import Table1Report, run_table1
 from .two_way import TwoWayReport, run_two_way, window_sweep
 

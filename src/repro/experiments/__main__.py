@@ -1,8 +1,10 @@
 """Run the whole evaluation: every table, figure, claim, and ablation.
 
-    python -m repro.experiments            # print all reports
-    python -m repro.experiments --out DIR  # also write CSV artifacts
-    python -m repro.experiments --quick    # core artifacts only
+    python -m repro.experiments              # print all reports
+    python -m repro.experiments --out DIR    # also write CSV artifacts
+    python -m repro.experiments --quick      # core artifacts only
+    python -m repro.experiments --workers 4  # fan sweeps over processes
+    python -m repro.experiments --timings    # append a stage-timing table
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from .figure3 import run_figure3
 from .figure4 import run_figure4
 from .frame_counts import run_frame_counts
 from .multi_device import run_multi_device
+from .runner import TIMINGS
 from .table1 import run_table1
 from .two_way import run_two_way
 
@@ -45,10 +48,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="core artifacts only (Table 1, Figures 3/4, "
                              "frame counts)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="process-pool size for the independent sweeps "
+                             "(default 1 = serial; results are identical)")
+    parser.add_argument("--timings", action="store_true",
+                        help="print a per-stage wall-clock table at the end")
     args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
 
     print("running the four measurement scenarios...")
-    results = run_all_scenarios()
+    results = run_all_scenarios(workers=args.workers)
 
     _banner("Table 1")
     print(run_table1(results).render())
@@ -69,13 +79,16 @@ def main(argv: list[str] | None = None) -> int:
         _banner("Section 1: 5 GHz")
         print(band_5ghz.render())
         _banner("Contention")
-        print(contention.render(contention.run_contention()))
+        print(contention.render(
+            contention.run_contention(workers=args.workers)))
         _banner("Fleet scheduling")
-        print(scheduling.render(scheduling.run_scheduling()))
+        print(scheduling.render(
+            scheduling.run_scheduling(workers=args.workers)))
         _banner("Beacon repetition reliability")
-        print(reliability.render(reliability.run_reliability()))
+        print(reliability.render(
+            reliability.run_reliability(workers=args.workers)))
         _banner("Adaptive reporting")
-        print(adaptive.render(adaptive.run_adaptive()))
+        print(adaptive.render(adaptive.run_adaptive(workers=args.workers)))
         _banner("Battery life")
         print(render_battery(battery_life(results)))
 
@@ -83,6 +96,10 @@ def main(argv: list[str] | None = None) -> int:
         _banner(f"Artifacts -> {args.out}")
         for artifact in export_all(args.out, results):
             print(f"  wrote {artifact.path} ({artifact.rows} rows)")
+
+    if args.timings:
+        _banner("Stage timings")
+        print(TIMINGS.render())
     return 0
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import partial
 
 from ..core import (
     DeltaTriggeredReporter,
@@ -29,6 +30,7 @@ from ..energy import calibration as cal
 from ..energy.esp32 import Esp32Recorder
 from ..sim import Position, Simulator, WirelessMedium
 from .report import format_si, render_table
+from .runner import run_grid
 
 
 def room_temperature(time_s: float) -> float:
@@ -89,9 +91,12 @@ def _run(policy: str, wake_interval_s: float = 60.0,
 
 
 def run_adaptive(wake_interval_s: float = 60.0,
-                 horizon_s: float = 4 * 3600.0) -> list[AdaptiveResult]:
-    return [_run("fixed", wake_interval_s, horizon_s),
-            _run("delta", wake_interval_s, horizon_s)]
+                 horizon_s: float = 4 * 3600.0,
+                 workers: int = 1) -> list[AdaptiveResult]:
+    """Both policies over the same track; independent, so they can fan out."""
+    return run_grid(
+        partial(_run, wake_interval_s=wake_interval_s, horizon_s=horizon_s),
+        ("fixed", "delta"), workers=workers, stage="experiments.adaptive")
 
 
 def boot_vs_tx_energy() -> tuple[float, float, float]:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import partial
 
 from ..core import SensorKind, SensorReading, WiLEDevice, WiLEReceiver
 from ..dot11 import DataFrame, MacAddress
@@ -22,6 +23,7 @@ from ..dot11.airtime import frame_airtime_us
 from ..dot11.rates import OFDM_24, PhyRate
 from ..sim import Position, Radio, Simulator, WirelessMedium
 from .report import render_table
+from .runner import run_grid
 
 
 class BackgroundTraffic:
@@ -113,14 +115,21 @@ def run_contention_point(offered_load: float, carrier_sense: bool,
         max_access_delay_s=stats.max_wait_s if stats else 0.0)
 
 
+def _contention_cell(cell: tuple[float, bool],
+                     rounds: int) -> ContentionPoint:
+    """Unpack one (load, carrier_sense) cell (picklable pool task)."""
+    load, carrier_sense = cell
+    return run_contention_point(load, carrier_sense, rounds=rounds)
+
+
 def run_contention(loads: tuple[float, ...] = (0.0, 0.2, 0.5, 0.8),
-                   rounds: int = 40) -> list[ContentionPoint]:
-    points = []
-    for load in loads:
-        for carrier_sense in (False, True):
-            points.append(run_contention_point(load, carrier_sense,
-                                               rounds=rounds))
-    return points
+                   rounds: int = 40,
+                   workers: int = 1) -> list[ContentionPoint]:
+    """Sweep the (load × politeness) matrix; cells are independent."""
+    cells = [(load, carrier_sense)
+             for load in loads for carrier_sense in (False, True)]
+    return run_grid(partial(_contention_cell, rounds=rounds), cells,
+                    workers=workers, stage="experiments.contention")
 
 
 def render(points: list[ContentionPoint]) -> str:

@@ -17,6 +17,7 @@ The sweep measures, on a 50 %-loaded channel with fire-blind injection:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from ..core import SensorKind, SensorReading, WiLEDevice, WiLEReceiver
 from ..dot11.airtime import frame_airtime_us
@@ -25,6 +26,7 @@ from ..energy import calibration as cal
 from ..sim import Position, Simulator, WirelessMedium
 from .contention import BackgroundTraffic
 from .report import format_si, render_table
+from .runner import run_grid
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,9 +92,13 @@ def run_reliability_point(repeats: int, offered_load: float = 0.5,
 
 def run_reliability(repeat_values: tuple[int, ...] = (1, 2, 3, 4),
                     offered_load: float = 0.5,
-                    rounds: int = 40) -> list[ReliabilityPoint]:
-    return [run_reliability_point(repeats, offered_load, rounds)
-            for repeats in repeat_values]
+                    rounds: int = 40,
+                    workers: int = 1) -> list[ReliabilityPoint]:
+    """Sweep repetition counts; ``workers>1`` fans cells over processes."""
+    return run_grid(
+        partial(run_reliability_point, offered_load=offered_load,
+                rounds=rounds),
+        repeat_values, workers=workers, stage="experiments.reliability")
 
 
 def render(points: list[ReliabilityPoint]) -> str:

@@ -25,6 +25,30 @@ def format_si(value: float, unit: str, digits: int = 3) -> str:
     return f"{value:.{digits}g} {unit}"
 
 
+def render_timings(timings, title: str = "Stage timings") -> str:
+    """Tabulate a :class:`~repro.experiments.runner.StageTimings` registry.
+
+    One row per stage name (spans with the same name aggregate), sorted
+    by total time so the expensive stage is on top — the observable end
+    of the perf-substrate work: run with ``--timings``, read this table,
+    see where the wall-clock went.
+    """
+    totals: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for span in timings.spans:
+        totals[span.stage] = totals.get(span.stage, 0.0) + span.elapsed_s
+        counts[span.stage] = counts.get(span.stage, 0) + 1
+    if not totals:
+        return f"{title}\n{'=' * len(title)}\n(no spans recorded)"
+    grand_total = sum(totals.values())
+    rows = [[stage, str(counts[stage]), f"{total:.3f} s",
+             f"{total / grand_total:.1%}" if grand_total else "-"]
+            for stage, total in sorted(totals.items(),
+                                       key=lambda item: -item[1])]
+    rows.append(["total", str(len(timings.spans)), f"{grand_total:.3f} s", ""])
+    return render_table(title, ["stage", "spans", "wall time", "share"], rows)
+
+
 def render_table(title: str, headers: Sequence[str],
                  rows: Sequence[Sequence[str]]) -> str:
     """Column-aligned ASCII table with a title rule."""

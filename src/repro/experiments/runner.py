@@ -1,0 +1,176 @@
+"""Parallel experiment fan-out and per-stage timing hooks.
+
+The paper's headline artifacts come from sweeps — seeds × beacon
+intervals × channel loads — and every sweep cell is an independent,
+deterministic simulation (each cell builds its own :class:`Simulator`
+and seeds its own RNGs). That independence is the whole contract here:
+
+* :class:`ParallelRunner` fans a function over a work list with a
+  process pool, **returning results in input order** regardless of
+  completion order, so a parallel sweep is byte-identical to the serial
+  loop it replaces. ``workers=1`` is a plain serial loop; anything the
+  pool cannot pickle (lambdas, closures) silently degrades to serial so
+  interactive callers and tests never break.
+* :class:`StageTimings` records wall-clock ``perf_counter`` spans per
+  experiment stage into a process-global registry (:data:`TIMINGS`), so
+  ``python -m repro.experiments --timings`` can show where a run's time
+  went and whether the fan-out actually paid off.
+
+Nothing here imports the simulation layers, so worker processes only
+materialise what the mapped function itself pulls in.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+class RunnerError(ValueError):
+    """Raised for invalid runner configuration."""
+
+
+@dataclass(frozen=True, slots=True)
+class TimingSpan:
+    """One recorded wall-clock span."""
+
+    stage: str
+    elapsed_s: float
+
+
+class StageTimings:
+    """An append-only registry of named wall-clock spans.
+
+    Spans nest freely (an experiment span can contain per-scenario
+    spans); aggregation is by stage name. Worker processes record into
+    their *own* copy of the registry — only parent-side spans survive a
+    parallel fan-out, which is the honest number anyway (it includes the
+    pool overhead the speedup has to beat).
+    """
+
+    def __init__(self) -> None:
+        self._spans: list[TimingSpan] = []
+
+    @contextmanager
+    def span(self, stage: str) -> Iterator[None]:
+        """Record the wall-clock duration of the enclosed block."""
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.record(stage, perf_counter() - start)
+
+    def record(self, stage: str, elapsed_s: float) -> None:
+        if elapsed_s < 0:
+            raise RunnerError(f"negative span duration {elapsed_s}")
+        self._spans.append(TimingSpan(stage, elapsed_s))
+
+    @property
+    def spans(self) -> tuple[TimingSpan, ...]:
+        return tuple(self._spans)
+
+    def totals(self) -> dict[str, float]:
+        """Total seconds per stage, in first-recorded order."""
+        merged: dict[str, float] = {}
+        for span in self._spans:
+            merged[span.stage] = merged.get(span.stage, 0.0) + span.elapsed_s
+        return merged
+
+    def total_s(self) -> float:
+        return sum(span.elapsed_s for span in self._spans)
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    def render(self, title: str = "Stage timings") -> str:
+        from .report import render_timings
+        return render_timings(self, title=title)
+
+
+#: Process-global registry the experiment harnesses record into.
+TIMINGS = StageTimings()
+
+
+class ParallelRunner:
+    """Deterministic process-pool fan-out over an independent work list.
+
+    Args:
+        workers: pool size; ``1`` (the default) runs a plain serial loop
+            in-process — no pool, no pickling, no surprises.
+        chunk_size: items handed to a worker per dispatch. Defaults to
+            ``ceil(n / (workers * 4))`` — large enough to amortise IPC,
+            small enough to keep the pool balanced when cells have
+            uneven cost.
+
+    Determinism contract: ``map(fn, items)`` returns ``[fn(x) for x in
+    items]`` — same values, same order — however the work was scheduled.
+    That holds because every experiment cell is self-contained (own
+    simulator, own seeded RNGs, no shared mutable state), which is a
+    property this module *relies on*, not one it can enforce.
+
+    Functions (and results) must be picklable to cross the process
+    boundary; when they are not, or when the platform cannot spawn
+    workers at all, the runner falls back to the serial loop and notes
+    it in :attr:`last_backend`.
+    """
+
+    def __init__(self, workers: int = 1, chunk_size: int | None = None) -> None:
+        if workers < 1:
+            raise RunnerError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise RunnerError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        #: How the last :meth:`map` actually executed: ``"serial"``,
+        #: ``"process-pool"`` or ``"serial-fallback"``.
+        self.last_backend: str | None = None
+
+    def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
+        """Apply ``fn`` to every item; results in input order."""
+        work = list(items)
+        if self.workers == 1 or len(work) <= 1:
+            self.last_backend = "serial"
+            return [fn(item) for item in work]
+        chunk = (self.chunk_size if self.chunk_size is not None
+                 else max(1, math.ceil(len(work) / (self.workers * 4))))
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(work))) as pool:
+                results = list(pool.map(fn, work, chunksize=chunk))
+            self.last_backend = "process-pool"
+            return results
+        except (pickle.PicklingError, AttributeError, TypeError,
+                BrokenProcessPool, OSError):
+            # Unpicklable function/result (CPython reports local lambdas
+            # as AttributeError and unpicklable objects as TypeError),
+            # or no worker processes on this platform. Cells are
+            # side-effect-free, so a serial rerun is safe and gives the
+            # identical answer — and re-raises any genuine error from
+            # ``fn`` itself.
+            self.last_backend = "serial-fallback"
+            return [fn(item) for item in work]
+
+
+def run_grid(fn: Callable[[_T], _R], items: Sequence[_T], *,
+             workers: int = 1, stage: str | None = None,
+             timings: StageTimings | None = None) -> list[_R]:
+    """Fan ``fn`` over ``items``, recording one span for the whole stage.
+
+    The convenience wrapper the experiment harnesses share: one line per
+    sweep, timings for free.
+    """
+    registry = timings if timings is not None else TIMINGS
+    runner = ParallelRunner(workers=workers)
+    if stage is None:
+        return runner.map(fn, items)
+    with registry.span(stage):
+        return runner.map(fn, items)

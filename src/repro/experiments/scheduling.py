@@ -16,6 +16,7 @@ pair-overlap approximation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from ..core import SensorKind, SensorReading, WiLEDevice, WiLEReceiver
 from ..core.scheduler import RandomPhase, SlottedPhase, collision_probability
@@ -23,6 +24,7 @@ from ..dot11.airtime import frame_airtime_us
 from ..dot11.rates import WILE_DEFAULT_RATE
 from ..sim import Position, Simulator, WirelessMedium, crystal_population
 from .report import render_table
+from .runner import run_grid
 
 READING = (SensorReading(SensorKind.TEMPERATURE_C, 17.0),)
 
@@ -97,7 +99,8 @@ def _run_fleet(policy: str, device_count: int, rounds: int,
 
 
 def run_scheduling(device_count: int = 40, rounds: int = 50,
-                   interval_s: float = 0.2, seed: int = 3) -> list[PolicyResult]:
+                   interval_s: float = 0.2, seed: int = 3,
+                   workers: int = 1) -> list[PolicyResult]:
     """A deliberately harsh configuration: 40 devices every 200 ms.
 
     The early/late split exposes the dynamics: the synchronised fleet
@@ -107,8 +110,11 @@ def run_scheduling(device_count: int = 40, rounds: int = 50,
     clocks accumulate jitter and slot ownership would erode toward the
     random baseline; within this run the slots hold.)
     """
-    return [_run_fleet(policy, device_count, rounds, interval_s, seed)
-            for policy in ("synchronised", "random", "slotted")]
+    return run_grid(
+        partial(_run_fleet, device_count=device_count, rounds=rounds,
+                interval_s=interval_s, seed=seed),
+        ("synchronised", "random", "slotted"),
+        workers=workers, stage="experiments.scheduling")
 
 
 def expected_random_delivery(device_count: int, interval_s: float,

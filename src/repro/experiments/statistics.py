@@ -15,6 +15,8 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from .runner import ParallelRunner
+
 
 class StatisticsError(ValueError):
     """Raised for degenerate sample sets."""
@@ -66,21 +68,35 @@ class Replication:
 
 
 def replicate(metric: Callable[[int], float],
-              seeds: Sequence[int] = tuple(range(10))) -> Replication:
-    """Evaluate ``metric(seed)`` across seeds."""
+              seeds: Sequence[int] = tuple(range(10)),
+              workers: int = 1,
+              runner: ParallelRunner | None = None) -> Replication:
+    """Evaluate ``metric(seed)`` across seeds.
+
+    With ``workers > 1`` the seeds fan out over a process pool; results
+    come back in seed order, so the :class:`Replication` is byte-identical
+    to the serial run (the runner's determinism contract). ``metric``
+    must then be picklable — a module-level function or a
+    :func:`functools.partial` of one; lambdas degrade to serial.
+    """
     if not seeds:
         raise StatisticsError("need at least one seed")
-    return Replication(tuple(float(metric(seed)) for seed in seeds))
+    pool = runner if runner is not None else ParallelRunner(workers=workers)
+    return Replication(tuple(float(value)
+                             for value in pool.map(metric, seeds)))
 
 
 def replicate_many(metrics: Callable[[int], dict[str, float]],
-                   seeds: Sequence[int] = tuple(range(10))) -> dict[str, Replication]:
+                   seeds: Sequence[int] = tuple(range(10)),
+                   workers: int = 1,
+                   runner: ParallelRunner | None = None) -> dict[str, Replication]:
     """Like :func:`replicate` for functions returning several metrics."""
     if not seeds:
         raise StatisticsError("need at least one seed")
+    pool = runner if runner is not None else ParallelRunner(workers=workers)
     collected: dict[str, list[float]] = {}
-    for seed in seeds:
-        for name, value in metrics(seed).items():
+    for result in pool.map(metrics, seeds):
+        for name, value in result.items():
             collected.setdefault(name, []).append(float(value))
     counts = {len(values) for values in collected.values()}
     if len(counts) > 1:

@@ -120,7 +120,8 @@ class AccessPoint:
                  arp_reply_delay_s: float = cal.ARP_REPLY_DELAY_S,
                  tx_power_dbm: float = 20.0,
                  beaconing: bool = True,
-                 inactivity_timeout_s: float | None = None) -> None:
+                 inactivity_timeout_s: float | None = None,
+                 pmk: bytes | None = None) -> None:
         self.sim = sim
         self.ssid = Ssid.named(ssid)
         self.mac = mac if mac is not None else MacAddress.parse("f8:8f:ca:00:86:01")
@@ -131,7 +132,10 @@ class AccessPoint:
         self.dhcp_offer_delay_s = dhcp_offer_delay_s
         self.dhcp_ack_delay_s = dhcp_ack_delay_s
         self.arp_reply_delay_s = arp_reply_delay_s
-        self.pmk = pmk_from_passphrase(passphrase, self.ssid.name)
+        # An AP keeps the PSK-derived PMK for the lifetime of the BSS;
+        # accept a precomputed one so scenarios derive it exactly once.
+        self.pmk = pmk if pmk is not None else pmk_from_passphrase(
+            passphrase, self.ssid.name)
         self.dhcp = DhcpServer(self.ip)
         self.radio = Radio(sim, medium, self.mac, position=position,
                            channel=channel, default_power_dbm=tx_power_dbm)

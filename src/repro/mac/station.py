@@ -91,6 +91,12 @@ class Station:
             frame (WPA2 math on an 80 MHz core).
         net_prep_s: stack traversal time before each DHCP/ARP message.
         arp_announce_wait_s: settle time after the gratuitous ARP.
+        pmk: optional precomputed Pairwise Master Key. Real supplicants
+            derive the PMK once per (passphrase, SSID) and keep it in
+            their PMKSA cache across associations; passing it here skips
+            the 4096-iteration PBKDF2 on every (re-)association. When
+            omitted, the station derives it lazily on first association
+            and caches it on the object.
     """
 
     def __init__(self, sim: Simulator, medium: WirelessMedium,
@@ -101,7 +107,8 @@ class Station:
                  tx_power_dbm: float = 20.0,
                  processing_delay_s: float = cal.STA_PROCESSING_DELAY_S,
                  net_prep_s: float = cal.NET_MSG_PREP_S,
-                 arp_announce_wait_s: float = cal.ARP_ANNOUNCE_WAIT_S) -> None:
+                 arp_announce_wait_s: float = cal.ARP_ANNOUNCE_WAIT_S,
+                 pmk: bytes | None = None) -> None:
         self.sim = sim
         self.mac = mac
         self.ssid = Ssid.named(ssid)
@@ -121,6 +128,7 @@ class Station:
         self.ip: Ipv4Address | None = None
         self.gateway_ip: Ipv4Address | None = None
         self.gateway_mac: MacAddress | None = None
+        self._pmk = pmk
         self._supplicant: Supplicant | None = None
         self._ccmp: CcmpSession | None = None
         self._dhcp: DhcpClient | None = None
@@ -394,10 +402,11 @@ class Station:
         self.aid = frame.association_id
         self.state = StationState.HANDSHAKING
         self._phase = "eapol"
-        from ..security import pmk_from_passphrase
-        pmk = pmk_from_passphrase(self.passphrase, self.ssid.name)
+        if self._pmk is None:
+            from ..security import pmk_from_passphrase
+            self._pmk = pmk_from_passphrase(self.passphrase, self.ssid.name)
         self._supplicant = Supplicant(
-            pmk, bytes(self.ap_mac), bytes(self.mac),
+            self._pmk, bytes(self.ap_mac), bytes(self.mac),
             NonceGenerator(bytes(self.mac) + b"-sta-nonces"))
 
     # -- data frames ----------------------------------------------------------------------

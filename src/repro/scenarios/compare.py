@@ -16,15 +16,35 @@ from .wile import run_wile
 
 SCENARIO_ORDER = ("Wi-LE", "BLE", "WiFi-DC", "WiFi-PS")
 
+_SCENARIO_RUNNERS = {
+    "Wi-LE": run_wile,
+    "BLE": run_ble,
+    "WiFi-DC": run_wifi_dc,
+    "WiFi-PS": run_wifi_ps,
+}
 
-def run_all_scenarios() -> dict[str, ScenarioResult]:
-    """One run of each §5.3 scenario, keyed by the Table 1 column name."""
-    return {
-        "Wi-LE": run_wile(),
-        "BLE": run_ble(),
-        "WiFi-DC": run_wifi_dc(),
-        "WiFi-PS": run_wifi_ps(),
-    }
+
+def _run_named_scenario(name: str) -> ScenarioResult:
+    """Run one scenario by Table 1 column name (picklable pool task)."""
+    # Imported lazily: ``repro.experiments`` imports this package at the
+    # module level, so a top-level import here would be circular.
+    from ..experiments.runner import TIMINGS
+    with TIMINGS.span(f"scenarios.{name}"):
+        return _SCENARIO_RUNNERS[name]()
+
+
+def run_all_scenarios(workers: int = 1) -> dict[str, ScenarioResult]:
+    """One run of each §5.3 scenario, keyed by the Table 1 column name.
+
+    The four scenarios are independent simulations; ``workers>1`` runs
+    them on a process pool (results keyed and ordered identically to the
+    serial run).
+    """
+    from ..experiments.runner import TIMINGS, ParallelRunner
+    with TIMINGS.span("scenarios.run_all"):
+        results = ParallelRunner(workers=workers).map(
+            _run_named_scenario, SCENARIO_ORDER)
+    return dict(zip(SCENARIO_ORDER, results))
 
 
 @dataclass(frozen=True, slots=True)

@@ -20,6 +20,7 @@ from ..energy import calibration as cal
 from ..energy.esp32 import Esp32PowerModel, Esp32State
 from ..energy.trace import CurrentTrace
 from ..mac import AccessPoint, FrameDirection, Station
+from ..security import pmk_from_passphrase
 from ..sim import Position, Simulator, WirelessMedium
 from .base import Burst, ScenarioError, ScenarioResult, overlay_window
 
@@ -45,11 +46,15 @@ def run_wifi_dc(payload: bytes = bytes(cal.SENSOR_PAYLOAD_BYTES),
     model = model if model is not None else Esp32PowerModel()
     sim = Simulator()
     medium = WirelessMedium(sim)
+    # Derive the PMK once per run and hand it to both ends, the way a
+    # real supplicant's PMKSA cache and a real AP's PSK config do — each
+    # association then costs handshake frames, not a fresh PBKDF2.
+    pmk = pmk_from_passphrase(passphrase, ssid.encode("utf-8"))
     ap = AccessPoint(sim, medium, ssid=ssid, passphrase=passphrase,
-                     position=Position(0.0, 0.0), beaconing=False)
+                     position=Position(0.0, 0.0), beaconing=False, pmk=pmk)
     station = Station(sim, medium, STATION_MAC, ssid=ssid,
                       passphrase=passphrase, position=Position(2.0, 0.0),
-                      rate=OFDM_24)
+                      rate=OFDM_24, pmk=pmk)
     completed: dict[str, float] = {}
     station.connect_and_send(ap.mac, payload,
                              on_complete=lambda: completed.setdefault(

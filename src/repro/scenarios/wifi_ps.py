@@ -20,6 +20,7 @@ from ..energy import calibration as cal
 from ..energy.esp32 import Esp32PowerModel, Esp32State
 from ..energy.trace import CurrentTrace
 from ..mac import BEACON_INTERVAL_S, AccessPoint, Station, StationState
+from ..security import pmk_from_passphrase
 from ..sim import Position, Simulator, WirelessMedium
 from .base import ScenarioError, ScenarioResult
 
@@ -39,10 +40,12 @@ def run_wifi_ps(payload: bytes = bytes(cal.SENSOR_PAYLOAD_BYTES),
 
     sim = Simulator()
     medium = WirelessMedium(sim)
+    pmk = pmk_from_passphrase(passphrase, ssid.encode("utf-8"))
     ap = AccessPoint(sim, medium, ssid=ssid, passphrase=passphrase,
-                     position=Position(0.0, 0.0), beaconing=True)
+                     position=Position(0.0, 0.0), beaconing=True, pmk=pmk)
     station = Station(sim, medium, STATION_MAC, ssid=ssid,
-                      passphrase=passphrase, position=Position(2.0, 0.0))
+                      passphrase=passphrase, position=Position(2.0, 0.0),
+                      pmk=pmk)
     station.listen_interval = listen_interval
     progress: dict[str, float] = {}
     station.connect_and_send(ap.mac, b"",

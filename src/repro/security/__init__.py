@@ -8,7 +8,14 @@ same AES-CCM core to encrypt payloads before beacon injection.
 """
 
 from .aes import Aes, AesError
-from .ccm import AuthenticationError, CcmError, ccm_decrypt, ccm_encrypt
+from .ccm import (
+    AuthenticationError,
+    CcmContext,
+    CcmError,
+    ccm_context,
+    ccm_decrypt,
+    ccm_encrypt,
+)
 from .ccmp import (
     CCMP_HEADER_BYTES,
     CCMP_MIC_BYTES,
@@ -30,8 +37,10 @@ from .handshake import (
 from .keys import (
     NonceGenerator,
     Ptk,
+    derive_pmk,
     derive_ptk,
     eapol_mic,
+    pmk_cache_clear,
     pmk_from_passphrase,
     prf,
 )

@@ -2,17 +2,35 @@
 
 The Python standard library has hashes (used for the 802.11i key
 derivation) but no block cipher, and the reproduction environment has no
-third-party crypto packages — so CCMP needs its own AES. This is a
-straightforward table-free implementation of FIPS-197: S-box generated
-from the GF(2^8) inverse at import time, 4x4 column-major state,
-key schedules for 128/192/256-bit keys.
+third-party crypto packages — so CCMP needs its own AES.
 
-Performance is adequate for protocol simulation (a handshake encrypts a
-handful of blocks); it is *not* constant-time and must never be used to
-protect real data.
+Two implementations of FIPS-197 live here:
+
+* the **fast path** (:meth:`Aes.encrypt_block` / :meth:`Aes.decrypt_block`)
+  uses the classic T-table construction: SubBytes, ShiftRows and
+  MixColumns fused into four 256-entry 32-bit lookup tables built once at
+  import, with the state held as four column words. Decryption uses the
+  FIPS-197 §5.3.5 equivalent inverse cipher with InvMixColumns folded
+  into the round keys.
+* the **reference path** (:meth:`Aes.encrypt_block_reference` /
+  :meth:`Aes.decrypt_block_reference`) is the original table-free
+  byte-level implementation — slow, but directly legible against the
+  spec. Tests assert the two paths agree, and the substrate benchmarks
+  keep it around as the "before" in before/after comparisons.
+
+Expanded key schedules are cached in a bounded module-level table keyed
+by the key bytes, so code that constructs a fresh :class:`Aes` per
+operation (the CCM layer used to) pays the expansion once per key rather
+than once per call.
+
+Performance is adequate for protocol simulation at scale; it is *not*
+constant-time (table lookups leak through the cache) and must never be
+used to protect real data.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 
 class AesError(ValueError):
@@ -74,6 +92,107 @@ def _build_sbox() -> tuple[tuple[int, ...], tuple[int, ...]]:
 _SBOX, _INV_SBOX = _build_sbox()
 
 
+def _ror8(word: int) -> int:
+    return ((word >> 8) | (word << 24)) & 0xFFFFFFFF
+
+
+def _build_tables() -> tuple[tuple[int, ...], ...]:
+    """The eight T-tables: encryption T0..T3 and decryption IT0..IT3.
+
+    ``T0[x]`` is the MixColumns output column for an input column whose
+    row-0 byte (already through the S-box) is ``x`` and whose other rows
+    are zero; T1..T3 are byte rotations of T0 covering rows 1..3. The IT
+    tables are the same construction for InvSubBytes + InvMixColumns.
+    """
+    t0 = [0] * 256
+    it0 = [0] * 256
+    for x in range(256):
+        s = _SBOX[x]
+        t0[x] = ((_gf_mul(s, 2) << 24) | (s << 16) | (s << 8)
+                 | _gf_mul(s, 3))
+        v = _INV_SBOX[x]
+        it0[x] = ((_gf_mul(v, 0x0E) << 24) | (_gf_mul(v, 0x09) << 16)
+                  | (_gf_mul(v, 0x0D) << 8) | _gf_mul(v, 0x0B))
+    t1 = [_ror8(w) for w in t0]
+    t2 = [_ror8(w) for w in t1]
+    t3 = [_ror8(w) for w in t2]
+    it1 = [_ror8(w) for w in it0]
+    it2 = [_ror8(w) for w in it1]
+    it3 = [_ror8(w) for w in it2]
+    return (tuple(t0), tuple(t1), tuple(t2), tuple(t3),
+            tuple(it0), tuple(it1), tuple(it2), tuple(it3))
+
+
+_T0, _T1, _T2, _T3, _IT0, _IT1, _IT2, _IT3 = _build_tables()
+
+#: Bound on the module-level key-schedule cache. 802.11 sessions rotate
+#: through a handful of keys (PMK-derived TKs, KEKs, GTKs); 256 distinct
+#: schedules comfortably covers a large simulated fleet while keeping the
+#: worst case a few hundred KB.
+KEY_SCHEDULE_CACHE_MAX = 256
+
+_ScheduleEntry = tuple[tuple[tuple[int, ...], ...], tuple[int, ...], tuple[int, ...]]
+_SCHEDULE_CACHE: OrderedDict[bytes, _ScheduleEntry] = OrderedDict()
+
+
+def _expand_key_words(key: bytes) -> list[tuple[int, ...]]:
+    """FIPS-197 key expansion into 4-byte words (the reference layout)."""
+    nk = len(key) // 4
+    nr = nk + 6
+    words = [tuple(key[4 * i:4 * i + 4]) for i in range(nk)]
+    for i in range(nk, 4 * (nr + 1)):
+        temp = words[i - 1]
+        if i % nk == 0:
+            temp = (temp[1], temp[2], temp[3], temp[0])  # RotWord
+            temp = tuple(_SBOX[b] for b in temp)          # SubWord
+            temp = (temp[0] ^ _RCON[i // nk - 1],
+                    temp[1], temp[2], temp[3])
+        elif nk > 6 and i % nk == 4:
+            temp = tuple(_SBOX[b] for b in temp)
+        prev = words[i - nk]
+        words.append((prev[0] ^ temp[0], prev[1] ^ temp[1],
+                      prev[2] ^ temp[2], prev[3] ^ temp[3]))
+    return words
+
+
+def _schedule_for_key(key: bytes) -> _ScheduleEntry:
+    """(byte-words, encrypt words, decrypt words) for ``key``, cached."""
+    cached = _SCHEDULE_CACHE.get(key)
+    if cached is not None:
+        _SCHEDULE_CACHE.move_to_end(key)
+        return cached
+    words = _expand_key_words(key)
+    erk = tuple((w[0] << 24) | (w[1] << 16) | (w[2] << 8) | w[3]
+                for w in words)
+    nr = len(key) // 4 + 6
+    # Equivalent inverse cipher: round keys in decryption order, with
+    # InvMixColumns applied to the middle rounds. IMC of a raw byte x is
+    # IT[SBOX[x]] (the S-box inside IT cancels against InvS-box).
+    drk = list(erk[4 * nr:4 * nr + 4])
+    for r in range(nr - 1, 0, -1):
+        for j in range(4):
+            w = erk[4 * r + j]
+            drk.append(_IT0[_SBOX[w >> 24]]
+                       ^ _IT1[_SBOX[(w >> 16) & 0xFF]]
+                       ^ _IT2[_SBOX[(w >> 8) & 0xFF]]
+                       ^ _IT3[_SBOX[w & 0xFF]])
+    drk.extend(erk[0:4])
+    entry = (tuple(words), erk, tuple(drk))
+    _SCHEDULE_CACHE[key] = entry
+    if len(_SCHEDULE_CACHE) > KEY_SCHEDULE_CACHE_MAX:
+        _SCHEDULE_CACHE.popitem(last=False)
+    return entry
+
+
+def key_schedule_cache_clear() -> None:
+    """Drop all cached key schedules (test hook)."""
+    _SCHEDULE_CACHE.clear()
+
+
+def key_schedule_cache_len() -> int:
+    return len(_SCHEDULE_CACHE)
+
+
 class Aes:
     """AES with a 128, 192 or 256-bit key.
 
@@ -82,35 +201,88 @@ class Aes:
     True
     """
 
+    __slots__ = ("key", "_nk", "_nr", "_round_keys", "_erk", "_drk")
+
     def __init__(self, key: bytes) -> None:
         if len(key) not in (16, 24, 32):
             raise AesError(f"AES key must be 16/24/32 bytes, got {len(key)}")
         self.key = bytes(key)
         self._nk = len(key) // 4
         self._nr = self._nk + 6
-        self._round_keys = self._expand_key(self.key)
+        self._round_keys, self._erk, self._drk = _schedule_for_key(self.key)
 
-    # -- key schedule ------------------------------------------------------
+    # -- fast path -----------------------------------------------------------
 
-    def _expand_key(self, key: bytes) -> list[tuple[int, int, int, int]]:
-        words = [tuple(key[4 * i:4 * i + 4]) for i in range(self._nk)]
-        for i in range(self._nk, 4 * (self._nr + 1)):
-            temp = words[i - 1]
-            if i % self._nk == 0:
-                temp = (temp[1], temp[2], temp[3], temp[0])  # RotWord
-                temp = tuple(_SBOX[b] for b in temp)          # SubWord
-                temp = (temp[0] ^ _RCON[i // self._nk - 1],
-                        temp[1], temp[2], temp[3])
-            elif self._nk > 6 and i % self._nk == 4:
-                temp = tuple(_SBOX[b] for b in temp)
-            prev = words[i - self._nk]
-            words.append((prev[0] ^ temp[0], prev[1] ^ temp[1],
-                          prev[2] ^ temp[2], prev[3] ^ temp[3]))
-        return words
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise AesError(f"AES block must be 16 bytes, got {len(block)}")
+        t0, t1, t2, t3 = _T0, _T1, _T2, _T3
+        rk = self._erk
+        n = int.from_bytes(block, "big")
+        w0 = (n >> 96) ^ rk[0]
+        w1 = ((n >> 64) & 0xFFFFFFFF) ^ rk[1]
+        w2 = ((n >> 32) & 0xFFFFFFFF) ^ rk[2]
+        w3 = (n & 0xFFFFFFFF) ^ rk[3]
+        i = 4
+        for _ in range(self._nr - 1):
+            u0 = (t0[w0 >> 24] ^ t1[(w1 >> 16) & 0xFF]
+                  ^ t2[(w2 >> 8) & 0xFF] ^ t3[w3 & 0xFF] ^ rk[i])
+            u1 = (t0[w1 >> 24] ^ t1[(w2 >> 16) & 0xFF]
+                  ^ t2[(w3 >> 8) & 0xFF] ^ t3[w0 & 0xFF] ^ rk[i + 1])
+            u2 = (t0[w2 >> 24] ^ t1[(w3 >> 16) & 0xFF]
+                  ^ t2[(w0 >> 8) & 0xFF] ^ t3[w1 & 0xFF] ^ rk[i + 2])
+            u3 = (t0[w3 >> 24] ^ t1[(w0 >> 16) & 0xFF]
+                  ^ t2[(w1 >> 8) & 0xFF] ^ t3[w2 & 0xFF] ^ rk[i + 3])
+            w0, w1, w2, w3 = u0, u1, u2, u3
+            i += 4
+        s = _SBOX
+        o0 = ((s[w0 >> 24] << 24) | (s[(w1 >> 16) & 0xFF] << 16)
+              | (s[(w2 >> 8) & 0xFF] << 8) | s[w3 & 0xFF]) ^ rk[i]
+        o1 = ((s[w1 >> 24] << 24) | (s[(w2 >> 16) & 0xFF] << 16)
+              | (s[(w3 >> 8) & 0xFF] << 8) | s[w0 & 0xFF]) ^ rk[i + 1]
+        o2 = ((s[w2 >> 24] << 24) | (s[(w3 >> 16) & 0xFF] << 16)
+              | (s[(w0 >> 8) & 0xFF] << 8) | s[w1 & 0xFF]) ^ rk[i + 2]
+        o3 = ((s[w3 >> 24] << 24) | (s[(w0 >> 16) & 0xFF] << 16)
+              | (s[(w1 >> 8) & 0xFF] << 8) | s[w2 & 0xFF]) ^ rk[i + 3]
+        return ((o0 << 96) | (o1 << 64) | (o2 << 32) | o3).to_bytes(16, "big")
 
-    # -- round operations ---------------------------------------------------
-    # The state is a flat 16-byte list in column-major order, matching the
-    # byte order of the input block (FIPS-197 section 3.4).
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise AesError(f"AES block must be 16 bytes, got {len(block)}")
+        t0, t1, t2, t3 = _IT0, _IT1, _IT2, _IT3
+        rk = self._drk
+        n = int.from_bytes(block, "big")
+        w0 = (n >> 96) ^ rk[0]
+        w1 = ((n >> 64) & 0xFFFFFFFF) ^ rk[1]
+        w2 = ((n >> 32) & 0xFFFFFFFF) ^ rk[2]
+        w3 = (n & 0xFFFFFFFF) ^ rk[3]
+        i = 4
+        for _ in range(self._nr - 1):
+            u0 = (t0[w0 >> 24] ^ t1[(w3 >> 16) & 0xFF]
+                  ^ t2[(w2 >> 8) & 0xFF] ^ t3[w1 & 0xFF] ^ rk[i])
+            u1 = (t0[w1 >> 24] ^ t1[(w0 >> 16) & 0xFF]
+                  ^ t2[(w3 >> 8) & 0xFF] ^ t3[w2 & 0xFF] ^ rk[i + 1])
+            u2 = (t0[w2 >> 24] ^ t1[(w1 >> 16) & 0xFF]
+                  ^ t2[(w0 >> 8) & 0xFF] ^ t3[w3 & 0xFF] ^ rk[i + 2])
+            u3 = (t0[w3 >> 24] ^ t1[(w2 >> 16) & 0xFF]
+                  ^ t2[(w1 >> 8) & 0xFF] ^ t3[w0 & 0xFF] ^ rk[i + 3])
+            w0, w1, w2, w3 = u0, u1, u2, u3
+            i += 4
+        s = _INV_SBOX
+        o0 = ((s[w0 >> 24] << 24) | (s[(w3 >> 16) & 0xFF] << 16)
+              | (s[(w2 >> 8) & 0xFF] << 8) | s[w1 & 0xFF]) ^ rk[i]
+        o1 = ((s[w1 >> 24] << 24) | (s[(w0 >> 16) & 0xFF] << 16)
+              | (s[(w3 >> 8) & 0xFF] << 8) | s[w2 & 0xFF]) ^ rk[i + 1]
+        o2 = ((s[w2 >> 24] << 24) | (s[(w1 >> 16) & 0xFF] << 16)
+              | (s[(w0 >> 8) & 0xFF] << 8) | s[w3 & 0xFF]) ^ rk[i + 2]
+        o3 = ((s[w3 >> 24] << 24) | (s[(w2 >> 16) & 0xFF] << 16)
+              | (s[(w1 >> 8) & 0xFF] << 8) | s[w0 & 0xFF]) ^ rk[i + 3]
+        return ((o0 << 96) | (o1 << 64) | (o2 << 32) | o3).to_bytes(16, "big")
+
+    # -- reference path ------------------------------------------------------
+    # The original table-free implementation, kept as a readable spec
+    # mirror. The state is a flat 16-byte list in column-major order,
+    # matching the byte order of the input block (FIPS-197 section 3.4).
 
     def _add_round_key(self, state: list[int], round_index: int) -> None:
         for col in range(4):
@@ -144,9 +316,7 @@ class Aes:
                     ^ _gf_mul(column[2], matrix[(2 - row) % 4])
                     ^ _gf_mul(column[3], matrix[(3 - row) % 4]))
 
-    # -- public API ----------------------------------------------------------
-
-    def encrypt_block(self, block: bytes) -> bytes:
+    def encrypt_block_reference(self, block: bytes) -> bytes:
         if len(block) != 16:
             raise AesError(f"AES block must be 16 bytes, got {len(block)}")
         state = list(block)
@@ -161,7 +331,7 @@ class Aes:
         self._add_round_key(state, self._nr)
         return bytes(state)
 
-    def decrypt_block(self, block: bytes) -> bytes:
+    def decrypt_block_reference(self, block: bytes) -> bytes:
         if len(block) != 16:
             raise AesError(f"AES block must be 16 bytes, got {len(block)}")
         state = list(block)

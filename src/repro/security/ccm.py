@@ -4,9 +4,19 @@ CCMP — the WPA2 data confidentiality protocol — is CCM with AES-128, a
 13-byte nonce and an 8-byte MIC. The Wi-LE §6 security extension also
 uses this module directly to encrypt sensor payloads before they are
 placed in the vendor-specific information element.
+
+Hot-path note: per-frame CCM used to rebuild the AES object (and its key
+schedule) and XOR blocks byte-by-byte on every call. :class:`CcmContext`
+holds the expanded cipher once per key, and the CBC-MAC/CTR inner loops
+run on Python big integers, so protecting a frame costs a handful of
+block encryptions and nothing else. The module-level
+:func:`ccm_encrypt` / :func:`ccm_decrypt` keep their old signatures and
+route through a bounded per-key context cache.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 from .aes import Aes
 
@@ -46,30 +56,6 @@ def _encode_aad(aad: bytes) -> bytes:
     return encoded
 
 
-def _cbc_mac(cipher: Aes, nonce: bytes, aad: bytes, message: bytes,
-             mic_length: int) -> bytes:
-    block = cipher.encrypt_block(_format_b0(nonce, len(message), mic_length,
-                                            bool(aad)))
-    stream = _encode_aad(aad) + message
-    if len(message) % 16:
-        stream += bytes(16 - len(message) % 16)
-    for offset in range(0, len(stream), 16):
-        chunk = stream[offset:offset + 16]
-        block = cipher.encrypt_block(bytes(a ^ b for a, b in zip(block, chunk)))
-    return block[:mic_length]
-
-
-def _ctr_crypt(cipher: Aes, nonce: bytes, data: bytes, start_counter: int) -> bytes:
-    out = bytearray()
-    counter = start_counter
-    for offset in range(0, len(data), 16):
-        keystream = cipher.encrypt_block(_format_counter(nonce, counter))
-        chunk = data[offset:offset + 16]
-        out.extend(a ^ b for a, b in zip(chunk, keystream))
-        counter += 1
-    return bytes(out)
-
-
 def _check_params(key: bytes, nonce: bytes, mic_length: int) -> None:
     if len(key) not in (16, 24, 32):
         raise CcmError(f"bad key length {len(key)}")
@@ -79,15 +65,115 @@ def _check_params(key: bytes, nonce: bytes, mic_length: int) -> None:
         raise CcmError(f"bad MIC length {mic_length}")
 
 
+class CcmContext:
+    """Reusable CCM state for one key.
+
+    Owns the expanded AES cipher, so a session encrypting many frames
+    (CCMP, the Wi-LE §6 payload path) expands the key schedule once and
+    then pays only the per-block work. Thread-compatible in the usual
+    CPython sense: the context carries no per-message mutable state.
+    """
+
+    __slots__ = ("_cipher",)
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (16, 24, 32):
+            raise CcmError(f"bad key length {len(key)}")
+        self._cipher = Aes(key)
+
+    @property
+    def key(self) -> bytes:
+        return self._cipher.key
+
+    # -- CBC-MAC / CTR primitives -------------------------------------------
+
+    def _cbc_mac(self, nonce: bytes, aad: bytes, message: bytes,
+                 mic_length: int) -> bytes:
+        encrypt = self._cipher.encrypt_block
+        block = encrypt(_format_b0(nonce, len(message), mic_length, bool(aad)))
+        stream = _encode_aad(aad) + message
+        if len(stream) % 16:
+            stream += bytes(16 - len(stream) % 16)
+        acc = int.from_bytes(block, "big")
+        for offset in range(0, len(stream), 16):
+            chunk = int.from_bytes(stream[offset:offset + 16], "big")
+            acc = int.from_bytes(
+                encrypt((acc ^ chunk).to_bytes(16, "big")), "big")
+        return acc.to_bytes(16, "big")[:mic_length]
+
+    def _ctr_crypt(self, nonce: bytes, data: bytes, start_counter: int) -> bytes:
+        if not data:
+            return b""
+        encrypt = self._cipher.encrypt_block
+        length_field_size = 15 - len(nonce)
+        prefix = bytes([length_field_size - 1]) + nonce
+        blocks = (len(data) + 15) // 16
+        keystream = b"".join(
+            encrypt(prefix + counter.to_bytes(length_field_size, "big"))
+            for counter in range(start_counter, start_counter + blocks))
+        n = len(data)
+        return (int.from_bytes(data, "big")
+                ^ int.from_bytes(keystream[:n], "big")).to_bytes(n, "big")
+
+    # -- authenticated encryption -------------------------------------------
+
+    def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"",
+                mic_length: int = 8) -> bytes:
+        """Encrypt and authenticate; returns ciphertext || MIC."""
+        _check_params(self.key, nonce, mic_length)
+        mic = self._cbc_mac(nonce, aad, plaintext, mic_length)
+        ciphertext = self._ctr_crypt(nonce, plaintext, start_counter=1)
+        encrypted_mic = self._ctr_crypt(nonce, mic, start_counter=0)[:mic_length]
+        return ciphertext + encrypted_mic
+
+    def decrypt(self, nonce: bytes, ciphertext_and_mic: bytes,
+                aad: bytes = b"", mic_length: int = 8) -> bytes:
+        """Verify the MIC and decrypt; raises :class:`AuthenticationError`
+        on any tampering."""
+        _check_params(self.key, nonce, mic_length)
+        if len(ciphertext_and_mic) < mic_length:
+            raise AuthenticationError("message shorter than its MIC")
+        ciphertext = ciphertext_and_mic[:-mic_length]
+        received_mic = ciphertext_and_mic[-mic_length:]
+        plaintext = self._ctr_crypt(nonce, ciphertext, start_counter=1)
+        expected_encrypted = self._ctr_crypt(
+            nonce, self._cbc_mac(nonce, aad, plaintext, mic_length),
+            start_counter=0)[:mic_length]
+        if expected_encrypted != received_mic:
+            raise AuthenticationError("CCM MIC verification failed")
+        return plaintext
+
+
+#: Bound on the per-key context cache behind the module-level functions.
+CCM_CONTEXT_CACHE_MAX = 64
+
+_CONTEXT_CACHE: OrderedDict[bytes, CcmContext] = OrderedDict()
+
+
+def ccm_context(key: bytes) -> CcmContext:
+    """A cached :class:`CcmContext` for ``key`` (bounded LRU)."""
+    key = bytes(key)
+    context = _CONTEXT_CACHE.get(key)
+    if context is not None:
+        _CONTEXT_CACHE.move_to_end(key)
+        return context
+    context = CcmContext(key)
+    _CONTEXT_CACHE[key] = context
+    if len(_CONTEXT_CACHE) > CCM_CONTEXT_CACHE_MAX:
+        _CONTEXT_CACHE.popitem(last=False)
+    return context
+
+
+def ccm_context_cache_clear() -> None:
+    """Drop all cached contexts (test hook)."""
+    _CONTEXT_CACHE.clear()
+
+
 def ccm_encrypt(key: bytes, nonce: bytes, plaintext: bytes,
                 aad: bytes = b"", mic_length: int = 8) -> bytes:
     """Encrypt and authenticate; returns ciphertext || MIC."""
     _check_params(key, nonce, mic_length)
-    cipher = Aes(key)
-    mic = _cbc_mac(cipher, nonce, aad, plaintext, mic_length)
-    ciphertext = _ctr_crypt(cipher, nonce, plaintext, start_counter=1)
-    encrypted_mic = _ctr_crypt(cipher, nonce, mic, start_counter=0)[:mic_length]
-    return ciphertext + encrypted_mic
+    return ccm_context(key).encrypt(nonce, plaintext, aad, mic_length)
 
 
 def ccm_decrypt(key: bytes, nonce: bytes, ciphertext_and_mic: bytes,
@@ -95,15 +181,4 @@ def ccm_decrypt(key: bytes, nonce: bytes, ciphertext_and_mic: bytes,
     """Verify the MIC and decrypt; raises :class:`AuthenticationError` on
     any tampering."""
     _check_params(key, nonce, mic_length)
-    if len(ciphertext_and_mic) < mic_length:
-        raise AuthenticationError("message shorter than its MIC")
-    cipher = Aes(key)
-    ciphertext = ciphertext_and_mic[:-mic_length]
-    received_mic = ciphertext_and_mic[-mic_length:]
-    plaintext = _ctr_crypt(cipher, nonce, ciphertext, start_counter=1)
-    expected_encrypted = _ctr_crypt(
-        cipher, nonce, _cbc_mac(cipher, nonce, aad, plaintext, mic_length),
-        start_counter=0)[:mic_length]
-    if expected_encrypted != received_mic:
-        raise AuthenticationError("CCM MIC verification failed")
-    return plaintext
+    return ccm_context(key).decrypt(nonce, ciphertext_and_mic, aad, mic_length)

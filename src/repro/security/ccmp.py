@@ -13,7 +13,7 @@ import struct
 from dataclasses import dataclass
 
 from ..dot11.frames import DataFrame
-from .ccm import AuthenticationError, ccm_decrypt, ccm_encrypt
+from .ccm import AuthenticationError, CcmContext
 
 CCMP_HEADER_BYTES = 8
 CCMP_MIC_BYTES = 8
@@ -87,6 +87,9 @@ class CcmpSession:
         if len(tk) != 16:
             raise CcmpError("temporal key must be 16 bytes")
         self._tk = tk
+        # One expanded-key CCM context for the session's lifetime: every
+        # frame reuses the AES schedule instead of re-deriving it.
+        self._ccm = CcmContext(tk)
         self._tx_pn = 0
         self._rx_pn: dict[bytes, int] = {}
 
@@ -97,8 +100,8 @@ class CcmpSession:
         self._tx_pn += 1
         header = CcmpHeader(self._tx_pn)
         nonce = _nonce(bytes(frame.source), self._tx_pn)
-        ciphertext = ccm_encrypt(self._tk, nonce, frame.payload,
-                                 aad=_aad(frame), mic_length=CCMP_MIC_BYTES)
+        ciphertext = self._ccm.encrypt(nonce, frame.payload,
+                                       aad=_aad(frame), mic_length=CCMP_MIC_BYTES)
         return frame.with_payload(header.to_bytes() + ciphertext, protected=True)
 
     def decrypt(self, frame: DataFrame) -> DataFrame:
@@ -116,9 +119,9 @@ class CcmpSession:
         nonce = _nonce(source, header.pn)
         # _aad must describe the frame as it was protected (protected=True).
         try:
-            plaintext = ccm_decrypt(self._tk, nonce,
-                                    frame.payload[CCMP_HEADER_BYTES:],
-                                    aad=_aad(frame), mic_length=CCMP_MIC_BYTES)
+            plaintext = self._ccm.decrypt(nonce,
+                                          frame.payload[CCMP_HEADER_BYTES:],
+                                          aad=_aad(frame), mic_length=CCMP_MIC_BYTES)
         except AuthenticationError:
             raise
         self._rx_pn[source] = header.pn

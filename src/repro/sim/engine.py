@@ -27,18 +27,20 @@ class _ScheduledEvent:
     order: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    popped: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Returned by :meth:`Simulator.schedule`; lets the owner cancel."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _ScheduledEvent, sim: "Simulator") -> None:
         self._event = event
+        self._sim = sim
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        self._sim._cancel(self._event)
 
     @property
     def cancelled(self) -> bool:
@@ -61,12 +63,20 @@ class Simulator:
     ['a', 'b']
     """
 
+    #: Compact the heap when more than half its entries are cancelled
+    #: (and it is at least this big) — long-running scenarios cancel far
+    #: more timers (ACK timeouts, periodic tasks) than ever fire, and
+    #: without compaction those tombstones pile up until popped.
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self) -> None:
         self._heap: list[_ScheduledEvent] = []
         self._order = itertools.count()
         self._now_s = 0.0
         self._running = False
+        self._cancelled_in_heap = 0
         self.events_processed = 0
+        self.heap_compactions = 0
 
     @property
     def now_s(self) -> float:
@@ -85,7 +95,36 @@ class Simulator:
                 f"cannot schedule at {time_s}s, now is {self._now_s}s")
         event = _ScheduledEvent(time_s, next(self._order), callback)
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
+
+    def _cancel(self, event: _ScheduledEvent) -> None:
+        """Mark ``event`` cancelled and keep the tombstone count exact.
+
+        Idempotent; cancelling an event that already fired (or was
+        already cancelled) is a no-op. Compaction runs lazily once the
+        majority of the heap is dead weight, so `n` cancels cost
+        amortised O(log n) instead of leaving an O(n) scan to
+        :meth:`pending_events` and a heap that only ever grows.
+        """
+        if event.cancelled or event.popped:
+            return
+        event.cancelled = True
+        self._cancelled_in_heap += 1
+        if (len(self._heap) >= self.COMPACT_MIN_SIZE
+                and self._cancelled_in_heap * 2 > len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors.
+
+        Safe mid-run: the event loop re-reads ``self._heap[0]`` on every
+        iteration, and (time, order) is a total order, so heapify cannot
+        change the pop sequence of live events.
+        """
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self.heap_compactions += 1
 
     def run(self, until_s: float | None = None,
             max_events: int | None = None) -> None:
@@ -103,13 +142,14 @@ class Simulator:
             while self._heap:
                 event = self._heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    heapq.heappop(self._heap).popped = True
+                    self._cancelled_in_heap -= 1
                     continue
                 if until_s is not None and event.time_s > until_s:
                     break
                 if max_events is not None and processed >= max_events:
                     break
-                heapq.heappop(self._heap)
+                heapq.heappop(self._heap).popped = True
                 self._now_s = event.time_s
                 event.callback()
                 processed += 1
@@ -120,7 +160,8 @@ class Simulator:
             self._running = False
 
     def pending_events(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Live (non-cancelled) events still queued — O(1)."""
+        return len(self._heap) - self._cancelled_in_heap
 
     def call_every(self, interval_s: float, callback: Callable[[], None],
                    start_delay_s: float | None = None) -> "PeriodicTask":

@@ -1,0 +1,190 @@
+"""Tests for the parallel experiment runner and its determinism contract.
+
+The load-bearing property: a sweep run with ``workers>1`` must be
+byte-identical to the serial loop it replaces. Everything else (timing
+spans, fallbacks, chunking) exists to make that fan-out usable.
+"""
+
+import pytest
+
+from repro.experiments.contention import run_contention_point
+from repro.experiments.reliability import run_reliability_point
+from repro.experiments.runner import (
+    ParallelRunner,
+    RunnerError,
+    StageTimings,
+    run_grid,
+)
+from repro.experiments.statistics import replicate, replicate_many
+from repro.security.keys import (
+    PMK_CACHE_MAX,
+    pmk_cache_clear,
+    pmk_cache_len,
+    pmk_from_passphrase,
+)
+
+
+def square(value):
+    """Module-level so it pickles into pool workers."""
+    return value * value
+
+
+def reliability_rate(seed):
+    point = run_reliability_point(2, offered_load=0.3, rounds=5, seed=seed)
+    return point.delivery_rate
+
+
+def contention_delay(seed):
+    point = run_contention_point(0.4, True, rounds=5, seed=seed)
+    return point.mean_access_delay_s
+
+
+def fleet_metrics(seed):
+    point = run_contention_point(0.3, False, rounds=5, seed=seed)
+    return {"rate": point.delivery_rate,
+            "sent": float(point.beacons_sent)}
+
+
+class TestParallelRunner:
+    def test_serial_map(self):
+        runner = ParallelRunner()
+        assert runner.map(square, [1, 2, 3]) == [1, 4, 9]
+        assert runner.last_backend == "serial"
+
+    def test_parallel_map_preserves_order(self):
+        runner = ParallelRunner(workers=4)
+        items = list(range(20))
+        assert runner.map(square, items) == [square(item) for item in items]
+        assert runner.last_backend in ("process-pool", "serial-fallback")
+
+    def test_single_item_stays_serial(self):
+        runner = ParallelRunner(workers=4)
+        assert runner.map(square, [7]) == [49]
+        assert runner.last_backend == "serial"
+
+    def test_lambda_degrades_to_serial(self):
+        runner = ParallelRunner(workers=2)
+        assert runner.map(lambda value: value + 1, [1, 2]) == [2, 3]
+        assert runner.last_backend in ("serial-fallback", "process-pool")
+
+    def test_empty_items(self):
+        assert ParallelRunner(workers=4).map(square, []) == []
+
+    def test_explicit_chunk_size(self):
+        runner = ParallelRunner(workers=2, chunk_size=3)
+        assert runner.map(square, list(range(10))) == \
+            [value * value for value in range(10)]
+
+    def test_validation(self):
+        with pytest.raises(RunnerError):
+            ParallelRunner(workers=0)
+        with pytest.raises(RunnerError):
+            ParallelRunner(workers=2, chunk_size=0)
+
+
+class TestDeterminism:
+    """ISSUE criterion: parallel replicate byte-identical to serial,
+    for at least two distinct experiments."""
+
+    SEEDS = tuple(range(6))
+
+    def test_reliability_parallel_matches_serial(self):
+        serial = replicate(reliability_rate, self.SEEDS, workers=1)
+        parallel = replicate(reliability_rate, self.SEEDS, workers=4)
+        assert parallel.values == serial.values
+
+    def test_contention_parallel_matches_serial(self):
+        serial = replicate(contention_delay, self.SEEDS, workers=1)
+        parallel = replicate(contention_delay, self.SEEDS, workers=4)
+        assert parallel.values == serial.values
+
+    def test_replicate_many_parallel_matches_serial(self):
+        serial = replicate_many(fleet_metrics, self.SEEDS, workers=1)
+        parallel = replicate_many(fleet_metrics, self.SEEDS, workers=4)
+        assert set(serial) == set(parallel)
+        for name in serial:
+            assert parallel[name].values == serial[name].values
+
+
+class TestRunGrid:
+    def test_maps_and_records_span(self):
+        timings = StageTimings()
+        out = run_grid(square, [1, 2, 3], stage="grid", timings=timings)
+        assert out == [1, 4, 9]
+        assert [span.stage for span in timings.spans] == ["grid"]
+
+    def test_no_stage_records_nothing(self):
+        timings = StageTimings()
+        run_grid(square, [1, 2], timings=timings)
+        assert timings.spans == ()
+
+
+class TestStageTimings:
+    def test_span_records_elapsed(self):
+        timings = StageTimings()
+        with timings.span("work"):
+            pass
+        assert len(timings.spans) == 1
+        assert timings.spans[0].stage == "work"
+        assert timings.spans[0].elapsed_s >= 0.0
+
+    def test_span_records_on_exception(self):
+        timings = StageTimings()
+        with pytest.raises(ValueError):
+            with timings.span("boom"):
+                raise ValueError("boom")
+        assert [span.stage for span in timings.spans] == ["boom"]
+
+    def test_totals_aggregate_by_stage(self):
+        timings = StageTimings()
+        timings.record("a", 1.0)
+        timings.record("b", 2.0)
+        timings.record("a", 3.0)
+        assert timings.totals() == {"a": 4.0, "b": 2.0}
+        assert timings.total_s() == 6.0
+
+    def test_negative_span_rejected(self):
+        with pytest.raises(RunnerError):
+            StageTimings().record("bad", -1.0)
+
+    def test_clear(self):
+        timings = StageTimings()
+        timings.record("a", 1.0)
+        timings.clear()
+        assert timings.spans == ()
+
+    def test_render_lists_stages(self):
+        timings = StageTimings()
+        timings.record("alpha", 0.25)
+        timings.record("beta", 0.75)
+        text = timings.render()
+        assert "alpha" in text and "beta" in text and "total" in text
+
+    def test_render_empty(self):
+        assert "no spans" in StageTimings().render()
+
+
+class TestPmkCache:
+    def test_hit_returns_same_bytes(self):
+        pmk_cache_clear()
+        first = pmk_from_passphrase("hotnets2019", b"GoogleWifi")
+        second = pmk_from_passphrase("hotnets2019", b"GoogleWifi")
+        assert first == second
+        assert pmk_cache_len() == 1
+
+    def test_distinct_networks_distinct_entries(self):
+        pmk_cache_clear()
+        pmk_from_passphrase("hotnets2019", b"GoogleWifi")
+        pmk_from_passphrase("hotnets2019", b"OtherNet")
+        assert pmk_cache_len() == 2
+
+    def test_bounded_with_lru_eviction(self):
+        pmk_cache_clear()
+        for index in range(PMK_CACHE_MAX + 5):
+            pmk_from_passphrase(f"passphrase{index:03d}", b"Net")
+        assert pmk_cache_len() == PMK_CACHE_MAX
+
+    def test_clear(self):
+        pmk_from_passphrase("hotnets2019", b"GoogleWifi")
+        pmk_cache_clear()
+        assert pmk_cache_len() == 0

@@ -4,7 +4,12 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.security.aes import Aes, AesError
+from repro.security.aes import (
+    Aes,
+    AesError,
+    key_schedule_cache_clear,
+    key_schedule_cache_len,
+)
 
 
 class TestFips197Vectors:
@@ -82,3 +87,73 @@ class TestProperties:
         first = Aes(bytes(16)).encrypt_block(block)
         second = Aes(bytes(15) + b"\x01").encrypt_block(block)
         assert first != second
+
+
+class TestFastPathMatchesReference:
+    """The T-table fast path must be bit-identical to the table-free
+    FIPS-197 reference rounds, for every key size and random blocks."""
+
+    @given(st.binary(min_size=16, max_size=16),
+           st.binary(min_size=16, max_size=16))
+    def test_encrypt_128(self, key, block):
+        cipher = Aes(key)
+        assert cipher.encrypt_block(block) == \
+            cipher.encrypt_block_reference(block)
+
+    @given(st.binary(min_size=24, max_size=24),
+           st.binary(min_size=16, max_size=16))
+    def test_encrypt_192(self, key, block):
+        cipher = Aes(key)
+        assert cipher.encrypt_block(block) == \
+            cipher.encrypt_block_reference(block)
+
+    @given(st.binary(min_size=32, max_size=32),
+           st.binary(min_size=16, max_size=16))
+    def test_encrypt_256(self, key, block):
+        cipher = Aes(key)
+        assert cipher.encrypt_block(block) == \
+            cipher.encrypt_block_reference(block)
+
+    @given(st.binary(min_size=16, max_size=16),
+           st.binary(min_size=16, max_size=16))
+    def test_decrypt_128(self, key, block):
+        cipher = Aes(key)
+        assert cipher.decrypt_block(block) == \
+            cipher.decrypt_block_reference(block)
+
+    @given(st.binary(min_size=32, max_size=32),
+           st.binary(min_size=16, max_size=16))
+    def test_decrypt_256(self, key, block):
+        cipher = Aes(key)
+        assert cipher.decrypt_block(block) == \
+            cipher.decrypt_block_reference(block)
+
+
+class TestKeyScheduleCache:
+    def test_same_key_shares_schedule(self):
+        key_schedule_cache_clear()
+        first = Aes(bytes(16))
+        second = Aes(bytes(16))
+        assert first._erk is second._erk
+        assert key_schedule_cache_len() == 1
+
+    def test_distinct_keys_distinct_entries(self):
+        key_schedule_cache_clear()
+        Aes(bytes(16))
+        Aes(bytes(15) + b"\x01")
+        assert key_schedule_cache_len() == 2
+
+    def test_cache_bounded(self):
+        key_schedule_cache_clear()
+        from repro.security.aes import KEY_SCHEDULE_CACHE_MAX
+        for index in range(KEY_SCHEDULE_CACHE_MAX + 10):
+            Aes(index.to_bytes(16, "big"))
+        assert key_schedule_cache_len() == KEY_SCHEDULE_CACHE_MAX
+
+    def test_cached_cipher_still_correct(self):
+        key_schedule_cache_clear()
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        Aes(key)  # populate the cache
+        assert Aes(key).encrypt_block(plaintext) == expected

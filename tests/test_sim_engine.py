@@ -71,6 +71,67 @@ class TestScheduling:
         assert sim.pending_events() == 1
 
 
+class TestHeapCompaction:
+    def test_mass_cancellation_shrinks_heap(self):
+        sim = Simulator()
+        handles = [sim.schedule(1.0 + index, lambda: None)
+                   for index in range(200)]
+        for handle in handles[:150]:
+            handle.cancel()
+        assert sim.heap_compactions >= 1
+        assert len(sim._heap) <= 100
+        assert sim.pending_events() == 50
+
+    def test_small_heaps_not_compacted(self):
+        sim = Simulator()
+        handles = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+        for handle in handles:
+            handle.cancel()
+        assert sim.heap_compactions == 0
+
+    def test_compaction_preserves_order(self):
+        sim = Simulator()
+        order = []
+        keep = []
+        for index in range(100):
+            handle = sim.schedule(
+                1.0 + index, lambda index=index: order.append(index))
+            if index % 2:
+                handle.cancel()
+            else:
+                keep.append(index)
+        sim.run()
+        assert order == keep
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()  # must not corrupt the tombstone counter
+        assert sim.pending_events() == 0
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events() == 1
+
+    def test_cancel_idempotent(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events() == 1
+        assert not keep.cancelled
+
+    def test_pending_exact_during_run(self):
+        sim = Simulator()
+        seen = []
+        later = [sim.schedule(5.0 + index, lambda: None)
+                 for index in range(4)]
+        sim.schedule(1.0, lambda: later[0].cancel())
+        sim.schedule(2.0, lambda: seen.append(sim.pending_events()))
+        sim.run()
+        assert seen == [3]
+
+
 class TestRunControl:
     def test_run_until_stops_early(self):
         sim = Simulator()
