@@ -185,6 +185,14 @@ class CurrentTrace:
         Returns (times, currents). Each sample reports the current at the
         sample instant (zero in gaps), matching an instantaneous-aperture
         DMM reading.
+
+        The grid is integer-indexed (``t0 + k / rate_hz``): a float-step
+        ``np.arange`` accumulates one ulp of drift per step, which over a
+        multi-minute window at 50 kS/s shifts samples off segment
+        boundaries and can even change the sample count. Segment lookup
+        is a vectorised ``searchsorted`` over the (ordered,
+        non-overlapping) segment starts instead of one boolean mask per
+        segment.
         """
         if rate_hz <= 0:
             raise TraceError(f"sample rate must be positive, got {rate_hz}")
@@ -192,12 +200,28 @@ class CurrentTrace:
         t1 = self.end_s if t1_s is None else t1_s
         if t1 < t0:
             raise TraceError("bad sampling window")
-        times = np.arange(t0, t1, 1.0 / rate_hz)
-        currents = np.zeros_like(times)
-        starts = np.array([segment.start_s for segment in self._segments])
-        for segment, _start in zip(self._segments, starts):
-            mask = (times >= segment.start_s) & (times < segment.end_s)
-            currents[mask] = segment.current_a
+        # Samples lie at t0 + k/rate for 0 <= k, strictly before t1; the
+        # relative guard keeps a nominally-integral span (300 s at
+        # 50 kS/s) whose float product lands a few ulps high from
+        # rounding up to an extra sample.
+        span = (t1 - t0) * rate_hz
+        count = max(0, int(np.ceil(span * (1.0 - 1e-12))))
+        times = t0 + np.arange(count) / rate_hz
+        currents = np.zeros(count)
+        if self._segments and count:
+            segment_starts = np.array(
+                [segment.start_s for segment in self._segments])
+            segment_ends = np.array(
+                [segment.end_s for segment in self._segments])
+            segment_currents = np.array(
+                [segment.current_a for segment in self._segments])
+            # Last segment starting at or before each sample; samples
+            # before the first segment clip to index 0 and are rejected
+            # by the containment test below.
+            indices = np.searchsorted(segment_starts, times, side="right") - 1
+            clipped = np.clip(indices, 0, len(segment_starts) - 1)
+            inside = (indices >= 0) & (times < segment_ends[clipped])
+            currents[inside] = segment_currents[clipped[inside]]
         return times, currents
 
     def current_at(self, time_s: float) -> float:

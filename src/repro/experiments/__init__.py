@@ -45,6 +45,7 @@ from .multi_device import (
 from .report import (
     format_si,
     render_log_sketch,
+    render_metrics,
     render_series,
     render_table,
     render_timings,

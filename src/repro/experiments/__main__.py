@@ -5,14 +5,18 @@
     python -m repro.experiments --quick      # core artifacts only
     python -m repro.experiments --workers 4  # fan sweeps over processes
     python -m repro.experiments --timings    # append a stage-timing table
+    python -m repro.experiments --metrics    # metrics table + JSONL artifact
+    python -m repro.experiments --audit      # cross-check run invariants
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
-from ..scenarios import run_all_scenarios
+from ..obs import METRICS, audit_all
+from ..scenarios import ensure_scenario_metrics, run_all_scenarios
 from . import (
     ablations,
     adaptive,
@@ -21,7 +25,7 @@ from . import (
     reliability,
     scheduling,
 )
-from .artifacts import export_all
+from .artifacts import export_all, write_metrics_jsonl
 from .battery_life import battery_life, render as render_battery
 from .figure3 import run_figure3
 from .figure4 import run_figure4
@@ -53,6 +57,13 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 1 = serial; results are identical)")
     parser.add_argument("--timings", action="store_true",
                         help="print a per-stage wall-clock table at the end")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics table and write a JSONL "
+                             "artifact (metrics.jsonl, under --out if given)")
+    parser.add_argument("--audit", action="store_true",
+                        help="cross-check run invariants (charge "
+                             "conservation, timeline monotonicity, sampling "
+                             "consistency); non-zero exit on violation")
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
@@ -100,7 +111,26 @@ def main(argv: list[str] | None = None) -> int:
     if args.timings:
         _banner("Stage timings")
         print(TIMINGS.render())
-    return 0
+
+    audit_failed = False
+    if args.audit:
+        _banner("Invariant audit")
+        report = audit_all(results)
+        print(report.render())
+        audit_failed = not report.ok
+
+    if args.metrics:
+        from .report import render_metrics
+        # A parallel run leaves scenario metrics in the dead workers;
+        # re-emit them from the results so the artifact is complete.
+        ensure_scenario_metrics(results)
+        _banner("Metrics")
+        print(render_metrics(METRICS))
+        path = os.path.join(args.out, "metrics.jsonl") if args.out else "metrics.jsonl"
+        artifact = write_metrics_jsonl(path)
+        print(f"\nwrote {artifact.path} ({artifact.rows} metrics)")
+
+    return 1 if audit_failed else 0
 
 
 if __name__ == "__main__":

@@ -9,11 +9,20 @@ gnuplot/pyplot at these files regenerates the paper's figures visually.
 from __future__ import annotations
 
 import csv
+import json
 import os
 from dataclasses import dataclass
 
 from ..energy.trace import CurrentTrace
-from ..scenarios import ScenarioResult, figure4, run_all_scenarios, table1
+from ..obs import METRICS
+from ..obs.metrics import MetricsRegistry
+from ..scenarios import (
+    ScenarioResult,
+    ensure_scenario_metrics,
+    figure4,
+    run_all_scenarios,
+    table1,
+)
 
 
 class ArtifactError(RuntimeError):
@@ -91,6 +100,22 @@ def write_trace_segments_csv(path: str, trace: CurrentTrace) -> WrittenArtifact:
     return WrittenArtifact(path, len(trace))
 
 
+def write_metrics_jsonl(path: str,
+                        registry: MetricsRegistry | None = None) -> WrittenArtifact:
+    """One metric snapshot per line: the run's observability artifact.
+
+    Records are the plain dicts from
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, sorted by
+    (name, labels) so two identical runs produce byte-identical files.
+    """
+    registry = registry if registry is not None else METRICS
+    records = registry.snapshot()
+    with _writer(path) as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return WrittenArtifact(path, len(records))
+
+
 def export_all(output_dir: str,
                results: dict[str, ScenarioResult] | None = None) -> list[WrittenArtifact]:
     """Write the full artifact set under ``output_dir``."""
@@ -109,4 +134,9 @@ def export_all(output_dir: str,
             os.path.join(output_dir, "figure3b_wile_segments.csv"),
             results["Wi-LE"].trace),
     ]
+    # Scenario metrics recorded in pool workers died with the pool;
+    # re-emit from the results so the artifact is always complete.
+    ensure_scenario_metrics(results)
+    artifacts.append(write_metrics_jsonl(
+        os.path.join(output_dir, "metrics.jsonl")))
     return artifacts

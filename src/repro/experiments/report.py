@@ -49,6 +49,30 @@ def render_timings(timings, title: str = "Stage timings") -> str:
     return render_table(title, ["stage", "spans", "wall time", "share"], rows)
 
 
+def render_metrics(registry, title: str = "Metrics") -> str:
+    """Tabulate a :class:`~repro.obs.metrics.MetricsRegistry` snapshot.
+
+    One row per instrument: name, labels, type, and the value (counters
+    and gauges) or count/mean/min/max summary (histograms), SI-scaled
+    where the unit is encoded in the metric name suffix.
+    """
+    records = registry.snapshot()
+    if not records:
+        return f"{title}\n{'=' * len(title)}\n(no metrics recorded)"
+    rows = []
+    for record in records:
+        labels = ",".join(f"{key}={value}"
+                          for key, value in sorted(record["labels"].items()))
+        if record["type"] == "histogram":
+            value = (f"n={record['count']} mean={record['mean']:.4g} "
+                     f"min={record['min']:.4g} max={record['max']:.4g}"
+                     if record["count"] else "n=0")
+        else:
+            value = f"{record['value']:.6g}"
+        rows.append([record["name"], labels, record["type"], value])
+    return render_table(title, ["metric", "labels", "type", "value"], rows)
+
+
 def render_table(title: str, headers: Sequence[str],
                  rows: Sequence[Sequence[str]]) -> str:
     """Column-aligned ASCII table with a title rule."""

@@ -53,6 +53,7 @@ from ..netproto import (
     llc_decapsulate,
     llc_encapsulate,
 )
+from ..obs import METRICS
 from ..security import (
     Authenticator,
     CcmpSession,
@@ -182,6 +183,7 @@ class AccessPoint:
     def _ack(self, source: MacAddress) -> None:
         """Send the control ACK a real AP emits a SIFS after unicast RX."""
         self.frames_acked += 1
+        METRICS.counter("mac.ap.frames_acked").inc()
         self._transmit(Ack(receiver=source))
 
     def _later(self, delay_s: float, action) -> None:
@@ -215,6 +217,7 @@ class AccessPoint:
             elements=self.beacon_elements(),
             sequence=self._seq())
         self.beacons_sent += 1
+        METRICS.counter("mac.ap.beacons_sent").inc()
         self._transmit(beacon)
 
     # -- receive dispatch ------------------------------------------------------------
@@ -238,6 +241,7 @@ class AccessPoint:
             key = (type(frame).__name__, sequence)
             if self._rx_dedup.get(source) == key:
                 self.duplicates_dropped += 1
+                METRICS.counter("mac.ap.duplicates_dropped").inc()
                 self._ack(source)
                 return
             self._rx_dedup[source] = key
@@ -263,6 +267,7 @@ class AccessPoint:
             last = self._last_activity_s.get(mac, now)
             if now - last >= self.inactivity_timeout_s:
                 self.disassociations_sent += 1
+                METRICS.counter("mac.ap.disassociations_sent").inc()
                 del self._stations[mac]
                 self._transmit(Disassociation(
                     destination=mac, source=self.mac, bssid=self.mac,

@@ -58,6 +58,7 @@ from ..netproto import (
     llc_decapsulate,
     llc_encapsulate,
 )
+from ..obs import METRICS
 from ..security import CcmpSession, EapolKey, NonceGenerator, Supplicant
 from ..sim import Position, Radio, Simulator, Transmission, WirelessMedium
 from .log import FrameDirection, FrameLayer, FrameLog
@@ -244,8 +245,10 @@ class Station:
         if attempt + 1 >= self.RETRY_LIMIT:
             self._awaiting_ack = None
             self.retries_exhausted += 1
+            METRICS.counter("mac.station.retries_exhausted").inc()
             return
         self.retries += 1
+        METRICS.counter("mac.station.retries").inc()
         self._log_tx(f"{description} (retry {attempt + 1})", FrameLayer.MAC)
         self._transmit_with_retry(frame, description, attempt + 1)
 
@@ -254,11 +257,14 @@ class Station:
         self.frame_log.record(self.sim.now_s, FrameDirection.STATION_TO_AP,
                               layer, description, size,
                               phase if phase is not None else self._phase)
+        METRICS.counter("mac.station.frames_tx", layer=layer.value).inc()
+        METRICS.counter("mac.station.bytes_tx").inc(size)
 
     def _log_rx(self, description: str, layer: FrameLayer,
                 size: int = 0) -> None:
         self.frame_log.record(self.sim.now_s, FrameDirection.AP_TO_STATION,
                               layer, description, size, self._phase)
+        METRICS.counter("mac.station.frames_rx", layer=layer.value).inc()
 
     def _ack_ap(self, description: str = "ack",
                 layer: FrameLayer = FrameLayer.MAC) -> None:

@@ -1,0 +1,38 @@
+"""Run-wide observability: metrics, event tracing, invariant audits.
+
+Three small, dependency-free layers that every other subsystem can hook
+into without caring who (if anyone) is watching:
+
+* :mod:`repro.obs.metrics` — a process-local registry of counters,
+  gauges and histograms (:data:`METRICS` is the shared default);
+* :mod:`repro.obs.tracing` — a bounded structured-event tracer the
+  simulation engine reports scheduler activity to;
+* :mod:`repro.obs.audit` — invariant audits that cross-check every
+  run's energy accounting (charge conservation, monotonic timelines,
+  sampling consistency).
+
+``python -m repro.experiments --metrics --audit`` is the user-facing
+end: a metrics table plus JSONL artifact, and a hard failure if any
+invariant breaks.
+"""
+
+from .audit import (
+    CHARGE_REL_TOL,
+    IDLE_LABELS,
+    AuditFinding,
+    AuditReport,
+    audit_all,
+    audit_scenario,
+    audit_trace,
+)
+from .metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+from .tracing import EventTracer, TraceEvent, TracingError
+
+__all__ = [name for name in dir() if not name.startswith("_")]

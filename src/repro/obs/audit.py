@@ -1,0 +1,220 @@
+"""Run-wide invariant audits: cross-check every energy integral.
+
+Every headline number in the reproduction — Table 1 average currents,
+Figure 3 traces, Figure 4 lifetimes — is an integral over the simulated
+timeline, so a clock or sampling bug corrupts the results silently. The
+auditor re-derives each quantity along independent paths and flags any
+disagreement:
+
+* **charge conservation** — ``CurrentTrace.charge_c()`` must equal the
+  sum of ``charge_by_label()`` and ``average_current_a() * duration``
+  to within a relative tolerance (default 1e-9);
+* **monotonic segment times** — segments ordered, non-negative spans,
+  no overlaps;
+* **no active gaps** — the trace may only have holes between idle
+  phases (a gap inside an active exchange means a phase went
+  unaccounted);
+* **sampling consistency** — the 50 kS/s multimeter resampling path
+  must integrate to the exact charge within the boundary-error bound;
+* **scenario sanity** — reported energies, windows and currents are
+  finite and positive, frame logs are time-ordered.
+
+``python -m repro.experiments --audit`` runs the full set over all four
+scenarios and fails the process if any invariant is violated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..energy.trace import CurrentTrace
+
+#: Phase labels during which a trace gap is benign (device parked).
+IDLE_LABELS = frozenset({"sleep", "idle", "deep-sleep"})
+
+#: Default relative tolerance for charge-conservation cross-checks.
+CHARGE_REL_TOL = 1e-9
+
+#: Absolute charge floor below which relative comparison is meaningless.
+_CHARGE_ABS_FLOOR_C = 1e-15
+
+
+@dataclass(frozen=True, slots=True)
+class AuditFinding:
+    """One violated invariant."""
+
+    invariant: str
+    subject: str
+    message: str
+
+
+@dataclass
+class AuditReport:
+    """The outcome of an audit pass: checks performed, findings raised."""
+
+    findings: list[AuditFinding] = field(default_factory=list)
+    checks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def merge(self, other: "AuditReport") -> None:
+        """Fold another report's checks and findings into this one."""
+        self.findings.extend(other.findings)
+        self.checks += other.checks
+
+    def render(self) -> str:
+        """A human-readable pass/fail summary."""
+        lines = [f"invariant audit: {self.checks} checks, "
+                 f"{len(self.findings)} violations"]
+        for finding in self.findings:
+            lines.append(
+                f"  FAIL [{finding.invariant}] {finding.subject}: "
+                f"{finding.message}")
+        if self.ok:
+            lines.append("  all invariants hold")
+        return "\n".join(lines)
+
+
+def _rel_err(a: float, b: float) -> float:
+    scale = max(abs(a), abs(b), _CHARGE_ABS_FLOOR_C)
+    return abs(a - b) / scale
+
+
+def audit_trace(trace: CurrentTrace, subject: str = "trace",
+                rel_tol: float = CHARGE_REL_TOL,
+                idle_labels: frozenset[str] = IDLE_LABELS,
+                sample_rate_hz: float | None = 50_000.0) -> AuditReport:
+    """Audit one current trace's internal consistency.
+
+    Args:
+        trace: the trace to check.
+        subject: name used in findings (typically the scenario name).
+        rel_tol: relative tolerance for charge cross-checks.
+        idle_labels: phase labels where gaps are permitted.
+        sample_rate_hz: rate for the resampling cross-check, or None to
+            skip it (it costs O(duration * rate)).
+    """
+    report = AuditReport()
+    segments = trace.segments
+
+    # Invariant: monotonic, non-overlapping, non-negative segment times.
+    report.checks += 1
+    previous_end = -math.inf
+    for index, segment in enumerate(segments):
+        if segment.duration_s < 0:
+            report.findings.append(AuditFinding(
+                "monotonic-times", subject,
+                f"segment {index} has negative duration "
+                f"{segment.duration_s}"))
+        if segment.start_s < previous_end - 1e-12:
+            report.findings.append(AuditFinding(
+                "monotonic-times", subject,
+                f"segment {index} at {segment.start_s}s overlaps previous "
+                f"ending {previous_end}s"))
+        previous_end = max(previous_end, segment.end_s)
+
+    # Invariant: charge conservation across independent derivations.
+    report.checks += 1
+    exact_c = trace.charge_c()
+    by_label_c = math.fsum(trace.charge_by_label().values())
+    if _rel_err(exact_c, by_label_c) > rel_tol:
+        report.findings.append(AuditFinding(
+            "charge-conservation", subject,
+            f"charge_c()={exact_c!r} C but charge_by_label() sums to "
+            f"{by_label_c!r} C (rel err {_rel_err(exact_c, by_label_c):.3g})"))
+    if trace.duration_s > 0:
+        report.checks += 1
+        averaged_c = trace.average_current_a() * trace.duration_s
+        if _rel_err(exact_c, averaged_c) > rel_tol:
+            report.findings.append(AuditFinding(
+                "charge-conservation", subject,
+                f"average_current_a()*duration={averaged_c!r} C but "
+                f"charge_c()={exact_c!r} C "
+                f"(rel err {_rel_err(exact_c, averaged_c):.3g})"))
+
+    # Invariant: gaps only between idle phases.
+    report.checks += 1
+    for index in range(1, len(segments)):
+        previous, current = segments[index - 1], segments[index]
+        gap_s = current.start_s - previous.end_s
+        if gap_s <= 1e-12:
+            continue
+        if (previous.label not in idle_labels
+                or current.label not in idle_labels):
+            report.findings.append(AuditFinding(
+                "active-gaps", subject,
+                f"{gap_s:.3g}s gap at {previous.end_s}s between active "
+                f"phases {previous.label!r} and {current.label!r}"))
+
+    # Invariant: the multimeter resampling path integrates to the exact
+    # charge. Each segment boundary can mis-attribute at most one sample
+    # period of the worst-case current, so the Riemann sum must land
+    # within that bound of the exact integral.
+    if sample_rate_hz is not None and segments and trace.duration_s > 0:
+        report.checks += 1
+        _times, currents = trace.sample(sample_rate_hz)
+        sampled_c = float(np.sum(currents)) / sample_rate_hz
+        bound_c = (2.0 * (len(segments) + 1) * trace.peak_current_a()
+                   / sample_rate_hz) + rel_tol * max(abs(exact_c), 1.0)
+        if abs(sampled_c - exact_c) > bound_c:
+            report.findings.append(AuditFinding(
+                "sampling-consistency", subject,
+                f"{sample_rate_hz:g} S/s resampling integrates to "
+                f"{sampled_c!r} C, exact is {exact_c!r} C "
+                f"(error {abs(sampled_c - exact_c):.3g} C exceeds bound "
+                f"{bound_c:.3g} C)"))
+    return report
+
+
+def audit_scenario(result, rel_tol: float = CHARGE_REL_TOL,
+                   sample_rate_hz: float | None = 50_000.0) -> AuditReport:
+    """Audit one :class:`~repro.scenarios.base.ScenarioResult`.
+
+    Accepts the result duck-typed (name / energy_per_packet_j / t_tx_s /
+    idle_current_a / supply_voltage_v / trace / frame_log) so the audit
+    layer never imports the scenario layer.
+    """
+    report = AuditReport()
+    subject = result.name
+
+    report.checks += 1
+    for attribute in ("energy_per_packet_j", "t_tx_s", "supply_voltage_v"):
+        value = getattr(result, attribute)
+        if not math.isfinite(value) or value <= 0:
+            report.findings.append(AuditFinding(
+                "scenario-sanity", subject,
+                f"{attribute}={value!r} is not finite and positive"))
+    if not math.isfinite(result.idle_current_a) or result.idle_current_a < 0:
+        report.findings.append(AuditFinding(
+            "scenario-sanity", subject,
+            f"idle_current_a={result.idle_current_a!r} is not finite and "
+            f"non-negative"))
+
+    if result.trace is not None:
+        report.merge(audit_trace(result.trace, subject=subject,
+                                 rel_tol=rel_tol,
+                                 sample_rate_hz=sample_rate_hz))
+
+    if result.frame_log is not None:
+        report.checks += 1
+        times = [entry.time_s for entry in result.frame_log.entries]
+        if any(later < earlier for earlier, later in zip(times, times[1:])):
+            report.findings.append(AuditFinding(
+                "frame-log-monotonic", subject,
+                "frame log timestamps go backwards"))
+    return report
+
+
+def audit_all(results: dict, rel_tol: float = CHARGE_REL_TOL,
+              sample_rate_hz: float | None = 50_000.0) -> AuditReport:
+    """Audit every scenario result in ``results`` into one report."""
+    report = AuditReport()
+    for result in results.values():
+        report.merge(audit_scenario(result, rel_tol=rel_tol,
+                                    sample_rate_hz=sample_rate_hz))
+    return report

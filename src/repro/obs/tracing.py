@@ -1,0 +1,84 @@
+"""Structured event tracing for the simulation engine.
+
+:class:`EventTracer` is the duck type :attr:`repro.sim.Simulator.tracer`
+expects: anything with ``emit(kind, time_s, **fields)``. Attach one and
+the engine reports every scheduler decision — events scheduled, fired,
+cancelled, heap compactions — as timestamped records in a bounded ring
+buffer, cheap enough to leave on for a whole scenario run and dump next
+to the metrics artifact when a run needs a post-mortem.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+class TracingError(ValueError):
+    """Raised for invalid tracer configuration."""
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One structured record: what happened, when, with what details."""
+
+    kind: str
+    time_s: float
+    fields: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Flat JSON-serialisable form (fields inlined)."""
+        record = {"kind": self.kind, "time_s": self.time_s}
+        record.update(self.fields)
+        return record
+
+
+class EventTracer:
+    """A bounded ring buffer of :class:`TraceEvent` records.
+
+    Args:
+        max_events: ring capacity; older records are dropped (and
+            counted in :attr:`dropped`) once it fills, so tracing a
+            million-event run cannot exhaust memory.
+    """
+
+    def __init__(self, max_events: int = 100_000) -> None:
+        if max_events < 1:
+            raise TracingError(f"max_events must be >= 1, got {max_events}")
+        self._events: deque[TraceEvent] = deque(maxlen=max_events)
+        self.max_events = max_events
+        #: Records evicted from the ring after it filled.
+        self.dropped = 0
+        #: Total records ever emitted (including dropped ones).
+        self.emitted = 0
+
+    def emit(self, kind: str, time_s: float, **fields) -> None:
+        """Record one event (the hook the simulator calls)."""
+        if len(self._events) == self.max_events:
+            self.dropped += 1
+        self._events.append(TraceEvent(kind, time_s, fields))
+        self.emitted += 1
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Retained-record counts per event kind."""
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def records(self) -> list[dict]:
+        """All retained events as JSON-serialisable dicts."""
+        return [event.as_dict() for event in self._events]
+
+    def clear(self) -> None:
+        """Drop all retained events and reset the drop counters."""
+        self._events.clear()
+        self.dropped = 0
+        self.emitted = 0

@@ -1,6 +1,13 @@
 """The four §5.3 evaluation scenarios and cross-scenario comparisons."""
 
-from .base import Burst, ScenarioError, ScenarioResult, overlay_window
+from .base import (
+    Burst,
+    ScenarioError,
+    ScenarioResult,
+    emit_scenario_metrics,
+    ensure_scenario_metrics,
+    overlay_window,
+)
 from .ble import run_ble
 from .compare import (
     SCENARIO_ORDER,

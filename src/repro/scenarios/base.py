@@ -17,6 +17,8 @@ from ..energy.average import DutyCycleProfile
 from ..energy.esp32 import Esp32PowerModel, Esp32State
 from ..energy.trace import CurrentTrace
 from ..mac.log import FrameLog
+from ..obs import METRICS
+from ..obs.metrics import MetricsRegistry
 
 
 class ScenarioError(RuntimeError):
@@ -47,6 +49,69 @@ class ScenarioResult:
 
     def average_power_w(self, interval_s: float) -> float:
         return self.profile().average_power_w(interval_s)
+
+
+def emit_scenario_metrics(result: ScenarioResult,
+                          registry: MetricsRegistry | None = None) -> None:
+    """Record one scenario run's energy and frame accounting.
+
+    Each ``run_*`` scenario calls this on its way out, so a run always
+    leaves its Table 1 inputs — energy per packet, transmission window,
+    idle current, trace charge per phase, frame counts — in the metrics
+    registry alongside whatever the MAC layer counted during the run.
+    Like :data:`~repro.experiments.runner.TIMINGS`, metrics recorded in
+    pool workers stay in the worker; parent-side callers can re-emit
+    from the returned results (see ``ensure_scenario_metrics``).
+    """
+    registry = registry if registry is not None else METRICS
+    name = result.name
+    registry.counter("scenario.runs", scenario=name).inc()
+    registry.gauge("scenario.energy_per_packet_j", scenario=name).set(
+        result.energy_per_packet_j)
+    registry.gauge("scenario.t_tx_s", scenario=name).set(result.t_tx_s)
+    registry.gauge("scenario.idle_current_a", scenario=name).set(
+        result.idle_current_a)
+    trace = result.trace
+    if trace is not None:
+        registry.gauge("scenario.trace.charge_c", scenario=name).set(
+            trace.charge_c())
+        registry.gauge("scenario.trace.duration_s", scenario=name).set(
+            trace.duration_s)
+        registry.gauge("scenario.trace.average_current_a", scenario=name).set(
+            trace.average_current_a() if trace.duration_s > 0 else 0.0)
+        registry.gauge("scenario.trace.peak_current_a", scenario=name).set(
+            trace.peak_current_a())
+        registry.gauge("scenario.trace.segments", scenario=name).set(
+            float(len(trace)))
+        for label, charge_c in trace.charge_by_label().items():
+            registry.gauge("scenario.trace.charge_by_label_c",
+                           scenario=name, label=label).set(charge_c)
+        durations = registry.histogram("scenario.trace.segment_duration_s",
+                                       scenario=name)
+        for segment in trace:
+            durations.observe(segment.duration_s)
+    frame_log = result.frame_log
+    if frame_log is not None:
+        for layer in set(entry.layer for entry in frame_log.entries):
+            registry.counter("scenario.frames", scenario=name,
+                             layer=layer.value).inc(frame_log.count(layer))
+        registry.counter("scenario.frame_bytes_on_air", scenario=name).inc(
+            frame_log.bytes_on_air())
+
+
+def ensure_scenario_metrics(results: dict[str, ScenarioResult],
+                            registry: MetricsRegistry | None = None) -> None:
+    """Emit metrics for any scenario result missing from ``registry``.
+
+    A parallel ``run_all_scenarios`` records each scenario's metrics in
+    its worker process, where they die with the pool; this re-emits
+    parent-side from the returned results without double-counting the
+    serial path (which already recorded them).
+    """
+    registry = registry if registry is not None else METRICS
+    for name, result in results.items():
+        if registry.get("scenario.runs", scenario=name) is None:
+            emit_scenario_metrics(result, registry)
 
 
 @dataclass(frozen=True, slots=True)

@@ -17,7 +17,7 @@ from ..energy.cc2541 import Cc2541PowerModel
 from ..energy.trace import CurrentTrace
 from ..sim import Simulator
 from ..ble import BleConnection
-from .base import ScenarioError, ScenarioResult
+from .base import ScenarioError, ScenarioResult, emit_scenario_metrics
 
 
 def run_ble(payload: bytes = bytes(cal.SENSOR_PAYLOAD_BYTES),
@@ -45,7 +45,7 @@ def run_ble(payload: bytes = bytes(cal.SENSOR_PAYLOAD_BYTES),
     model.record_event(trace)
     model.record_sleep(trace, sleep_tail_s)
 
-    return ScenarioResult(
+    result = ScenarioResult(
         name="BLE",
         energy_per_packet_j=model.energy_per_event_j(),
         t_tx_s=model.event_duration_s(),
@@ -57,3 +57,5 @@ def run_ble(payload: bytes = bytes(cal.SENSOR_PAYLOAD_BYTES),
             "connection_interval_s": connection_interval_s,
             "events_run": len(connection.records),
         })
+    emit_scenario_metrics(result)
+    return result

@@ -22,7 +22,13 @@ from ..energy.trace import CurrentTrace
 from ..mac import AccessPoint, FrameDirection, Station
 from ..security import pmk_from_passphrase
 from ..sim import Position, Simulator, WirelessMedium
-from .base import Burst, ScenarioError, ScenarioResult, overlay_window
+from .base import (
+    Burst,
+    ScenarioError,
+    ScenarioResult,
+    emit_scenario_metrics,
+    overlay_window,
+)
 
 #: Airtime margin charged per frame event for MAC/interrupt handling.
 FRAME_EVENT_WINDOW_S = 0.002
@@ -72,7 +78,7 @@ def run_wifi_dc(payload: bytes = bytes(cal.SENSOR_PAYLOAD_BYTES),
                       + cal.WIFI_DC_TEARDOWN_S)
     energy_j = trace.energy_j(model.supply_voltage_v, active_start_s,
                               teardown_end_s)
-    return ScenarioResult(
+    result = ScenarioResult(
         name="WiFi-DC",
         energy_per_packet_j=energy_j,
         t_tx_s=teardown_end_s - active_start_s,
@@ -88,6 +94,8 @@ def run_wifi_dc(payload: bytes = bytes(cal.SENSOR_PAYLOAD_BYTES),
             "net_phase_s": marks["net_phase_end"] - marks["net_phase_start"],
             "sequence_s": marks["sequence_complete"],
         })
+    emit_scenario_metrics(result)
+    return result
 
 
 def _build_trace(model: Esp32PowerModel, station: Station,

@@ -22,7 +22,7 @@ from ..energy.trace import CurrentTrace
 from ..mac import BEACON_INTERVAL_S, AccessPoint, Station, StationState
 from ..security import pmk_from_passphrase
 from ..sim import Position, Simulator, WirelessMedium
-from .base import ScenarioError, ScenarioResult
+from .base import ScenarioError, ScenarioResult, emit_scenario_metrics
 
 STATION_MAC = MacAddress.parse("24:0a:c4:32:17:02")
 
@@ -70,7 +70,7 @@ def run_wifi_ps(payload: bytes = bytes(cal.SENSOR_PAYLOAD_BYTES),
     trace = _transmission_burst_trace(model)
     burst_duration = trace.duration_s
     energy_j = trace.energy_j(model.supply_voltage_v)
-    return ScenarioResult(
+    result = ScenarioResult(
         name="WiFi-PS",
         energy_per_packet_j=energy_j,
         t_tx_s=burst_duration,
@@ -84,6 +84,8 @@ def run_wifi_ps(payload: bytes = bytes(cal.SENSOR_PAYLOAD_BYTES),
             "associated_at_s": progress["associated"],
             "sent_at_s": progress["sent"],
         })
+    emit_scenario_metrics(result)
+    return result
 
 
 def _transmission_burst_trace(model: Esp32PowerModel) -> CurrentTrace:

@@ -17,7 +17,7 @@ from ..energy.esp32 import Esp32PowerModel, Esp32Recorder, Esp32State
 from ..energy.trace import CurrentTrace
 from ..sim import Position, Simulator, WirelessMedium
 from ..core import SensorKind, SensorReading, WiLEDevice, WiLEReceiver
-from .base import ScenarioError, ScenarioResult
+from .base import ScenarioError, ScenarioResult, emit_scenario_metrics
 
 #: The reference reading carried in the Table 1 measurement.
 REFERENCE_READINGS = (SensorReading(SensorKind.TEMPERATURE_C, 17.0),)
@@ -51,7 +51,7 @@ def run_wile(readings=REFERENCE_READINGS,
 
     trace = _figure3b_trace(model, record.airtime_s, sleep_lead_s, sleep_tail_s)
     tx_window_s = cal.WILE_RADIO_WARMUP_S + record.airtime_s
-    return ScenarioResult(
+    result = ScenarioResult(
         name="Wi-LE",
         energy_per_packet_j=record.energy_j,
         t_tx_s=tx_window_s,
@@ -71,6 +71,8 @@ def run_wile(readings=REFERENCE_READINGS,
                 model.supply_voltage_v, sleep_lead_s,
                 recorder.trace.end_s),
         })
+    emit_scenario_metrics(result)
+    return result
 
 
 def _figure3b_trace(model: Esp32PowerModel, airtime_s: float,

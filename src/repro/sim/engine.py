@@ -69,14 +69,22 @@ class Simulator:
     #: without compaction those tombstones pile up until popped.
     COMPACT_MIN_SIZE = 64
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Any | None = None) -> None:
         self._heap: list[_ScheduledEvent] = []
         self._order = itertools.count()
         self._now_s = 0.0
         self._running = False
         self._cancelled_in_heap = 0
         self.events_processed = 0
+        self.events_scheduled = 0
+        self.events_cancelled = 0
         self.heap_compactions = 0
+        #: Optional structured-event hook (duck-typed, e.g.
+        #: :class:`repro.obs.EventTracer`): anything with
+        #: ``emit(kind, time_s, **fields)`` receives every scheduler
+        #: decision — ``event_scheduled``, ``event_fired``,
+        #: ``event_cancelled``, ``heap_compacted``.
+        self.tracer = tracer
 
     @property
     def now_s(self) -> float:
@@ -95,6 +103,10 @@ class Simulator:
                 f"cannot schedule at {time_s}s, now is {self._now_s}s")
         event = _ScheduledEvent(time_s, next(self._order), callback)
         heapq.heappush(self._heap, event)
+        self.events_scheduled += 1
+        if self.tracer is not None:
+            self.tracer.emit("event_scheduled", self._now_s,
+                             at_s=time_s, order=event.order)
         return EventHandle(event, self)
 
     def _cancel(self, event: _ScheduledEvent) -> None:
@@ -110,6 +122,10 @@ class Simulator:
             return
         event.cancelled = True
         self._cancelled_in_heap += 1
+        self.events_cancelled += 1
+        if self.tracer is not None:
+            self.tracer.emit("event_cancelled", self._now_s,
+                             at_s=event.time_s, order=event.order)
         if (len(self._heap) >= self.COMPACT_MIN_SIZE
                 and self._cancelled_in_heap * 2 > len(self._heap)):
             self._compact()
@@ -121,23 +137,34 @@ class Simulator:
         iteration, and (time, order) is a total order, so heapify cannot
         change the pop sequence of live events.
         """
+        before = len(self._heap)
         self._heap = [event for event in self._heap if not event.cancelled]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
         self.heap_compactions += 1
+        if self.tracer is not None:
+            self.tracer.emit("heap_compacted", self._now_s,
+                             dropped=before - len(self._heap),
+                             remaining=len(self._heap))
 
     def run(self, until_s: float | None = None,
             max_events: int | None = None) -> None:
         """Process events until the queue drains, ``until_s`` is reached,
         or ``max_events`` callbacks have fired.
 
-        Advancing to ``until_s`` with an empty queue still moves the clock,
-        so idle periods integrate correctly in the energy model.
+        Advancing to ``until_s`` with a drained queue still moves the
+        clock, so idle periods integrate correctly in the energy model.
+        When ``max_events`` stops the loop with live events still queued
+        before ``until_s``, the clock stays at the last fired event —
+        jumping to ``until_s`` would strand the queued events in the
+        past (``at()`` on their timestamps would raise) and charge idle
+        current for a window that was never simulated.
         """
         if self._running:
             raise SimulationError("simulator is already running (reentrant run)")
         self._running = True
         processed = 0
+        drained = True
         try:
             while self._heap:
                 event = self._heap[0]
@@ -148,13 +175,17 @@ class Simulator:
                 if until_s is not None and event.time_s > until_s:
                     break
                 if max_events is not None and processed >= max_events:
+                    drained = False
                     break
                 heapq.heappop(self._heap).popped = True
                 self._now_s = event.time_s
+                if self.tracer is not None:
+                    self.tracer.emit("event_fired", self._now_s,
+                                     order=event.order)
                 event.callback()
                 processed += 1
                 self.events_processed += 1
-            if until_s is not None and until_s > self._now_s:
+            if drained and until_s is not None and until_s > self._now_s:
                 self._now_s = until_s
         finally:
             self._running = False

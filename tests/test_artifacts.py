@@ -88,10 +88,27 @@ class TestExportAll:
         names = {os.path.basename(artifact.path) for artifact in artifacts}
         assert names == {"table1.csv", "figure4.csv", "figure3a_wifi.csv",
                          "figure3b_wile.csv", "figure3a_wifi_segments.csv",
-                         "figure3b_wile_segments.csv"}
+                         "figure3b_wile_segments.csv", "metrics.jsonl"}
         for artifact in artifacts:
             assert os.path.exists(artifact.path)
             assert artifact.rows > 0
+
+
+class TestMetricsJsonl:
+    def test_one_json_record_per_line(self, tmp_path):
+        import json
+        from repro.experiments.artifacts import write_metrics_jsonl
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        registry.counter("frames", layer="mac").inc(5)
+        registry.gauge("charge_c", scenario="Wi-LE").set(1.5e-2)
+        artifact = write_metrics_jsonl(str(tmp_path / "m.jsonl"), registry)
+        with open(artifact.path) as handle:
+            records = [json.loads(line) for line in handle]
+        assert artifact.rows == len(records) == 2
+        by_name = {record["name"]: record for record in records}
+        assert by_name["frames"]["value"] == 5
+        assert by_name["charge_c"]["labels"] == {"scenario": "Wi-LE"}
 
 
 class TestCli:
@@ -103,3 +120,14 @@ class TestCli:
         assert "Table 1" in output
         assert "Figure 4" in output
         assert os.path.exists(tmp_path / "out" / "table1.csv")
+
+    def test_metrics_and_audit_flags(self, results, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+        code = main(["--quick", "--metrics", "--audit",
+                     "--out", str(tmp_path / "out")])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Invariant audit" in output
+        assert "all invariants hold" in output
+        assert "Metrics" in output
+        assert os.path.exists(tmp_path / "out" / "metrics.jsonl")

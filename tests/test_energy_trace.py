@@ -142,3 +142,77 @@ class TestSampling:
         assert trace.current_at(0.5) == 0.001
         assert trace.current_at(1.2) == 0.100
         assert trace.current_at(99.0) == 0.0
+
+
+class TestSamplingGridRegression:
+    """The sample grid must be integer-indexed (regression: a float-step
+    ``np.arange`` drifted and could emit a wrong sample count over
+    multi-minute windows at 50 kS/s)."""
+
+    RATE_HZ = 50_000.0
+    #: A trace start where ``np.arange(t0, t0 + 300, 1/50e3)`` emits
+    #: 15,000,001 samples — one beyond the window end.
+    DRIFTY_START_S = 262.97320595023706
+
+    def _trace_300s(self, start_s):
+        # 300 s of alternating sleep/active, like a long scenario run.
+        trace = CurrentTrace(start_s=start_s)
+        for _cycle in range(100):
+            trace.append(2.9, 1e-6, "sleep")
+            trace.append(0.1, 0.080, "active")
+        assert trace.duration_s == pytest.approx(300.0)
+        return trace
+
+    def test_exact_sample_count_over_300s_at_50ksps(self):
+        trace = self._trace_300s(self.DRIFTY_START_S)
+        t1 = trace.start_s + 300.0
+        times, currents = trace.sample(self.RATE_HZ, trace.start_s, t1)
+        assert len(times) == len(currents) == 15_000_000
+        # Every sample lies inside [t0, t1) — the drifting grid emitted
+        # a sample at (or past) the window end.
+        assert times[-1] < t1
+
+    def test_grid_is_integer_indexed(self):
+        trace = self._trace_300s(self.DRIFTY_START_S)
+        times, _currents = trace.sample(self.RATE_HZ)
+        k = np.arange(len(times))
+        assert np.array_equal(times, trace.start_s + k / self.RATE_HZ)
+
+    def test_sampled_integral_matches_exact_within_boundary_bound(self):
+        trace = self._trace_300s(0.0)
+        _times, currents = trace.sample(self.RATE_HZ)
+        sampled_c = float(np.sum(currents)) / self.RATE_HZ
+        exact_c = trace.charge_c()
+        # Each of the 200 segment boundaries can mis-attribute at most
+        # one sample period of the worst-case current.
+        bound_c = 2 * (len(trace) + 1) * trace.peak_current_a() / self.RATE_HZ
+        assert abs(sampled_c - exact_c) <= bound_c
+        assert sampled_c == pytest.approx(exact_c, rel=1e-4)
+
+    def test_gap_samples_are_zero_with_interval_lookup(self):
+        trace = CurrentTrace()
+        trace.add_segment(0.0, 1.0, 0.010, "a")
+        trace.add_segment(3.0, 1.0, 0.020, "b")
+        times, currents = trace.sample(10.0)
+        in_gap = (times >= 1.0) & (times < 3.0)
+        assert np.all(currents[in_gap] == 0.0)
+        assert currents[0] == pytest.approx(0.010)
+        assert currents[-1] == pytest.approx(0.020)
+
+    def test_window_before_first_segment_is_zero(self):
+        trace = CurrentTrace(start_s=5.0)
+        trace.append(1.0, 0.010, "a")
+        times, currents = trace.sample(10.0, 0.0, 5.0)
+        assert len(times) == 50
+        assert np.all(currents == 0.0)
+
+    def test_boundary_sample_belongs_to_later_segment(self):
+        trace = CurrentTrace()
+        trace.append(1.0, 0.010, "a")
+        trace.append(1.0, 0.020, "b")
+        _times, currents = trace.sample(2.0)  # samples at 0.0, 0.5, 1.0, 1.5
+        assert currents[2] == pytest.approx(0.020)
+
+    def test_empty_window(self):
+        times, currents = simple_trace().sample(1000.0, 1.0, 1.0)
+        assert len(times) == 0 and len(currents) == 0

@@ -1,0 +1,281 @@
+"""Tests for the observability layer (repro.obs): metrics registry,
+simulator trace hooks, and the invariant auditor."""
+
+import json
+
+import pytest
+
+from repro.energy.trace import CurrentTrace, TraceSegment
+from repro.obs import (
+    EventTracer,
+    MetricsError,
+    MetricsRegistry,
+    TracingError,
+    audit_scenario,
+    audit_trace,
+)
+from repro.scenarios import run_wile
+from repro.scenarios.base import emit_scenario_metrics
+from repro.sim.engine import Simulator
+
+
+class TestCounter:
+    def test_increment(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("frames")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().counter("frames").inc(-1)
+
+    def test_label_sets_are_distinct_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("frames", layer="mac").inc()
+        registry.counter("frames", layer="higher").inc(2)
+        assert registry.counter("frames", layer="mac").value == 1
+        assert registry.counter("frames", layer="higher").value == 2
+        assert len(registry) == 2
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        registry.counter("x", a="1", b="2").inc()
+        assert registry.counter("x", b="2", a="1").value == 1
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("current_a")
+        gauge.set(0.5)
+        gauge.add(-0.2)
+        assert gauge.value == pytest.approx(0.3)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().gauge("x").set(float("nan"))
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = MetricsRegistry().histogram("duration_s")
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(6.0)
+        assert histogram.mean == pytest.approx(2.0)
+        assert histogram.min == 1.0 and histogram.max == 3.0
+
+    def test_empty_histogram_snapshot(self):
+        record = MetricsRegistry().histogram("x").snapshot()
+        assert record["count"] == 0
+        assert record["min"] is None and record["max"] is None
+
+
+class TestRegistry:
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricsError):
+            registry.gauge("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().counter("")
+
+    def test_get_returns_none_for_missing(self):
+        assert MetricsRegistry().get("nope") is None
+
+    def test_snapshot_is_sorted_and_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.gauge("a", scenario="X").set(1.0)
+        registry.histogram("c").observe(2.0)
+        records = registry.snapshot()
+        assert [record["name"] for record in records] == ["a", "b", "c"]
+        for record in records:
+            json.dumps(record)  # must not raise
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.clear()
+        assert len(registry) == 0
+
+
+class TestEventTracer:
+    def test_emit_and_counts(self):
+        tracer = EventTracer()
+        tracer.emit("event_fired", 1.0, order=0)
+        tracer.emit("event_fired", 2.0, order=1)
+        tracer.emit("event_cancelled", 2.0, order=2)
+        assert len(tracer) == 3
+        assert tracer.counts_by_kind() == {"event_fired": 2,
+                                           "event_cancelled": 1}
+        assert tracer.records()[0] == {"kind": "event_fired", "time_s": 1.0,
+                                       "order": 0}
+
+    def test_ring_buffer_bounds_memory(self):
+        tracer = EventTracer(max_events=10)
+        for index in range(25):
+            tracer.emit("tick", float(index))
+        assert len(tracer) == 10
+        assert tracer.dropped == 15
+        assert tracer.emitted == 25
+        assert tracer.events[0].time_s == 15.0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(TracingError):
+            EventTracer(max_events=0)
+
+
+class TestSimulatorTraceHooks:
+    def test_scheduler_decisions_are_traced(self):
+        tracer = EventTracer()
+        sim = Simulator(tracer=tracer)
+        handle = sim.schedule(2.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        sim.run()
+        counts = tracer.counts_by_kind()
+        assert counts["event_scheduled"] == 2
+        assert counts["event_cancelled"] == 1
+        assert counts["event_fired"] == 1
+        assert sim.events_scheduled == 2
+        assert sim.events_cancelled == 1
+
+    def test_fired_events_carry_sim_time(self):
+        tracer = EventTracer()
+        sim = Simulator(tracer=tracer)
+        sim.schedule(3.5, lambda: None)
+        sim.run()
+        fired = [event for event in tracer.events
+                 if event.kind == "event_fired"]
+        assert fired[0].time_s == 3.5
+
+    def test_compaction_is_traced(self):
+        tracer = EventTracer(max_events=100_000)
+        sim = Simulator(tracer=tracer)
+        handles = [sim.schedule(1.0 + index, lambda: None)
+                   for index in range(Simulator.COMPACT_MIN_SIZE * 2)]
+        for handle in handles:
+            handle.cancel()
+        assert sim.heap_compactions >= 1
+        compactions = [event for event in tracer.events
+                       if event.kind == "heap_compacted"]
+        assert compactions and compactions[0].fields["dropped"] > 0
+
+    def test_untraced_simulator_behaviour_unchanged(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.run()
+        assert fired == [1] and sim.tracer is None
+
+
+def good_trace():
+    trace = CurrentTrace()
+    trace.append(1.0, 1e-6, "sleep")
+    trace.append(0.2, 0.080, "tx")
+    trace.append(1.0, 1e-6, "sleep")
+    return trace
+
+
+class TestAuditTrace:
+    def test_clean_trace_passes(self):
+        report = audit_trace(good_trace(), sample_rate_hz=10_000.0)
+        assert report.ok
+        assert report.checks >= 4
+
+    def test_idle_gap_is_benign(self):
+        trace = CurrentTrace()
+        trace.add_segment(0.0, 1.0, 1e-6, "sleep")
+        trace.add_segment(2.0, 1.0, 1e-6, "sleep")
+        report = audit_trace(trace, sample_rate_hz=None)
+        assert report.ok
+
+    def test_active_gap_is_flagged(self):
+        trace = CurrentTrace()
+        trace.add_segment(0.0, 1.0, 0.08, "tx")
+        trace.add_segment(2.0, 1.0, 0.08, "tx")
+        report = audit_trace(trace, sample_rate_hz=None)
+        assert not report.ok
+        assert any(finding.invariant == "active-gaps"
+                   for finding in report.findings)
+
+    def test_corrupted_overlapping_segments_fail(self):
+        trace = good_trace()
+        # Corrupt the timeline behind the constructor's back, the way a
+        # buggy builder would.
+        trace._segments[1] = TraceSegment(0.5, 0.7, 0.080, "tx")
+        report = audit_trace(trace, sample_rate_hz=None)
+        assert not report.ok
+        assert any(finding.invariant == "monotonic-times"
+                   for finding in report.findings)
+
+    def test_corrupted_label_accounting_fails_conservation(self):
+        class BrokenTrace(CurrentTrace):
+            """Drops a label from the per-phase accounting."""
+            def charge_by_label(self):
+                totals = super().charge_by_label()
+                totals.pop("tx")
+                return totals
+
+        trace = BrokenTrace()
+        trace.append(1.0, 1e-6, "sleep")
+        trace.append(0.2, 0.080, "tx")
+        report = audit_trace(trace, sample_rate_hz=None)
+        assert not report.ok
+        assert any(finding.invariant == "charge-conservation"
+                   for finding in report.findings)
+
+    def test_corrupted_sampling_fails_consistency(self):
+        class BrokenSampling(CurrentTrace):
+            """Returns zeros from the multimeter resampling path."""
+            def sample(self, rate_hz, t0_s=None, t1_s=None):
+                times, currents = super().sample(rate_hz, t0_s, t1_s)
+                return times, currents * 0.0
+
+        trace = BrokenSampling()
+        trace.append(1.0, 1e-6, "sleep")
+        trace.append(0.2, 0.080, "tx")
+        report = audit_trace(trace, sample_rate_hz=10_000.0)
+        assert not report.ok
+        assert any(finding.invariant == "sampling-consistency"
+                   for finding in report.findings)
+
+    def test_render_mentions_failures(self):
+        trace = CurrentTrace()
+        trace.add_segment(0.0, 1.0, 0.08, "tx")
+        trace.add_segment(2.0, 1.0, 0.08, "tx")
+        text = audit_trace(trace, subject="bad", sample_rate_hz=None).render()
+        assert "FAIL" in text and "bad" in text
+
+
+class TestAuditScenario:
+    def test_real_scenario_passes(self):
+        result = run_wile()
+        report = audit_scenario(result)
+        assert report.ok, report.render()
+
+    def test_charge_conservation_within_1e9_relative(self):
+        result = run_wile()
+        report = audit_scenario(result, rel_tol=1e-9)
+        assert report.ok, report.render()
+
+
+class TestScenarioMetricsEmission:
+    def test_run_emits_into_registry(self):
+        registry = MetricsRegistry()
+        emit_scenario_metrics(run_wile(), registry)
+        assert registry.counter("scenario.runs", scenario="Wi-LE").value == 1
+        energy = registry.gauge("scenario.energy_per_packet_j",
+                                scenario="Wi-LE").value
+        assert energy > 0
+        charge = registry.gauge("scenario.trace.charge_c",
+                                scenario="Wi-LE").value
+        by_label = [record for record in registry.snapshot()
+                    if record["name"] == "scenario.trace.charge_by_label_c"]
+        assert sum(record["value"] for record in by_label) == \
+            pytest.approx(charge, rel=1e-12)

@@ -250,3 +250,65 @@ class TestCrystalPopulation:
     def test_negative_count_rejected(self):
         with pytest.raises(ClockError):
             crystal_population(-1)
+
+
+class TestMaxEventsClockRegression:
+    """``run(until_s=..., max_events=...)`` must not jump the clock past
+    live queued events (regression: the old loop force-advanced to
+    ``until_s``, so re-scheduling at a pending event's time raised
+    "cannot schedule into the past" and idle integration over-counted)."""
+
+    def test_clock_stays_at_last_fired_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run(until_s=10.0, max_events=1)
+        assert fired == ["a"]
+        assert sim.now_s == 1.0
+        assert sim.pending_events() == 1
+
+    def test_can_schedule_before_pending_event_after_partial_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(5.0, lambda: fired.append("c"))
+        sim.run(until_s=10.0, max_events=1)
+        # The pre-fix clock sat at 10.0 here, so this raised.
+        sim.at(2.0, lambda: fired.append("b"))
+        sim.run(until_s=10.0)
+        assert fired == ["a", "b", "c"]
+        assert sim.now_s == 10.0
+
+    def test_resumed_run_completes_in_order(self):
+        sim = Simulator()
+        fired = []
+        for delay in (1.0, 2.0, 3.0, 4.0):
+            sim.schedule(delay, lambda delay=delay: fired.append(delay))
+        sim.run(until_s=10.0, max_events=2)
+        assert fired == [1.0, 2.0] and sim.now_s == 2.0
+        sim.run(until_s=10.0)
+        assert fired == [1.0, 2.0, 3.0, 4.0] and sim.now_s == 10.0
+
+    def test_drained_queue_still_advances_to_until(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until_s=10.0, max_events=5)
+        assert sim.now_s == 10.0
+
+    def test_pending_event_beyond_until_still_advances(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(20.0, lambda: fired.append(2))
+        # max_events also exhausted, but the only remaining event lies
+        # beyond until_s: the window [now, until_s] was fully simulated.
+        sim.run(until_s=10.0, max_events=1)
+        assert fired == [1] and sim.now_s == 10.0
+
+    def test_max_events_without_until_keeps_clock(self):
+        sim = Simulator()
+        sim.schedule(3.0, lambda: None)
+        sim.schedule(7.0, lambda: None)
+        sim.run(max_events=1)
+        assert sim.now_s == 3.0
