@@ -1,0 +1,54 @@
+"""Bench: fleet-scale runtime baseline for the sharded runner.
+
+Records how long a mid-size fleet takes end to end (generation,
+sharding, simulation, merge) so later performance PRs have a
+trajectory, and asserts the physics stayed sane while we were busy
+being fast. The 10,000-device headline run lives behind
+``python -m repro.fleet``; benching a minutes-long simulation on every
+CI push would drown the suite, so the bench scales the same workload
+down to ~1,000 devices.
+"""
+
+from conftest import once
+
+from repro.experiments.fleet_scale import run_fleet_smoke
+from repro.fleet import FleetConfig, generate_fleet, run_sharded_fleet
+from repro.obs import audit_fleet
+
+BENCH_CONFIG = FleetConfig(device_count=1000, area_m=(150.0, 150.0),
+                           interval_s=60.0, duration_s=1800.0, seed=0)
+
+
+def test_fleet_thousand_devices(benchmark):
+    """1,000 devices, 30 simulated minutes, 4 shards — the baseline."""
+    def run():
+        plan = generate_fleet(BENCH_CONFIG)
+        return run_sharded_fleet(plan, shard_count=4)
+
+    aggregate = once(benchmark, run)
+    print()
+    print(f"devices={aggregate.device_count} "
+          f"sent={aggregate.beacons_sent} "
+          f"delivery={aggregate.delivery_rate:.4f} "
+          f"util={aggregate.channel_utilisation:.4%}")
+    assert aggregate.device_count == 1000
+    assert aggregate.beacons_sent > 25_000
+    assert aggregate.delivery_rate > 0.99
+    assert audit_fleet(aggregate).ok
+
+
+def test_fleet_generation_only(benchmark):
+    """Population expansion alone — catches planner regressions
+    (nearest-gateway assignment is O(1) per device, not O(receivers))."""
+    plan = once(benchmark, generate_fleet, BENCH_CONFIG)
+    assert len(plan.devices) == 1000
+    assert len(plan.receivers) == 121
+
+
+def test_fleet_shard_invariance_smoke(benchmark):
+    """The CI guarantee, timed: 1 shard vs 2 shards, identical stats."""
+    aggregate, mismatches = once(benchmark, run_fleet_smoke)
+    print()
+    print(f"smoke devices={aggregate.device_count} "
+          f"sent={aggregate.beacons_sent} mismatches={mismatches}")
+    assert mismatches == []

@@ -15,13 +15,14 @@ import argparse
 import os
 import sys
 
-from ..obs import METRICS, audit_all
+from ..obs import METRICS, audit_all, audit_fleet
 from ..scenarios import ensure_scenario_metrics, run_all_scenarios
 from . import (
     ablations,
     adaptive,
     band_5ghz,
     contention,
+    fleet_scale,
     reliability,
     scheduling,
 )
@@ -80,6 +81,7 @@ def main(argv: list[str] | None = None) -> int:
     _banner("Section 3.1 frame counts")
     print(run_frame_counts().render())
 
+    fleet_points = None
     if not args.quick:
         _banner("Section 6: multi-device jitter")
         print(run_multi_device().render())
@@ -102,10 +104,14 @@ def main(argv: list[str] | None = None) -> int:
         print(adaptive.render(adaptive.run_adaptive(workers=args.workers)))
         _banner("Battery life")
         print(render_battery(battery_life(results)))
+        _banner("Fleet scale")
+        fleet_points = fleet_scale.run_fleet_scale(workers=args.workers)
+        print(fleet_scale.render(fleet_points))
 
     if args.out is not None:
         _banner(f"Artifacts -> {args.out}")
-        for artifact in export_all(args.out, results):
+        for artifact in export_all(args.out, results,
+                                   fleet_points=fleet_points):
             print(f"  wrote {artifact.path} ({artifact.rows} rows)")
 
     if args.timings:
@@ -116,6 +122,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.audit:
         _banner("Invariant audit")
         report = audit_all(results)
+        if fleet_points is not None:
+            for point in fleet_points:
+                report.merge(audit_fleet(
+                    point.aggregate,
+                    subject=f"fleet[{point.device_count}x"
+                            f"{point.interval_s:g}s]"))
         print(report.render())
         audit_failed = not report.ok
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from ..energy.trace import CurrentTrace
 from ..obs import METRICS
 from ..obs.metrics import MetricsRegistry
+from .multi_device import run_multi_device
 from ..scenarios import (
     ScenarioResult,
     ensure_scenario_metrics,
@@ -100,6 +101,35 @@ def write_trace_segments_csv(path: str, trace: CurrentTrace) -> WrittenArtifact:
     return WrittenArtifact(path, len(trace))
 
 
+def write_multi_device_csv(path: str, report) -> WrittenArtifact:
+    """The §6 jitter experiment, one row per wake round (duck-typed
+    :class:`~repro.experiments.multi_device.MultiDeviceReport`)."""
+    data = report.to_dict()
+    with _writer(path) as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["round", "unique_delivered", "device_count"])
+        for round_index, unique in enumerate(data["per_round_unique"], 1):
+            writer.writerow([round_index, unique, data["device_count"]])
+    return WrittenArtifact(path, len(data["per_round_unique"]))
+
+
+def write_fleet_csv(path: str, points) -> WrittenArtifact:
+    """One row per fleet density-sweep cell (duck-typed
+    :class:`~repro.experiments.fleet_scale.FleetScalePoint` sequence,
+    so this module never imports the fleet layer)."""
+    if not points:
+        raise ArtifactError("fleet sweep produced no points")
+    rows = [point.to_row() for point in points]
+    with _writer(path) as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: (f"{value:.9g}"
+                                   if isinstance(value, float) else value)
+                             for key, value in row.items()})
+    return WrittenArtifact(path, len(rows))
+
+
 def write_metrics_jsonl(path: str,
                         registry: MetricsRegistry | None = None) -> WrittenArtifact:
     """One metric snapshot per line: the run's observability artifact.
@@ -117,8 +147,14 @@ def write_metrics_jsonl(path: str,
 
 
 def export_all(output_dir: str,
-               results: dict[str, ScenarioResult] | None = None) -> list[WrittenArtifact]:
-    """Write the full artifact set under ``output_dir``."""
+               results: dict[str, ScenarioResult] | None = None,
+               fleet_points=None) -> list[WrittenArtifact]:
+    """Write the full artifact set under ``output_dir``.
+
+    ``fleet_points`` is the (expensive) fleet density sweep's output;
+    callers that already ran it pass it in so the artifact set gains
+    ``fleet_scale.csv`` without a second multi-thousand-device run.
+    """
     results = results if results is not None else run_all_scenarios()
     artifacts = [
         write_table1_csv(os.path.join(output_dir, "table1.csv"), results),
@@ -133,7 +169,13 @@ def export_all(output_dir: str,
         write_trace_segments_csv(
             os.path.join(output_dir, "figure3b_wile_segments.csv"),
             results["Wi-LE"].trace),
+        write_multi_device_csv(
+            os.path.join(output_dir, "multi_device_rounds.csv"),
+            run_multi_device()),
     ]
+    if fleet_points:
+        artifacts.append(write_fleet_csv(
+            os.path.join(output_dir, "fleet_scale.csv"), fleet_points))
     # Scenario metrics recorded in pool workers died with the pool;
     # re-emit from the results so the artifact is always complete.
     ensure_scenario_metrics(results)

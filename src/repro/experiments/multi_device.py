@@ -38,7 +38,10 @@ class MultiDeviceReport:
     lost_collision: int
     first_half_delivery_rate: float
     second_half_delivery_rate: float
-    per_round_unique: list[int]
+    #: Unique messages decoded per wake round. A tuple, not a list: the
+    #: report is frozen, and a mutable member would let callers change
+    #: the data behind the immutability promise (and break hashing).
+    per_round_unique: tuple[int, ...]
 
     @property
     def delivery_rate(self) -> float:
@@ -48,6 +51,22 @@ class MultiDeviceReport:
     def desynchronised(self) -> bool:
         """Did jitter pull the initially synchronised fleet apart?"""
         return self.second_half_delivery_rate >= self.first_half_delivery_rate
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form for artifacts."""
+        return {
+            "device_count": self.device_count,
+            "rounds": self.rounds,
+            "interval_s": self.interval_s,
+            "sent": self.sent,
+            "delivered_unique": self.delivered_unique,
+            "lost_collision": self.lost_collision,
+            "delivery_rate": self.delivery_rate,
+            "first_half_delivery_rate": self.first_half_delivery_rate,
+            "second_half_delivery_rate": self.second_half_delivery_rate,
+            "desynchronised": self.desynchronised,
+            "per_round_unique": list(self.per_round_unique),
+        }
 
     def render(self) -> str:
         rows = [
@@ -100,8 +119,8 @@ def run_multi_device(device_count: int = 8, rounds: int = 40,
     # Per-round delivery: bucket received messages by wake round.
     edges = np.arange(0.5, rounds + 1.5) * interval_s
     times = np.array([message.time_s for message in receiver.messages])
-    per_round = [int(np.sum((times >= lo) & (times < hi)))
-                 for lo, hi in zip(edges[:-1], edges[1:])]
+    per_round = tuple(int(np.sum((times >= lo) & (times < hi)))
+                      for lo, hi in zip(edges[:-1], edges[1:]))
     half = len(per_round) // 2
     first = float(np.sum(per_round[:half])) / (half * device_count)
     second = (float(np.sum(per_round[half:]))

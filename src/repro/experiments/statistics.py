@@ -13,13 +13,105 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from .runner import ParallelRunner
 
 
 class StatisticsError(ValueError):
     """Raised for degenerate sample sets."""
+
+
+@dataclass
+class StreamingSummary:
+    """A mergeable running summary: count/mean/std/min/max in O(1) state.
+
+    Uses Welford's online update for the mean and the sum of squared
+    deviations (``M2``), and Chan et al.'s pairwise formula for
+    :meth:`merge` — both algebraically exact, so summarising a stream in
+    shards and merging gives the same moments as one sequential pass
+    (up to float rounding; see the pinning tests against
+    :class:`Replication`). This is the accumulator the fleet aggregator
+    (:mod:`repro.fleet.aggregate`) ships between shard processes instead
+    of raw per-beacon traces.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise StatisticsError(f"cannot summarise non-finite {value}")
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    def merge(self, other: "StreamingSummary") -> None:
+        """Fold another summary in, exactly as if its observations had
+        been streamed into this one (parallel Welford combine)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.m2 = (self.m2 + other.m2
+                   + delta * delta * self.count * other.count / total)
+        self.mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator, like :class:`Replication`)."""
+        if self.count < 2:
+            return 0.0
+        return self.m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def sum(self) -> float:
+        return self.mean * self.count
+
+    @classmethod
+    def of(cls, values: Iterable[float]) -> "StreamingSummary":
+        summary = cls()
+        summary.observe_many(values)
+        return summary
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form for artifacts."""
+        return {"count": self.count, "mean": self.mean, "std": self.std,
+                "min": self.minimum if self.count else None,
+                "max": self.maximum if self.count else None}
+
+    def describe(self, unit: str = "") -> str:
+        suffix = f" {unit}" if unit else ""
+        if not self.count:
+            return "no observations"
+        return (f"{self.mean:.4g}{suffix} +/- {self.std:.2g} "
+                f"[{self.minimum:.4g}, {self.maximum:.4g}] (n={self.count})")
 
 
 @dataclass(frozen=True, slots=True)

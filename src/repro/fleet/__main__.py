@@ -1,0 +1,117 @@
+"""Run one fleet at scale (or the CI smoke check) from the shell.
+
+    python -m repro.fleet --devices 10000 --duration 86400 \
+        --shards 16 --workers 8 --audit        # the headline run
+    python -m repro.fleet --smoke --shards 2   # 1-vs-N invariance check
+
+``--smoke`` runs a small fleet both unsharded and sharded and fails
+(exit 1) if any aggregate counter differs — the executable form of the
+shard-count-invariance guarantee documented in ``docs/FLEET.md``.
+``--audit`` cross-checks the accounting invariants
+(:func:`repro.obs.audit.audit_fleet`) and also fails hard on violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from ..experiments.fleet_scale import run_fleet_smoke
+from ..experiments.report import format_si
+from ..obs import audit_fleet
+from .population import FleetConfig, generate_fleet
+from .shards import run_sharded_fleet
+
+
+def _render(aggregate) -> str:
+    mean_current = (aggregate.avg_current_a.mean
+                    if aggregate.avg_current_a.count else 0.0)
+    lines = [
+        f"devices               {aggregate.device_count}",
+        f"gateways              {aggregate.receiver_count}",
+        f"shards                {aggregate.shard_count}",
+        f"horizon               {aggregate.duration_s:g} s",
+        f"wakes                 {aggregate.wakes}",
+        f"beacons sent          {aggregate.beacons_sent}"
+        f" (+{aggregate.beacons_in_flight} in flight at horizon)",
+        f"uplink delivered      {aggregate.uplink_delivered}",
+        f"uplink collision loss {aggregate.uplink_lost_collision}",
+        f"uplink snr loss       {aggregate.uplink_lost_snr}",
+        f"uplink out of range   {aggregate.uplink_out_of_range}",
+        f"delivery rate         {aggregate.delivery_rate:.4f}",
+        f"collision rate        {aggregate.collision_rate:.4f}",
+        f"channel utilisation   {aggregate.channel_utilisation:.4%}",
+        f"mean device current   {format_si(mean_current, 'A')}",
+        f"CR2032 battery life   {aggregate.battery_years():.2f} years",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="Simulate a Wi-LE fleet via the sharded runner.")
+    parser.add_argument("--devices", type=int, default=10_000)
+    parser.add_argument("--area", type=float, nargs=2, default=(500.0, 500.0),
+                        metavar=("X_M", "Y_M"))
+    parser.add_argument("--interval", type=float, default=600.0,
+                        metavar="S", help="beacon period (default 600 s)")
+    parser.add_argument("--duration", type=float, default=24 * 3600.0,
+                        metavar="S", help="simulated horizon (default 24 h)")
+    parser.add_argument("--layout", default="uniform",
+                        choices=("uniform", "grid", "clusters"))
+    parser.add_argument("--start", default="staggered",
+                        choices=("staggered", "synchronised"))
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--audit", action="store_true",
+                        help="cross-check accounting invariants; "
+                             "non-zero exit on violation")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also dump the merged aggregate as JSON")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fleet, 1-shard vs --shards invariance "
+                             "check; non-zero exit on any mismatch")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        aggregate, mismatches = run_fleet_smoke(
+            shard_count=args.shards, workers=args.workers, seed=args.seed)
+        print(_render(aggregate))
+        if mismatches:
+            print(f"\nSHARD INVARIANCE VIOLATED: {', '.join(mismatches)}")
+            return 1
+        print(f"\nshard invariance holds: 1 shard == {args.shards} shards")
+    else:
+        config = FleetConfig(
+            device_count=args.devices, area_m=tuple(args.area),
+            interval_s=args.interval, duration_s=args.duration,
+            layout=args.layout, start=args.start, seed=args.seed)
+        started = time.perf_counter()
+        plan = generate_fleet(config)
+        aggregate = run_sharded_fleet(plan, shard_count=args.shards,
+                                      workers=args.workers)
+        elapsed = time.perf_counter() - started
+        print(_render(aggregate))
+        print(f"wall clock            {elapsed:.1f} s "
+              f"({aggregate.duration_s / elapsed:.0f}x real time)")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(aggregate.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+
+    if args.audit:
+        report = audit_fleet(aggregate)
+        print()
+        print(report.render())
+        if not report.ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,239 @@
+"""Streaming, mergeable fleet statistics.
+
+A 10,000-device, 24-hour run produces over a million beacons; shipping
+per-beacon traces from worker processes to the parent would drown the
+fan-out in pickling. Instead each shard folds its observations into one
+:class:`FleetAggregate` — plain counters, Welford summaries
+(:class:`~repro.experiments.statistics.StreamingSummary`) and a
+fixed-bin :class:`MergeableHistogram` — and the parent merges the
+shards. Every field is either an exact sum (counters) or an
+algebraically exact merge (moments), which is what makes the
+shard-count-invariance guarantee testable: counters must match a
+single-shard run bit-for-bit, moments to float rounding.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+
+from ..energy.battery import CR2032, Battery
+from ..experiments.statistics import StreamingSummary
+
+
+class AggregateError(ValueError):
+    """Raised for unmergeable or malformed aggregates."""
+
+
+@dataclass
+class MergeableHistogram:
+    """Fixed-edge histogram whose merge is an exact per-bin sum.
+
+    Edges are chosen once (by the parent, from the config) and shared by
+    every shard, so merging is addition — no rebinning, no loss. Values
+    outside the edges land in underflow/overflow bins, never dropped.
+    """
+
+    edges: tuple[float, ...]
+    counts: list[int] = field(default_factory=list)
+    underflow: int = 0
+    overflow: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.edges) < 2:
+            raise AggregateError("histogram needs at least two edges")
+        if any(b <= a for a, b in zip(self.edges, self.edges[1:])):
+            raise AggregateError("histogram edges must strictly increase")
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) - 1)
+        elif len(self.counts) != len(self.edges) - 1:
+            raise AggregateError("counts/edges length mismatch")
+
+    @classmethod
+    def log_bins(cls, low: float, high: float, bins: int) -> "MergeableHistogram":
+        """Logarithmically spaced edges over [low, high] (both > 0)."""
+        if low <= 0 or high <= low or bins < 1:
+            raise AggregateError(
+                f"need 0 < low < high and bins >= 1, got {low}, {high}, {bins}")
+        ratio = (high / low) ** (1.0 / bins)
+        return cls(edges=tuple(low * ratio ** index
+                               for index in range(bins + 1)))
+
+    def observe(self, value: float) -> None:
+        if not math.isfinite(value):
+            raise AggregateError(f"cannot bin non-finite {value}")
+        if value < self.edges[0]:
+            self.underflow += 1
+        elif value >= self.edges[-1]:
+            self.overflow += 1
+        else:
+            self.counts[bisect.bisect_right(self.edges, value) - 1] += 1
+
+    def merge(self, other: "MergeableHistogram") -> None:
+        if other.edges != self.edges:
+            raise AggregateError("cannot merge histograms with different edges")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts) + self.underflow + self.overflow
+
+    def to_dict(self) -> dict:
+        return {"edges": list(self.edges), "counts": list(self.counts),
+                "underflow": self.underflow, "overflow": self.overflow}
+
+
+@dataclass
+class FleetAggregate:
+    """One shard's (or the whole fleet's, after merging) statistics.
+
+    Uplink counters follow each beacon at its sender's *designated*
+    gateway — the nearest receiver, a deterministic assignment — so a
+    beacon is counted exactly once fleet-wide no matter how the plane
+    was sharded. Pair counters sum delivery decisions over *all* owned
+    (receiver, beacon) pairs in range. ``beacons_in_flight`` counts
+    transmissions still on the air when the horizon ended (their
+    delivery was never decided, so they are excluded from ``sent``).
+    """
+
+    device_count: int = 0
+    receiver_count: int = 0
+    shard_count: int = 0
+    duration_s: float = 0.0
+    wakes: int = 0
+    beacons_sent: int = 0
+    beacons_in_flight: int = 0
+    uplink_delivered: int = 0
+    uplink_lost_collision: int = 0
+    uplink_lost_snr: int = 0
+    uplink_out_of_range: int = 0
+    pair_delivered: int = 0
+    pair_lost_collision: int = 0
+    pair_lost_snr: int = 0
+    airtime_s: float = 0.0
+    energy_j: StreamingSummary = field(default_factory=StreamingSummary)
+    avg_current_a: StreamingSummary = field(default_factory=StreamingSummary)
+    current_histogram: MergeableHistogram = field(
+        default_factory=lambda: MergeableHistogram.log_bins(1e-6, 1e-2, 24))
+
+    def merge(self, other: "FleetAggregate") -> None:
+        """Fold another shard in; exact for counters, Welford-exact for
+        the moment summaries."""
+        if self.duration_s and other.duration_s \
+                and self.duration_s != other.duration_s:
+            raise AggregateError(
+                f"cannot merge aggregates over different horizons "
+                f"({self.duration_s}s vs {other.duration_s}s)")
+        self.device_count += other.device_count
+        self.receiver_count += other.receiver_count
+        self.shard_count += other.shard_count
+        self.duration_s = self.duration_s or other.duration_s
+        self.wakes += other.wakes
+        self.beacons_sent += other.beacons_sent
+        self.beacons_in_flight += other.beacons_in_flight
+        self.uplink_delivered += other.uplink_delivered
+        self.uplink_lost_collision += other.uplink_lost_collision
+        self.uplink_lost_snr += other.uplink_lost_snr
+        self.uplink_out_of_range += other.uplink_out_of_range
+        self.pair_delivered += other.pair_delivered
+        self.pair_lost_collision += other.pair_lost_collision
+        self.pair_lost_snr += other.pair_lost_snr
+        self.airtime_s += other.airtime_s
+        self.energy_j.merge(other.energy_j)
+        self.avg_current_a.merge(other.avg_current_a)
+        self.current_histogram.merge(other.current_histogram)
+
+    # -- derived rates ------------------------------------------------------
+
+    @property
+    def covered_sent(self) -> int:
+        """Beacons whose designated gateway was within radio range."""
+        return self.beacons_sent - self.uplink_out_of_range
+
+    @property
+    def delivery_rate(self) -> float:
+        """Fraction of in-coverage beacons decoded at their gateway."""
+        return self.uplink_delivered / self.covered_sent \
+            if self.covered_sent else 0.0
+
+    @property
+    def collision_rate(self) -> float:
+        """Fraction of in-coverage beacons lost to co-channel collisions."""
+        return self.uplink_lost_collision / self.covered_sent \
+            if self.covered_sent else 0.0
+
+    @property
+    def channel_utilisation(self) -> float:
+        """Fraction of the horizon the channel carried fleet beacons."""
+        return self.airtime_s / self.duration_s if self.duration_s else 0.0
+
+    def battery_years(self, battery: Battery = CR2032) -> float:
+        """Fleet-mean battery life at this density (coin cell default)."""
+        if not self.avg_current_a.count:
+            return float("inf")
+        return battery.life_years(self.avg_current_a.mean)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form for artifacts and the smoke check."""
+        return {
+            "device_count": self.device_count,
+            "receiver_count": self.receiver_count,
+            "shard_count": self.shard_count,
+            "duration_s": self.duration_s,
+            "wakes": self.wakes,
+            "beacons_sent": self.beacons_sent,
+            "beacons_in_flight": self.beacons_in_flight,
+            "uplink_delivered": self.uplink_delivered,
+            "uplink_lost_collision": self.uplink_lost_collision,
+            "uplink_lost_snr": self.uplink_lost_snr,
+            "uplink_out_of_range": self.uplink_out_of_range,
+            "pair_delivered": self.pair_delivered,
+            "pair_lost_collision": self.pair_lost_collision,
+            "pair_lost_snr": self.pair_lost_snr,
+            "airtime_s": self.airtime_s,
+            "delivery_rate": self.delivery_rate,
+            "collision_rate": self.collision_rate,
+            "channel_utilisation": self.channel_utilisation,
+            "energy_j": self.energy_j.to_dict(),
+            "avg_current_a": self.avg_current_a.to_dict(),
+            "current_histogram": self.current_histogram.to_dict(),
+        }
+
+
+def counters_equal(a: FleetAggregate, b: FleetAggregate) -> list[str]:
+    """Names of integer counters that differ — the shard-invariance
+    check's core (empty list means bit-identical counters)."""
+    names = ("device_count", "receiver_count", "duration_s", "wakes",
+             "beacons_sent", "beacons_in_flight", "uplink_delivered",
+             "uplink_lost_collision", "uplink_lost_snr",
+             "uplink_out_of_range", "pair_delivered", "pair_lost_collision",
+             "pair_lost_snr")
+    mismatches = [name for name in names
+                  if getattr(a, name) != getattr(b, name)]
+    if a.current_histogram.to_dict() != b.current_histogram.to_dict():
+        mismatches.append("current_histogram")
+    return mismatches
+
+
+def moments_close(a: FleetAggregate, b: FleetAggregate,
+                  rel_tol: float = 1e-9) -> list[str]:
+    """Names of float statistics outside ``rel_tol`` — the documented
+    tolerance for merged-vs-sequential Welford rounding."""
+    mismatches = []
+    if not math.isclose(a.airtime_s, b.airtime_s,
+                        rel_tol=rel_tol, abs_tol=1e-12):
+        mismatches.append("airtime_s")
+    for name in ("energy_j", "avg_current_a"):
+        ours, theirs = getattr(a, name), getattr(b, name)
+        if ours.count != theirs.count:
+            mismatches.append(f"{name}.count")
+            continue
+        for stat in ("mean", "std", "minimum", "maximum"):
+            if not math.isclose(getattr(ours, stat), getattr(theirs, stat),
+                                rel_tol=rel_tol, abs_tol=1e-15):
+                mismatches.append(f"{name}.{stat}")
+    return mismatches

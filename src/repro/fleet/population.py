@@ -1,0 +1,241 @@
+"""Deterministic fleet generation: who is where, with which crystal.
+
+A fleet is fully described by a :class:`FleetConfig`; expanding it with
+:func:`generate_fleet` is pure — the same config always yields the same
+:class:`FleetPlan`, device by device. Every stochastic property a device
+has (position, crystal ppm error, wake phase, per-wake jitter seed) is
+frozen into its :class:`DeviceSpec` at generation time, *before* any
+shard assignment happens. That ordering is what makes the sharded
+runner testable: a device behaves identically whether it is simulated
+in its home shard or as a halo transmitter in a neighbour, because
+every random draw it will ever make is determined by its spec alone.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..sim import JitteryClock, Position, crystal_population
+
+#: Device ids start here so fleet devices never collide with the small
+#: experiments' 0x100-range ids in mixed traces.
+FLEET_DEVICE_ID_BASE = 0x10000
+
+_LAYOUTS = ("uniform", "grid", "clusters")
+_STARTS = ("staggered", "synchronised")
+
+
+class FleetError(ValueError):
+    """Raised for impossible fleet configurations."""
+
+
+@dataclass(frozen=True, slots=True)
+class FleetConfig:
+    """Everything needed to (re)generate a fleet deterministically.
+
+    Args:
+        device_count: number of Wi-LE sensor nodes.
+        area_m: deployment plane (width, height) in metres.
+        interval_s: nominal beacon period shared by the fleet.
+        duration_s: simulated horizon.
+        layout: ``uniform`` (random scatter), ``grid`` (regular mesh) or
+            ``clusters`` (gaussian blobs around random centres — dense
+            rooms in a building).
+        cluster_count: number of blobs for the ``clusters`` layout.
+        cluster_std_m: blob standard deviation.
+        start: ``staggered`` draws each device's first wake uniformly in
+            one interval (steady state); ``synchronised`` wakes everyone
+            at exactly one interval — §6's worst case.
+        drift_std_ppm / jitter_std_s: crystal population parameters
+            (see :func:`repro.sim.crystal_population`).
+        receiver_spacing_m: pitch of the square grid of monitor-mode
+            gateway receivers covering the area. The 14 m default gives
+            each grid cell a half-diagonal of 9.9 m, inside Wi-LE's
+            ~12 m delivery boundary at MCS7 / 0 dBm, so every device is
+            in range of its designated gateway.
+        channel: WiFi channel the whole fleet injects on.
+        seed: master seed for every draw above.
+    """
+
+    device_count: int = 10_000
+    area_m: tuple[float, float] = (500.0, 500.0)
+    interval_s: float = 600.0
+    duration_s: float = 24 * 3600.0
+    layout: str = "uniform"
+    cluster_count: int = 16
+    cluster_std_m: float = 8.0
+    start: str = "staggered"
+    drift_std_ppm: float = 50.0
+    jitter_std_s: float = 2e-3
+    receiver_spacing_m: float = 14.0
+    channel: int = 6
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.device_count < 1:
+            raise FleetError(f"need at least one device, got {self.device_count}")
+        if self.area_m[0] <= 0 or self.area_m[1] <= 0:
+            raise FleetError(f"area must be positive, got {self.area_m}")
+        if self.interval_s <= 0:
+            raise FleetError(f"interval must be positive, got {self.interval_s}")
+        if self.duration_s <= 0:
+            raise FleetError(f"duration must be positive, got {self.duration_s}")
+        if self.layout not in _LAYOUTS:
+            raise FleetError(f"unknown layout {self.layout!r}; "
+                             f"choose from {_LAYOUTS}")
+        if self.start not in _STARTS:
+            raise FleetError(f"unknown start mode {self.start!r}; "
+                             f"choose from {_STARTS}")
+        if self.cluster_count < 1:
+            raise FleetError("need at least one cluster")
+        if self.receiver_spacing_m <= 0:
+            raise FleetError("receiver spacing must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceSpec:
+    """One device's immutable identity: all its randomness, pre-drawn."""
+
+    device_id: int
+    x_m: float
+    y_m: float
+    interval_s: float
+    first_wake_s: float
+    drift_ppm: float
+    jitter_std_s: float
+    clock_seed: int
+
+    @property
+    def position(self) -> Position:
+        return Position(self.x_m, self.y_m)
+
+    def make_clock(self) -> JitteryClock:
+        """A fresh clock whose jitter stream replays identically."""
+        return JitteryClock(drift_ppm=self.drift_ppm,
+                            jitter_std_s=self.jitter_std_s,
+                            seed=self.clock_seed)
+
+
+@dataclass(frozen=True, slots=True)
+class ReceiverSpec:
+    """One monitor-mode gateway receiver."""
+
+    receiver_id: int
+    x_m: float
+    y_m: float
+
+    @property
+    def position(self) -> Position:
+        return Position(self.x_m, self.y_m)
+
+
+@dataclass(frozen=True, slots=True)
+class FleetPlan:
+    """The expanded fleet: config plus every device and receiver spec."""
+
+    config: FleetConfig
+    devices: tuple[DeviceSpec, ...]
+    receivers: tuple[ReceiverSpec, ...]
+    receiver_columns: int
+    receiver_rows: int
+
+    def nearest_receiver(self, device: DeviceSpec) -> ReceiverSpec:
+        """The device's designated uplink gateway (deterministic:
+        smallest distance, ties broken by receiver id).
+
+        The receivers form a regular grid, so the nearest one is always
+        in the 3x3 neighbourhood of the cell containing the device —
+        O(1) instead of scanning all receivers, which matters when
+        planning shards for thousands of devices.
+        """
+        width, height = self.config.area_m
+        columns, rows = self.receiver_columns, self.receiver_rows
+        column = min(int(device.x_m // (width / columns)), columns - 1)
+        row = min(int(device.y_m // (height / rows)), rows - 1)
+        candidates = (
+            self.receivers[r * columns + c]
+            for r in range(max(0, row - 1), min(rows, row + 2))
+            for c in range(max(0, column - 1), min(columns, column + 2)))
+        return min(candidates,
+                   key=lambda receiver: (
+                       device.position.distance_to(receiver.position),
+                       receiver.receiver_id))
+
+
+def _positions(config: FleetConfig, rng: random.Random) -> list[tuple[float, float]]:
+    width, height = config.area_m
+    count = config.device_count
+    if config.layout == "uniform":
+        return [(rng.uniform(0.0, width), rng.uniform(0.0, height))
+                for _ in range(count)]
+    if config.layout == "grid":
+        columns = max(1, round(math.sqrt(count * width / height)))
+        rows = math.ceil(count / columns)
+        return [(((index % columns) + 0.5) * width / columns,
+                 ((index // columns) + 0.5) * height / rows)
+                for index in range(count)]
+    centres = [(rng.uniform(0.0, width), rng.uniform(0.0, height))
+               for _ in range(config.cluster_count)]
+    positions = []
+    for index in range(count):
+        cx, cy = centres[index % len(centres)]
+        positions.append((
+            min(max(rng.gauss(cx, config.cluster_std_m), 0.0), width),
+            min(max(rng.gauss(cy, config.cluster_std_m), 0.0), height)))
+    return positions
+
+
+def _receiver_grid(config: FleetConfig) -> tuple[tuple[ReceiverSpec, ...], int, int]:
+    """A square grid of gateways, one per ``receiver_spacing_m`` cell,
+    centred in each cell; at least one even for tiny areas."""
+    width, height = config.area_m
+    spacing = config.receiver_spacing_m
+    columns = max(1, math.ceil(width / spacing))
+    rows = max(1, math.ceil(height / spacing))
+    receivers = []
+    for row in range(rows):
+        for column in range(columns):
+            receivers.append(ReceiverSpec(
+                receiver_id=row * columns + column,
+                x_m=(column + 0.5) * width / columns,
+                y_m=(row + 0.5) * height / rows))
+    return tuple(receivers), columns, rows
+
+
+def generate_fleet(config: FleetConfig) -> FleetPlan:
+    """Expand ``config`` into per-device and per-receiver specs.
+
+    Deterministic: positions, crystals and wake phases come from
+    dedicated ``random.Random`` streams derived from ``config.seed``,
+    so adding receivers or reordering shards can never perturb the
+    devices themselves.
+    """
+    position_rng = random.Random(f"{config.seed}-positions")
+    phase_rng = random.Random(f"{config.seed}-phases")
+    positions = _positions(config, position_rng)
+    clocks = crystal_population(config.device_count,
+                                drift_std_ppm=config.drift_std_ppm,
+                                jitter_std_s=config.jitter_std_s,
+                                seed=config.seed)
+    devices = []
+    for index, ((x_m, y_m), clock) in enumerate(zip(positions, clocks)):
+        if config.start == "synchronised":
+            first_wake_s = config.interval_s
+        else:
+            # Uniform phase in (0, interval]; strictly positive so two
+            # devices can never share the exact same wake instant.
+            first_wake_s = config.interval_s * (1.0 - phase_rng.random())
+        devices.append(DeviceSpec(
+            device_id=FLEET_DEVICE_ID_BASE + index,
+            x_m=x_m, y_m=y_m,
+            interval_s=config.interval_s,
+            first_wake_s=first_wake_s,
+            drift_ppm=clock.drift_ppm,
+            jitter_std_s=clock.jitter_std_s,
+            clock_seed=clock.seed))
+    receivers, columns, rows = _receiver_grid(config)
+    return FleetPlan(config=config, devices=tuple(devices),
+                     receivers=receivers,
+                     receiver_columns=columns, receiver_rows=rows)

@@ -210,6 +210,88 @@ def audit_scenario(result, rel_tol: float = CHARGE_REL_TOL,
     return report
 
 
+def audit_fleet(aggregate, subject: str = "fleet") -> AuditReport:
+    """Audit a merged :class:`~repro.fleet.aggregate.FleetAggregate`.
+
+    Duck-typed like :func:`audit_scenario` so the audit layer never
+    imports the fleet layer. The invariants are the accounting rules the
+    sharded runner promises:
+
+    * **uplink conservation** — every completed beacon is decided
+      exactly once: delivered + collision + snr + out-of-range == sent;
+    * **pair dominance** — the designated-gateway decision is one of the
+      pair decisions, so each pair counter bounds its uplink twin;
+    * **wake accounting** — a device cannot transmit more often than it
+      woke: wakes >= sent + in-flight;
+    * **population accounting** — the energy and current summaries (and
+      the current histogram) saw exactly one observation per device;
+    * **bounded rates** — delivery/collision rates and channel
+      utilisation are fractions, and every moment is finite.
+    """
+    report = AuditReport()
+
+    report.checks += 1
+    decided = (aggregate.uplink_delivered + aggregate.uplink_lost_collision
+               + aggregate.uplink_lost_snr + aggregate.uplink_out_of_range)
+    if decided != aggregate.beacons_sent:
+        report.findings.append(AuditFinding(
+            "uplink-conservation", subject,
+            f"{decided} uplink decisions for {aggregate.beacons_sent} "
+            f"completed beacons"))
+
+    report.checks += 1
+    for pair_name, uplink_name in (
+            ("pair_delivered", "uplink_delivered"),
+            ("pair_lost_collision", "uplink_lost_collision"),
+            ("pair_lost_snr", "uplink_lost_snr")):
+        pair, uplink = getattr(aggregate, pair_name), getattr(aggregate,
+                                                             uplink_name)
+        if pair < uplink:
+            report.findings.append(AuditFinding(
+                "pair-dominance", subject,
+                f"{pair_name}={pair} < {uplink_name}={uplink}"))
+
+    report.checks += 1
+    on_air = aggregate.beacons_sent + aggregate.beacons_in_flight
+    if aggregate.wakes < on_air:
+        report.findings.append(AuditFinding(
+            "wake-accounting", subject,
+            f"{aggregate.wakes} wakes but {on_air} transmissions"))
+
+    report.checks += 1
+    for summary_name in ("energy_j", "avg_current_a"):
+        count = getattr(aggregate, summary_name).count
+        if count != aggregate.device_count:
+            report.findings.append(AuditFinding(
+                "population-accounting", subject,
+                f"{summary_name} saw {count} observations for "
+                f"{aggregate.device_count} devices"))
+    if aggregate.current_histogram.total != aggregate.device_count:
+        report.findings.append(AuditFinding(
+            "population-accounting", subject,
+            f"current histogram holds {aggregate.current_histogram.total} "
+            f"observations for {aggregate.device_count} devices"))
+
+    report.checks += 1
+    for rate_name in ("delivery_rate", "collision_rate",
+                      "channel_utilisation"):
+        rate = getattr(aggregate, rate_name)
+        if not 0.0 <= rate <= 1.0:
+            report.findings.append(AuditFinding(
+                "bounded-rates", subject,
+                f"{rate_name}={rate!r} is not a fraction"))
+    moments = [aggregate.airtime_s]
+    for summary_name in ("energy_j", "avg_current_a"):
+        summary = getattr(aggregate, summary_name)
+        if summary.count:
+            moments += [summary.mean, summary.std,
+                        summary.minimum, summary.maximum]
+    if any(not math.isfinite(value) for value in moments):
+        report.findings.append(AuditFinding(
+            "bounded-rates", subject, "non-finite moment statistic"))
+    return report
+
+
 def audit_all(results: dict, rel_tol: float = CHARGE_REL_TOL,
               sample_rate_hz: float | None = 50_000.0) -> AuditReport:
     """Audit every scenario result in ``results`` into one report."""

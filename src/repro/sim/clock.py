@@ -42,6 +42,7 @@ class JitteryClock:
             raise ClockError("jitter cannot be negative")
         self.drift_ppm = drift_ppm
         self.jitter_std_s = jitter_std_s
+        self.seed = seed
         self._rng = random.Random(seed)
 
     def actual_interval_s(self, nominal_s: float) -> float:

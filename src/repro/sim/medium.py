@@ -82,18 +82,57 @@ class WirelessMedium:
             overlapping frames still decodes (physical-layer capture).
         min_distance_m: radios closer than this are clamped apart, since
             the path-loss model diverges at zero distance.
+        max_range_m: optional hard delivery cutoff. A receiver farther
+            than this from the transmitter gets no delivery decision at
+            all — no report, no counters — and, when set, listening
+            radios are spatially indexed so completion cost scales with
+            radios *in range*, not radios attached. The sharded fleet
+            runner (:mod:`repro.fleet.shards`) relies on the cutoff for
+            its invariance guarantee: with a halo at least as wide as
+            every cutoff, a shard sees every transmitter that can
+            physically affect its receivers, so sharded and unsharded
+            runs produce identical delivery decisions.
+        interference_range_m: optional hard cutoff for interference
+            contributions (defaults to ``max_range_m``). Kept separate
+            because interference stays relevant well past the distance
+            at which a frame can still be decoded.
     """
 
     def __init__(self, sim: Simulator, path_loss_exponent: float = 3.0,
                  capture_threshold_db: float = 10.0,
                  bandwidth_hz: float = 20e6,
-                 min_distance_m: float = 0.1) -> None:
+                 min_distance_m: float = 0.1,
+                 max_range_m: float | None = None,
+                 interference_range_m: float | None = None) -> None:
+        if max_range_m is not None and max_range_m <= 0:
+            raise MediumError(f"max range must be positive, got {max_range_m}")
+        if interference_range_m is not None and interference_range_m <= 0:
+            raise MediumError(
+                f"interference range must be positive, got {interference_range_m}")
         self.sim = sim
         self.path_loss_exponent = path_loss_exponent
         self.capture_threshold_db = capture_threshold_db
         self.bandwidth_hz = bandwidth_hz
         self.min_distance_m = min_distance_m
+        self.max_range_m = max_range_m
+        self.interference_range_m = (interference_range_m
+                                     if interference_range_m is not None
+                                     else max_range_m)
         self._radios: list[Radio] = []
+        # Radios whose receiver is currently on, mapped to their attach
+        # index. Completion scans only these instead of every attached
+        # radio — at fleet scale almost all radios are asleep, so this
+        # turns the per-transmission cost from O(attached) into
+        # O(listening). Iteration stays in attach order for determinism.
+        self._listening: dict[Radio, int] = {}
+        self._attach_index: dict[Radio, int] = {}
+        # With a delivery cutoff, listening radios are additionally
+        # bucketed into a grid of max_range-sized cells (keyed by the
+        # radio's position at power-on; radios are assumed static while
+        # listening). Completion then scans only the 3x3 neighbourhood
+        # around the sender, which covers every radio within range.
+        self._cells: dict[tuple[int, int], dict[Radio, int]] = {}
+        self._radio_cell: dict[Radio, tuple[int, int]] = {}
         self._active: list[Transmission] = []
         self.frames_transmitted = 0
         self.frames_delivered = 0
@@ -108,12 +147,52 @@ class WirelessMedium:
     # -- membership --------------------------------------------------------
 
     def attach(self, radio: "Radio") -> None:
-        if radio in self._radios:
+        if radio in self._attach_index:
             raise MediumError("radio already attached")
+        self._attach_index[radio] = len(self._radios)
         self._radios.append(radio)
+        self.radio_state_changed(radio)
 
     def detach(self, radio: "Radio") -> None:
+        """Remove ``radio`` from the medium.
+
+        Safe while transmissions are in flight: a frame already on the
+        air still completes, but the detached radio is no longer a
+        candidate receiver, so it gets no delivery (and no report).
+        """
+        if radio not in self._attach_index:
+            raise MediumError("radio is not attached")
         self._radios.remove(radio)
+        del self._attach_index[radio]
+        self._listening.pop(radio, None)
+        self._drop_from_cells(radio)
+
+    def radio_state_changed(self, radio: "Radio") -> None:
+        """Keep the listening set in sync; called by the radio on every
+        state transition (and by :meth:`attach`)."""
+        index = self._attach_index.get(radio)
+        if index is None:
+            return
+        if radio.is_receiver_on():
+            self._listening[radio] = index
+            if self.max_range_m is not None and radio not in self._radio_cell:
+                cell = (int(radio.position.x_m // self.max_range_m),
+                        int(radio.position.y_m // self.max_range_m))
+                self._radio_cell[radio] = cell
+                self._cells.setdefault(cell, {})[radio] = index
+        else:
+            self._listening.pop(radio, None)
+            self._drop_from_cells(radio)
+
+    def _drop_from_cells(self, radio: "Radio") -> None:
+        cell = self._radio_cell.pop(radio, None)
+        if cell is None:
+            return
+        bucket = self._cells.get(cell)
+        if bucket is not None:
+            bucket.pop(radio, None)
+            if not bucket:
+                del self._cells[cell]
 
     def add_delivery_listener(
             self, listener: Callable[[Transmission, DeliveryReport], None]) -> None:
@@ -146,7 +225,26 @@ class WirelessMedium:
 
     def _complete(self, transmission: Transmission) -> None:
         self._active.remove(transmission)
-        for radio in self._radios:
+        # Only radios with their receiver on can decode; iterate them in
+        # attach order so listener invocation order matches the historic
+        # full scan of ``self._radios`` exactly. With a delivery cutoff,
+        # the 3x3 cell neighbourhood around the sender bounds the scan
+        # to radios that could possibly be in range.
+        if self.max_range_m is not None:
+            origin = transmission.sender.position
+            column = int(origin.x_m // self.max_range_m)
+            row = int(origin.y_m // self.max_range_m)
+            items: list[tuple[Radio, int]] = []
+            for dc in (-1, 0, 1):
+                for dr in (-1, 0, 1):
+                    bucket = self._cells.get((column + dc, row + dr))
+                    if bucket:
+                        items.extend(bucket.items())
+            candidates = sorted(items, key=lambda item: item[1])
+        else:
+            candidates = sorted(self._listening.items(),
+                                key=lambda item: item[1])
+        for radio, _index in candidates:
             if radio is transmission.sender:
                 continue
             report = self._deliver_to(transmission, radio)
@@ -171,13 +269,15 @@ class WirelessMedium:
         # part of this frame's airtime cannot have received it.
         if any(other.sender is radio for other in transmission.overlapping):
             return None
+        distance = max(self.min_distance_m,
+                       transmission.sender.position.distance_to(radio.position))
+        if self.max_range_m is not None and distance > self.max_range_m:
+            return None
         if self.fault_injector is not None and self.fault_injector(
                 transmission, radio):
             self.frames_lost_injected += 1
             return DeliveryReport(radio, False, "injected-fault", 0.0)
         frequency_hz = channel_frequency_hz(transmission.channel)
-        distance = max(self.min_distance_m,
-                       transmission.sender.position.distance_to(radio.position))
         signal_dbm = received_power_dbm(
             transmission.power_dbm, distance,
             exponent=self.path_loss_exponent, frequency_hz=frequency_hz)
@@ -186,6 +286,9 @@ class WirelessMedium:
         for other in transmission.overlapping:
             other_distance = max(self.min_distance_m,
                                  other.sender.position.distance_to(radio.position))
+            if (self.interference_range_m is not None
+                    and other_distance > self.interference_range_m):
+                continue
             other_dbm = received_power_dbm(other.power_dbm, other_distance,
                                            exponent=self.path_loss_exponent,
                                            frequency_hz=frequency_hz)

@@ -72,6 +72,7 @@ class Radio:
             return
         old_state = self.state
         self.state = new_state
+        self.medium.radio_state_changed(self)
         for listener in self._state_listeners:
             listener(old_state, new_state, self.sim.now_s)
 
@@ -90,11 +91,14 @@ class Radio:
             raise MediumError(str(error)) from None
         self.channel = channel
 
+    def is_receiver_on(self) -> bool:
+        """Is the receive chain powered (any channel)?"""
+        return self.state in (RadioState.IDLE, RadioState.RX,
+                              RadioState.MONITOR)
+
     def is_listening(self, channel: int) -> bool:
         """Can this radio currently hear ``channel`` at all?"""
-        return (self.channel == channel
-                and self.state in (RadioState.IDLE, RadioState.RX,
-                                   RadioState.MONITOR))
+        return self.channel == channel and self.is_receiver_on()
 
     # -- transmit --------------------------------------------------------------
 

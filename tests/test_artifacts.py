@@ -88,7 +88,8 @@ class TestExportAll:
         names = {os.path.basename(artifact.path) for artifact in artifacts}
         assert names == {"table1.csv", "figure4.csv", "figure3a_wifi.csv",
                          "figure3b_wile.csv", "figure3a_wifi_segments.csv",
-                         "figure3b_wile_segments.csv", "metrics.jsonl"}
+                         "figure3b_wile_segments.csv",
+                         "multi_device_rounds.csv", "metrics.jsonl"}
         for artifact in artifacts:
             assert os.path.exists(artifact.path)
             assert artifact.rows > 0

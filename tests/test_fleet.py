@@ -1,0 +1,272 @@
+"""Tests for the fleet subsystem: population determinism, shard
+geometry, aggregate merging, and the headline shard-count-invariance
+guarantee (1 shard vs N shards => identical statistics)."""
+
+import math
+
+import pytest
+
+from repro.experiments.fleet_scale import (
+    run_fleet_point,
+    run_fleet_smoke,
+)
+from repro.fleet import (
+    DEFAULT_MAX_RANGE_M,
+    FleetAggregate,
+    FleetConfig,
+    FleetError,
+    MergeableHistogram,
+    generate_fleet,
+    plan_shards,
+    run_shard,
+    run_sharded_fleet,
+)
+from repro.fleet.aggregate import AggregateError, counters_equal, moments_close
+from repro.fleet.shards import ShardError
+from repro.obs import audit_fleet
+
+# Small but collision-active: 60 devices on 60x30 m beaconing every
+# 30 s for 10 minutes, so the invariance checks exercise collisions,
+# capture, and SNR losses, not just clean deliveries.
+SMALL = FleetConfig(device_count=60, area_m=(60.0, 30.0), interval_s=30.0,
+                    duration_s=600.0, seed=11)
+
+
+class TestPopulation:
+    def test_generation_is_deterministic(self):
+        first = generate_fleet(SMALL)
+        second = generate_fleet(SMALL)
+        assert first == second
+
+    def test_seed_changes_every_stream(self):
+        other = generate_fleet(FleetConfig(
+            device_count=60, area_m=(60.0, 30.0), interval_s=30.0,
+            duration_s=600.0, seed=12))
+        base = generate_fleet(SMALL)
+        assert base.devices != other.devices
+
+    def test_device_ids_unique_and_offset(self):
+        plan = generate_fleet(SMALL)
+        ids = [device.device_id for device in plan.devices]
+        assert len(set(ids)) == len(ids)
+        assert min(ids) >= 0x10000
+
+    def test_positions_inside_area(self):
+        for layout in ("uniform", "grid", "clusters"):
+            plan = generate_fleet(FleetConfig(
+                device_count=50, area_m=(40.0, 20.0), layout=layout))
+            for device in plan.devices:
+                assert 0.0 <= device.x_m <= 40.0
+                assert 0.0 <= device.y_m <= 20.0
+
+    def test_staggered_first_wakes_distinct(self):
+        plan = generate_fleet(SMALL)
+        wakes = [device.first_wake_s for device in plan.devices]
+        assert len(set(wakes)) == len(wakes)
+        assert all(0.0 < wake <= SMALL.interval_s for wake in wakes)
+
+    def test_synchronised_start_shares_first_wake(self):
+        plan = generate_fleet(FleetConfig(
+            device_count=10, start="synchronised", interval_s=45.0))
+        assert {device.first_wake_s for device in plan.devices} == {45.0}
+
+    def test_clock_replays_identically(self):
+        device = generate_fleet(SMALL).devices[0]
+        first, second = device.make_clock(), device.make_clock()
+        assert [first.actual_interval_s(30.0) for _ in range(5)] == \
+            [second.actual_interval_s(30.0) for _ in range(5)]
+
+    def test_nearest_receiver_matches_brute_force(self):
+        plan = generate_fleet(FleetConfig(
+            device_count=100, area_m=(73.0, 41.0), seed=5))
+        for device in plan.devices:
+            brute = min(plan.receivers, key=lambda receiver: (
+                device.position.distance_to(receiver.position),
+                receiver.receiver_id))
+            assert plan.nearest_receiver(device) == brute
+
+    def test_receiver_grid_covers_area(self):
+        plan = generate_fleet(SMALL)
+        for device in plan.devices:
+            gateway = plan.nearest_receiver(device)
+            assert device.position.distance_to(gateway.position) \
+                <= DEFAULT_MAX_RANGE_M
+
+    def test_invalid_configs_rejected(self):
+        for kwargs in ({"device_count": 0}, {"interval_s": -1.0},
+                       {"area_m": (0.0, 10.0)}, {"layout": "ring"},
+                       {"start": "later"}, {"receiver_spacing_m": 0.0}):
+            with pytest.raises(FleetError):
+                FleetConfig(**kwargs)
+
+
+class TestShardPlanning:
+    def test_ownership_partitions_fleet(self):
+        plan = generate_fleet(SMALL)
+        shards = plan_shards(plan, 3)
+        owned = [device.device_id for shard in shards
+                 for device in shard.devices]
+        assert sorted(owned) == sorted(
+            device.device_id for device in plan.devices)
+
+    def test_halo_contains_only_near_boundary_foreigners(self):
+        plan = generate_fleet(SMALL)
+        for shard in plan_shards(plan, 3):
+            owned_ids = {device.device_id for device in shard.devices}
+            for device in shard.halo_devices:
+                assert device.device_id not in owned_ids
+                assert shard.x_min_m - shard.halo_m <= device.x_m \
+                    <= shard.x_max_m + shard.halo_m
+
+    def test_designated_pairs_unique_fleet_wide(self):
+        plan = generate_fleet(SMALL)
+        shards = plan_shards(plan, 4)
+        senders = [pair[0] for shard in shards for pair in shard.designated]
+        assert len(set(senders)) == len(senders)
+
+    def test_narrow_halo_rejected(self):
+        plan = generate_fleet(SMALL)
+        with pytest.raises(ShardError):
+            plan_shards(plan, 2, halo_m=10.0)
+        with pytest.raises(ShardError):
+            plan_shards(plan, 0)
+
+
+class TestShardInvariance:
+    """The tentpole guarantee: sharding must not change the physics."""
+
+    def test_one_vs_many_shards_identical(self):
+        plan = generate_fleet(SMALL)
+        single = run_sharded_fleet(plan, shard_count=1)
+        for shard_count in (2, 3):
+            sharded = run_sharded_fleet(plan, shard_count=shard_count)
+            assert counters_equal(single, sharded) == [], shard_count
+            assert moments_close(single, sharded) == [], shard_count
+
+    def test_worker_pool_matches_serial(self):
+        plan = generate_fleet(SMALL)
+        serial = run_sharded_fleet(plan, shard_count=2, workers=1)
+        pooled = run_sharded_fleet(plan, shard_count=2, workers=2)
+        assert counters_equal(serial, pooled) == []
+        assert moments_close(serial, pooled) == []
+
+    def test_synchronised_collisions_survive_sharding(self):
+        # The nastiest case: everyone transmits in the same slot, so
+        # collision outcomes depend on exactly which interferers each
+        # shard simulates.
+        config = FleetConfig(device_count=80, area_m=(60.0, 30.0),
+                             interval_s=20.0, duration_s=300.0,
+                             start="synchronised", seed=3)
+        plan = generate_fleet(config)
+        single = run_sharded_fleet(plan, shard_count=1)
+        sharded = run_sharded_fleet(plan, shard_count=3)
+        assert single.uplink_lost_collision > 0
+        assert counters_equal(single, sharded) == []
+
+    def test_runs_are_deterministic_per_seed(self):
+        plan = generate_fleet(SMALL)
+        first = run_sharded_fleet(plan, shard_count=2)
+        second = run_sharded_fleet(plan, shard_count=2)
+        assert first.to_dict() == second.to_dict()
+
+    def test_uplink_conservation_and_audit(self):
+        plan = generate_fleet(SMALL)
+        aggregate = run_sharded_fleet(plan, shard_count=2)
+        decided = (aggregate.uplink_delivered
+                   + aggregate.uplink_lost_collision
+                   + aggregate.uplink_lost_snr
+                   + aggregate.uplink_out_of_range)
+        assert decided == aggregate.beacons_sent
+        report = audit_fleet(aggregate)
+        assert report.ok, report.render()
+
+    def test_single_shard_spec_runs_standalone(self):
+        plan = generate_fleet(SMALL)
+        (shard,) = plan_shards(plan, 1)
+        aggregate = run_shard(shard)
+        assert aggregate.device_count == SMALL.device_count
+        assert aggregate.beacons_sent > 0
+
+
+class TestAggregate:
+    def test_merge_is_exact_sum(self):
+        left = FleetAggregate(device_count=2, shard_count=1,
+                              duration_s=10.0, beacons_sent=5,
+                              uplink_delivered=4, uplink_lost_collision=1)
+        right = FleetAggregate(device_count=3, shard_count=1,
+                               duration_s=10.0, beacons_sent=7,
+                               uplink_delivered=7)
+        left.energy_j.observe(1.0)
+        right.energy_j.observe(3.0)
+        left.merge(right)
+        assert left.device_count == 5
+        assert left.beacons_sent == 12
+        assert left.uplink_delivered == 11
+        assert left.shard_count == 2
+        assert left.energy_j.count == 2
+        assert left.energy_j.mean == pytest.approx(2.0)
+
+    def test_merge_rejects_different_horizons(self):
+        left = FleetAggregate(duration_s=10.0)
+        right = FleetAggregate(duration_s=20.0)
+        with pytest.raises(AggregateError):
+            left.merge(right)
+
+    def test_rates_guard_zero_denominators(self):
+        empty = FleetAggregate()
+        assert empty.delivery_rate == 0.0
+        assert empty.collision_rate == 0.0
+        assert empty.channel_utilisation == 0.0
+        assert math.isinf(empty.battery_years())
+
+    def test_histogram_merge_exact(self):
+        first = MergeableHistogram.log_bins(1e-6, 1e-2, 8)
+        second = MergeableHistogram.log_bins(1e-6, 1e-2, 8)
+        values = [2e-6, 5e-5, 1e-3, 9e-3, 1e-7, 5e-2]
+        for value in values[:3]:
+            first.observe(value)
+        for value in values[3:]:
+            second.observe(value)
+        reference = MergeableHistogram.log_bins(1e-6, 1e-2, 8)
+        for value in values:
+            reference.observe(value)
+        first.merge(second)
+        assert first.to_dict() == reference.to_dict()
+        assert first.total == len(values)
+        assert first.underflow == 1 and first.overflow == 1
+
+    def test_histogram_rejects_mismatched_edges(self):
+        first = MergeableHistogram.log_bins(1e-6, 1e-2, 8)
+        second = MergeableHistogram.log_bins(1e-6, 1e-2, 9)
+        with pytest.raises(AggregateError):
+            first.merge(second)
+
+    def test_histogram_rejects_bad_shapes(self):
+        with pytest.raises(AggregateError):
+            MergeableHistogram(edges=(1.0,))
+        with pytest.raises(AggregateError):
+            MergeableHistogram(edges=(1.0, 1.0))
+        with pytest.raises(AggregateError):
+            MergeableHistogram.log_bins(0.0, 1.0, 4)
+        histogram = MergeableHistogram.log_bins(1e-6, 1e-2, 4)
+        with pytest.raises(AggregateError):
+            histogram.observe(float("nan"))
+
+
+class TestFleetScaleExperiment:
+    def test_point_records_metrics_and_rows(self):
+        config = FleetConfig(device_count=30, area_m=(30.0, 30.0),
+                             interval_s=30.0, duration_s=300.0, seed=2)
+        point = run_fleet_point(config, shard_count=2)
+        row = point.to_row()
+        assert row["device_count"] == 30
+        assert row["beacons_sent"] == point.aggregate.beacons_sent
+        assert 0.0 <= row["delivery_rate"] <= 1.0
+        assert point.density_per_ha == pytest.approx(30 / 0.09)
+
+    def test_smoke_check_passes(self):
+        aggregate, mismatches = run_fleet_smoke(
+            device_count=40, shard_count=2, area_m=(40.0, 20.0),
+            interval_s=30.0, duration_s=300.0)
+        assert mismatches == []
+        assert aggregate.beacons_sent > 0

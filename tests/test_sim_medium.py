@@ -244,3 +244,190 @@ class TestRadioStates:
         sim.run()
         assert tx.frames_sent == 1
         assert rx.frames_received == 1
+
+
+class TestDetach:
+    def test_detach_mid_flight_gets_no_delivery(self):
+        sim, medium, (tx, rx) = setup()
+        received = []
+        rx.rx_callback = lambda frame, t: received.append(frame)
+        tx.power_on()
+        rx.power_on()
+        tx.transmit(beacon(), OFDM_24)
+        # The frame is on the air; the receiver leaves before it ends.
+        medium.detach(rx)
+        sim.run()
+        assert not received
+        assert medium.frames_delivered == 0
+
+    def test_detach_mid_flight_fires_no_report(self):
+        sim, medium, (tx, rx) = setup()
+        reports = []
+        medium.add_delivery_listener(
+            lambda transmission, report: reports.append(report))
+        tx.power_on()
+        rx.power_on()
+        tx.transmit(beacon(), OFDM_24)
+        medium.detach(rx)
+        sim.run()
+        assert not reports
+
+    def test_detach_unattached_rejected(self):
+        sim, medium, (tx, _rx) = setup()
+        medium.detach(tx)
+        with pytest.raises(MediumError):
+            medium.detach(tx)
+
+    def test_reattach_after_detach_receives_again(self):
+        sim, medium, (tx, rx) = setup()
+        received = []
+        rx.rx_callback = lambda frame, t: received.append(frame)
+        tx.power_on()
+        rx.power_on()
+        medium.detach(rx)
+        medium.attach(rx)
+        tx.transmit(beacon(), OFDM_24)
+        sim.run()
+        assert len(received) == 1
+
+
+class TestDeliveryListeners:
+    def test_listeners_called_in_attach_order(self):
+        sim, medium, (first, second, tx) = setup(
+            positions=((0.0, 0.0), (1.0, 0.0), (2.0, 0.0)))
+        order = []
+        medium.add_delivery_listener(
+            lambda transmission, report: order.append(report.receiver))
+        # Power on in reverse attach order: reports must still follow
+        # attach order, not power-on order.
+        second.power_on()
+        first.power_on()
+        tx.power_on()
+        tx.transmit(beacon(C), OFDM_24)
+        sim.run()
+        assert order == [first, second]
+
+    def test_every_listener_sees_every_report(self):
+        sim, medium, (tx, rx) = setup()
+        first, second = [], []
+        medium.add_delivery_listener(
+            lambda transmission, report: first.append(report))
+        medium.add_delivery_listener(
+            lambda transmission, report: second.append(report))
+        tx.power_on()
+        rx.power_on()
+        tx.transmit(beacon(), OFDM_24)
+        sim.run()
+        assert first == second
+        assert len(first) == 1 and first[0].delivered
+
+    def test_report_carries_loss_reason(self):
+        sim, medium, (first, second, rx) = setup(
+            positions=((0.0, 1.0), (0.0, -1.0), (10.0, 0.0)))
+        reasons = []
+        medium.add_delivery_listener(
+            lambda transmission, report: reasons.append(report.reason))
+        for radio in (first, second, rx):
+            radio.power_on()
+        first.transmit(beacon(A), OFDM_6)
+        second.transmit(beacon(B), OFDM_6)
+        sim.run()
+        assert reasons == ["collision", "collision"]
+
+
+class TestBusyUntil:
+    def test_busy_until_tracks_longest_overlapping_frame(self):
+        sim, medium, (first, second, _rx) = setup(
+            positions=((0.0, 0.0), (1.0, 0.0), (2.0, 0.0)))
+        first.power_on()
+        second.power_on()
+        # A short frame at a fast rate, then a long one at a slow rate:
+        # the channel stays busy until the slow frame ends.
+        short = first.transmit(beacon(A), HT_MCS7_SGI)
+        long = second.transmit(beacon(B), OFDM_6)
+        assert long.end_s > short.end_s
+        assert medium.busy_until_s(6) == long.end_s
+        sim.run(until_s=(short.end_s + long.end_s) / 2)
+        assert medium.channel_busy(6)
+        assert medium.busy_until_s(6) == long.end_s
+        sim.run()
+        assert medium.busy_until_s(6) == sim.now_s
+
+    def test_busy_until_is_per_channel(self):
+        sim, medium, (tx, other, _rx) = setup(
+            positions=((0.0, 0.0), (1.0, 0.0), (2.0, 0.0)))
+        other.set_channel(11)
+        tx.power_on()
+        other.power_on()
+        tx.transmit(beacon(), OFDM_6)
+        assert medium.channel_busy(6)
+        assert not medium.channel_busy(11)
+        assert medium.busy_until_s(11) == sim.now_s
+        sim.run()
+
+
+class TestRangeCutoff:
+    def test_beyond_max_range_no_report_at_all(self):
+        sim = Simulator()
+        medium = WirelessMedium(sim, max_range_m=50.0)
+        tx = Radio(sim, medium, A, position=Position(0.0, 0.0),
+                   default_power_dbm=20.0)
+        rx = Radio(sim, medium, B, position=Position(60.0, 0.0),
+                   default_power_dbm=20.0)
+        reports = []
+        medium.add_delivery_listener(
+            lambda transmission, report: reports.append(report))
+        tx.power_on()
+        rx.power_on()
+        tx.transmit(beacon(), OFDM_6)
+        sim.run()
+        # OFDM-6 at 20 dBm decodes well past 60 m, but the hard cutoff
+        # removes the receiver from consideration entirely.
+        assert not reports
+        assert medium.frames_delivered == 0
+        assert medium.frames_lost_snr == 0
+
+    def test_within_max_range_unchanged(self):
+        for max_range in (None, 50.0):
+            sim = Simulator()
+            medium = WirelessMedium(sim, max_range_m=max_range)
+            tx = Radio(sim, medium, A, position=Position(0.0, 0.0),
+                       default_power_dbm=20.0)
+            rx = Radio(sim, medium, B, position=Position(40.0, 0.0),
+                       default_power_dbm=20.0)
+            received = []
+            rx.rx_callback = lambda frame, t: received.append(frame)
+            tx.power_on()
+            rx.power_on()
+            tx.transmit(beacon(), OFDM_6)
+            sim.run()
+            assert len(received) == 1, max_range
+
+    def test_interference_cutoff_ignores_distant_interferer(self):
+        # Interferer at 60 m degrades SINR enough to break MCS7 at 11 m
+        # — unless the interference cutoff excludes it.
+        outcomes = {}
+        for cutoff in (None, 50.0):
+            sim = Simulator()
+            medium = WirelessMedium(sim, interference_range_m=cutoff)
+            tx = Radio(sim, medium, A, position=Position(0.0, 0.0))
+            jam = Radio(sim, medium, B, position=Position(60.0, 0.0),
+                        default_power_dbm=20.0)
+            rx = Radio(sim, medium, C, position=Position(0.0, 11.0))
+            received = []
+            rx.rx_callback = lambda frame, t: received.append(frame)
+            for radio in (tx, jam, rx):
+                radio.power_on()
+            tx.transmit(beacon(A), HT_MCS7_SGI)
+            jam.transmit(beacon(B), OFDM_6)
+            sim.run()
+            outcomes[cutoff] = len(received)
+        assert outcomes[None] == 0
+        assert outcomes[50.0] == 1
+
+    def test_invalid_ranges_rejected(self):
+        sim = Simulator()
+        with pytest.raises(MediumError):
+            WirelessMedium(sim, max_range_m=0.0)
+        with pytest.raises(MediumError):
+            WirelessMedium(sim, interference_range_m=-1.0)

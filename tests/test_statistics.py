@@ -6,6 +6,7 @@ import pytest
 from repro.experiments.statistics import (
     Replication,
     StatisticsError,
+    StreamingSummary,
     replicate,
     replicate_many,
 )
@@ -61,6 +62,56 @@ class TestReplicate:
             return {"a": 1.0} if seed == 0 else {"a": 1.0, "b": 2.0}
         with pytest.raises(StatisticsError):
             replicate_many(metrics, seeds=(0, 1))
+
+
+class TestStreamingSummary:
+    VALUES = (3.5, -1.0, 0.25, 12.0, 7.75, 7.75, -4.5, 0.0, 100.0, 2.125)
+
+    def test_matches_replication(self):
+        summary = StreamingSummary.of(self.VALUES)
+        replication = Replication(self.VALUES)
+        assert summary.count == replication.count
+        assert summary.mean == pytest.approx(replication.mean, rel=1e-12)
+        assert summary.std == pytest.approx(replication.std, rel=1e-12)
+        assert summary.minimum == replication.minimum
+        assert summary.maximum == replication.maximum
+
+    def test_merge_exact_against_single_pass(self):
+        for split in range(len(self.VALUES) + 1):
+            left = StreamingSummary.of(self.VALUES[:split])
+            right = StreamingSummary.of(self.VALUES[split:])
+            left.merge(right)
+            whole = Replication(self.VALUES)
+            assert left.count == whole.count
+            assert left.mean == pytest.approx(whole.mean, rel=1e-12)
+            assert left.std == pytest.approx(whole.std, rel=1e-12)
+            assert left.minimum == whole.minimum
+            assert left.maximum == whole.maximum
+
+    def test_merge_into_empty_and_with_empty(self):
+        summary = StreamingSummary()
+        summary.merge(StreamingSummary.of((1.0, 2.0)))
+        assert summary.count == 2 and summary.mean == pytest.approx(1.5)
+        summary.merge(StreamingSummary())
+        assert summary.count == 2 and summary.mean == pytest.approx(1.5)
+
+    def test_single_value(self):
+        summary = StreamingSummary.of((4.0,))
+        assert summary.std == 0.0
+        assert summary.minimum == summary.maximum == 4.0
+        assert summary.sum == pytest.approx(4.0)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(StatisticsError):
+            StreamingSummary().observe(float("nan"))
+
+    def test_to_dict_and_describe(self):
+        summary = StreamingSummary.of((1.0, 3.0))
+        record = summary.to_dict()
+        assert record["count"] == 2 and record["mean"] == pytest.approx(2.0)
+        assert "n=2" in summary.describe("J")
+        assert StreamingSummary().to_dict()["min"] is None
+        assert StreamingSummary().describe() == "no observations"
 
 
 class TestOnStochasticExperiments:
