@@ -28,7 +28,7 @@ Quick start::
     phone.latest_reading(0x17, SensorKind.TEMPERATURE_C)  # -> 17.0
 """
 
-from . import ble, core, dot11, energy, experiments, mac, netproto, obs, phy
+from . import ble, core, dot11, energy, experiments, faults, mac, netproto, obs, phy
 from . import scenarios, security, sim, testbed
 from .obs import METRICS, AuditReport, EventTracer, MetricsRegistry
 from .core import (
@@ -60,6 +60,6 @@ from .scenarios import (
 from .sim import JitteryClock, Position, Radio, Simulator, WirelessMedium
 from .testbed import BenchSupply, Esp32Module, ExperimentRig, Keysight34465A
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [name for name in dir() if not name.startswith("_")]

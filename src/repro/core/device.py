@@ -129,6 +129,16 @@ class WiLEDevice:
         self._interval_s = 0.0
         self._running = False
         self._sleep_since_s = sim.now_s
+        # Fault support (repro.faults): a reboot or shutdown bumps the
+        # epoch, turning every already-scheduled continuation of the
+        # interrupted duty cycle into a no-op. With no faults injected
+        # the epoch never changes and behaviour is bit-identical to the
+        # pre-fault code.
+        self._epoch = 0
+        self._wake_handle = None
+        self.reboots = 0
+        self.fault_energy_j = 0.0
+        self.depleted = False
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -149,12 +159,16 @@ class WiLEDevice:
         self._running = True
         self._sleep_since_s = self.sim.now_s
         if first_wake_s is not None:
-            self.sim.schedule(max(first_wake_s, 1e-9), self._wake)
+            self._wake_handle = self.sim.schedule(
+                max(first_wake_s, 1e-9), self._guarded(self._wake))
         else:
             self._schedule_next_wake()
 
     def stop(self) -> None:
         self._running = False
+        if self._wake_handle is not None:
+            self._wake_handle.cancel()
+            self._wake_handle = None
 
     def set_interval(self, interval_s: float) -> None:
         """Retarget the wake period (applies from the next sleep).
@@ -173,8 +187,66 @@ class WiLEDevice:
     def _schedule_next_wake(self) -> None:
         if not self._running:
             return
-        self.sim.schedule(self.clock.actual_interval_s(self._interval_s),
-                          self._wake)
+        self._wake_handle = self.sim.schedule(
+            self.clock.actual_interval_s(self._interval_s),
+            self._guarded(self._wake))
+
+    def _guarded(self, callback: Callable[[], None]) -> Callable[[], None]:
+        """Bind ``callback`` to the current fault epoch.
+
+        A brownout or battery cutoff mid-cycle invalidates every
+        continuation of that cycle (the post-boot transmit, the repeat
+        train, the rx-window close, the back-to-sleep step); the stale
+        callbacks still fire in the engine but do nothing.
+        """
+        epoch = self._epoch
+
+        def run() -> None:
+            if self._epoch == epoch:
+                callback()
+
+        return run
+
+    # -- fault handling (driven by repro.faults) -----------------------------
+
+    def reboot(self) -> None:
+        """Brownout: the supply dips, the chip resets mid-whatever.
+
+        Any in-flight duty-cycle state is lost; the device pays a full
+        boot (the paper's 0.35 s / 46.8 mA window — brownouts are
+        energetically expensive, which is why the resilience experiment
+        tracks them) and then resumes its normal schedule from sleep.
+        """
+        if self.depleted:
+            return
+        self._epoch += 1
+        self.reboots += 1
+        if self._wake_handle is not None:
+            self._wake_handle.cancel()
+            self._wake_handle = None
+        self.radio.power_off()
+        self._record_sleep_until(self.sim.now_s)
+        self._record(Esp32State.BOOT, self.boot_time_s, "reboot")
+        model = (self.recorder.model if self.recorder is not None
+                 else Esp32PowerModel())
+        self.fault_energy_j += self.boot_time_s * model.power_w(
+            Esp32State.BOOT)
+        if self._running:
+            self.sim.schedule(self.boot_time_s,
+                              self._guarded(self._back_to_sleep))
+
+    def shutdown(self) -> None:
+        """Battery depleted: the device goes dark and stays dark."""
+        if self.depleted:
+            return
+        self.depleted = True
+        self._epoch += 1
+        self._running = False
+        if self._wake_handle is not None:
+            self._wake_handle.cancel()
+            self._wake_handle = None
+        self.radio.power_off()
+        self._record_sleep_until(self.sim.now_s)
 
     # -- the duty cycle ----------------------------------------------------------
 
@@ -193,8 +265,8 @@ class WiLEDevice:
             self._back_to_sleep()
             return
         self._record(Esp32State.BOOT, self.boot_time_s, "boot")
-        self.sim.schedule(self.boot_time_s,
-                          lambda: self._transmit_beacon(readings))
+        self.sim.schedule(self.boot_time_s, self._guarded(
+            lambda: self._transmit_beacon(readings)))
 
     def _transmit_beacon(self, readings: tuple[SensorReading, ...]) -> None:
         message = self.build_message(readings)
@@ -227,15 +299,17 @@ class WiLEDevice:
                          at_s=self.sim.now_s + window_s)
             self.sim.schedule(
                 window_s + self.repeat_gap_s,
-                lambda: self._send_train(beacon, remaining - 1, False))
+                self._guarded(
+                    lambda: self._send_train(beacon, remaining - 1, False)))
             return
         if self.rx_window_ms > 0:
             rx_window_s = self.rx_window_ms / 1e3
             self._record(Esp32State.LISTEN, rx_window_s, "rx-window",
                          at_s=self.sim.now_s + window_s)
-            self.sim.schedule(window_s + rx_window_s, self._window_closed)
+            self.sim.schedule(window_s + rx_window_s,
+                              self._guarded(self._window_closed))
         else:
-            self.sim.schedule(window_s, self._back_to_sleep)
+            self.sim.schedule(window_s, self._guarded(self._back_to_sleep))
 
     def _inject_repeat(self, beacon: Beacon) -> float:
         """One extra copy: no warm-up (the radio is already hot)."""
@@ -301,9 +375,10 @@ class WiLEDevice:
                 self._record(Esp32State.LISTEN, window_s, "rx-window",
                              at_s=transmission.end_s)
                 self.sim.at(transmission.end_s + window_s,
-                            self._window_closed)
+                            self._guarded(self._window_closed))
             else:
-                self.sim.at(transmission.end_s, self._back_to_sleep)
+                self.sim.at(transmission.end_s,
+                            self._guarded(self._back_to_sleep))
 
         self._csma.enqueue(beacon, self.rate, on_sent=on_sent)
 
@@ -332,7 +407,8 @@ class WiLEDevice:
             energy_j=self.energy_per_packet_j(len(transmission.frame_bytes)))
         self.transmissions.append(record)
         if was_off and self.rx_window_ms == 0:
-            self.sim.at(transmission.end_s, self.radio.power_off)
+            self.sim.at(transmission.end_s,
+                        self._guarded(self.radio.power_off))
         return record
 
     def _window_closed(self) -> None:

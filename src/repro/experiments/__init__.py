@@ -21,6 +21,7 @@ from . import (
     frame_counts,
     multi_device,
     reliability,
+    resilience,
     runner,
     scheduling,
     statistics,
@@ -33,6 +34,7 @@ from .band_5ghz import band_range_table, run_congestion_escape
 from .battery_life import battery_life as run_battery_life
 from .contention import BackgroundTraffic, run_contention, run_contention_point
 from .reliability import run_reliability, train_energy_j
+from .resilience import ResilienceCell, ResiliencePoint, run_resilience
 from .scheduling import run_scheduling
 from .figure3 import Figure3Report, run_figure3
 from .figure4 import Figure4Report, run_figure4

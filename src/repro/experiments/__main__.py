@@ -15,7 +15,7 @@ import argparse
 import os
 import sys
 
-from ..obs import METRICS, audit_all, audit_fleet
+from ..obs import METRICS, audit_all, audit_faults, audit_fleet
 from ..scenarios import ensure_scenario_metrics, run_all_scenarios
 from . import (
     ablations,
@@ -24,6 +24,7 @@ from . import (
     contention,
     fleet_scale,
     reliability,
+    resilience,
     scheduling,
 )
 from .artifacts import export_all, write_metrics_jsonl
@@ -82,6 +83,7 @@ def main(argv: list[str] | None = None) -> int:
     print(run_frame_counts().render())
 
     fleet_points = None
+    resilience_points = None
     if not args.quick:
         _banner("Section 6: multi-device jitter")
         print(run_multi_device().render())
@@ -107,11 +109,15 @@ def main(argv: list[str] | None = None) -> int:
         _banner("Fleet scale")
         fleet_points = fleet_scale.run_fleet_scale(workers=args.workers)
         print(fleet_scale.render(fleet_points))
+        _banner("Resilience under injected faults")
+        resilience_points = resilience.run_resilience(workers=args.workers)
+        print(resilience.render(resilience_points))
 
     if args.out is not None:
         _banner(f"Artifacts -> {args.out}")
         for artifact in export_all(args.out, results,
-                                   fleet_points=fleet_points):
+                                   fleet_points=fleet_points,
+                                   resilience_points=resilience_points):
             print(f"  wrote {artifact.path} ({artifact.rows} rows)")
 
     if args.timings:
@@ -128,6 +134,9 @@ def main(argv: list[str] | None = None) -> int:
                     point.aggregate,
                     subject=f"fleet[{point.device_count}x"
                             f"{point.interval_s:g}s]"))
+        if resilience_points is not None:
+            for point in resilience_points:
+                report.merge(audit_faults(point))
         print(report.render())
         audit_failed = not report.ok
 

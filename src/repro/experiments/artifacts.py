@@ -130,6 +130,22 @@ def write_fleet_csv(path: str, points) -> WrittenArtifact:
     return WrittenArtifact(path, len(rows))
 
 
+def write_resilience_csv(path: str, points) -> WrittenArtifact:
+    """One row per fault-intensity x recovery-policy cell (duck-typed
+    :class:`~repro.experiments.resilience.ResiliencePoint` sequence)."""
+    if not points:
+        raise ArtifactError("resilience sweep produced no points")
+    rows = [point.to_row() for point in points]
+    with _writer(path) as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: (f"{value:.9g}"
+                                   if isinstance(value, float) else value)
+                             for key, value in row.items()})
+    return WrittenArtifact(path, len(rows))
+
+
 def write_metrics_jsonl(path: str,
                         registry: MetricsRegistry | None = None) -> WrittenArtifact:
     """One metric snapshot per line: the run's observability artifact.
@@ -148,12 +164,14 @@ def write_metrics_jsonl(path: str,
 
 def export_all(output_dir: str,
                results: dict[str, ScenarioResult] | None = None,
-               fleet_points=None) -> list[WrittenArtifact]:
+               fleet_points=None,
+               resilience_points=None) -> list[WrittenArtifact]:
     """Write the full artifact set under ``output_dir``.
 
-    ``fleet_points`` is the (expensive) fleet density sweep's output;
-    callers that already ran it pass it in so the artifact set gains
-    ``fleet_scale.csv`` without a second multi-thousand-device run.
+    ``fleet_points`` / ``resilience_points`` are the (expensive) fleet
+    density and fault-injection sweeps' outputs; callers that already
+    ran them pass them in so the artifact set gains ``fleet_scale.csv``
+    / ``resilience.csv`` without a second run.
     """
     results = results if results is not None else run_all_scenarios()
     artifacts = [
@@ -176,6 +194,9 @@ def export_all(output_dir: str,
     if fleet_points:
         artifacts.append(write_fleet_csv(
             os.path.join(output_dir, "fleet_scale.csv"), fleet_points))
+    if resilience_points:
+        artifacts.append(write_resilience_csv(
+            os.path.join(output_dir, "resilience.csv"), resilience_points))
     # Scenario metrics recorded in pool workers died with the pool;
     # re-emit from the results so the artifact is always complete.
     ensure_scenario_metrics(results)

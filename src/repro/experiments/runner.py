@@ -24,7 +24,9 @@ from __future__ import annotations
 
 import math
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -37,6 +39,20 @@ _R = TypeVar("_R")
 
 class RunnerError(ValueError):
     """Raised for invalid runner configuration."""
+
+
+class _PoolUnusable(Exception):
+    """Internal: the pool cannot run this function at all (unpicklable
+    function or results, or the platform cannot spawn workers) — the
+    whole map must fall back to the serial loop."""
+
+
+def _call_chunk(fn: Callable[[_T], _R], chunk: Sequence[_T]) -> list[_R]:
+    """Worker-side unit of dispatch: one chunk, results in chunk order.
+
+    Module-level (not a closure) so it pickles under spawn.
+    """
+    return [fn(item) for item in chunk]
 
 
 @dataclass(frozen=True, slots=True)
@@ -121,17 +137,40 @@ class ParallelRunner:
     boundary; when they are not, or when the platform cannot spawn
     workers at all, the runner falls back to the serial loop and notes
     it in :attr:`last_backend`.
+
+    Robustness contract: a worker that dies mid-run (OOM-killed,
+    segfaulted) or hangs past ``timeout_s`` loses only its own chunks.
+    Lost chunks are retried on a fresh pool up to ``retries`` times with
+    exponential backoff, and whatever is *still* missing afterwards is
+    recomputed serially in-process — the sweep completes with the same
+    values in the same order, it just takes longer. ``last_backend``
+    reports ``"process-pool-recovered"`` when any rescue happened.
     """
 
-    def __init__(self, workers: int = 1, chunk_size: int | None = None) -> None:
+    def __init__(self, workers: int = 1, chunk_size: int | None = None,
+                 timeout_s: float | None = None, retries: int = 2,
+                 backoff_s: float = 0.25) -> None:
         if workers < 1:
             raise RunnerError(f"workers must be >= 1, got {workers}")
         if chunk_size is not None and chunk_size < 1:
             raise RunnerError(f"chunk_size must be >= 1, got {chunk_size}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise RunnerError(f"timeout must be positive, got {timeout_s}")
+        if retries < 0:
+            raise RunnerError(f"retries cannot be negative, got {retries}")
+        if backoff_s < 0:
+            raise RunnerError(f"backoff cannot be negative, got {backoff_s}")
         self.workers = workers
         self.chunk_size = chunk_size
+        #: Per-chunk result deadline; ``None`` waits forever. A chunk
+        #: that misses it counts as lost (the stuck pool is torn down)
+        #: and goes through the retry/serial-rescue path.
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
         #: How the last :meth:`map` actually executed: ``"serial"``,
-        #: ``"process-pool"`` or ``"serial-fallback"``.
+        #: ``"process-pool"``, ``"process-pool-recovered"`` (pool plus
+        #: retry/serial rescue of lost chunks) or ``"serial-fallback"``.
         self.last_backend: str | None = None
 
     def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
@@ -140,16 +179,33 @@ class ParallelRunner:
         if self.workers == 1 or len(work) <= 1:
             self.last_backend = "serial"
             return [fn(item) for item in work]
+        try:
+            # An unpicklable fn (a lambda, a closure) must never reach a
+            # pool: submit() succeeds and the pickling error only fires
+            # later inside the executor's queue-feeder thread, which
+            # leaves the manager thread permanently unjoinable — any
+            # later shutdown(wait=True), or CPython's own atexit hook,
+            # deadlocks. Probe up front and stay in-process instead.
+            pickle.dumps((fn, work[0]))
+        except Exception:
+            self.last_backend = "serial-fallback"
+            return [fn(item) for item in work]
         chunk = (self.chunk_size if self.chunk_size is not None
                  else max(1, math.ceil(len(work) / (self.workers * 4))))
+        chunks = [work[i:i + chunk] for i in range(0, len(work), chunk)]
+        slots: list[list[_R] | None] = [None] * len(chunks)
+        pending = list(range(len(chunks)))
+        recovered = False
         try:
-            with ProcessPoolExecutor(
-                    max_workers=min(self.workers, len(work))) as pool:
-                results = list(pool.map(fn, work, chunksize=chunk))
-            self.last_backend = "process-pool"
-            return results
-        except (pickle.PicklingError, AttributeError, TypeError,
-                BrokenProcessPool, OSError):
+            for attempt in range(self.retries + 1):
+                if not pending:
+                    break
+                if attempt > 0:
+                    recovered = True
+                    self._metric("runner_retry_rounds_total").inc()
+                    time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+                pending = self._pool_round(fn, chunks, slots, pending)
+        except _PoolUnusable:
             # Unpicklable function/result (CPython reports local lambdas
             # as AttributeError and unpicklable objects as TypeError),
             # or no worker processes on this platform. Cells are
@@ -158,18 +214,98 @@ class ParallelRunner:
             # ``fn`` itself.
             self.last_backend = "serial-fallback"
             return [fn(item) for item in work]
+        if pending:
+            # Retries exhausted with chunks still lost: finish the job
+            # in-process, touching only the missing cells.
+            recovered = True
+            self._metric("runner_chunks_rescued_total").inc(len(pending))
+            for index in pending:
+                slots[index] = [fn(item) for item in chunks[index]]
+        self.last_backend = ("process-pool-recovered" if recovered
+                             else "process-pool")
+        results: list[_R] = []
+        for part in slots:
+            assert part is not None
+            results.extend(part)
+        return results
+
+    def _pool_round(self, fn: Callable[[_T], _R],
+                    chunks: Sequence[Sequence[_T]],
+                    slots: list[list[_R] | None],
+                    pending: Sequence[int]) -> list[int]:
+        """Submit ``pending`` chunks to a fresh pool; return the indices
+        still missing afterwards (worker death / timeout). Raises
+        :class:`_PoolUnusable` when process-pool execution cannot work
+        at all, and re-raises genuine exceptions from ``fn``."""
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending)))
+        except OSError as error:
+            raise _PoolUnusable from error
+        lost: list[int] = []
+        abnormal = False
+        try:
+            try:
+                futures = [(pool.submit(_call_chunk, fn, chunks[index]),
+                            index) for index in pending]
+            except (BrokenProcessPool, OSError, RuntimeError) as error:
+                abnormal = True
+                raise _PoolUnusable from error
+            for future, index in futures:
+                try:
+                    slots[index] = future.result(timeout=self.timeout_s)
+                except (pickle.PicklingError, AttributeError,
+                        TypeError) as error:
+                    abnormal = True
+                    raise _PoolUnusable from error
+                except FuturesTimeout:
+                    self._metric("runner_task_timeouts_total").inc()
+                    lost.append(index)
+                    abnormal = True
+                except BrokenProcessPool:
+                    self._metric("runner_pool_breaks_total").inc()
+                    lost.append(index)
+                except OSError:
+                    lost.append(index)
+        finally:
+            if abnormal:
+                # A worker stuck past its deadline — or a pool whose
+                # queue-feeder thread choked pickling — will never
+                # drain, so its manager thread never exits and a plain
+                # join (here, or in CPython's atexit hook) blocks
+                # forever. Kill the workers first: the manager sees the
+                # pool break, cleans up, and the join below returns.
+                workers = getattr(pool, "_processes", None) or {}
+                for process in list(workers.values()):
+                    try:
+                        process.kill()
+                    except Exception:
+                        pass
+            # Every round must reap its threads and processes: with
+            # fork-start workers, executor threads left running across
+            # many pool lifetimes make later forks inherit
+            # mid-critical-section locks and deadlock.
+            pool.shutdown(wait=True, cancel_futures=True)
+        return lost
+
+    @staticmethod
+    def _metric(name: str):
+        from ..obs.metrics import METRICS
+        return METRICS.counter(name)
 
 
 def run_grid(fn: Callable[[_T], _R], items: Sequence[_T], *,
              workers: int = 1, stage: str | None = None,
-             timings: StageTimings | None = None) -> list[_R]:
+             timings: StageTimings | None = None,
+             timeout_s: float | None = None, retries: int = 2) -> list[_R]:
     """Fan ``fn`` over ``items``, recording one span for the whole stage.
 
     The convenience wrapper the experiment harnesses share: one line per
     sweep, timings for free.
     """
     registry = timings if timings is not None else TIMINGS
-    runner = ParallelRunner(workers=workers)
+    runner = ParallelRunner(workers=workers, timeout_s=timeout_s,
+                            retries=retries)
     if stage is None:
         return runner.map(fn, items)
     with registry.span(stage):

@@ -106,6 +106,26 @@ class StreamingSummary:
                 "min": self.minimum if self.count else None,
                 "max": self.maximum if self.count else None}
 
+    def state_dict(self) -> dict:
+        """Exact raw state for checkpointing (vs the lossy
+        :meth:`to_dict`): JSON round-trips ``repr`` floats exactly, so
+        a summary restored with :meth:`from_state` merges bit-identically
+        to the original — the property the fleet's shard checkpoint
+        relies on."""
+        return {"count": self.count, "mean": self.mean, "m2": self.m2,
+                "minimum": None if math.isinf(self.minimum) else self.minimum,
+                "maximum": None if math.isinf(self.maximum) else self.maximum}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamingSummary":
+        """Inverse of :meth:`state_dict`."""
+        return cls(count=int(state["count"]), mean=float(state["mean"]),
+                   m2=float(state["m2"]),
+                   minimum=(math.inf if state["minimum"] is None
+                            else float(state["minimum"])),
+                   maximum=(-math.inf if state["maximum"] is None
+                            else float(state["maximum"])))
+
     def describe(self, unit: str = "") -> str:
         suffix = f" {unit}" if unit else ""
         if not self.count:

@@ -1,0 +1,40 @@
+"""Deterministic fault injection and chaos tooling.
+
+Three layers:
+
+- :mod:`repro.faults.plan` — a seedable, fully pre-drawn schedule of
+  channel impairments, device faults, and gateway outages
+  (:class:`FaultPlan`); same seed, same schedule, bit for bit.
+- :mod:`repro.faults.inject` — binds a plan to a live simulation
+  through the existing event engine (:class:`FaultInjector`) and counts
+  scheduled-vs-fired events for the conservation audit
+  (:class:`FaultStats`).
+- :mod:`repro.faults.recovery` — the gateway-driven graceful
+  degradation policy (:class:`AdaptiveRedundancyController`).
+
+Host-level chaos (killed pool workers, shard checkpoint/resume) lives
+with the executors it hardens: :mod:`repro.experiments.runner` and
+:mod:`repro.fleet.shards`.
+"""
+
+from .inject import FaultInjectionError, FaultInjector, FaultStats
+from .plan import (
+    DeviceFault,
+    FaultConfig,
+    FaultPlan,
+    FaultPlanError,
+    GatewayOutage,
+    InterfererBurst,
+    LossBurst,
+    SnrDegradation,
+    build_fault_plan,
+    stable_uniform,
+)
+from .recovery import (
+    AdaptiveRedundancyController,
+    RecoveryAction,
+    RecoveryError,
+    RecoveryStats,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

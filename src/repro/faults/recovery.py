@@ -1,0 +1,189 @@
+"""Graceful degradation: adaptive redundancy under sustained loss.
+
+Wi-LE has no ACKs — a transmitter never learns that a beacon died in a
+burst of interference. What a *deployment* can do (paper §6's two-way
+extension) is close the loop at the gateway: the receiver watches the
+per-device delivery ratio, and when a device's beacons keep vanishing it
+commands the device — over the downlink window the device already
+advertises — to (a) repeat each beacon, trading k-fold TX energy for
+independent shots through the bursty channel, and (b) back the reporting
+interval off, so the device does not burn its battery shouting into a
+jammed band. When the channel heals, the controller steps both back to
+baseline.
+
+:class:`AdaptiveRedundancyController` models that loop. It is
+deliberately conservative and fully deterministic: fixed evaluation
+windows on the simulation clock, pure-threshold decisions, no
+randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class RecoveryError(ValueError):
+    """Raised for nonsensical controller parameters."""
+
+
+@dataclass
+class RecoveryAction:
+    """One controller decision, for traces and tests."""
+
+    time_s: float
+    action: str            # "escalate" | "recover"
+    loss_fraction: float
+    repeats: int
+    interval_s: float
+
+
+@dataclass
+class RecoveryStats:
+    """What the control loop did over a run."""
+
+    windows_evaluated: int = 0
+    windows_lossy: int = 0
+    escalations: int = 0
+    recoveries: int = 0
+    actions: list[RecoveryAction] = field(default_factory=list)
+
+
+class AdaptiveRedundancyController:
+    """Gateway-side loss monitor driving device redundancy and backoff.
+
+    Args:
+        sim: the event engine.
+        device: the :class:`~repro.core.device.WiLEDevice` under
+            control. ``device.repeats`` and ``device.set_interval`` are
+            the two knobs.
+        receiver: the :class:`~repro.core.receiver.WiLEReceiver` whose
+            deduplicated message stream is ground truth for delivery.
+        check_interval_s: evaluation window length.
+        loss_threshold: window loss fraction above which the controller
+            escalates (0.5 = more than half the trains vanished).
+        max_repeats: redundancy ceiling (energy guard).
+        backoff_factor: interval multiplier per escalation.
+        max_backoff_factor: ceiling on interval stretch relative to the
+            baseline interval.
+        recover_after: consecutive clean windows before stepping back
+            one level toward baseline.
+    """
+
+    def __init__(self, sim, device, receiver, *,
+                 check_interval_s: float = 10.0,
+                 loss_threshold: float = 0.5,
+                 max_repeats: int = 4,
+                 backoff_factor: float = 2.0,
+                 max_backoff_factor: float = 4.0,
+                 recover_after: int = 2) -> None:
+        if check_interval_s <= 0:
+            raise RecoveryError(
+                f"check interval must be positive, got {check_interval_s}")
+        if not 0.0 < loss_threshold < 1.0:
+            raise RecoveryError(
+                f"loss threshold must be in (0, 1), got {loss_threshold}")
+        if max_repeats < 1:
+            raise RecoveryError(f"max repeats must be >= 1, got {max_repeats}")
+        if backoff_factor < 1.0 or max_backoff_factor < 1.0:
+            raise RecoveryError("backoff factors must be >= 1")
+        if recover_after < 1:
+            raise RecoveryError(
+                f"recover_after must be >= 1, got {recover_after}")
+        self.sim = sim
+        self.device = device
+        self.receiver = receiver
+        self.check_interval_s = check_interval_s
+        self.loss_threshold = loss_threshold
+        self.max_repeats = max_repeats
+        self.backoff_factor = backoff_factor
+        self.max_backoff_factor = max_backoff_factor
+        self.recover_after = recover_after
+        self.stats = RecoveryStats()
+        self._baseline_repeats = device.repeats
+        self._baseline_interval_s = 0.0
+        self._level = 0
+        self._clean_streak = 0
+        self._sent_index = 0
+        self._delivered_index = 0
+        self._task = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic evaluation. Call after ``device.start``."""
+        if self._task is not None:
+            raise RecoveryError("controller already started")
+        self._baseline_interval_s = self.device.interval_s
+        if self._baseline_interval_s <= 0:
+            raise RecoveryError("device has no interval yet; start it first")
+        self._task = self.sim.call_every(self.check_interval_s, self._evaluate)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    @property
+    def level(self) -> int:
+        """Current escalation level (0 = baseline)."""
+        return self._level
+
+    # -- the control loop -----------------------------------------------------
+
+    def _evaluate(self) -> None:
+        if self.device.depleted:
+            self.stop()
+            return
+        sent_records = self.device.transmissions[self._sent_index:]
+        self._sent_index = len(self.device.transmissions)
+        delivered = self.receiver.messages_from(self.device.device_id)
+        new_deliveries = delivered[self._delivered_index:]
+        self._delivered_index = len(delivered)
+        if not sent_records:
+            return  # device slept through the window (or is rebooting)
+        self.stats.windows_evaluated += 1
+        sent_sequences = {record.sequence for record in sent_records}
+        delivered_sequences = {received.message.sequence
+                               for received in new_deliveries}
+        lost = len(sent_sequences - delivered_sequences)
+        loss_fraction = lost / len(sent_sequences)
+        if loss_fraction > self.loss_threshold:
+            self.stats.windows_lossy += 1
+            self._clean_streak = 0
+            self._escalate(loss_fraction)
+        else:
+            self._clean_streak += 1
+            if self._level > 0 and self._clean_streak >= self.recover_after:
+                self._clean_streak = 0
+                self._recover(loss_fraction)
+
+    def _escalate(self, loss_fraction: float) -> None:
+        if (self.device.repeats >= self.max_repeats
+                and self._interval_factor(self._level)
+                >= self.max_backoff_factor):
+            return  # already at the ceiling
+        self._level += 1
+        self._apply(self._level)
+        self.stats.escalations += 1
+        self.stats.actions.append(RecoveryAction(
+            time_s=self.sim.now_s, action="escalate",
+            loss_fraction=loss_fraction, repeats=self.device.repeats,
+            interval_s=self.device.interval_s))
+
+    def _recover(self, loss_fraction: float) -> None:
+        self._level -= 1
+        self._apply(self._level)
+        self.stats.recoveries += 1
+        self.stats.actions.append(RecoveryAction(
+            time_s=self.sim.now_s, action="recover",
+            loss_fraction=loss_fraction, repeats=self.device.repeats,
+            interval_s=self.device.interval_s))
+
+    def _interval_factor(self, level: int) -> float:
+        return min(self.backoff_factor ** level, self.max_backoff_factor)
+
+    def _apply(self, level: int) -> None:
+        self.device.repeats = min(self._baseline_repeats * 2 ** level,
+                                  self.max_repeats)
+        self.device.set_interval(self._baseline_interval_s
+                                 * self._interval_factor(level))

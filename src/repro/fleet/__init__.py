@@ -41,7 +41,9 @@ from .shards import (
     DEFAULT_INTERFERENCE_RANGE_M,
     DEFAULT_MAX_RANGE_M,
     ShardError,
+    ShardExecutionError,
     ShardSpec,
+    ShardTask,
     plan_shards,
     run_shard,
     run_sharded_fleet,

@@ -3,10 +3,16 @@
     python -m repro.fleet --devices 10000 --duration 86400 \
         --shards 16 --workers 8 --audit        # the headline run
     python -m repro.fleet --smoke --shards 2   # 1-vs-N invariance check
+    python -m repro.fleet --chaos-smoke --shards 4 --workers 2
+                                               # kill-a-worker equivalence
 
 ``--smoke`` runs a small fleet both unsharded and sharded and fails
 (exit 1) if any aggregate counter differs — the executable form of the
 shard-count-invariance guarantee documented in ``docs/FLEET.md``.
+``--chaos-smoke`` runs the same small fleet twice — once clean, once
+with one pool worker SIGKILLed mid-run and shard checkpoints enabled —
+and fails (exit 1) unless the recovered aggregates match the clean run
+(the robustness guarantee documented in ``docs/ROBUSTNESS.md``).
 ``--audit`` cross-checks the accounting invariants
 (:func:`repro.obs.audit.audit_fleet`) and also fails hard on violation.
 """
@@ -16,6 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 
 from ..experiments.fleet_scale import run_fleet_smoke
@@ -49,6 +56,40 @@ def _render(aggregate) -> str:
     return "\n".join(lines)
 
 
+def _chaos_smoke(args) -> int:
+    """Clean run vs kill-one-worker run of the same small fleet."""
+    from .aggregate import counters_equal, moments_close
+
+    workers = max(args.workers, 2)
+    config = FleetConfig(
+        device_count=min(args.devices, 80), area_m=(160.0, 40.0),
+        interval_s=5.0, duration_s=20.0, seed=args.seed)
+    plan = generate_fleet(config)
+    clean = run_sharded_fleet(plan, shard_count=args.shards,
+                              workers=workers)
+    kill_shard = args.shards // 2
+    with tempfile.TemporaryDirectory(prefix="fleet-chaos-") as directory:
+        recovered = run_sharded_fleet(plan, shard_count=args.shards,
+                                      workers=workers,
+                                      checkpoint_dir=directory,
+                                      chaos_kill_shard=kill_shard)
+    print(_render(recovered))
+    mismatches = (counters_equal(clean, recovered)
+                  + moments_close(clean, recovered, rel_tol=1e-9))
+    if mismatches:
+        print(f"\nCHAOS RECOVERY MISMATCH: {', '.join(mismatches)}")
+        return 1
+    print(f"\nchaos recovery holds: worker killed on shard {kill_shard}, "
+          f"recovered aggregates == clean run")
+    if args.audit:
+        report = audit_fleet(recovered)
+        print()
+        print(report.render())
+        if not report.ok:
+            return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.fleet",
@@ -75,8 +116,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="small fleet, 1-shard vs --shards invariance "
                              "check; non-zero exit on any mismatch")
+    parser.add_argument("--chaos-smoke", action="store_true",
+                        help="small fleet run clean, then rerun with one "
+                             "pool worker SIGKILLed mid-run (checkpoint/"
+                             "retry recovery); non-zero exit unless the "
+                             "aggregates match")
+    parser.add_argument("--checkpoint", metavar="DIR", default=None,
+                        help="shard checkpoint directory: finished shards "
+                             "persist and a rerun resumes instead of "
+                             "resimulating")
+    parser.add_argument("--chaos-kill-shard", type=int, default=None,
+                        metavar="K",
+                        help="chaos hook: SIGKILL the worker running "
+                             "shard K on first attempt (needs --workers "
+                             ">= 2 and --checkpoint)")
     args = parser.parse_args(argv)
 
+    if args.chaos_smoke:
+        return _chaos_smoke(args)
     if args.smoke:
         aggregate, mismatches = run_fleet_smoke(
             shard_count=args.shards, workers=args.workers, seed=args.seed)
@@ -93,7 +150,9 @@ def main(argv: list[str] | None = None) -> int:
         started = time.perf_counter()
         plan = generate_fleet(config)
         aggregate = run_sharded_fleet(plan, shard_count=args.shards,
-                                      workers=args.workers)
+                                      workers=args.workers,
+                                      checkpoint_dir=args.checkpoint,
+                                      chaos_kill_shard=args.chaos_kill_shard)
         elapsed = time.perf_counter() - started
         print(_render(aggregate))
         print(f"wall clock            {elapsed:.1f} s "

@@ -86,6 +86,15 @@ class MergeableHistogram:
         return {"edges": list(self.edges), "counts": list(self.counts),
                 "underflow": self.underflow, "overflow": self.overflow}
 
+    @classmethod
+    def from_dict(cls, state: dict) -> "MergeableHistogram":
+        """Exact inverse of :meth:`to_dict` (bins are integer counts, so
+        the JSON round trip is lossless)."""
+        return cls(edges=tuple(state["edges"]),
+                   counts=[int(count) for count in state["counts"]],
+                   underflow=int(state["underflow"]),
+                   overflow=int(state["overflow"]))
+
 
 @dataclass
 class FleetAggregate:
@@ -202,6 +211,59 @@ class FleetAggregate:
             "avg_current_a": self.avg_current_a.to_dict(),
             "current_histogram": self.current_histogram.to_dict(),
         }
+
+    def to_state(self) -> dict:
+        """Exact checkpoint form: unlike :meth:`to_dict` (which reports
+        derived stats like ``std``), this serialises the raw Welford
+        state so a restored aggregate is bit-identical to the original.
+        The shard checkpoint (:mod:`repro.fleet.shards`) depends on that
+        exactness for its kill/resume equivalence guarantee."""
+        return {
+            "device_count": self.device_count,
+            "receiver_count": self.receiver_count,
+            "shard_count": self.shard_count,
+            "duration_s": self.duration_s,
+            "wakes": self.wakes,
+            "beacons_sent": self.beacons_sent,
+            "beacons_in_flight": self.beacons_in_flight,
+            "uplink_delivered": self.uplink_delivered,
+            "uplink_lost_collision": self.uplink_lost_collision,
+            "uplink_lost_snr": self.uplink_lost_snr,
+            "uplink_out_of_range": self.uplink_out_of_range,
+            "pair_delivered": self.pair_delivered,
+            "pair_lost_collision": self.pair_lost_collision,
+            "pair_lost_snr": self.pair_lost_snr,
+            "airtime_s": self.airtime_s,
+            "energy_j": self.energy_j.state_dict(),
+            "avg_current_a": self.avg_current_a.state_dict(),
+            "current_histogram": self.current_histogram.to_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FleetAggregate":
+        """Exact inverse of :meth:`to_state`."""
+        return cls(
+            device_count=int(state["device_count"]),
+            receiver_count=int(state["receiver_count"]),
+            shard_count=int(state["shard_count"]),
+            duration_s=float(state["duration_s"]),
+            wakes=int(state["wakes"]),
+            beacons_sent=int(state["beacons_sent"]),
+            beacons_in_flight=int(state["beacons_in_flight"]),
+            uplink_delivered=int(state["uplink_delivered"]),
+            uplink_lost_collision=int(state["uplink_lost_collision"]),
+            uplink_lost_snr=int(state["uplink_lost_snr"]),
+            uplink_out_of_range=int(state["uplink_out_of_range"]),
+            pair_delivered=int(state["pair_delivered"]),
+            pair_lost_collision=int(state["pair_lost_collision"]),
+            pair_lost_snr=int(state["pair_lost_snr"]),
+            airtime_s=float(state["airtime_s"]),
+            energy_j=StreamingSummary.from_state(state["energy_j"]),
+            avg_current_a=StreamingSummary.from_state(
+                state["avg_current_a"]),
+            current_histogram=MergeableHistogram.from_dict(
+                state["current_histogram"]),
+        )
 
 
 def counters_equal(a: FleetAggregate, b: FleetAggregate) -> list[str]:

@@ -32,6 +32,10 @@ exactly; merged Welford moments to ~1e-9 relative).
 
 from __future__ import annotations
 
+import json
+import os
+import signal
+import traceback
 from dataclasses import dataclass
 
 from ..core import SensorKind, SensorReading, WiLEDevice
@@ -58,6 +62,22 @@ DEFAULT_INTERFERENCE_RANGE_M = 90.0
 
 class ShardError(ValueError):
     """Raised for invalid shard geometry."""
+
+
+class ShardExecutionError(RuntimeError):
+    """One or more shards failed, with full shard context attached.
+
+    Each entry of :attr:`failures` is ``(shard_index, device_range,
+    traceback_text)`` — the context a bare pool traceback loses.
+    """
+
+    def __init__(self, failures: list[tuple[int, str, str]]) -> None:
+        self.failures = failures
+        lines = [f"{len(failures)} shard(s) failed:"]
+        for index, device_range, text in failures:
+            detail = text.strip().splitlines()[-1] if text.strip() else "?"
+            lines.append(f"  shard {index} (devices {device_range}): {detail}")
+        super().__init__("\n".join(lines))
 
 
 @dataclass(frozen=True, slots=True)
@@ -263,18 +283,148 @@ def run_shard(shard: ShardSpec) -> FleetAggregate:
     return stats
 
 
+def _device_range(shard: ShardSpec) -> str:
+    """Human-readable id range of the shard's owned devices."""
+    if not shard.devices:
+        return "none"
+    ids = [spec.device_id for spec in shard.devices]
+    return f"0x{min(ids):08x}..0x{max(ids):08x}"
+
+
+@dataclass(frozen=True, slots=True)
+class ShardTask:
+    """One unit of fan-out: a shard plus its execution policy.
+
+    ``checkpoint_dir`` enables shard-level checkpoint/resume: a finished
+    shard writes its aggregate (exact state, atomic rename) to
+    ``shard_NNNN.json`` and a rerun loads it instead of resimulating —
+    so a killed worker costs only its in-flight shards. The ``chaos_*``
+    fields are the built-in fault hooks the chaos tests and the
+    ``--chaos-smoke`` CLI use: the *first* attempt at the named shard
+    SIGKILLs its own worker (or raises), later attempts find the marker
+    file and proceed.
+    """
+
+    shard: ShardSpec
+    checkpoint_dir: str | None = None
+    chaos_kill_shard: int | None = None
+    chaos_fail_shard: int | None = None
+
+
+def _checkpoint_path(directory: str, index: int) -> str:
+    return os.path.join(directory, f"shard_{index:04d}.json")
+
+
+def _marker_path(directory: str, kind: str, index: int) -> str:
+    return os.path.join(directory, f"chaos_{kind}_{index}.marker")
+
+
+def _run_shard_task(task: ShardTask) -> tuple:
+    """Worker-side wrapper: checkpoint lookup, chaos hooks, and failure
+    capture with shard context.
+
+    Returns ``("ok", index, aggregate_state)`` or ``("failed", index,
+    device_range, traceback_text)`` — exceptions never cross the pool
+    boundary raw, so the parent always knows *which* shard broke.
+    """
+    shard = task.shard
+    index = shard.index
+    if task.checkpoint_dir is not None:
+        path = _checkpoint_path(task.checkpoint_dir, index)
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                return ("ok", index, json.load(handle))
+    if task.chaos_kill_shard == index and task.checkpoint_dir is not None:
+        marker = _marker_path(task.checkpoint_dir, "kill", index)
+        if not os.path.exists(marker):
+            # Marker first, then die: the retry must not die again.
+            with open(marker, "w", encoding="utf-8") as handle:
+                handle.write("killed once\n")
+            os.kill(os.getpid(), signal.SIGKILL)
+    if task.chaos_fail_shard == index:
+        first_time = True
+        if task.checkpoint_dir is not None:
+            marker = _marker_path(task.checkpoint_dir, "fail", index)
+            first_time = not os.path.exists(marker)
+            if first_time:
+                with open(marker, "w", encoding="utf-8") as handle:
+                    handle.write("failed once\n")
+        if first_time:
+            try:
+                raise RuntimeError(
+                    f"chaos: injected failure in shard {index}")
+            except RuntimeError:
+                return ("failed", index, _device_range(shard),
+                        traceback.format_exc())
+    try:
+        aggregate = run_shard(shard)
+    except Exception:
+        return ("failed", index, _device_range(shard),
+                traceback.format_exc())
+    state = aggregate.to_state()
+    if task.checkpoint_dir is not None:
+        path = _checkpoint_path(task.checkpoint_dir, index)
+        temporary = path + ".tmp"
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(state, handle)
+        os.replace(temporary, path)  # atomic: never a torn checkpoint
+    return ("ok", index, state)
+
+
 def run_sharded_fleet(plan: FleetPlan, shard_count: int = 1,
                       workers: int = 1, halo_m: float | None = None,
                       max_range_m: float = DEFAULT_MAX_RANGE_M,
                       interference_range_m: float = DEFAULT_INTERFERENCE_RANGE_M,
                       stage: str | None = "experiments.fleet",
+                      checkpoint_dir: str | None = None,
+                      chaos_kill_shard: int | None = None,
+                      chaos_fail_shard: int | None = None,
+                      timeout_s: float | None = None,
+                      retries: int = 2,
                       ) -> FleetAggregate:
-    """Shard ``plan``, fan the shards over the pool, merge the results."""
+    """Shard ``plan``, fan the shards over the pool, merge the results.
+
+    With ``checkpoint_dir`` set, completed shards persist their exact
+    aggregate state; a worker killed mid-run loses only unfinished
+    shards (the runner retries them, loading checkpoints where present),
+    and a whole rerun of the same plan resumes instead of restarting.
+    Shard failures raise :class:`ShardExecutionError` carrying (shard
+    index, device range, worker traceback) per failure, and increment
+    the ``fleet_shard_failures`` counter in :data:`repro.obs.metrics.
+    METRICS`.
+    """
+    if chaos_kill_shard is not None:
+        if workers < 2:
+            raise ShardError(
+                "chaos_kill_shard SIGKILLs a pool worker; it needs "
+                "workers >= 2 so the pool (not this process) dies")
+        if checkpoint_dir is None:
+            raise ShardError(
+                "chaos_kill_shard needs checkpoint_dir for its "
+                "kill-once marker")
+    if checkpoint_dir is not None:
+        os.makedirs(checkpoint_dir, exist_ok=True)
     shards = plan_shards(plan, shard_count, halo_m=halo_m,
                          max_range_m=max_range_m,
                          interference_range_m=interference_range_m)
-    results = run_grid(run_shard, shards, workers=workers, stage=stage)
+    tasks = [ShardTask(shard=shard, checkpoint_dir=checkpoint_dir,
+                       chaos_kill_shard=chaos_kill_shard,
+                       chaos_fail_shard=chaos_fail_shard)
+             for shard in shards]
+    outcomes = run_grid(_run_shard_task, tasks, workers=workers, stage=stage,
+                        timeout_s=timeout_s, retries=retries)
+    failures: list[tuple[int, str, str]] = []
+    states: list[tuple[int, dict]] = []
+    for outcome in outcomes:
+        if outcome[0] == "ok":
+            states.append((outcome[1], outcome[2]))
+        else:
+            failures.append((outcome[1], outcome[2], outcome[3]))
+    if failures:
+        from ..obs.metrics import METRICS
+        METRICS.counter("fleet_shard_failures").inc(len(failures))
+        raise ShardExecutionError(failures)
     total = FleetAggregate()
-    for aggregate in results:
-        total.merge(aggregate)
+    for _index, state in sorted(states, key=lambda item: item[0]):
+        total.merge(FleetAggregate.from_state(state))
     return total

@@ -22,6 +22,7 @@ from .audit import (
     AuditFinding,
     AuditReport,
     audit_all,
+    audit_faults,
     audit_fleet,
     audit_scenario,
     audit_trace,

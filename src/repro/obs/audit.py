@@ -292,6 +292,71 @@ def audit_fleet(aggregate, subject: str = "fleet") -> AuditReport:
     return report
 
 
+def audit_faults(point, subject: str | None = None,
+                 rel_tol: float = CHARGE_REL_TOL) -> AuditReport:
+    """Audit one fault-injected run (a resilience sweep cell).
+
+    Duck-typed on the resilience experiment's point object (so the audit
+    layer never imports the faults layer):
+
+    * **fault-conservation** — every fault event the plan scheduled
+      actually fired by the horizon (``point.fault_stats.
+      conservation_pairs()`` must agree pairwise). A window that opened
+      but never closed, or a brownout that silently vanished from the
+      event queue, shows up here;
+    * **delivery-conservation** — at the gateway, every transmitted copy
+      is accounted exactly once: delivered + injected-loss + snr-loss +
+      collision-loss + suppressed-by-outage == copies sent. The
+      ``suppressed`` term is derived independently from the outage
+      windows, so it cross-checks the outage scheduling too;
+    * **reboot-energy** — the energy charged to brownouts equals
+      reboots x one boot cost (each reboot pays the full §5.2 boot
+      window, no more, no less);
+    * **non-negative counters** — no accounting path went backwards.
+    """
+    report = AuditReport()
+    if subject is None:
+        subject = getattr(point, "name", "faults")
+
+    report.checks += 1
+    for name, scheduled, fired in point.fault_stats.conservation_pairs():
+        if scheduled != fired:
+            report.findings.append(AuditFinding(
+                "fault-conservation", subject,
+                f"{name}: scheduled {scheduled} events but {fired} fired"))
+
+    report.checks += 1
+    accounted = (point.delivered + point.lost_injected + point.lost_snr
+                 + point.lost_collision + point.suppressed)
+    if accounted != point.copies_sent:
+        report.findings.append(AuditFinding(
+            "delivery-conservation", subject,
+            f"delivered {point.delivered} + injected {point.lost_injected} "
+            f"+ snr {point.lost_snr} + collision {point.lost_collision} "
+            f"+ suppressed {point.suppressed} = {accounted}, but "
+            f"{point.copies_sent} copies were sent"))
+
+    report.checks += 1
+    expected_j = point.reboots * point.boot_energy_j
+    if _rel_err(expected_j, point.fault_energy_j) > rel_tol:
+        report.findings.append(AuditFinding(
+            "reboot-energy", subject,
+            f"{point.reboots} reboots should cost {expected_j!r} J but "
+            f"{point.fault_energy_j!r} J was charged "
+            f"(rel err {_rel_err(expected_j, point.fault_energy_j):.3g})"))
+
+    report.checks += 1
+    for attribute in ("copies_sent", "delivered", "lost_injected",
+                      "lost_snr", "lost_collision", "suppressed",
+                      "reboots"):
+        value = getattr(point, attribute)
+        if value < 0:
+            report.findings.append(AuditFinding(
+                "non-negative-counters", subject,
+                f"{attribute}={value} is negative"))
+    return report
+
+
 def audit_all(results: dict, rel_tol: float = CHARGE_REL_TOL,
               sample_rate_hz: float | None = 50_000.0) -> AuditReport:
     """Audit every scenario result in ``results`` into one report."""

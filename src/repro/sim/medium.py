@@ -142,6 +142,13 @@ class WirelessMedium:
         #: Fault injection for tests: ``(transmission, radio) -> True``
         #: drops that delivery (models deep fades, interference bursts).
         self.fault_injector: Callable[[Transmission, "Radio"], bool] | None = None
+        #: Optional per-link SNR degradation hook:
+        #: ``(transmission, radio) -> extra path loss in dB`` subtracted
+        #: from the received *signal* power only (interferers keep their
+        #: full strength — a fade on the wanted link does not quiet the
+        #: rest of the band). Used by :mod:`repro.faults` for
+        #: deterministic degradation windows.
+        self.link_impairment: Callable[[Transmission, "Radio"], float] | None = None
         self._delivery_listeners: list[Callable[[Transmission, DeliveryReport], None]] = []
 
     # -- membership --------------------------------------------------------
@@ -281,6 +288,8 @@ class WirelessMedium:
         signal_dbm = received_power_dbm(
             transmission.power_dbm, distance,
             exponent=self.path_loss_exponent, frequency_hz=frequency_hz)
+        if self.link_impairment is not None:
+            signal_dbm -= self.link_impairment(transmission, radio)
         noise_dbm = noise_floor_dbm(self.bandwidth_hz)
         interference_mw = 0.0
         for other in transmission.overlapping:

@@ -1,0 +1,387 @@
+"""The chaos layer: fault plans, injection, recovery, and rescue.
+
+Three contracts under test:
+
+* **Determinism** — a fault-injected run is exactly as reproducible as
+  a clean one: fixed-seed plans pin their schedules bit for bit, and a
+  fault-injected scenario repeats to identical delivery counts.
+* **Conservation** — every scheduled fault fires, and every transmitted
+  copy is accounted exactly once (delivered + lost + suppressed ==
+  sent), cross-checked by :func:`repro.obs.audit.audit_faults`.
+* **Rescue** — dying or hanging pool workers, and SIGKILLed fleet
+  shards, lose nothing: retries and checkpoints reproduce the clean
+  run's aggregates exactly.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.energy import calibration as cal
+from repro.experiments.resilience import ResilienceCell, run_cell
+from repro.experiments.runner import ParallelRunner
+from repro.faults import (
+    AdaptiveRedundancyController,
+    FaultConfig,
+    FaultPlanError,
+    RecoveryError,
+    build_fault_plan,
+    stable_uniform,
+)
+from repro.fleet import (
+    FleetConfig,
+    ShardError,
+    ShardExecutionError,
+    counters_equal,
+    generate_fleet,
+    moments_close,
+    run_sharded_fleet,
+)
+from repro.obs import METRICS, audit_faults
+
+BOOT_ENERGY_J = cal.WILE_BOOT_S * cal.ESP32_BOOT_A * cal.SUPPLY_VOLTAGE_V
+
+DEVICE_IDS = (0x00570001, 0x00570002, 0x00570003)
+
+
+def _plan(seed=7, intensity=0.8, **overrides):
+    config = FaultConfig(seed=seed, duration_s=60.0, intensity=intensity,
+                         **overrides)
+    return build_fault_plan(config, device_ids=DEVICE_IDS, gateway_count=1)
+
+
+class TestStableUniform:
+    def test_pure_function_of_key(self):
+        assert stable_uniform(1, "x", 2.5) == stable_uniform(1, "x", 2.5)
+        assert stable_uniform(1, "x", 2.5) != stable_uniform(1, "x", 2.6)
+
+    def test_range(self):
+        draws = [stable_uniform(0, "ge-drop", i) for i in range(500)]
+        assert all(0.0 <= draw < 1.0 for draw in draws)
+        # and they actually spread (not degenerate)
+        assert max(draws) > 0.9 and min(draws) < 0.1
+
+
+class TestFaultPlan:
+    def test_zero_intensity_is_empty(self):
+        plan = _plan(intensity=0.0)
+        assert plan.event_count == 0
+
+    def test_rebuild_is_identical(self):
+        assert _plan() == _plan()
+
+    def test_seed7_schedule_pinned(self):
+        """The exact seed-7 schedule: any drift in the pre-draw logic
+        (stream names, draw order, clamping) breaks this test."""
+        plan = _plan()
+        assert plan.event_count == 20
+        assert len(plan.loss_bursts) == 10
+        first = plan.loss_bursts[0]
+        assert first.start_s == pytest.approx(1.151992, abs=1e-6)
+        assert first.end_s == pytest.approx(2.159422, abs=1e-6)
+        assert [round(burst.start_s, 3) for burst in plan.loss_bursts] == [
+            1.152, 12.662, 17.873, 20.588, 26.704, 27.999, 31.441,
+            37.969, 41.494, 54.669]
+        assert len(plan.interferers) == 2
+        assert plan.interferers[0].start_s == pytest.approx(40.964204,
+                                                           abs=1e-6)
+        assert len(plan.snr_windows) == 2
+        assert plan.snr_windows[0].extra_loss_db == pytest.approx(
+            10.425, abs=1e-3)
+        kinds = [(round(fault.time_s, 3), fault.device_id, fault.kind)
+                 for fault in plan.device_faults]
+        assert kinds == [
+            (5.187, 0x00570001, "brownout"),
+            (17.815, 0x00570002, "brownout"),
+            (23.085, 0x00570003, "brownout"),
+            (54.845, 0x00570002, "brownout"),
+            (59.833, 0x00570003, "brownout"),
+        ]
+        assert [(round(outage.start_s, 3), round(outage.end_s, 3))
+                for outage in plan.gateway_outages] == [(5.924, 7.295)]
+
+    def test_streams_are_independent(self):
+        """Reshaping one fault class must not perturb another class's
+        schedule (per-class seeded streams)."""
+        base = _plan()
+        more_interferers = _plan(interferers_max=30)
+        assert more_interferers.loss_bursts == base.loss_bursts
+        assert more_interferers.device_faults == base.device_faults
+        assert more_interferers.gateway_outages == base.gateway_outages
+        assert len(more_interferers.interferers) > len(base.interferers)
+
+    def test_windows_clamped_to_horizon(self):
+        plan = _plan(intensity=1.0)
+        horizon = plan.config.duration_s
+        for burst in plan.loss_bursts:
+            assert 0.0 <= burst.start_s <= burst.end_s <= horizon
+        for outage in plan.gateway_outages:
+            assert 0.0 <= outage.start_s <= outage.end_s <= horizon
+        for fault in plan.device_faults:
+            assert 0.0 <= fault.time_s <= horizon
+            assert fault.time_s + fault.duration_s <= horizon
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultConfig(intensity=1.5)
+        with pytest.raises(FaultPlanError):
+            FaultConfig(duration_s=0.0)
+        with pytest.raises(FaultPlanError):
+            FaultConfig(ge_drop_probability=2.0)
+
+
+class TestDeviceFaultHooks:
+    def _scenario(self):
+        from repro.core.device import WiLEDevice
+        from repro.core.payload import SensorKind, SensorReading
+        from repro.core.receiver import WiLEReceiver
+        from repro.sim import Position, Simulator, WirelessMedium
+
+        sim = Simulator()
+        medium = WirelessMedium(sim)
+        receiver = WiLEReceiver(sim, medium, position=Position(0.0, 0.0))
+        device = WiLEDevice(sim, medium, device_id=0x00570001,
+                            position=Position(3.0, 0.0))
+        device.start(2.0, lambda: (
+            SensorReading(SensorKind.TEMPERATURE_C, 17.0),))
+        return sim, device, receiver
+
+    def test_reboot_pays_boot_energy_and_resumes(self):
+        sim, device, receiver = self._scenario()
+        sim.at(5.0, device.reboot)
+        sim.at(9.0, device.reboot)
+        sim.run(until_s=30.0)
+        assert device.reboots == 2
+        assert device.fault_energy_j == pytest.approx(2 * BOOT_ENERGY_J)
+        # the cycle survives: beacons keep flowing after both reboots
+        late = [r for r in receiver.messages if r.time_s > 10.0]
+        assert late
+        # and the epoch guard killed the stale wake: sequences strictly
+        # increase, no double-fire from the cancelled schedule
+        sequences = [record.sequence for record in device.transmissions]
+        assert sequences == sorted(set(sequences))
+
+    def test_shutdown_is_permanent(self):
+        sim, device, receiver = self._scenario()
+        sim.at(7.0, device.shutdown)
+        sim.run(until_s=30.0)
+        assert device.depleted
+        assert device.radio.state.name == "OFF"
+        sent_after = [record for record in device.transmissions
+                      if record.time_s > 7.0]
+        assert sent_after == []
+        # reboot cannot resurrect a depleted device
+        device.reboot()
+        assert device.reboots == 0
+
+
+class TestInjectionDeterminism:
+    CELL = ResilienceCell(intensity=0.8, policy="baseline", device_count=4,
+                          interval_s=2.0, duration_s=40.0, seed=7)
+
+    def test_seed7_cell_counts_pinned(self):
+        point = run_cell(self.CELL)
+        assert point.copies_sent == 64
+        assert point.delivered == 45
+        assert point.lost_injected == 17
+        assert point.lost_snr == 1
+        assert point.lost_collision == 0
+        assert point.suppressed == 1
+        assert point.reboots == 7
+        assert point.fault_energy_j == pytest.approx(7 * BOOT_ENERGY_J)
+
+    def test_rerun_bit_identical(self):
+        first = run_cell(self.CELL)
+        second = run_cell(self.CELL)
+        assert first.to_row() == second.to_row()
+        assert repr(first.fault_energy_j) == repr(second.fault_energy_j)
+        assert (first.fault_stats.to_dict()
+                == second.fault_stats.to_dict())
+
+    def test_conservation_audit_passes(self):
+        point = run_cell(self.CELL)
+        report = audit_faults(point)
+        assert report.ok, report.render()
+        # every scheduled fault event fired by the horizon
+        for name, scheduled, fired in point.fault_stats.conservation_pairs():
+            assert scheduled == fired, name
+
+    def test_audit_catches_tampering(self):
+        point = run_cell(self.CELL)
+        point.delivered += 1
+        assert not audit_faults(point).ok
+        point.delivered -= 1
+        point.reboots += 1
+        assert not audit_faults(point).ok
+
+
+class TestAdaptiveRecovery:
+    def _controlled_scenario(self, jam_until_s):
+        from repro.core.device import WiLEDevice
+        from repro.core.payload import SensorKind, SensorReading
+        from repro.core.receiver import WiLEReceiver
+        from repro.sim import Position, Simulator, WirelessMedium
+
+        sim = Simulator()
+        medium = WirelessMedium(sim)
+        receiver = WiLEReceiver(sim, medium, position=Position(0.0, 0.0))
+        device = WiLEDevice(sim, medium, device_id=0x00570001,
+                            position=Position(3.0, 0.0))
+        device.start(1.0, lambda: (
+            SensorReading(SensorKind.TEMPERATURE_C, 17.0),))
+        medium.fault_injector = (
+            lambda tx, radio: sim.now_s < jam_until_s)
+        controller = AdaptiveRedundancyController(
+            sim, device, receiver, check_interval_s=4.0,
+            loss_threshold=0.5, max_repeats=4, recover_after=2)
+        controller.start()
+        return sim, device, controller
+
+    def test_escalates_under_jamming_then_recovers(self):
+        sim, device, controller = self._controlled_scenario(jam_until_s=13.0)
+        sim.run(until_s=12.0)
+        assert controller.stats.escalations >= 2
+        assert controller.level >= 2
+        assert device.repeats > 1
+        assert device.interval_s > 1.0
+        sim.run(until_s=60.0)
+        assert controller.stats.recoveries == controller.stats.escalations
+        assert controller.level == 0
+        assert device.repeats == 1
+        assert device.interval_s == pytest.approx(1.0)
+
+    def test_clean_channel_never_escalates(self):
+        sim, device, controller = self._controlled_scenario(jam_until_s=0.0)
+        sim.run(until_s=30.0)
+        assert controller.stats.escalations == 0
+        assert device.repeats == 1
+
+    def test_respects_ceilings(self):
+        sim, device, controller = self._controlled_scenario(
+            jam_until_s=1000.0)
+        sim.run(until_s=120.0)
+        assert device.repeats <= 4
+        assert device.interval_s <= 4.0 + 1e-9
+
+    def test_validation(self):
+        sim, device, controller = self._controlled_scenario(jam_until_s=0.0)
+        with pytest.raises(RecoveryError):
+            AdaptiveRedundancyController(sim, device, None,
+                                         check_interval_s=0.0)
+        with pytest.raises(RecoveryError):
+            AdaptiveRedundancyController(sim, device, None,
+                                         loss_threshold=1.5)
+        with pytest.raises(RecoveryError):
+            controller.start()  # already started
+
+
+# -- runner rescue fixtures (module level: must pickle into workers) ----------
+
+def _sleep_once(arg):
+    """Hang well past the runner timeout the first time only."""
+    marker_dir, value = arg
+    marker = os.path.join(marker_dir, f"slept_{value}")
+    if value == 3 and not os.path.exists(marker):
+        open(marker, "w").close()
+        time.sleep(8.0)
+    return value * value
+
+
+def _die_once(arg):
+    """SIGKILL the pool worker the first time item 3 is seen."""
+    marker_dir, value = arg
+    marker = os.path.join(marker_dir, f"died_{value}")
+    if value == 3 and not os.path.exists(marker):
+        open(marker, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * value
+
+
+class TestRunnerRescue:
+    def test_timeout_lost_chunk_retried(self, tmp_path):
+        runner = ParallelRunner(workers=2, chunk_size=1, timeout_s=1.0,
+                                retries=2, backoff_s=0.01)
+        items = [(str(tmp_path), value) for value in range(6)]
+        assert runner.map(_sleep_once, items) == [v * v for v in range(6)]
+        assert runner.last_backend == "process-pool-recovered"
+
+    def test_dead_worker_lost_chunks_retried(self, tmp_path):
+        before = METRICS.counter("runner_pool_breaks_total").value
+        runner = ParallelRunner(workers=2, chunk_size=1, retries=2,
+                                backoff_s=0.01)
+        items = [(str(tmp_path), value) for value in range(6)]
+        assert runner.map(_die_once, items) == [v * v for v in range(6)]
+        assert runner.last_backend == "process-pool-recovered"
+        assert METRICS.counter("runner_pool_breaks_total").value > before
+
+    def test_retries_exhausted_falls_back_to_serial_rescue(self, tmp_path):
+        before = METRICS.counter("runner_chunks_rescued_total").value
+        runner = ParallelRunner(workers=2, chunk_size=1, timeout_s=1.0,
+                                retries=0, backoff_s=0.01)
+        items = [(str(tmp_path), value) for value in range(6)]
+        # item 3 hangs in the pool (retries=0, no second round); the
+        # serial rescue re-runs only the lost cell — the marker is
+        # already on disk so the rescue returns instantly.
+        assert runner.map(_sleep_once, items) == [v * v for v in range(6)]
+        assert runner.last_backend == "process-pool-recovered"
+        assert METRICS.counter("runner_chunks_rescued_total").value > before
+
+    def test_genuine_exceptions_still_propagate(self):
+        runner = ParallelRunner(workers=2, chunk_size=1, retries=1,
+                                backoff_s=0.01)
+        with pytest.raises(ZeroDivisionError):
+            runner.map(_reciprocal, [2, 1, 0])
+
+
+def _reciprocal(value):
+    return 1.0 / value
+
+
+class TestFleetChaos:
+    CONFIG = FleetConfig(device_count=40, area_m=(120.0, 30.0),
+                         interval_s=5.0, duration_s=15.0, seed=3)
+
+    def test_killed_worker_resumes_to_identical_aggregates(self, tmp_path):
+        plan = generate_fleet(self.CONFIG)
+        clean = run_sharded_fleet(plan, shard_count=3, workers=2)
+        recovered = run_sharded_fleet(plan, shard_count=3, workers=2,
+                                      checkpoint_dir=str(tmp_path),
+                                      chaos_kill_shard=1)
+        assert counters_equal(clean, recovered) == []
+        assert moments_close(clean, recovered, rel_tol=1e-9) == []
+
+    def test_checkpoints_resume_without_resimulation(self, tmp_path):
+        plan = generate_fleet(self.CONFIG)
+        first = run_sharded_fleet(plan, shard_count=3, workers=1,
+                                  checkpoint_dir=str(tmp_path))
+        written = sorted(os.listdir(tmp_path))
+        assert written == ["shard_0000.json", "shard_0001.json",
+                           "shard_0002.json"]
+        resumed = run_sharded_fleet(plan, shard_count=3, workers=1,
+                                    checkpoint_dir=str(tmp_path))
+        assert counters_equal(first, resumed) == []
+        assert moments_close(first, resumed, rel_tol=0.0) == []
+
+    def test_shard_failure_carries_context(self):
+        before = METRICS.counter("fleet_shard_failures").value
+        plan = generate_fleet(self.CONFIG)
+        with pytest.raises(ShardExecutionError) as exc_info:
+            run_sharded_fleet(plan, shard_count=3, workers=1,
+                              chaos_fail_shard=1)
+        error = exc_info.value
+        assert error.failures[0][0] == 1           # shard index
+        assert ".." in error.failures[0][1]        # device-id range
+        assert "shard 1" in str(error)
+        assert METRICS.counter("fleet_shard_failures").value == before + 1
+
+    def test_chaos_kill_requires_checkpoint_and_workers(self, tmp_path):
+        plan = generate_fleet(self.CONFIG)
+        with pytest.raises(ShardError):
+            run_sharded_fleet(plan, shard_count=3, workers=1,
+                              checkpoint_dir=str(tmp_path),
+                              chaos_kill_shard=1)
+        with pytest.raises(ShardError):
+            run_sharded_fleet(plan, shard_count=3, workers=2,
+                              chaos_kill_shard=1)
