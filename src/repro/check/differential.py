@@ -1,0 +1,282 @@
+"""Differential oracles: run both sides of every fast/reference pair.
+
+Each oracle here executes a shipped fast path *and* its slower
+reference twin on identical inputs and diffs the outputs to a stated
+tolerance. These are the pairs PR 1's perf work introduced (T-table
+AES vs the FIPS-197 byte-level reference, cached CCM contexts and
+memoised PMKs vs fresh derivations), plus the structural equivalences
+later PRs promised (sampled traces vs exact integrals, N-shard fleets
+vs one shard, zero-intensity fault plans vs no plan, parallel sweeps
+vs serial).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..energy.trace import CurrentTrace
+from ..experiments.statistics import replicate
+from ..fleet.aggregate import counters_equal, moments_close
+from ..fleet.population import FleetConfig, generate_fleet
+from ..fleet.shards import run_sharded_fleet
+from ..security.aes import Aes
+from ..security.ccm import CcmContext, ccm_decrypt, ccm_encrypt
+from ..security.keys import derive_pmk, pmk_from_passphrase
+from . import Deviation, oracle
+from .analytic import _idle_access_delay
+
+#: FIPS-197 appendix C known-answer vectors: (key, plaintext, ciphertext).
+_FIPS197_VECTORS = (
+    ("000102030405060708090a0b0c0d0e0f",
+     "00112233445566778899aabbccddeeff",
+     "69c4e0d86a7b0430d8cdb78070b4c55a"),
+    ("000102030405060708090a0b0c0d0e0f1011121314151617",
+     "00112233445566778899aabbccddeeff",
+     "dda97ca4864cdfe06eaf70a0ec0d7191"),
+    ("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+     "00112233445566778899aabbccddeeff",
+     "8ea2b7ca516745bfeafc49904b496089"),
+)
+
+
+@oracle("aes-ttable-vs-reference", "differential",
+        "T-table AES agrees with the FIPS-197 byte-level reference "
+        "(and both reproduce the appendix C vectors)")
+def check_aes() -> Deviation:
+    mismatches = 0
+    trials = 0
+    for key_hex, plain_hex, cipher_hex in _FIPS197_VECTORS:
+        key = bytes.fromhex(key_hex)
+        plaintext = bytes.fromhex(plain_hex)
+        ciphertext = bytes.fromhex(cipher_hex)
+        aes = Aes(key)
+        for produced in (aes.encrypt_block(plaintext),
+                         aes.encrypt_block_reference(plaintext)):
+            trials += 1
+            mismatches += produced != ciphertext
+        for recovered in (aes.decrypt_block(ciphertext),
+                          aes.decrypt_block_reference(ciphertext)):
+            trials += 1
+            mismatches += recovered != plaintext
+    rng = random.Random(0x197)
+    for _ in range(48):
+        key = rng.randbytes(rng.choice((16, 24, 32)))
+        block = rng.randbytes(16)
+        aes = Aes(key)
+        fast = aes.encrypt_block(block)
+        trials += 2
+        mismatches += fast != aes.encrypt_block_reference(block)
+        mismatches += aes.decrypt_block(fast) != block
+        mismatches += aes.decrypt_block_reference(fast) != block
+    return Deviation(max_deviation=float(mismatches), tolerance=0.0,
+                     unit="mismatches", detail=f"{trials} comparisons")
+
+
+@oracle("ccm-cached-context-vs-fresh", "differential",
+        "module-level CCM (cached contexts) matches a fresh CcmContext "
+        "per operation, encrypt and decrypt")
+def check_ccm() -> Deviation:
+    rng = random.Random(0xCC)
+    mismatches = 0
+    trials = 0
+    for _ in range(24):
+        key = rng.randbytes(16)
+        nonce = rng.randbytes(13)
+        plaintext = rng.randbytes(rng.randrange(0, 64))
+        aad = rng.randbytes(rng.randrange(0, 24))
+        cached = ccm_encrypt(key, nonce, plaintext, aad)
+        fresh = CcmContext(key).encrypt(nonce, plaintext, aad)
+        trials += 2
+        mismatches += cached != fresh
+        mismatches += ccm_decrypt(key, nonce, fresh, aad) != plaintext
+    return Deviation(max_deviation=float(mismatches), tolerance=0.0,
+                     unit="mismatches", detail=f"{trials} comparisons")
+
+
+@oracle("pmk-memoised-vs-direct", "differential",
+        "memoised PMK lookups equal the raw PBKDF2 derivation")
+def check_pmk() -> Deviation:
+    mismatches = 0
+    pairs = (("correct horse battery", b"wile-check"),
+             ("hunter2hunter2", b"oracle-ssid"),
+             ("correct horse battery", b"wile-check"))  # cache hit path
+    for passphrase, ssid in pairs:
+        mismatches += (pmk_from_passphrase(passphrase, ssid)
+                       != derive_pmk(passphrase, ssid))
+    return Deviation(max_deviation=float(mismatches), tolerance=0.0,
+                     unit="mismatches", detail=f"{len(pairs)} derivations")
+
+
+def _jagged_trace(seed: int, segments: int) -> CurrentTrace:
+    """A gap-riddled piecewise-constant trace with seeded shape."""
+    rng = random.Random(seed)
+    trace = CurrentTrace()
+    cursor = 0.0
+    for index in range(segments):
+        if rng.random() < 0.3:
+            cursor += rng.uniform(1e-5, 2e-3)  # a gap (zero current)
+        duration = rng.uniform(5e-5, 4e-3)
+        trace.add_segment(cursor, duration, rng.uniform(1e-5, 0.3),
+                          f"phase-{index % 5}")
+        cursor += duration
+    return trace
+
+
+@oracle("trace-sample-vs-integral", "differential",
+        "Riemann sum of the 50 kS/s sampled trace converges to the "
+        "exact segment integral within the discretisation bound")
+def check_trace_sampling() -> Deviation:
+    rate_hz = 50_000.0
+    step = 1.0 / rate_hz
+    worst_excess = 0.0
+    detail = []
+    for seed, segments in ((1, 24), (2, 57)):
+        trace = _jagged_trace(seed, segments)
+        _times, currents = trace.sample(rate_hz)
+        riemann = float(currents.sum()) * step
+        exact = trace.charge_c()
+        # Left-Riemann error for a piecewise-constant integrand is at
+        # most one sample step of the peak current per discontinuity
+        # (two per segment: its start and its end).
+        bound = 2.0 * len(trace) * trace.peak_current_a() * step
+        deviation = abs(riemann - exact)
+        worst_excess = max(worst_excess, deviation / bound)
+        detail.append(f"seed {seed}: |dev|={deviation:.3g} C "
+                      f"bound={bound:.3g} C")
+    return Deviation(max_deviation=worst_excess, tolerance=1.0,
+                     unit="fraction of bound", detail="; ".join(detail))
+
+
+#: Small fleet for the smoke-mode shard differential: big enough that
+#: shard boundaries cut through radio neighbourhoods, small enough for
+#: a sub-minute check.
+_SMOKE_FLEET = FleetConfig(device_count=48, area_m=(90.0, 30.0),
+                           interval_s=10.0, duration_s=30.0, seed=7)
+_FULL_FLEET = FleetConfig(device_count=200, area_m=(160.0, 60.0),
+                          interval_s=10.0, duration_s=60.0, seed=7)
+
+
+def _shard_differential(config: FleetConfig, shard_count: int) -> Deviation:
+    plan = generate_fleet(config)
+    single = run_sharded_fleet(plan, shard_count=1, stage=None)
+    sharded = run_sharded_fleet(plan, shard_count=shard_count, stage=None)
+    counter_diffs = counters_equal(single, sharded)
+    moment_diffs = moments_close(single, sharded)
+    mismatch = len(counter_diffs) + len(moment_diffs)
+    return Deviation(
+        max_deviation=float(mismatch), tolerance=0.0, unit="mismatches",
+        detail=(f"{config.device_count} devices, 1 vs {shard_count} shards"
+                + (f"; counters {counter_diffs} moments {moment_diffs}"
+                   if mismatch else "")))
+
+
+@oracle("fleet-shards-vs-single", "differential",
+        "N-shard fleet simulation merges to the exact single-shard "
+        "counters and moments")
+def check_fleet_shards_smoke() -> Deviation:
+    return _shard_differential(_SMOKE_FLEET, shard_count=3)
+
+
+@oracle("fleet-shards-vs-single-large", "differential",
+        "larger fleet, more shards: same exact shard invariance",
+        smoke=False)
+def check_fleet_shards_full() -> Deviation:
+    return _shard_differential(_FULL_FLEET, shard_count=5)
+
+
+def _deployment_counts(install_zero_plan: bool, duration_s: float = 30.0,
+                       device_count: int = 4, interval_s: float = 2.0,
+                       seed: int = 3) -> dict[str, float]:
+    """One small Wi-LE deployment, with or without a zero-intensity
+    fault plan installed; returns its observable delivery counters.
+
+    Mirrors the resilience experiment's cell layout (ring of devices
+    around one gateway) so the differential exercises the injector
+    wiring the sweep actually uses.
+    """
+    from ..core.device import WiLEDevice
+    from ..core.payload import SensorKind, SensorReading
+    from ..core.receiver import WiLEReceiver
+    from ..faults import FaultConfig, FaultInjector, build_fault_plan
+    from ..sim import Position, Simulator, WirelessMedium
+
+    sim = Simulator()
+    medium = WirelessMedium(sim)
+    receiver = WiLEReceiver(sim, medium, position=Position(0.0, 0.0))
+    gateway_radio = receiver.sniffer.radio
+    devices: dict[int, WiLEDevice] = {}
+    for index in range(device_count):
+        angle = 2.0 * math.pi * index / device_count
+        device = WiLEDevice(sim, medium, device_id=0x00CE0000 + index + 1,
+                            position=Position(5.0 * math.cos(angle),
+                                              5.0 * math.sin(angle)))
+        device.start(interval_s,
+                     lambda: (SensorReading(SensorKind.TEMPERATURE_C, 17.0),),
+                     first_wake_s=(index + 1) * interval_s
+                     / (device_count + 1))
+        devices[device.device_id] = device
+    if install_zero_plan:
+        plan = build_fault_plan(
+            FaultConfig(seed=seed, duration_s=duration_s, intensity=0.0),
+            device_ids=tuple(devices), gateway_count=1)
+        injector = FaultInjector(sim, medium, plan, devices=devices,
+                                 gateway_radios=(gateway_radio,))
+        injector.install()
+
+    device_radios = {device.radio for device in devices.values()}
+    counts = {"delivered": 0, "lost_snr": 0, "lost_collision": 0,
+              "lost_injected": 0}
+
+    def on_delivery(transmission, report) -> None:
+        if report.receiver is not gateway_radio:
+            return
+        if transmission.sender not in device_radios:
+            return
+        if report.delivered:
+            counts["delivered"] += 1
+        elif report.reason == "injected-fault":
+            counts["lost_injected"] += 1
+        elif report.reason == "snr":
+            counts["lost_snr"] += 1
+        elif report.reason == "collision":
+            counts["lost_collision"] += 1
+
+    medium.add_delivery_listener(on_delivery)
+    sim.run(until_s=duration_s)
+    counts["beacons"] = float(sum(len(device.transmissions)
+                                  for device in devices.values()))
+    counts["messages"] = float(len(receiver.messages))
+    counts["reboots"] = float(sum(device.reboots
+                                  for device in devices.values()))
+    counts["fault_energy_j"] = sum(device.fault_energy_j
+                                   for device in devices.values())
+    return counts
+
+
+@oracle("faults-zero-intensity-vs-clean", "differential",
+        "a fault plan at intensity 0 installs nothing observable: "
+        "identical delivery to a run with no injector at all")
+def check_zero_intensity() -> Deviation:
+    injected = _deployment_counts(install_zero_plan=True)
+    clean = _deployment_counts(install_zero_plan=False)
+    differing = [name for name in sorted(set(injected) | set(clean))
+                 if injected.get(name) != clean.get(name)]
+    return Deviation(
+        max_deviation=float(len(differing)), tolerance=0.0,
+        unit="mismatches",
+        detail=("identical counters" if not differing else
+                f"differ: {differing} injected={injected} clean={clean}"))
+
+
+@oracle("runner-parallel-vs-serial", "differential",
+        "the process-pool sweep returns bit-identical results to the "
+        "serial run (the runner determinism contract)")
+def check_runner_determinism() -> Deviation:
+    seeds = tuple(range(6))
+    serial = replicate(_idle_access_delay, seeds=seeds, workers=1)
+    parallel = replicate(_idle_access_delay, seeds=seeds, workers=2)
+    mismatches = sum(a != b for a, b in zip(serial.values, parallel.values))
+    return Deviation(max_deviation=float(mismatches), tolerance=0.0,
+                     unit="mismatches",
+                     detail=f"{len(seeds)} seeds, exact float equality")

@@ -1,0 +1,189 @@
+"""Metamorphic oracles: properties that must hold across related runs.
+
+No reference implementation and no closed form — instead, transform
+the input in a way with a known effect on the output (shift time,
+permute seeds, repeat cycles, split streams) and check the output
+transformed exactly that way.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..energy.trace import CurrentTrace
+from ..experiments.statistics import Replication, StreamingSummary
+from ..fleet.aggregate import MergeableHistogram
+from . import Deviation, oracle
+
+
+def _relative(a: float, b: float) -> float:
+    return abs(a - b) / max(abs(a), abs(b), 1e-30)
+
+
+def _build_trace(start_s: float, seed: int = 5,
+                 segments: int = 40) -> CurrentTrace:
+    rng = random.Random(seed)
+    trace = CurrentTrace(start_s)
+    cursor = start_s
+    for index in range(segments):
+        if rng.random() < 0.25:
+            cursor += rng.uniform(1e-4, 5e-3)
+        duration = rng.uniform(1e-4, 8e-3)
+        trace.add_segment(cursor, duration, rng.uniform(1e-4, 0.25),
+                          f"phase-{index % 4}")
+        cursor += duration
+    return trace
+
+
+@oracle("trace-time-shift-invariance", "metamorphic",
+        "shifting a trace in time changes nothing but the timestamps: "
+        "charge, duration, per-label charge and sampled currents agree")
+def check_time_shift() -> Deviation:
+    shift_s = 12345.678
+    base = _build_trace(0.0)
+    shifted = _build_trace(shift_s)
+    worst = _relative(base.charge_c(), shifted.charge_c())
+    worst = max(worst, _relative(base.duration_s, shifted.duration_s))
+    by_label = base.charge_by_label()
+    shifted_by_label = shifted.charge_by_label()
+    for label, charge in by_label.items():
+        worst = max(worst, _relative(charge, shifted_by_label[label]))
+    _times_a, currents_a = base.sample(20_000.0)
+    _times_b, currents_b = shifted.sample(20_000.0)
+    if currents_a.shape != currents_b.shape:
+        worst = max(worst, float("inf"))
+    else:
+        worst = max(worst, float(abs(currents_a - currents_b).max()))
+    # Point queries must shift with the trace too.
+    for probe in (0.0, 0.0123, 0.07, base.end_s - 1e-6, base.end_s + 1.0):
+        worst = max(worst, abs(base.current_at(probe)
+                               - shifted.current_at(probe + shift_s)))
+    return Deviation(max_deviation=worst, tolerance=1e-9, unit="relative",
+                     detail=f"shift {shift_s} s, {len(base)} segments")
+
+
+@oracle("replication-seed-permutation", "metamorphic",
+        "a Replication's statistics are invariant under permuting the "
+        "seed order")
+def check_seed_permutation() -> Deviation:
+    values = {seed: random.Random(seed ^ 0x5EED).gauss(3.0, 2.0)
+              for seed in range(16)}
+    seeds = list(values)
+    shuffled = list(seeds)
+    random.Random(99).shuffle(shuffled)
+    forward = Replication(tuple(values[seed] for seed in seeds))
+    permuted = Replication(tuple(values[seed] for seed in shuffled))
+    worst = 0.0
+    for stat in ("count", "mean", "std", "minimum", "maximum"):
+        worst = max(worst, _relative(float(getattr(forward, stat)),
+                                     float(getattr(permuted, stat))))
+    return Deviation(max_deviation=worst, tolerance=1e-12, unit="relative",
+                     detail=f"{len(seeds)} seeds, shuffled order")
+
+
+@oracle("charge-linearity-in-cycles", "metamorphic",
+        "charge over k identical duty cycles is exactly k times the "
+        "one-cycle charge")
+def check_charge_linearity() -> Deviation:
+    cycle = ((0.002, 0.160, "tx"), (0.348, 0.068, "boot"),
+             (9.65, 1.2e-5, "sleep"))
+    one = CurrentTrace()
+    for duration, current, label in cycle:
+        one.append(duration, current, label)
+    single = one.charge_c()
+    worst = 0.0
+    for count in (2, 7, 32):
+        repeated = CurrentTrace()
+        for _ in range(count):
+            for duration, current, label in cycle:
+                repeated.append(duration, current, label)
+        worst = max(worst, _relative(repeated.charge_c(), count * single))
+    return Deviation(max_deviation=worst, tolerance=1e-9, unit="relative",
+                     detail="k in {2, 7, 32}")
+
+
+def _adversarial_splits(values: list[float]) -> list[list[list[float]]]:
+    """Shard decompositions that historically break mergeable stats."""
+    return [
+        [[], values],                          # empty shard first
+        [values, []],                          # empty shard last
+        [[v] for v in values],                 # all single-element shards
+        [values[:1], [], values[1:]],          # empty in the middle
+        [values[: len(values) // 3], values[len(values) // 3:]],
+    ]
+
+
+@oracle("summary-merge-vs-sequential", "metamorphic",
+        "StreamingSummary.merge over any shard split equals one "
+        "sequential pass (Chan/Welford exactness)")
+def check_summary_merge() -> Deviation:
+    rng = random.Random(77)
+    values = ([rng.gauss(0.0, 3.0) for _ in range(60)]
+              + [-5.0, 0.0, 1e-12, -1e-12, 4e6, -4e6])
+    sequential = StreamingSummary.of(values)
+    # The mean sits near zero while the data spans ±4e6, so a relative
+    # mean comparison would amplify benign cancellation; scale both
+    # moment deviations by the spread instead. Chan's pairwise merge is
+    # algebraically exact but ~60 single-element merges round
+    # differently from one Welford pass, hence 1e-9 (not 1e-15).
+    scale = max(sequential.std, abs(sequential.mean))
+    worst = 0.0
+    for split in _adversarial_splits(values):
+        merged = StreamingSummary()
+        for shard in split:
+            merged.merge(StreamingSummary.of(shard))
+        if (merged.count != sequential.count
+                or merged.minimum != sequential.minimum
+                or merged.maximum != sequential.maximum):
+            worst = max(worst, float("inf"))
+        worst = max(worst, abs(merged.mean - sequential.mean) / scale)
+        worst = max(worst, abs(merged.std - sequential.std) / scale)
+    return Deviation(max_deviation=worst, tolerance=1e-9, unit="relative",
+                     detail=f"{len(values)} values, "
+                            f"{len(_adversarial_splits(values))} splits")
+
+
+@oracle("histogram-merge-vs-sequential", "metamorphic",
+        "MergeableHistogram merge over shard splits equals a single "
+        "observation pass, bin for bin")
+def check_histogram_merge() -> Deviation:
+    rng = random.Random(31)
+    low, high = 1e-6, 1e-2
+    values = [math.exp(rng.uniform(math.log(low / 10), math.log(high * 10)))
+              for _ in range(200)] + [low, high]  # both documented bounds
+    sequential = MergeableHistogram.log_bins(low, high, 24)
+    for value in values:
+        sequential.observe(value)
+    mismatches = 0
+    for split in _adversarial_splits(values):
+        merged = MergeableHistogram.log_bins(low, high, 24)
+        for shard in split:
+            part = MergeableHistogram.log_bins(low, high, 24)
+            for value in shard:
+                part.observe(value)
+            merged.merge(part)
+        mismatches += merged.to_dict() != sequential.to_dict()
+    return Deviation(max_deviation=float(mismatches), tolerance=0.0,
+                     unit="mismatches",
+                     detail=f"{len(values)} values incl. exact bin bounds")
+
+
+@oracle("summary-state-roundtrip", "metamorphic",
+        "from_state(state_dict()) reproduces a StreamingSummary exactly, "
+        "including the empty and one-element corner cases")
+def check_summary_roundtrip() -> Deviation:
+    cases = [StreamingSummary(), StreamingSummary.of([42.5]),
+             StreamingSummary.of([-1.0, 2.0, 7.5])]
+    mismatches = 0
+    for summary in cases:
+        restored = StreamingSummary.from_state(summary.state_dict())
+        for stat in ("count", "mean", "m2", "minimum", "maximum"):
+            mismatches += getattr(restored, stat) != getattr(summary, stat)
+        # A restored summary must also merge like the original.
+        a, b = StreamingSummary.of([1.0, 2.0]), StreamingSummary.of([1.0, 2.0])
+        a.merge(summary)
+        b.merge(restored)
+        mismatches += a.state_dict() != b.state_dict()
+    return Deviation(max_deviation=float(mismatches), tolerance=0.0,
+                     unit="mismatches", detail=f"{len(cases)} corner cases")

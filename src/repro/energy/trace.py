@@ -10,6 +10,7 @@ re-sample at 50 kS/s to emulate the paper's measurement front end.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 
 import numpy as np
@@ -60,6 +61,10 @@ class CurrentTrace:
 
     def __init__(self, start_s: float = 0.0) -> None:
         self._segments: list[TraceSegment] = []
+        #: Parallel list of segment start times; segments are appended
+        #: in time order, so this stays sorted and point queries can
+        #: bisect it instead of scanning every segment.
+        self._starts: list[float] = []
         self._cursor_s = start_s
 
     # -- construction --------------------------------------------------------
@@ -85,6 +90,7 @@ class CurrentTrace:
                 f"segment at {segment.start_s}s overlaps previous ending "
                 f"{self._segments[-1].end_s}s")
         self._segments.append(segment)
+        self._starts.append(segment.start_s)
 
     @property
     def cursor_s(self) -> float:
@@ -225,8 +231,18 @@ class CurrentTrace:
         return times, currents
 
     def current_at(self, time_s: float) -> float:
-        """Instantaneous current at ``time_s`` (zero in gaps)."""
-        for segment in self._segments:
-            if segment.start_s <= time_s < segment.end_s:
-                return segment.current_a
+        """Instantaneous current at ``time_s`` (zero in gaps).
+
+        O(log n) bisect over the ordered segment starts — the scalar
+        twin of :meth:`sample`'s vectorised ``searchsorted`` lookup
+        (the two must classify any instant identically; the
+        ``trace-sample-vs-integral`` oracle in :mod:`repro.check`
+        leans on that). See docs/PERFORMANCE.md for the benchmark.
+        """
+        index = bisect.bisect_right(self._starts, time_s) - 1
+        if index < 0:
+            return 0.0
+        segment = self._segments[index]
+        if time_s < segment.end_s:
+            return segment.current_a
         return 0.0

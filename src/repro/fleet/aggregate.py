@@ -52,13 +52,26 @@ class MergeableHistogram:
 
     @classmethod
     def log_bins(cls, low: float, high: float, bins: int) -> "MergeableHistogram":
-        """Logarithmically spaced edges over [low, high] (both > 0)."""
+        """Logarithmically spaced edges over [low, high] (both > 0).
+
+        The first and last edges are pinned to ``low`` and ``high``
+        exactly: ``low * ratio ** bins`` lands a few ulps off ``high``,
+        which would make the classification of a value *equal* to the
+        documented upper bound depend on rounding direction. Pinning
+        makes it deterministic — ``observe(high)`` always counts as
+        overflow (edges are half-open ``[a, b)``).
+        """
         if low <= 0 or high <= low or bins < 1:
             raise AggregateError(
                 f"need 0 < low < high and bins >= 1, got {low}, {high}, {bins}")
         ratio = (high / low) ** (1.0 / bins)
-        return cls(edges=tuple(low * ratio ** index
-                               for index in range(bins + 1)))
+        edges = [low * ratio ** index for index in range(bins)]
+        edges.append(high)
+        if edges[-2] >= high:
+            raise AggregateError(
+                f"log bins degenerate: penultimate edge {edges[-2]} "
+                f"reaches high {high}")
+        return cls(edges=tuple(edges))
 
     def observe(self, value: float) -> None:
         if not math.isfinite(value):
@@ -268,8 +281,14 @@ class FleetAggregate:
 
 def counters_equal(a: FleetAggregate, b: FleetAggregate) -> list[str]:
     """Names of integer counters that differ — the shard-invariance
-    check's core (empty list means bit-identical counters)."""
-    names = ("device_count", "receiver_count", "duration_s", "wakes",
+    check's core (empty list means bit-identical counters).
+
+    Only genuinely integral fields belong here: ``duration_s`` is a
+    float and is checked by :func:`moments_close` instead, so the
+    "integer counters are bit-identical" contract statement matches
+    what this function actually compares.
+    """
+    names = ("device_count", "receiver_count", "wakes",
              "beacons_sent", "beacons_in_flight", "uplink_delivered",
              "uplink_lost_collision", "uplink_lost_snr",
              "uplink_out_of_range", "pair_delivered", "pair_lost_collision",
@@ -284,8 +303,13 @@ def counters_equal(a: FleetAggregate, b: FleetAggregate) -> list[str]:
 def moments_close(a: FleetAggregate, b: FleetAggregate,
                   rel_tol: float = 1e-9) -> list[str]:
     """Names of float statistics outside ``rel_tol`` — the documented
-    tolerance for merged-vs-sequential Welford rounding."""
+    tolerance for merged-vs-sequential Welford rounding. ``duration_s``
+    lives here (not in :func:`counters_equal`) because it is a float,
+    even though in practice shards of one plan share it exactly."""
     mismatches = []
+    if not math.isclose(a.duration_s, b.duration_s,
+                        rel_tol=rel_tol, abs_tol=1e-12):
+        mismatches.append("duration_s")
     if not math.isclose(a.airtime_s, b.airtime_s,
                         rel_tol=rel_tol, abs_tol=1e-12):
         mismatches.append("airtime_s")

@@ -8,17 +8,33 @@ module adds the deferral behaviour so the contention experiment can ask
 what happens to Wi-LE beacons on a *busy* channel, with and without
 carrier sense.
 
-Model: before transmitting, sense the medium. If busy, wait until it
-frees, then wait DIFS plus a uniformly drawn backoff (binary-exponential
-contention window on each further deferral) and sense again. No
-virtual-carrier NAV and no retransmission on collision (Wi-LE beacons
-are fire-and-forget broadcasts — there is no ACK to miss).
+Model (802.11 DCF backoff semantics): before transmitting, sense the
+medium. Draw a backoff of ``randint(0, CW)`` slots **once** per frame;
+after the channel has been idle for DIFS, count the backoff down one
+slot at a time. If the channel goes busy mid-countdown the counter
+**freezes** — it resumes from the same value once the channel has been
+idle for another DIFS, it is never redrawn. The contention window
+doubles only on a *collision-triggered retry* (a missed ACK), never on
+a busy sense. Wi-LE beacons are fire-and-forget broadcasts — there is
+no ACK, so no retries and no CW growth: every frame contends with
+``cw_min``. (``cw_max`` bounds the doubling a retry path would apply
+and is kept for configuration validation.)
+
+An earlier revision redrew the full backoff *and* widened the
+contention window on every busy sense, which inflates access delay
+under load — exactly the modelling detail that dominates low-power
+channel-access latency (cf. Bankov et al.'s 802.11ba analysis). The
+regression tests in ``tests/test_mac_csma.py`` and the
+``dcf-busy-freeze-resume`` oracle in :mod:`repro.check` pin the
+corrected behaviour.
+
+No virtual-carrier NAV and no retransmission on collision.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..dot11.airtime import DIFS_US, SLOT_US
@@ -58,6 +74,10 @@ class _PendingFrame:
     on_sent: Callable[[Transmission, float], None] | None
     enqueued_at_s: float
     contention_window: int = CW_MIN
+    #: Remaining backoff slots. Drawn once (on the first idle access
+    #: attempt) and decremented slot by slot; a busy channel freezes the
+    #: remainder, it is never redrawn.
+    backoff_slots: int | None = None
     attempts: int = 0
 
 
@@ -65,8 +85,9 @@ class CsmaTransmitter:
     """Listen-before-talk front end for a radio.
 
     Frames enqueue in FIFO order; each is transmitted once the channel
-    has been idle for DIFS plus a random backoff. ``on_sent`` callbacks
-    receive the transmission and the access delay actually paid.
+    has been idle for DIFS and its (freeze-and-resume) backoff counter
+    has reached zero. ``on_sent`` callbacks receive the transmission and
+    the access delay actually paid.
     """
 
     def __init__(self, sim: Simulator, radio: Radio, seed: int = 0,
@@ -87,7 +108,8 @@ class CsmaTransmitter:
                 on_sent: Callable[[Transmission, float], None] | None = None) -> None:
         """Queue a frame for polite transmission."""
         self._queue.append(_PendingFrame(frame, rate, power_dbm, on_sent,
-                                         self.sim.now_s))
+                                         self.sim.now_s,
+                                         contention_window=self.cw_min))
         if not self._busy:
             self._service_next()
 
@@ -105,33 +127,45 @@ class CsmaTransmitter:
         self._attempt(self._queue[0])
 
     def _attempt(self, pending: _PendingFrame) -> None:
+        """Begin — or, after a busy period, resume — channel access."""
         medium = self.radio.medium
         channel = self.radio.channel
         if medium.channel_busy(channel):
-            # Defer to the end of the current transmission, widen CW.
+            # Defer to the end of the current transmission. The backoff
+            # counter (if already drawn) stays frozen; the contention
+            # window is untouched — it widens only on collision retries.
             pending.attempts += 1
-            pending.contention_window = min(
-                2 * pending.contention_window + 1, self.cw_max)
             self.stats.deferrals += 1
             resume_at = medium.busy_until_s(channel) + 1e-9
             self.sim.at(resume_at, lambda: self._attempt(pending))
             return
-        backoff_slots = self._rng.randint(0, pending.contention_window)
-        wait_s = (DIFS_US + backoff_slots * SLOT_US) / 1e6
+        if pending.backoff_slots is None:
+            pending.backoff_slots = self._rng.randint(
+                0, pending.contention_window)
+        self.sim.schedule(DIFS_US / 1e6, lambda: self._countdown(pending))
 
-        def fire() -> None:
-            if medium.channel_busy(channel):
-                # Someone grabbed the air during our backoff: defer again.
-                self._attempt(pending)
-                return
-            transmission = self.radio.transmit(pending.frame, pending.rate,
-                                               power_dbm=pending.power_dbm)
-            access_delay = self.sim.now_s - pending.enqueued_at_s
-            self.stats.transmissions += 1
-            self.stats.record_wait(access_delay)
-            self._queue.pop(0)
-            if pending.on_sent is not None:
-                pending.on_sent(transmission, access_delay)
-            self.sim.at(transmission.end_s, self._service_next)
+    def _countdown(self, pending: _PendingFrame) -> None:
+        """One backoff slot boundary: transmit, decrement, or freeze."""
+        medium = self.radio.medium
+        channel = self.radio.channel
+        if medium.channel_busy(channel):
+            # Freeze the remaining slots and wait the busy period (plus
+            # a fresh DIFS) out; the countdown resumes where it stopped.
+            self._attempt(pending)
+            return
+        if pending.backoff_slots == 0:
+            self._transmit(pending)
+            return
+        pending.backoff_slots -= 1
+        self.sim.schedule(SLOT_US / 1e6, lambda: self._countdown(pending))
 
-        self.sim.schedule(wait_s, fire)
+    def _transmit(self, pending: _PendingFrame) -> None:
+        transmission = self.radio.transmit(pending.frame, pending.rate,
+                                           power_dbm=pending.power_dbm)
+        access_delay = self.sim.now_s - pending.enqueued_at_s
+        self.stats.transmissions += 1
+        self.stats.record_wait(access_delay)
+        self._queue.pop(0)
+        if pending.on_sent is not None:
+            pending.on_sent(transmission, access_delay)
+        self.sim.at(transmission.end_s, self._service_next)

@@ -1,0 +1,126 @@
+"""Tests for the correctness harness itself (repro.check)."""
+
+import json
+
+import pytest
+
+from repro.check import (
+    KINDS, CheckError, CheckReport, CheckResult, Deviation, Oracle,
+    _run_one, all_oracles, oracle, oracles_for_mode, run_checks,
+)
+from repro.check.__main__ import main
+from repro.obs.metrics import MetricsRegistry
+
+#: Oracles cheap enough to execute inside the unit-test suite.
+_FAST = ("checksum-rfc1071", "summary-state-roundtrip",
+         "charge-linearity-in-cycles", "dcf-busy-freeze-resume")
+
+
+class TestRegistry:
+    def test_smoke_inventory_is_broad(self):
+        # The ISSUE acceptance bar: at least 12 distinct smoke oracles,
+        # spanning all three kinds.
+        smoke = oracles_for_mode("smoke")
+        assert len(smoke) >= 12
+        assert {entry.kind for entry in smoke} == set(KINDS)
+        assert len({entry.name for entry in smoke}) == len(smoke)
+
+    def test_full_mode_is_a_superset(self):
+        smoke = {entry.name for entry in oracles_for_mode("smoke")}
+        full = {entry.name for entry in oracles_for_mode("full")}
+        assert smoke < full  # strictly: full-only oracles exist
+
+    def test_every_oracle_is_described(self):
+        for entry in all_oracles():
+            assert entry.description
+            assert entry.kind in KINDS
+
+    def test_only_filter(self):
+        chosen = oracles_for_mode("smoke", only=["checksum-rfc1071"])
+        assert [entry.name for entry in chosen] == ["checksum-rfc1071"]
+
+    def test_unknown_only_and_mode_are_errors(self):
+        with pytest.raises(CheckError):
+            oracles_for_mode("smoke", only=["no-such-oracle"])
+        with pytest.raises(CheckError):
+            oracles_for_mode("exhaustive")
+
+    def test_duplicate_name_and_bad_kind_rejected(self):
+        all_oracles()  # ensure the real modules are loaded
+        with pytest.raises(CheckError):
+            oracle("checksum-rfc1071", "analytic", "dup")(lambda: None)
+        with pytest.raises(CheckError):
+            oracle("x", "vibes", "bad kind")
+
+
+class TestDeviation:
+    def test_pass_fail_boundary(self):
+        assert Deviation(max_deviation=1.0, tolerance=1.0).passed
+        assert not Deviation(max_deviation=1.0 + 1e-9, tolerance=1.0).passed
+        assert Deviation(max_deviation=0.0, tolerance=0.0).passed
+
+    def test_oracle_exception_becomes_failing_result(self):
+        def explode():
+            raise RuntimeError("boom")
+        entry = Oracle(name="exploding", kind="analytic",
+                       description="always raises", fn=explode)
+        result = _run_one(entry)
+        assert not result.passed
+        assert "boom" in result.error
+        assert result.max_deviation == float("inf")
+
+
+class TestRunChecks:
+    def test_fast_subset_passes_and_records_metrics(self):
+        registry = MetricsRegistry()
+        report = run_checks(mode="smoke", only=_FAST, registry=registry)
+        assert report.ok
+        assert {r.name for r in report.results} == set(_FAST)
+        snapshot = registry.snapshot()
+        runs = {metric["labels"]["check"] for metric in snapshot
+                if metric["name"] == "check.runs"}
+        assert runs == set(_FAST)
+        assert not any(metric["name"] == "check.failures"
+                       for metric in snapshot)
+
+    def test_report_is_machine_readable(self):
+        registry = MetricsRegistry()
+        report = run_checks(mode="smoke", only=["summary-state-roundtrip"],
+                            registry=registry)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["mode"] == "smoke"
+        assert payload["summary"]["total"] == 1
+        assert payload["summary"]["ok"] is True
+        (check,) = payload["checks"]
+        assert check["name"] == "summary-state-roundtrip"
+        assert check["passed"] is True
+        assert check["duration_s"] >= 0.0
+
+    def test_failing_result_renders_and_counts(self):
+        report = CheckReport(mode="smoke", results=[CheckResult(
+            name="synthetic", kind="analytic", description="synthetic fail",
+            passed=False, max_deviation=2.0, tolerance=1.0, unit="s",
+            detail="off by one second", duration_s=0.001)])
+        assert not report.ok
+        assert report.to_dict()["summary"]["failed"] == 1
+        rendered = report.render()
+        assert "FAIL synthetic" in rendered
+        assert "off by one second" in rendered
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "checksum-rfc1071" in out
+        assert "full only" in out  # full-only oracles are flagged
+
+    def test_run_with_json_report(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        code = main(["--smoke", "--quiet", "--json", str(path),
+                     "--only", "summary-state-roundtrip",
+                     "--only", "checksum-rfc1071"])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["summary"]["total"] == 2
+        assert "oracles passed" in capsys.readouterr().out

@@ -252,6 +252,41 @@ class TestAggregate:
         with pytest.raises(AggregateError):
             histogram.observe(float("nan"))
 
+    def test_log_bins_pin_both_bounds_exactly(self):
+        # log_bins used to compute the last edge as low * ratio**bins,
+        # which lands a few ulps off `high` — classifying observe(high)
+        # differently depending on rounding direction. Both documented
+        # bounds must now be exact edges, for any (low, high, bins).
+        for low, high, bins in ((1e-6, 1e-2, 8), (1e-6, 1e-2, 24),
+                                (0.1, 1000.0, 7), (2.5e-5, 3.7e-1, 13)):
+            histogram = MergeableHistogram.log_bins(low, high, bins)
+            assert histogram.edges[0] == low
+            assert histogram.edges[-1] == high
+            assert len(histogram.edges) == bins + 1
+
+    def test_log_bins_boundary_values_classify_deterministically(self):
+        histogram = MergeableHistogram.log_bins(1e-6, 1e-2, 8)
+        histogram.observe(1e-6)    # low bound: first bin (half-open)
+        histogram.observe(1e-2)    # high bound: exactly the last edge
+        histogram.observe(math.nextafter(1e-2, 0.0))  # just under high
+        assert histogram.counts[0] == 1
+        assert histogram.counts[-1] == 1
+        assert histogram.overflow == 1
+        assert histogram.underflow == 0
+
+    def test_counters_equal_ignores_float_duration(self):
+        # duration_s is a float: an ulp-level difference must not fail
+        # the bit-identical integer-counter check...
+        left = FleetAggregate(duration_s=600.0, beacons_sent=3)
+        right = FleetAggregate(duration_s=math.nextafter(600.0, 601.0),
+                               beacons_sent=3)
+        assert counters_equal(left, right) == []
+        # ...but moments_close still owns it, at its documented rel_tol.
+        assert moments_close(left, right) == []
+        far = FleetAggregate(duration_s=601.0, beacons_sent=3)
+        assert "duration_s" in moments_close(left, far)
+        assert counters_equal(left, far) == []
+
 
 class TestFleetScaleExperiment:
     def test_point_records_metrics_and_rows(self):

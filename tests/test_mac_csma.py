@@ -1,11 +1,13 @@
 """Tests for CSMA/CA channel access (repro.mac.csma)."""
 
+import random
+
 import pytest
 
 from repro.dot11 import Beacon, MacAddress, Ssid
-from repro.dot11.airtime import DIFS_US, frame_airtime_us
+from repro.dot11.airtime import DIFS_US, SLOT_US, frame_airtime_us
 from repro.dot11.rates import OFDM_6, OFDM_24
-from repro.mac.csma import CsmaError, CsmaTransmitter
+from repro.mac.csma import CW_MIN, CsmaError, CsmaTransmitter
 from repro.sim import Position, Radio, Simulator, WirelessMedium
 
 A = MacAddress.parse("02:00:00:00:00:0a")
@@ -86,7 +88,7 @@ class TestBusyChannel:
         sim.run()
         assert medium.frames_lost_collision > 0
 
-    def test_contention_window_grows_on_deferral(self):
+    def test_survives_back_to_back_busy_periods(self):
         sim, medium, tx, blocker, _rx = setup()
         transmitter = CsmaTransmitter(sim, tx, seed=1, cw_min=15, cw_max=63)
         # Keep the channel busy with back-to-back long frames for a while.
@@ -109,6 +111,103 @@ class TestBusyChannel:
             CsmaTransmitter(sim, tx, cw_min=0)
         with pytest.raises(CsmaError):
             CsmaTransmitter(sim, tx, cw_min=31, cw_max=15)
+
+
+def _idle_delay(seed):
+    sim = Simulator()
+    medium = WirelessMedium(sim)
+    tx = Radio(sim, medium, A, position=Position(0, 0), default_power_dbm=20.0)
+    tx.power_on()
+    transmitter = CsmaTransmitter(sim, tx, seed=seed)
+    sent = []
+    transmitter.enqueue(beacon(), OFDM_24,
+                        on_sent=lambda _t, delay: sent.append(delay))
+    sim.run()
+    return sent[0]
+
+
+class TestBackoffSemantics:
+    """Pin correct 802.11 DCF backoff: draw once, freeze on busy,
+    resume without redraw, never widen CW without a collision.
+
+    These are the regression tests for the backoff-redraw bug: the
+    pre-fix transmitter redrew the counter from a doubled window on
+    every busy sense, which both tests here catch.
+    """
+
+    def test_idle_access_is_exact_slotted_timeline(self):
+        # On an idle channel the delay is exactly DIFS + k*slot where k
+        # is the seed's one and only backoff draw from [0, CW_MIN].
+        for seed in range(32):
+            expected_slots = random.Random(seed).randint(0, CW_MIN)
+            expected = (DIFS_US + expected_slots * SLOT_US) / 1e6
+            assert _idle_delay(seed) == pytest.approx(expected, abs=1e-12)
+
+    def test_idle_mean_matches_dcf_analysis(self):
+        # Mean access delay on an idle channel is DIFS + CW_MIN/2 * slot
+        # (95.5 us with the 802.11g parameters). Tolerance is four
+        # standard errors of the uniform backoff draw.
+        count = 200
+        mean = sum(_idle_delay(seed) for seed in range(count)) / count
+        analytic = (DIFS_US + CW_MIN / 2.0 * SLOT_US) / 1e6
+        slot_var = ((CW_MIN + 1) ** 2 - 1) / 12.0
+        tolerance = 4.0 * SLOT_US / 1e6 * (slot_var / count) ** 0.5
+        assert abs(mean - analytic) <= tolerance
+
+    def test_busy_period_freezes_backoff_counter(self):
+        """The discriminating regression: interrupt the countdown
+        mid-backoff and demand the exact freeze-and-resume instant.
+
+        Fails against the pre-fix logic, which redrew from a doubled
+        window after the busy period (firing ~207 us late for this
+        seed) instead of resuming the frozen counter.
+        """
+        seed = 11
+        drawn = random.Random(seed).randint(0, CW_MIN)
+        assert drawn >= 2  # must be interruptible mid-countdown
+        sim, medium, tx, blocker, _rx = setup()
+        transmitter = CsmaTransmitter(sim, tx, seed=seed)
+        completed = drawn // 2
+        busy_at = (DIFS_US + (completed + 0.5) * SLOT_US) / 1e6
+        busy_airtime = frame_airtime_us(len(beacon(B).to_bytes()),
+                                        OFDM_6) / 1e6
+        sim.at(busy_at, lambda: blocker.transmit(beacon(B), OFDM_6))
+        sent = []
+        transmitter.enqueue(beacon(), OFDM_24,
+                            on_sent=lambda _t, _d: sent.append(sim.now_s))
+        sim.run()
+        # The boundary that sensed busy does not decrement; the counter
+        # froze at drawn - completed - 1 and resumed after the busy
+        # period plus a fresh DIFS. No redraw, no widened window.
+        remaining = drawn - completed - 1
+        expected = (busy_at + busy_airtime + 1e-9
+                    + (DIFS_US + remaining * SLOT_US) / 1e6)
+        assert len(sent) == 1
+        assert sent[0] == pytest.approx(expected, abs=1e-9)
+        assert transmitter.stats.deferrals >= 1
+
+    def test_frozen_counter_is_never_redrawn(self):
+        """Across many seeds, the post-busy transmit instant always
+        implies remaining slots <= the original draw — a redraw from a
+        doubled CW would exceed it with overwhelming probability."""
+        for seed in range(20):
+            drawn = random.Random(seed).randint(0, CW_MIN)
+            if drawn < 2:
+                continue
+            sim, medium, tx, blocker, _rx = setup()
+            transmitter = CsmaTransmitter(sim, tx, seed=seed)
+            completed = drawn // 2
+            busy_at = (DIFS_US + (completed + 0.5) * SLOT_US) / 1e6
+            busy_airtime = frame_airtime_us(len(beacon(B).to_bytes()),
+                                            OFDM_6) / 1e6
+            sim.at(busy_at, lambda: blocker.transmit(beacon(B), OFDM_6))
+            sent = []
+            transmitter.enqueue(beacon(), OFDM_24,
+                                on_sent=lambda _t, _d: sent.append(sim.now_s))
+            sim.run()
+            resumed_slots = round(
+                ((sent[0] - busy_at - busy_airtime) * 1e6 - DIFS_US) / SLOT_US)
+            assert resumed_slots == drawn - completed - 1
 
 
 class TestDeviceIntegration:

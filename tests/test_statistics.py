@@ -1,7 +1,11 @@
 """Tests for the multi-seed replication helper and its use on the
 stochastic experiments."""
 
+import math
+
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.experiments.statistics import (
     Replication,
@@ -112,6 +116,66 @@ class TestStreamingSummary:
         assert "n=2" in summary.describe("J")
         assert StreamingSummary().to_dict()["min"] is None
         assert StreamingSummary().describe() == "no observations"
+
+
+#: Finite, non-degenerate observations for the merge properties: large
+#: enough magnitudes to stress Chan's formula, no infinities/NaN (the
+#: summary rejects those by contract).
+_values = st.lists(st.floats(min_value=-1e9, max_value=1e9,
+                             allow_nan=False, allow_infinity=False),
+                   max_size=40)
+_splits = st.lists(st.integers(min_value=0, max_value=40), max_size=6)
+
+
+class TestStreamingSummaryProperties:
+    """Property-based checks: merging arbitrary (adversarial) shard
+    splits must match one sequential pass, and checkpoint state must
+    round-trip exactly — the contracts the fleet shard runner and the
+    summary-merge oracles in repro.check rely on."""
+
+    @given(values=_values, cuts=_splits)
+    def test_merge_equals_sequential_for_any_split(self, values, cuts):
+        # Cut points (including duplicates => empty shards) partition
+        # the stream; merge order is the shard order.
+        bounds = sorted(min(cut, len(values)) for cut in cuts)
+        shards, previous = [], 0
+        for bound in bounds + [len(values)]:
+            shards.append(values[previous:bound])
+            previous = bound
+        merged = StreamingSummary()
+        for shard in shards:
+            merged.merge(StreamingSummary.of(shard))
+        sequential = StreamingSummary.of(values)
+        assert merged.count == sequential.count
+        assert merged.minimum == sequential.minimum
+        assert merged.maximum == sequential.maximum
+        scale = max(abs(sequential.mean), sequential.std, 1e-9)
+        assert abs(merged.mean - sequential.mean) <= 1e-9 * scale
+        assert abs(merged.std - sequential.std) <= 1e-6 * scale
+
+    @given(values=_values)
+    def test_state_roundtrip_is_exact(self, values):
+        summary = StreamingSummary.of(values)
+        restored = StreamingSummary.from_state(summary.state_dict())
+        for stat in ("count", "mean", "m2", "minimum", "maximum"):
+            assert getattr(restored, stat) == getattr(summary, stat)
+
+    def test_state_roundtrip_empty_and_single(self):
+        # The corner the checkpoint format gets wrong most easily:
+        # +/-inf min/max of an empty summary serialise as None and must
+        # come back as the identity elements, so a restored empty
+        # summary still merges as a no-op.
+        empty = StreamingSummary.from_state(StreamingSummary().state_dict())
+        assert empty.count == 0
+        assert math.isinf(empty.minimum) and empty.minimum > 0
+        assert math.isinf(empty.maximum) and empty.maximum < 0
+        base = StreamingSummary.of((1.0, 2.0))
+        base.merge(empty)
+        assert base.state_dict() == StreamingSummary.of((1.0, 2.0)).state_dict()
+        single = StreamingSummary.from_state(
+            StreamingSummary.of((42.5,)).state_dict())
+        assert single.minimum == single.maximum == 42.5
+        assert single.count == 1 and single.std == 0.0
 
 
 class TestOnStochasticExperiments:
