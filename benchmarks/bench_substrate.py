@@ -4,7 +4,14 @@ Not a paper artifact — these track the cost of the from-scratch frame
 codec, crypto, and simulation primitives so regressions in the library
 itself are visible. These use normal multi-round benchmarking since the
 operations are microsecond-scale.
+
+Representative benches also record into ``BENCH_substrate.json`` via
+``conftest.record_baseline`` (best-of-N per-op seconds, independent of
+the pytest-benchmark rounds) so the regression gate covers the
+substrate as well as the fleet path.
 """
+
+from conftest import best_op_seconds, record_baseline, timed_once
 
 from repro.core import SensorKind, SensorReading, WileMessage, encode_beacon
 from repro.core.codec import decode_beacon
@@ -43,6 +50,10 @@ def test_wile_decode_pipeline(benchmark):
         return decode_beacon(parse_frame(wire))
 
     message = benchmark(pipeline)
+    record_baseline("substrate", "wile_decode_pipeline",
+                    best_op_seconds(pipeline),
+                    counters={"wire_bytes": len(wire),
+                              "device_id": message.device_id})
     assert message.device_id == 0x1234
 
 
@@ -50,6 +61,9 @@ def test_aes_block(benchmark):
     """The T-table fast path (the production `encrypt_block`)."""
     cipher = Aes(bytes(16))
     out = benchmark(cipher.encrypt_block, bytes(16))
+    record_baseline("substrate", "aes_block",
+                    best_op_seconds(cipher.encrypt_block, bytes(16)),
+                    counters={"block_bytes": len(out)})
     assert len(out) == 16
 
 
@@ -63,6 +77,10 @@ def test_aes_block_reference(benchmark):
 
 def test_ccm_encrypt_64b(benchmark):
     out = benchmark(ccm_encrypt, bytes(16), bytes(13), bytes(64), b"aad", 8)
+    record_baseline("substrate", "ccm_encrypt_64b",
+                    best_op_seconds(ccm_encrypt, bytes(16), bytes(13),
+                                    bytes(64), b"aad", 8),
+                    counters={"ciphertext_bytes": len(out)})
     assert len(out) == 72
 
 
@@ -70,6 +88,10 @@ def test_pmk_derivation(benchmark):
     """Uncached PBKDF2 with 4096 iterations — what every association
     would pay without the PMK cache."""
     pmk = benchmark(derive_pmk, "hotnets2019", b"GoogleWifi")
+    record_baseline("substrate", "pmk_derivation",
+                    best_op_seconds(derive_pmk, "hotnets2019", b"GoogleWifi",
+                                    repeat=3),
+                    counters={"pmk_bytes": len(pmk)})
     assert len(pmk) == 32
 
 
@@ -84,6 +106,11 @@ def test_pmk_cached(benchmark):
 def test_four_way_handshake(benchmark):
     pmk = pmk_from_passphrase("hotnets2019", b"GoogleWifi")
     result = benchmark(run_handshake, pmk, b"\x02" * 6, b"\x04" * 6)
+    record_baseline("substrate", "four_way_handshake",
+                    best_op_seconds(run_handshake, pmk, b"\x02" * 6,
+                                    b"\x04" * 6),
+                    counters={"gtk_match": int(result[0].gtk
+                                               == result[1].gtk)})
     assert result[0].gtk == result[1].gtk
 
 
@@ -115,7 +142,9 @@ def _sweep(workers):
 
 def test_seed_sweep_serial(benchmark):
     """Eight independent reliability cells, serial loop (the 'before')."""
-    rates = benchmark.pedantic(_sweep, args=(1,), rounds=1, iterations=1)
+    rates, seconds = timed_once(benchmark, _sweep, 1)
+    record_baseline("substrate", "seed_sweep_serial", seconds,
+                    counters={"cells": len(rates)})
     assert len(rates) == len(_SWEEP_SEEDS)
 
 

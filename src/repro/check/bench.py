@@ -1,0 +1,171 @@
+"""Bench-baseline regression gate: committed vs fresh ``BENCH_*.json``.
+
+The bench suite (``benchmarks/``) records every run's timings as
+machine-normalised *work units* (seconds divided by a pure-Python
+calibration workload timed on the same host — see
+``benchmarks/conftest.py``) plus the exact aggregate counters. The
+repo commits one baseline per suite (``BENCH_fleet.json``,
+``BENCH_substrate.json``); this gate re-compares a fresh run against
+them::
+
+    BENCH_OUT_DIR=/tmp/fresh PYTHONPATH=src python -m pytest \
+        benchmarks/ --benchmark-only -q
+    PYTHONPATH=src python -m repro.check.bench \
+        --committed . --fresh /tmp/fresh --tolerance 0.30
+
+Two kinds of regression, reported through the same
+:class:`~repro.check.CheckReport` the correctness harness uses:
+
+* **speed** — a bench's fresh work units exceed the committed ones by
+  more than the tolerance band (default 30%). Faster never fails.
+* **determinism** — a counter differs from the committed value, or a
+  committed bench is missing from the fresh run. Exact, tolerance 0.
+
+Exit status 0 iff every bench passes. The injected-slowdown self-test
+(``BENCH_INJECT_SLOWDOWN=1.5`` on the fresh run) must make this gate
+fail — that is verified in ``tests/test_fleet_kernel.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from . import CheckError, CheckReport, CheckResult
+
+#: The suites with committed baselines at the repo root.
+DEFAULT_SUITES = ("fleet", "substrate")
+DEFAULT_TOLERANCE = 0.30
+
+
+class BenchGateError(CheckError):
+    """Raised when a baseline file is missing or malformed."""
+
+
+def load_baseline(directory: str, suite: str) -> dict:
+    """Read and validate one ``BENCH_<suite>.json``."""
+    path = os.path.join(directory, f"BENCH_{suite}.json")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise BenchGateError(f"baseline {path} does not exist; run the "
+                             f"bench suite with BENCH_OUT_DIR set") from None
+    except json.JSONDecodeError as error:
+        raise BenchGateError(f"baseline {path} is not valid JSON: "
+                             f"{error}") from None
+    benches = payload.get("benches")
+    if not isinstance(benches, dict) or not benches:
+        raise BenchGateError(f"baseline {path} has no 'benches' mapping")
+    for name, entry in benches.items():
+        if "work_units" not in entry:
+            raise BenchGateError(
+                f"baseline {path} bench {name!r} lacks 'work_units'")
+    return payload
+
+
+def _compare_bench(suite: str, name: str, committed: dict,
+                   fresh: dict | None, tolerance: float) -> CheckResult:
+    """One bench's verdict: counter determinism first, then speed."""
+    started = time.perf_counter()
+    description = f"{suite} bench {name}: fresh run vs committed baseline"
+    if fresh is None:
+        return CheckResult(
+            name=f"bench-{suite}-{name}", kind="differential",
+            description=description, passed=False,
+            max_deviation=float("inf"), tolerance=0.0, unit="mismatches",
+            detail="bench missing from the fresh run",
+            duration_s=time.perf_counter() - started)
+    committed_counters = committed.get("counters", {})
+    fresh_counters = fresh.get("counters", {})
+    mismatched = sorted(
+        key for key in set(committed_counters) | set(fresh_counters)
+        if committed_counters.get(key) != fresh_counters.get(key))
+    if mismatched:
+        detail = "; ".join(
+            f"{key}: committed={committed_counters.get(key)!r} "
+            f"fresh={fresh_counters.get(key)!r}" for key in mismatched)
+        return CheckResult(
+            name=f"bench-{suite}-{name}", kind="differential",
+            description=description, passed=False,
+            max_deviation=float(len(mismatched)), tolerance=0.0,
+            unit="mismatches", detail=f"counter drift: {detail}",
+            duration_s=time.perf_counter() - started)
+    committed_wu = float(committed["work_units"])
+    fresh_wu = float(fresh["work_units"])
+    if committed_wu <= 0.0:
+        slowdown = 0.0 if fresh_wu <= 0.0 else float("inf")
+    else:
+        slowdown = fresh_wu / committed_wu - 1.0
+    detail = (f"committed {committed_wu:.4g} wu, fresh {fresh_wu:.4g} wu "
+              f"({slowdown:+.1%})")
+    return CheckResult(
+        name=f"bench-{suite}-{name}", kind="differential",
+        description=description, passed=slowdown <= tolerance,
+        max_deviation=slowdown, tolerance=tolerance,
+        unit="rel slowdown", detail=detail,
+        duration_s=time.perf_counter() - started)
+
+
+def run_gate(committed_dir: str, fresh_dir: str,
+             tolerance: float = DEFAULT_TOLERANCE,
+             suites: tuple[str, ...] = DEFAULT_SUITES) -> CheckReport:
+    """Compare every committed bench against the fresh run."""
+    report = CheckReport(mode="bench-gate")
+    for suite in suites:
+        committed = load_baseline(committed_dir, suite)
+        fresh = load_baseline(fresh_dir, suite)
+        fresh_benches = fresh["benches"]
+        for name, entry in sorted(committed["benches"].items()):
+            report.results.append(_compare_bench(
+                suite, name, entry, fresh_benches.get(name), tolerance))
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check.bench",
+        description="bench baseline regression gate (speed + counter "
+                    "determinism)")
+    parser.add_argument("--committed", default=".", metavar="DIR",
+                        help="directory holding the committed BENCH_*.json "
+                             "(default: repo root)")
+    parser.add_argument("--fresh", required=True, metavar="DIR",
+                        help="directory the fresh bench run wrote its "
+                             "BENCH_*.json into (BENCH_OUT_DIR)")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE, metavar="REL",
+                        help="allowed relative work-unit slowdown "
+                             "(default 0.30)")
+    parser.add_argument("--suites", nargs="+", default=list(DEFAULT_SUITES),
+                        metavar="SUITE", help="suites to gate "
+                        "(default: fleet substrate)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the machine-readable report here "
+                        "('-' for stdout)")
+    args = parser.parse_args(argv)
+
+    try:
+        report = run_gate(args.committed, args.fresh,
+                          tolerance=args.tolerance,
+                          suites=tuple(args.suites))
+    except BenchGateError as error:
+        print(f"bench gate error: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.json:
+        payload = json.dumps(report.to_dict(), indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"report written to {args.json}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,8 +18,9 @@ import random
 from ..energy.trace import CurrentTrace
 from ..experiments.statistics import replicate
 from ..fleet.aggregate import counters_equal, moments_close
+from ..fleet.kernel import KernelStats, run_shard_cohort
 from ..fleet.population import FleetConfig, generate_fleet
-from ..fleet.shards import run_sharded_fleet
+from ..fleet.shards import plan_shards, run_shard, run_sharded_fleet
 from ..security.aes import Aes
 from ..security.ccm import CcmContext, ccm_decrypt, ccm_encrypt
 from ..security.keys import derive_pmk, pmk_from_passphrase
@@ -183,6 +184,64 @@ def check_fleet_shards_smoke() -> Deviation:
         smoke=False)
 def check_fleet_shards_full() -> Deviation:
     return _shard_differential(_FULL_FLEET, shard_count=5)
+
+
+#: Synchronised start is the cohort kernel's worst case: every device in
+#: the first wave overlaps every other, so a large fraction of
+#: transmissions demote to the exact per-event arithmetic.
+_SYNC_FLEET = FleetConfig(device_count=64, area_m=(50.0, 50.0),
+                          interval_s=20.0, duration_s=200.0, seed=3,
+                          start="synchronised")
+_KERNEL_FULL_FLEET = FleetConfig(device_count=2000, area_m=(300.0, 120.0),
+                                 interval_s=60.0, duration_s=300.0, seed=7)
+
+
+def _kernel_differential(config: FleetConfig,
+                         shard_count: int = 1) -> Deviation:
+    """Event engine vs cohort kernel on every shard of one plan.
+
+    Counters must be bit-identical and moments within the merge
+    tolerance — the equivalence contract stated in
+    :mod:`repro.fleet.kernel`.
+    """
+    plan = generate_fleet(config)
+    mismatches: list[str] = []
+    transmissions = 0
+    demotions = 0
+    for shard in plan_shards(plan, shard_count):
+        event = run_shard(shard, kernel="event")
+        stats = KernelStats()
+        cohort = run_shard_cohort(shard, stats=stats)
+        transmissions += stats.transmissions
+        demotions += stats.demotions
+        mismatches += counters_equal(event, cohort)
+        mismatches += moments_close(event, cohort)
+    return Deviation(
+        max_deviation=float(len(mismatches)), tolerance=0.0,
+        unit="mismatches",
+        detail=(f"{config.device_count} devices ({config.start}), "
+                f"{shard_count} shard(s), {transmissions} transmissions, "
+                f"{demotions} demoted"
+                + (f"; {mismatches}" if mismatches else "")))
+
+
+@oracle("cohort-vs-event", "differential",
+        "the vectorized cohort kernel reproduces the event engine's "
+        "aggregate exactly (staggered and synchronised-start fleets)")
+def check_cohort_kernel_smoke() -> Deviation:
+    staggered = _kernel_differential(_FULL_FLEET, shard_count=1)
+    synchronised = _kernel_differential(_SYNC_FLEET, shard_count=1)
+    return Deviation(
+        max_deviation=staggered.max_deviation + synchronised.max_deviation,
+        tolerance=0.0, unit="mismatches",
+        detail=f"{staggered.detail} | {synchronised.detail}")
+
+
+@oracle("cohort-vs-event-large", "differential",
+        "2000-device sharded fleet: cohort kernel still exactly matches "
+        "the event engine shard by shard", smoke=False)
+def check_cohort_kernel_full() -> Deviation:
+    return _kernel_differential(_KERNEL_FULL_FLEET, shard_count=4)
 
 
 def _deployment_counts(install_zero_plan: bool, duration_s: float = 30.0,

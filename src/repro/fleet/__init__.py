@@ -48,5 +48,13 @@ from .shards import (
     run_shard,
     run_sharded_fleet,
 )
+from .kernel import (
+    COHORT_AUTO_THRESHOLD,
+    CohortState,
+    KernelError,
+    KernelStats,
+    resolve_kernel,
+    run_shard_cohort,
+)
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,463 @@
+"""Vectorized cohort kernel: advance a whole shard in bulk, not by event.
+
+The discrete-event engine pays Python-object overhead per scheduled
+event — a heap push/pop, a closure call, a dataclass — roughly 200 µs
+of bookkeeping per device wake. At the fleet densities Wi-LE targets
+(100k+ devices; see arxiv 1505.06815 / 1909.00594 for the regime) that
+overhead dwarfs the physics. This kernel exploits what makes the fleet
+workload special: every device runs the *same* duty cycle (sleep, boot,
+inject one fixed-length beacon, sleep), every random draw is pre-frozen
+into its :class:`~repro.fleet.population.DeviceSpec`, and the channel
+model is deterministic. So instead of simulating events we *replay*
+them:
+
+1. **Batched wake scheduling** — each device's wake/transmit timeline is
+   generated directly from its spec (the exact float-by-float recurrence
+   the event engine would produce, including the clock's gated gauss
+   draws), giving a structure-of-arrays timeline for the whole cohort.
+2. **Slot-level medium arbitration** — transmissions are sorted once;
+   because every beacon has the same airtime, a transmission's overlap
+   set is a contiguous window found with two ``searchsorted`` calls.
+   Transmissions with an empty window (the overwhelming majority in a
+   jittered steady state) resolve in bulk: their delivery outcome at
+   every in-range gateway was precomputed per device.
+3. **Demotion** — a transmission that *does* overlap (a collision
+   candidate), falls inside a fault window, or otherwise enters an
+   "interesting" state is demoted to the exact per-event arithmetic:
+   the same scalar ``math`` calls, in the same order, as
+   :meth:`repro.sim.medium.WirelessMedium._deliver_to`. Once resolved
+   the device is promoted back to the cohort. Demotion is per
+   transmission, so a device pays the exact path only for the instants
+   that need it.
+4. **Bulk charge integration** — per-wake energy is a single constant,
+   and the event engine accumulates it with sequential float adds; the
+   kernel reproduces those exact partial sums with one
+   ``np.add.accumulate`` table shared by every device.
+
+Equivalence contract
+--------------------
+``run_shard_cohort(shard)`` returns a :class:`FleetAggregate` whose
+integer counters are **bit-identical** to ``run_shard(shard)`` and
+whose float moments match to the merge tolerance (in practice exactly,
+because each per-device float is produced by the same sequence of
+scalar operations). The ``cohort-vs-event`` oracles in
+:mod:`repro.check.differential` enforce this on every check run; the
+per-state arrays below (backoff counter, CW stage, fault epoch) are
+carried for the CSMA/fault extensions and must be zero here — any
+nonzero entry demotes the whole device for the run, preserving
+correctness if a future caller wires those subsystems in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.codec import BeaconTemplate, device_mac
+from ..core.payload import WileFlags, WileMessage, WileMessageType
+from ..dot11.airtime import frame_airtime_us
+from ..dot11.channels import channel_frequency_hz
+from ..dot11.rates import WILE_DEFAULT_RATE
+from ..energy import calibration as cal
+from ..energy.esp32 import Esp32PowerModel, Esp32State
+from ..obs.metrics import METRICS
+from ..phy.link import frame_delivered
+from ..phy.pathloss import noise_floor_dbm, received_power_dbm
+from ..sim import Simulator, WirelessMedium
+from .aggregate import FleetAggregate
+from .shards import _BOOT_ENERGY_J, ShardSpec, _steady_reading
+
+#: ``kernel="auto"`` picks the cohort kernel at or above this many
+#: simulated devices (owned + halo); below it the event engine's
+#: constant factor wins and it stays the battle-tested default.
+COHORT_AUTO_THRESHOLD = 512
+
+_KERNELS = ("event", "cohort", "auto")
+
+
+class KernelError(ValueError):
+    """Raised for an unknown kernel name."""
+
+
+def resolve_kernel(kernel: str, device_count: int) -> str:
+    """Map a ``--kernel`` choice to the concrete engine for one shard."""
+    if kernel not in _KERNELS:
+        raise KernelError(f"unknown kernel {kernel!r}; choose from {_KERNELS}")
+    if kernel == "auto":
+        return "cohort" if device_count >= COHORT_AUTO_THRESHOLD else "event"
+    return kernel
+
+
+@dataclass
+class KernelStats:
+    """Observability for one cohort run (also mirrored into METRICS)."""
+
+    devices: int = 0
+    transmissions: int = 0
+    #: transmissions settled on the bulk (vectorized) path
+    cohort_resolved: int = 0
+    #: transmissions demoted to the exact per-event arithmetic
+    demotions: int = 0
+    #: distinct devices that were demoted at least once
+    demoted_devices: int = 0
+    #: demotion episodes that resolved, returning the device to the cohort
+    promotions: int = 0
+    #: overlapping transmissions still on the air at the horizon — their
+    #: devices end the run demoted (the event engine never decides them
+    #: either; they count as ``beacons_in_flight``)
+    still_demoted_at_horizon: int = 0
+
+
+@dataclass
+class CohortState:
+    """Structure-of-arrays per-device state (one slot per spec, sorted
+    by device id; owned and halo devices interleaved).
+
+    ``backoff_counter`` / ``cw_stage`` / ``fault_epoch`` are the hooks
+    for the CSMA and fault subsystems: the plain fleet duty cycle never
+    touches them, and :func:`run_shard_cohort` demotes any device whose
+    entry is nonzero rather than silently mis-simulating it.
+    """
+
+    next_wake_s: np.ndarray      # first wake beyond the horizon (or the
+                                 # last computed wake), per device
+    records: np.ndarray          # transmissions injected (int64)
+    completed: np.ndarray        # records whose airtime ended in-horizon
+    charge_j: np.ndarray         # accumulated energy per device
+    backoff_counter: np.ndarray  # reserved: CSMA backoff slots
+    cw_stage: np.ndarray         # reserved: CSMA contention-window stage
+    fault_epoch: np.ndarray      # reserved: repro.faults epoch
+    demoted: np.ndarray          # bool: device hit the exact path
+
+
+def _frame_length_bytes(device_id: int, channel: int) -> int:
+    """Wire length of one steady-state fleet beacon.
+
+    The fleet payload is constant (:func:`repro.fleet.shards.
+    _steady_reading`) and every header field is fixed-width, so the
+    length — hence the airtime — is uniform across devices, sequence
+    numbers and timestamps. The kernel's constant-airtime overlap
+    windows rest on that; :func:`run_shard_cohort` spot-checks it at
+    both ends of the id range.
+    """
+    template = BeaconTemplate(source=device_mac(device_id), channel=channel)
+    message = WileMessage(device_id=device_id, sequence=1,
+                          message_type=WileMessageType.SENSOR_DATA,
+                          readings=_steady_reading(), flags=WileFlags.NONE,
+                          rx_window_ms=0)
+    beacon = template.build(message, timestamp_us=0, sequence=1)
+    return len(beacon.to_bytes())
+
+
+def _sequential_sum_table(addend: float, count: int) -> np.ndarray:
+    """``table[k]`` = the float the event engine reaches after adding
+    ``addend`` to 0.0 exactly ``k + 1`` times, in order.
+
+    ``np.add.accumulate`` is a strictly sequential prefix sum (unlike
+    ``np.sum``'s pairwise reduction), so each entry is bit-identical to
+    the Python loop it replaces.
+    """
+    if count <= 0:
+        return np.zeros(0)
+    return np.add.accumulate(np.full(count, addend))
+
+
+def run_shard_cohort(shard: ShardSpec,
+                     stats: KernelStats | None = None) -> FleetAggregate:
+    """Simulate one shard with the cohort kernel; exact twin of
+    :func:`repro.fleet.shards.run_shard` for the fleet workload.
+
+    Module-level and picklable-in/picklable-out, so it fans out over
+    the experiment process pool exactly like ``run_shard`` — checkpoint
+    files written from its aggregates are interchangeable with the
+    event engine's.
+    """
+    if stats is None:
+        stats = KernelStats()
+    aggregate = FleetAggregate(
+        device_count=len(shard.devices),
+        receiver_count=len(shard.receivers),
+        shard_count=1,
+        duration_s=shard.duration_s)
+
+    specs = sorted(shard.devices + shard.halo_devices,
+                   key=lambda item: item.device_id)
+    n_devices = len(specs)
+    stats.devices = n_devices
+    if n_devices == 0:
+        return aggregate
+
+    # -- constants, probed from the same objects the event engine uses ----
+    duration = shard.duration_s
+    # A throwaway medium carries the propagation defaults (exponent,
+    # capture threshold, bandwidth, distance clamp) so the kernel can
+    # never drift from WirelessMedium's signature.
+    medium = WirelessMedium(Simulator(), max_range_m=shard.max_range_m,
+                            interference_range_m=shard.interference_range_m)
+    exponent = medium.path_loss_exponent
+    capture_db = medium.capture_threshold_db
+    min_distance = medium.min_distance_m
+    max_range = medium.max_range_m
+    interference_range = medium.interference_range_m
+    noise_mw = 10.0 ** (noise_floor_dbm(medium.bandwidth_hz) / 10.0)
+    frequency_hz = channel_frequency_hz(shard.channel)
+
+    rate = WILE_DEFAULT_RATE
+    from ..core.device import WILE_TX_POWER_DBM
+    power_dbm = WILE_TX_POWER_DBM
+    frame_len = _frame_length_bytes(specs[0].device_id, shard.channel)
+    if _frame_length_bytes(specs[-1].device_id, shard.channel) != frame_len:
+        raise KernelError("fleet beacon length is not uniform; the "
+                          "cohort kernel's constant-airtime arbitration "
+                          "does not apply")
+    airtime_s = frame_airtime_us(frame_len, rate) / 1e6
+    boot_s = cal.WILE_BOOT_S
+    # The TX window the device schedules its back-to-sleep after
+    # (WiLEDevice._tx_window_s): warm-up plus airtime, in that order.
+    window_s = cal.WILE_RADIO_WARMUP_S + airtime_s
+    tx_energy_j = window_s * Esp32PowerModel().power_w(Esp32State.TX_LOW)
+    wake_energy_j = tx_energy_j + _BOOT_ENERGY_J
+
+    # -- 1. batched wake scheduling ---------------------------------------
+    # Replay each device's duty-cycle recurrence exactly as the event
+    # engine would schedule it: wake at t (fires iff t <= horizon), boot,
+    # transmit at t + boot (records iff <= horizon), back-to-sleep at
+    # + window (one gated clock draw iff <= horizon), repeat.
+    records = np.zeros(n_devices, dtype=np.int64)
+    next_wake = np.zeros(n_devices)
+    start_chunks: list[list[float]] = []
+    for index, spec in enumerate(specs):
+        actual_interval = spec.make_clock().actual_interval_s
+        interval = spec.interval_s
+        t = max(spec.first_wake_s, 1e-9)
+        chunk: list[float] = []
+        append = chunk.append
+        while t <= duration:
+            transmit_at = t + boot_s
+            if transmit_at > duration:
+                break
+            append(transmit_at)
+            sleep_at = transmit_at + window_s
+            if sleep_at > duration:
+                break
+            t = sleep_at + actual_interval(interval)
+        records[index] = len(chunk)
+        next_wake[index] = t
+        start_chunks.append(chunk)
+
+    total_tx = int(records.sum())
+    stats.transmissions = total_tx
+    state = CohortState(
+        next_wake_s=next_wake,
+        records=records,
+        completed=np.zeros(n_devices, dtype=np.int64),
+        charge_j=np.zeros(n_devices),
+        backoff_counter=np.zeros(n_devices, dtype=np.int64),
+        cw_stage=np.zeros(n_devices, dtype=np.int64),
+        fault_epoch=np.zeros(n_devices, dtype=np.int64),
+        demoted=np.zeros(n_devices, dtype=bool))
+
+    # -- 2. slot-level medium arbitration ---------------------------------
+    # One flat, stably sorted timeline. Ties (the synchronised-start
+    # worst case) keep device-id order, which is exactly the event
+    # engine's fire order for simultaneous wakes: every callback chain
+    # traces back to device.start() calls made in sorted-id order.
+    flat_starts = np.concatenate(
+        [np.asarray(chunk) for chunk in start_chunks if chunk]
+        or [np.zeros(0)])
+    flat_device = np.repeat(np.arange(n_devices), records)
+    order = np.argsort(flat_starts, kind="stable")
+    starts = flat_starts[order]
+    device_of = flat_device[order]
+    ends = starts + airtime_s
+    completed_mask = ends <= duration
+    state.completed[:] = np.bincount(device_of[completed_mask],
+                                     minlength=n_devices)
+
+    # Transmission k overlaps j iff both occupy the air simultaneously.
+    # Boundary instants are *inclusive* on both sides: at equal
+    # timestamps the event engine fires a transmit before a completion
+    # (the transmit's wake chain was scheduled a whole boot earlier, so
+    # it holds the smaller insertion counter), meaning an exactly
+    # adjacent frame still lands in the overlap set. With constant
+    # airtime both arrays are sorted, so the overlap window of j is
+    # [lo, hi) minus j itself.
+    lo = np.searchsorted(ends, starts, side="left")
+    hi = np.searchsorted(starts, ends, side="right")
+    overlapped = (hi - lo) > 1
+
+    # Per-(device, gateway) delivery precompute, scalar math only: the
+    # delivery decision is a threshold comparison, so the kernel must
+    # produce the same *bits* as WirelessMedium._deliver_to, and numpy's
+    # vectorized transcendentals are allowed to differ by ulps. Gateways
+    # are bucketed into max_range cells exactly like the medium's
+    # listening grid, so each device scans its 3x3 neighbourhood.
+    gateway_x = [receiver.x_m for receiver in shard.receivers]
+    gateway_y = [receiver.y_m for receiver in shard.receivers]
+    gateway_id = [receiver.receiver_id for receiver in shard.receivers]
+    if max_range is None:
+        raise KernelError("the cohort kernel needs a delivery cutoff "
+                          "(ShardSpec always sets one)")
+    cells: dict[tuple[int, int], list[int]] = {}
+    for gi in range(len(shard.receivers)):
+        key = (int(gateway_x[gi] // max_range),
+               int(gateway_y[gi] // max_range))
+        cells.setdefault(key, []).append(gi)
+
+    designated = frozenset(shard.designated)
+    pair_lists: list[list[tuple[int, float]]] = []
+    clean_delivered = np.zeros(n_devices, dtype=np.int64)
+    clean_lost_snr = np.zeros(n_devices, dtype=np.int64)
+    uplink_ok = np.zeros(n_devices, dtype=np.int64)
+    uplink_bad = np.zeros(n_devices, dtype=np.int64)
+    designated_gateway = np.full(n_devices, -1, dtype=np.int64)
+    for index, spec in enumerate(specs):
+        x, y = spec.x_m, spec.y_m
+        pairs: list[tuple[int, float]] = []
+        column = int(x // max_range)
+        row = int(y // max_range)
+        for dc in (-1, 0, 1):
+            for dr in (-1, 0, 1):
+                for gi in cells.get((column + dc, row + dr), ()):
+                    distance = max(min_distance,
+                                   math.hypot(x - gateway_x[gi],
+                                              y - gateway_y[gi]))
+                    if distance > max_range:
+                        continue
+                    signal_dbm = received_power_dbm(
+                        power_dbm, distance, exponent=exponent,
+                        frequency_hz=frequency_hz)
+                    pairs.append((gi, signal_dbm))
+                    sinr_db = signal_dbm - 10.0 * math.log10(noise_mw)
+                    ok = frame_delivered(sinr_db, frame_len, rate)
+                    if ok:
+                        clean_delivered[index] += 1
+                    else:
+                        clean_lost_snr[index] += 1
+                    if (spec.device_id, gateway_id[gi]) in designated:
+                        designated_gateway[index] = gi
+                        if ok:
+                            uplink_ok[index] = 1
+                        else:
+                            uplink_bad[index] = 1
+        pair_lists.append(pairs)
+
+    # -- 3a. bulk resolution of the unoverlapped majority -----------------
+    # No overlap means no collision branch: every completed transmission
+    # scores its precomputed per-gateway outcomes.
+    clean = completed_mask & ~overlapped
+    clean_per_device = np.bincount(device_of[clean], minlength=n_devices)
+    aggregate.pair_delivered += int((clean_per_device * clean_delivered).sum())
+    aggregate.pair_lost_snr += int((clean_per_device * clean_lost_snr).sum())
+    aggregate.uplink_delivered += int((clean_per_device * uplink_ok).sum())
+    aggregate.uplink_lost_snr += int((clean_per_device * uplink_bad).sum())
+    stats.cohort_resolved = int(clean.sum())
+
+    # -- 3b. demotion: exact per-event arithmetic for the interesting -----
+    # states. Interference contributions are summed in overlap-window
+    # order, which is the event engine's ``transmission.overlapping``
+    # order (sorted by start, ties in device order), so the float sum —
+    # and therefore every threshold decision — is reproduced exactly.
+    demoted_indices = np.nonzero(completed_mask & overlapped)[0]
+    stats.demotions = int(demoted_indices.size)
+    stats.still_demoted_at_horizon = int(
+        np.count_nonzero(~completed_mask & overlapped))
+    if np.any(overlapped):
+        state.demoted[np.unique(device_of[overlapped])] = True
+        stats.demoted_devices = int(np.count_nonzero(state.demoted))
+    if demoted_indices.size:
+        interference_cache: dict[tuple[int, int], float | None] = {}
+        device_x = [spec.x_m for spec in specs]
+        device_y = [spec.y_m for spec in specs]
+        for j in demoted_indices.tolist():
+            sender = int(device_of[j])
+            pairs = pair_lists[sender]
+            if not pairs:
+                continue
+            window = range(int(lo[j]), int(hi[j]))
+            for gi, signal_dbm in pairs:
+                interference_mw = 0.0
+                for k in window:
+                    if k == j:
+                        continue
+                    other = int(device_of[k])
+                    key = (other, gi)
+                    cached = interference_cache.get(key, -1.0)
+                    if cached == -1.0:
+                        other_distance = max(
+                            min_distance,
+                            math.hypot(device_x[other] - gateway_x[gi],
+                                       device_y[other] - gateway_y[gi]))
+                        if (interference_range is not None
+                                and other_distance > interference_range):
+                            cached = None
+                        else:
+                            other_dbm = received_power_dbm(
+                                power_dbm, other_distance,
+                                exponent=exponent,
+                                frequency_hz=frequency_hz)
+                            cached = 10.0 ** (other_dbm / 10.0)
+                        interference_cache[key] = cached
+                    if cached is not None:
+                        interference_mw += cached
+                sinr_db = signal_dbm - 10.0 * math.log10(
+                    noise_mw + interference_mw)
+                if sinr_db < capture_db:
+                    aggregate.pair_lost_collision += 1
+                    outcome = "collision"
+                elif not frame_delivered(sinr_db, frame_len, rate):
+                    aggregate.pair_lost_snr += 1
+                    outcome = "snr"
+                else:
+                    aggregate.pair_delivered += 1
+                    outcome = "ok"
+                if designated_gateway[sender] == gi:
+                    if outcome == "ok":
+                        aggregate.uplink_delivered += 1
+                    elif outcome == "collision":
+                        aggregate.uplink_lost_collision += 1
+                    else:
+                        aggregate.uplink_lost_snr += 1
+        # Every resolved episode re-homogenizes its device: promotion.
+        stats.promotions = stats.demotions
+
+    # -- 4. bulk charge integration and per-device accounting -------------
+    owned_ids = frozenset(spec.device_id for spec in shard.devices)
+    uncovered = frozenset(shard.uncovered)
+    owned_mask = np.fromiter(
+        (spec.device_id in owned_ids for spec in specs),
+        dtype=bool, count=n_devices)
+    aggregate.wakes += int(records[owned_mask].sum())
+    owned_completed = int(state.completed[owned_mask].sum())
+    aggregate.beacons_sent += owned_completed
+    aggregate.beacons_in_flight += int(
+        (records - state.completed)[owned_mask].sum())
+    for index, spec in enumerate(specs):
+        if owned_mask[index] and spec.device_id in uncovered:
+            aggregate.uplink_out_of_range += int(state.completed[index])
+    # The event engine's airtime counter is a sequential sum of one
+    # constant per completed owned beacon; same for per-device energy.
+    airtime_table = _sequential_sum_table(airtime_s, owned_completed)
+    if owned_completed:
+        aggregate.airtime_s += float(airtime_table[-1])
+    energy_table = _sequential_sum_table(wake_energy_j, int(records.max())
+                                         if n_devices else 0)
+    for index, spec in enumerate(specs):
+        count = int(records[index])
+        energy_j = float(energy_table[count - 1]) if count else 0.0
+        state.charge_j[index] = energy_j
+        if not owned_mask[index]:
+            continue  # halo copies are scored by their home shard
+        average_current_a = (cal.ESP32_DEEP_SLEEP_A
+                             + energy_j / (cal.SUPPLY_VOLTAGE_V * duration))
+        aggregate.energy_j.observe(energy_j)
+        aggregate.avg_current_a.observe(average_current_a)
+        aggregate.current_histogram.observe(average_current_a)
+
+    METRICS.counter("fleet_kernel_cohort_runs").inc()
+    METRICS.counter("fleet_kernel_transmissions").inc(total_tx)
+    METRICS.counter("fleet_kernel_demotions").inc(stats.demotions)
+    METRICS.counter("fleet_kernel_promotions").inc(stats.promotions)
+    return aggregate

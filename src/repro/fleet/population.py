@@ -17,6 +17,8 @@ import math
 import random
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..sim import JitteryClock, Position, crystal_population
 
 #: Device ids start here so fleet devices never collide with the small
@@ -164,7 +166,27 @@ class FleetPlan:
                        receiver.receiver_id))
 
 
-def _positions(config: FleetConfig, rng: random.Random) -> list[tuple[float, float]]:
+def _uniform_stream(seed_key: str, count: int) -> np.ndarray:
+    """The first ``count`` outputs of ``random.Random(seed_key).random()``,
+    produced as one numpy batch.
+
+    CPython's generator and numpy's legacy ``RandomState`` are the same
+    Mersenne Twister, and both derive doubles with ``genrand_res53``, so
+    transplanting the seeded state makes the batched stream bit-identical
+    to the scalar one — the vectorized placement below stays exactly
+    per-seed reproducible (pinned by ``tests/test_fleet.py``).
+    """
+    state = random.Random(seed_key).getstate()
+    keys = np.array(state[1][:-1], dtype=np.uint32)
+    legacy = np.random.RandomState()
+    legacy.set_state(("MT19937", keys, state[1][-1], 0, 0.0))
+    return legacy.random_sample(count)
+
+
+def _positions_reference(config: FleetConfig,
+                         rng: random.Random) -> list[tuple[float, float]]:
+    """The original scalar placement loops — kept as the differential
+    twin for :func:`_positions` (same draws, one at a time)."""
     width, height = config.area_m
     count = config.device_count
     if config.layout == "uniform":
@@ -185,6 +207,60 @@ def _positions(config: FleetConfig, rng: random.Random) -> list[tuple[float, flo
             min(max(rng.gauss(cx, config.cluster_std_m), 0.0), width),
             min(max(rng.gauss(cy, config.cluster_std_m), 0.0), height)))
     return positions
+
+
+def _positions(config: FleetConfig) -> list[tuple[float, float]]:
+    """Vectorized device placement, bit-identical per seed to
+    :func:`_positions_reference`.
+
+    The uniform stream is batched (:func:`_uniform_stream`); every
+    arithmetic step then mirrors the scalar code with IEEE-exact numpy
+    elementwise ops (multiply, add, min/max). The ``clusters`` layout
+    needs ``cos``/``sin``/``log`` — transcendentals whose vectorized
+    rounding is not guaranteed to match libm's — so those few calls stay
+    scalar ``math`` while everything around them is batched.
+    """
+    width, height = config.area_m
+    count = config.device_count
+    if config.layout == "grid":
+        index = np.arange(count)
+        columns = max(1, round(math.sqrt(count * width / height)))
+        rows = math.ceil(count / columns)
+        x = ((index % columns) + 0.5) * width / columns
+        y = ((index // columns) + 0.5) * height / rows
+        return list(zip(x.tolist(), y.tolist()))
+    if config.layout == "uniform":
+        # rng.uniform(0.0, w) is exactly 0.0 + (w - 0.0) * rng.random();
+        # draws interleave x, y per device.
+        draws = _uniform_stream(f"{config.seed}-positions", 2 * count)
+        x = width * draws[0::2]
+        y = height * draws[1::2]
+        return list(zip(x.tolist(), y.tolist()))
+    # clusters: 2 uniforms per centre, then one gauss pair per device.
+    # CPython's gauss caches the second Box-Muller value, and each device
+    # consumes exactly two, so the pairing never straddles devices:
+    #   z1 = cos(u1*2pi)*g2rad, z2 = sin(u1*2pi)*g2rad,
+    #   g2rad = sqrt(-2*log(1 - u2)).
+    cluster_count = config.cluster_count
+    std = config.cluster_std_m
+    draws = _uniform_stream(f"{config.seed}-positions",
+                            2 * cluster_count + 2 * count)
+    centre_x = width * draws[0:2 * cluster_count:2]
+    centre_y = height * draws[1:2 * cluster_count:2]
+    u1 = draws[2 * cluster_count::2]
+    u2 = draws[2 * cluster_count + 1::2]
+    x2pi = u1 * (2.0 * math.pi)
+    one_minus = (1.0 - u2).tolist()
+    g2rad = np.sqrt(-2.0 * np.array([math.log(value)
+                                     for value in one_minus]))
+    cos_part = np.array([math.cos(value) for value in x2pi.tolist()])
+    sin_part = np.array([math.sin(value) for value in x2pi.tolist()])
+    which = np.arange(count) % cluster_count
+    x = np.minimum(np.maximum(centre_x[which] + cos_part * g2rad * std,
+                              0.0), width)
+    y = np.minimum(np.maximum(centre_y[which] + sin_part * g2rad * std,
+                              0.0), height)
+    return list(zip(x.tolist(), y.tolist()))
 
 
 def _receiver_grid(config: FleetConfig) -> tuple[tuple[ReceiverSpec, ...], int, int]:
@@ -212,21 +288,23 @@ def generate_fleet(config: FleetConfig) -> FleetPlan:
     so adding receivers or reordering shards can never perturb the
     devices themselves.
     """
-    position_rng = random.Random(f"{config.seed}-positions")
-    phase_rng = random.Random(f"{config.seed}-phases")
-    positions = _positions(config, position_rng)
+    positions = _positions(config)
     clocks = crystal_population(config.device_count,
                                 drift_std_ppm=config.drift_std_ppm,
                                 jitter_std_s=config.jitter_std_s,
                                 seed=config.seed)
+    if config.start == "synchronised":
+        first_wakes = [config.interval_s] * config.device_count
+    else:
+        # Uniform phase in (0, interval]; strictly positive so two
+        # devices can never share the exact same wake instant. Batched:
+        # interval * (1.0 - u) per device, draws in device order.
+        phase_draws = _uniform_stream(f"{config.seed}-phases",
+                                      config.device_count)
+        first_wakes = (config.interval_s * (1.0 - phase_draws)).tolist()
     devices = []
     for index, ((x_m, y_m), clock) in enumerate(zip(positions, clocks)):
-        if config.start == "synchronised":
-            first_wake_s = config.interval_s
-        else:
-            # Uniform phase in (0, interval]; strictly positive so two
-            # devices can never share the exact same wake instant.
-            first_wake_s = config.interval_s * (1.0 - phase_rng.random())
+        first_wake_s = first_wakes[index]
         devices.append(DeviceSpec(
             device_id=FLEET_DEVICE_ID_BASE + index,
             x_m=x_m, y_m=y_m,

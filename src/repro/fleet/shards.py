@@ -195,12 +195,21 @@ def _steady_reading() -> tuple[SensorReading, ...]:
 _BOOT_ENERGY_J = cal.WILE_BOOT_S * cal.ESP32_BOOT_A * cal.SUPPLY_VOLTAGE_V
 
 
-def run_shard(shard: ShardSpec) -> FleetAggregate:
+def run_shard(shard: ShardSpec, kernel: str = "event") -> FleetAggregate:
     """Simulate one shard to its horizon; returns mergeable statistics.
 
-    Module-level and picklable-in/picklable-out, so it fans out over the
-    experiment process pool unchanged.
+    ``kernel`` selects the engine: ``event`` walks the discrete-event
+    heap (this function's body), ``cohort`` dispatches to the
+    vectorized :func:`repro.fleet.kernel.run_shard_cohort` (identical
+    counters, ≥10x throughput at fleet density), and ``auto`` picks by
+    shard size. Module-level and picklable-in/picklable-out, so it fans
+    out over the experiment process pool unchanged.
     """
+    from .kernel import resolve_kernel, run_shard_cohort
+    resolved = resolve_kernel(
+        kernel, len(shard.devices) + len(shard.halo_devices))
+    if resolved == "cohort":
+        return run_shard_cohort(shard)
     sim = Simulator()
     medium = WirelessMedium(sim, max_range_m=shard.max_range_m,
                             interference_range_m=shard.interference_range_m)
@@ -298,17 +307,19 @@ class ShardTask:
     ``checkpoint_dir`` enables shard-level checkpoint/resume: a finished
     shard writes its aggregate (exact state, atomic rename) to
     ``shard_NNNN.json`` and a rerun loads it instead of resimulating —
-    so a killed worker costs only its in-flight shards. The ``chaos_*``
-    fields are the built-in fault hooks the chaos tests and the
-    ``--chaos-smoke`` CLI use: the *first* attempt at the named shard
-    SIGKILLs its own worker (or raises), later attempts find the marker
-    file and proceed.
+    so a killed worker costs only its in-flight shards. Checkpoints are
+    kernel-agnostic: the cohort kernel produces the same exact state,
+    so a resume may switch kernels freely. The ``chaos_*`` fields are
+    the built-in fault hooks the chaos tests and the ``--chaos-smoke``
+    CLI use: the *first* attempt at the named shard SIGKILLs its own
+    worker (or raises), later attempts find the marker file and proceed.
     """
 
     shard: ShardSpec
     checkpoint_dir: str | None = None
     chaos_kill_shard: int | None = None
     chaos_fail_shard: int | None = None
+    kernel: str = "event"
 
 
 def _checkpoint_path(directory: str, index: int) -> str:
@@ -357,7 +368,7 @@ def _run_shard_task(task: ShardTask) -> tuple:
                 return ("failed", index, _device_range(shard),
                         traceback.format_exc())
     try:
-        aggregate = run_shard(shard)
+        aggregate = run_shard(shard, kernel=task.kernel)
     except Exception:
         return ("failed", index, _device_range(shard),
                 traceback.format_exc())
@@ -381,8 +392,12 @@ def run_sharded_fleet(plan: FleetPlan, shard_count: int = 1,
                       chaos_fail_shard: int | None = None,
                       timeout_s: float | None = None,
                       retries: int = 2,
+                      kernel: str = "event",
                       ) -> FleetAggregate:
     """Shard ``plan``, fan the shards over the pool, merge the results.
+
+    ``kernel`` is forwarded to every :func:`run_shard` call — see its
+    docstring for the ``event`` / ``cohort`` / ``auto`` semantics.
 
     With ``checkpoint_dir`` set, completed shards persist their exact
     aggregate state; a worker killed mid-run loses only unfinished
@@ -393,6 +408,8 @@ def run_sharded_fleet(plan: FleetPlan, shard_count: int = 1,
     the ``fleet_shard_failures`` counter in :data:`repro.obs.metrics.
     METRICS`.
     """
+    from .kernel import resolve_kernel
+    resolve_kernel(kernel, 0)  # fail fast on a bad name, before fan-out
     if chaos_kill_shard is not None:
         if workers < 2:
             raise ShardError(
@@ -409,7 +426,8 @@ def run_sharded_fleet(plan: FleetPlan, shard_count: int = 1,
                          interference_range_m=interference_range_m)
     tasks = [ShardTask(shard=shard, checkpoint_dir=checkpoint_dir,
                        chaos_kill_shard=chaos_kill_shard,
-                       chaos_fail_shard=chaos_fail_shard)
+                       chaos_fail_shard=chaos_fail_shard,
+                       kernel=kernel)
              for shard in shards]
     outcomes = run_grid(_run_shard_task, tasks, workers=workers, stage=stage,
                         timeout_s=timeout_s, retries=retries)

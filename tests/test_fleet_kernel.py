@@ -1,0 +1,265 @@
+"""Tests for the vectorized cohort kernel and the bench baseline gate.
+
+The kernel's contract is exact equivalence with the event engine —
+identical integer counters, moments within 1e-9 — including the nasty
+edges: demotion on collision, synchronised worst cases, shard-boundary
+interference through halos, checkpoint/resume, empty shards, and
+transmissions still in flight at the horizon. The gate's contract is
+that a >=30% injected slowdown or any counter drift fails CI.
+"""
+
+import json
+import os
+import tempfile
+
+import pytest
+
+from repro.check.bench import BenchGateError, load_baseline, run_gate
+from repro.check.bench import main as bench_gate_main
+from repro.fleet import (
+    COHORT_AUTO_THRESHOLD,
+    FleetConfig,
+    KernelError,
+    KernelStats,
+    generate_fleet,
+    plan_shards,
+    resolve_kernel,
+    run_shard,
+    run_shard_cohort,
+    run_sharded_fleet,
+)
+from repro.fleet.aggregate import counters_equal, moments_close
+from repro.fleet.shards import ShardSpec
+
+SMALL = FleetConfig(device_count=60, area_m=(60.0, 30.0), interval_s=30.0,
+                    duration_s=600.0, seed=11)
+# Everyone transmits in the same slot: every beacon overlaps, so the
+# kernel must demote broadly and still match the event engine exactly.
+SYNC = FleetConfig(device_count=64, area_m=(50.0, 50.0), interval_s=20.0,
+                   duration_s=200.0, seed=3, start="synchronised")
+
+
+def _assert_identical(event, cohort, context=""):
+    assert counters_equal(event, cohort) == [], context
+    assert moments_close(event, cohort) == [], context
+
+
+class TestResolveKernel:
+    def test_explicit_names_pass_through(self):
+        assert resolve_kernel("event", 10 ** 6) == "event"
+        assert resolve_kernel("cohort", 1) == "cohort"
+
+    def test_auto_switches_on_shard_size(self):
+        assert resolve_kernel("auto", COHORT_AUTO_THRESHOLD - 1) == "event"
+        assert resolve_kernel("auto", COHORT_AUTO_THRESHOLD) == "cohort"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KernelError):
+            resolve_kernel("bogus", 100)
+
+    def test_run_sharded_fleet_rejects_unknown_kernel_early(self):
+        plan = generate_fleet(SMALL)
+        with pytest.raises(KernelError):
+            run_sharded_fleet(plan, shard_count=2, kernel="bogus")
+
+
+class TestCohortEquivalence:
+    def test_staggered_shard_matches_event(self):
+        plan = generate_fleet(SMALL)
+        (shard,) = plan_shards(plan, 1)
+        stats = KernelStats()
+        _assert_identical(run_shard(shard),
+                          run_shard_cohort(shard, stats=stats))
+        assert stats.transmissions > 0
+        assert stats.cohort_resolved + stats.demotions == stats.transmissions
+
+    def test_synchronised_collisions_demote_and_match(self):
+        plan = generate_fleet(SYNC)
+        (shard,) = plan_shards(plan, 1)
+        stats = KernelStats()
+        event = run_shard(shard)
+        cohort = run_shard_cohort(shard, stats=stats)
+        _assert_identical(event, cohort)
+        # The synchronised start guarantees overlap, hence demotions —
+        # and every demoted transmission must be decided (promoted).
+        assert event.uplink_lost_collision > 0
+        assert stats.demotions > 0
+        assert stats.promotions == stats.demotions
+        assert 0 < stats.demoted_devices <= stats.devices
+
+    def test_collision_at_shard_boundary(self):
+        # 3 shards over a synchronised fleet: overlapping transmitters
+        # straddle strip boundaries, so correctness depends on halo
+        # devices being simulated identically by both kernels.
+        plan = generate_fleet(SYNC)
+        for shard in plan_shards(plan, 3):
+            _assert_identical(run_shard(shard), run_shard_cohort(shard),
+                              f"shard {shard.index}")
+
+    def test_sharded_merge_matches_event_kernel(self):
+        plan = generate_fleet(SMALL)
+        event = run_sharded_fleet(plan, shard_count=3, kernel="event")
+        cohort = run_sharded_fleet(plan, shard_count=3, kernel="cohort")
+        _assert_identical(event, cohort)
+
+    def test_checkpoint_resume_with_cohort_kernel(self):
+        plan = generate_fleet(SMALL)
+        reference = run_sharded_fleet(plan, shard_count=2, kernel="event")
+        with tempfile.TemporaryDirectory() as directory:
+            first = run_sharded_fleet(plan, shard_count=2, kernel="cohort",
+                                      checkpoint_dir=directory)
+            # Second run resumes every shard from its checkpoint file —
+            # aggregates written by the cohort kernel must round-trip.
+            resumed = run_sharded_fleet(plan, shard_count=2,
+                                        kernel="cohort",
+                                        checkpoint_dir=directory)
+        _assert_identical(reference, first)
+        _assert_identical(reference, resumed)
+
+    def test_empty_shard(self):
+        plan = generate_fleet(SMALL)
+        (shard,) = plan_shards(plan, 1)
+        empty = ShardSpec(
+            index=0, shard_count=1, x_min_m=shard.x_min_m,
+            x_max_m=shard.x_max_m, halo_m=shard.halo_m,
+            max_range_m=shard.max_range_m,
+            interference_range_m=shard.interference_range_m,
+            channel=shard.channel, duration_s=shard.duration_s,
+            devices=(), halo_devices=(), receivers=shard.receivers,
+            designated=(), uncovered=())
+        stats = KernelStats()
+        _assert_identical(run_shard(empty),
+                          run_shard_cohort(empty, stats=stats))
+        assert stats.transmissions == 0
+
+    def test_in_flight_at_horizon(self):
+        # Horizon lands 50 us into the synchronised burst's airtime:
+        # every transmission starts but none completes, and overlapped
+        # in-flight beacons leave their devices demoted at the horizon.
+        config = FleetConfig(device_count=64, area_m=(50.0, 50.0),
+                             interval_s=20.0, duration_s=20.35005,
+                             seed=3, start="synchronised")
+        plan = generate_fleet(config)
+        (shard,) = plan_shards(plan, 1)
+        stats = KernelStats()
+        event = run_shard(shard)
+        cohort = run_shard_cohort(shard, stats=stats)
+        _assert_identical(event, cohort)
+        assert event.beacons_in_flight == 64
+        assert event.beacons_sent == 0
+        assert stats.still_demoted_at_horizon == 64
+
+
+def _write_baseline(directory, suite, benches):
+    payload = {"schema": 1, "suite": suite,
+               "calibration_seconds": 0.01, "benches": benches}
+    path = os.path.join(directory, f"BENCH_{suite}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def _bench(work_units, counters=None):
+    return {"seconds": work_units * 0.01, "work_units": work_units,
+            "counters": counters or {"sent": 100}}
+
+
+class TestBenchGate:
+    def test_identical_baselines_pass(self, tmp_path):
+        committed, fresh = tmp_path / "a", tmp_path / "b"
+        committed.mkdir(), fresh.mkdir()
+        for directory in (committed, fresh):
+            _write_baseline(directory, "fleet", {"run": _bench(10.0)})
+            _write_baseline(directory, "substrate", {"op": _bench(0.5)})
+        report = run_gate(str(committed), str(fresh))
+        assert report.ok
+        assert {result.name for result in report.results} == \
+            {"bench-fleet-run", "bench-substrate-op"}
+
+    def test_injected_slowdown_fails(self, tmp_path):
+        # The committed/fresh pair the BENCH_INJECT_SLOWDOWN=1.5 knob
+        # produces: same counters, 50% more work units. Must fail the
+        # 30% band; the same slowdown passes a 60% band.
+        committed, fresh = tmp_path / "a", tmp_path / "b"
+        committed.mkdir(), fresh.mkdir()
+        for suite in ("fleet", "substrate"):
+            _write_baseline(committed, suite, {"run": _bench(10.0)})
+            _write_baseline(fresh, suite, {"run": _bench(15.0)})
+        report = run_gate(str(committed), str(fresh), tolerance=0.30)
+        assert not report.ok
+        assert len(report.failed) == 2
+        assert report.failed[0].max_deviation == pytest.approx(0.5)
+        assert run_gate(str(committed), str(fresh), tolerance=0.60).ok
+
+    def test_faster_never_fails(self, tmp_path):
+        committed, fresh = tmp_path / "a", tmp_path / "b"
+        committed.mkdir(), fresh.mkdir()
+        for suite in ("fleet", "substrate"):
+            _write_baseline(committed, suite, {"run": _bench(10.0)})
+            _write_baseline(fresh, suite, {"run": _bench(2.0)})
+        assert run_gate(str(committed), str(fresh)).ok
+
+    def test_counter_drift_fails_exactly(self, tmp_path):
+        committed, fresh = tmp_path / "a", tmp_path / "b"
+        committed.mkdir(), fresh.mkdir()
+        _write_baseline(committed, "fleet",
+                        {"run": _bench(10.0, {"sent": 100})})
+        _write_baseline(fresh, "fleet",
+                        {"run": _bench(10.0, {"sent": 101})})
+        report = run_gate(str(committed), str(fresh), suites=("fleet",))
+        assert not report.ok
+        (failed,) = report.failed
+        assert failed.unit == "mismatches"
+        assert "sent" in failed.detail
+
+    def test_missing_bench_fails(self, tmp_path):
+        committed, fresh = tmp_path / "a", tmp_path / "b"
+        committed.mkdir(), fresh.mkdir()
+        _write_baseline(committed, "fleet",
+                        {"run": _bench(10.0), "gone": _bench(1.0)})
+        _write_baseline(fresh, "fleet", {"run": _bench(10.0)})
+        report = run_gate(str(committed), str(fresh), suites=("fleet",))
+        assert not report.ok
+        assert report.failed[0].name == "bench-fleet-gone"
+
+    def test_missing_or_malformed_baseline_raises(self, tmp_path):
+        with pytest.raises(BenchGateError):
+            load_baseline(str(tmp_path), "fleet")
+        path = tmp_path / "BENCH_fleet.json"
+        path.write_text("not json")
+        with pytest.raises(BenchGateError):
+            load_baseline(str(tmp_path), "fleet")
+        path.write_text(json.dumps({"benches": {}}))
+        with pytest.raises(BenchGateError):
+            load_baseline(str(tmp_path), "fleet")
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        committed, fresh = tmp_path / "a", tmp_path / "b"
+        committed.mkdir(), fresh.mkdir()
+        for suite in ("fleet", "substrate"):
+            _write_baseline(committed, suite, {"run": _bench(10.0)})
+            _write_baseline(fresh, suite, {"run": _bench(15.0)})
+        assert bench_gate_main(["--committed", str(committed),
+                                "--fresh", str(fresh),
+                                "--tolerance", "0.60"]) == 0
+        assert bench_gate_main(["--committed", str(committed),
+                                "--fresh", str(fresh)]) == 1
+        assert bench_gate_main(["--committed", str(tmp_path / "nope"),
+                                "--fresh", str(fresh)]) == 2
+        report_path = tmp_path / "report.json"
+        bench_gate_main(["--committed", str(committed),
+                         "--fresh", str(fresh),
+                         "--json", str(report_path)])
+        payload = json.loads(report_path.read_text())
+        assert payload["summary"]["failed"] == 2
+        capsys.readouterr()
+
+
+def test_committed_baselines_are_loadable():
+    """The repo-root BENCH_*.json must always parse and validate."""
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for suite in ("fleet", "substrate"):
+        payload = load_baseline(root, suite)
+        assert payload["suite"] == suite
+        for entry in payload["benches"].values():
+            assert entry["work_units"] > 0
