@@ -60,6 +60,6 @@ from .scenarios import (
 from .sim import JitteryClock, Position, Radio, Simulator, WirelessMedium
 from .testbed import BenchSupply, Esp32Module, ExperimentRig, Keysight34465A
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -37,7 +37,7 @@ import time
 from . import CheckError, CheckReport, CheckResult
 
 #: The suites with committed baselines at the repo root.
-DEFAULT_SUITES = ("fleet", "substrate")
+DEFAULT_SUITES = ("fleet", "substrate", "service")
 DEFAULT_TOLERANCE = 0.30
 
 
@@ -142,7 +142,7 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 0.30)")
     parser.add_argument("--suites", nargs="+", default=list(DEFAULT_SUITES),
                         metavar="SUITE", help="suites to gate "
-                        "(default: fleet substrate)")
+                        "(default: fleet substrate service)")
     parser.add_argument("--json", metavar="PATH",
                         help="write the machine-readable report here "
                         "('-' for stdout)")

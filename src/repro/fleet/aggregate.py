@@ -142,18 +142,56 @@ class FleetAggregate:
     current_histogram: MergeableHistogram = field(
         default_factory=lambda: MergeableHistogram.log_bins(1e-6, 1e-2, 24))
 
+    @property
+    def is_empty(self) -> bool:
+        """True iff no shard and no observation has ever been folded in.
+
+        This is the *merge identity* test: an empty aggregate is the
+        neutral element ``FleetAggregate()`` starts as (possibly with a
+        horizon preset). An aggregate that counted even one shard — even
+        a device-less one — is not empty: its horizon participates in
+        the strict equality check below.
+        """
+        return (self.shard_count == 0 and self.device_count == 0
+                and self.receiver_count == 0 and self.wakes == 0
+                and self.beacons_sent == 0 and self.beacons_in_flight == 0
+                and self.uplink_delivered == 0
+                and self.uplink_lost_collision == 0
+                and self.uplink_lost_snr == 0
+                and self.uplink_out_of_range == 0
+                and self.pair_delivered == 0
+                and self.pair_lost_collision == 0
+                and self.pair_lost_snr == 0
+                and self.airtime_s == 0.0
+                and self.energy_j.count == 0
+                and self.avg_current_a.count == 0
+                and self.current_histogram.total == 0)
+
     def merge(self, other: "FleetAggregate") -> None:
         """Fold another shard in; exact for counters, Welford-exact for
-        the moment summaries."""
-        if self.duration_s and other.duration_s \
-                and self.duration_s != other.duration_s:
+        the moment summaries.
+
+        Horizon semantics are explicit: a zero-horizon aggregate may
+        participate only while it is :attr:`is_empty` (the merge
+        identity — it adopts, or contributes nothing to, the other
+        side's horizon). Any aggregate carrying observations must match
+        the other side's horizon *exactly*; the old ``self or other``
+        coalescing let a zero-duration aggregate with data merge into
+        anything, after which ``channel_utilisation`` and the other
+        rates silently used whichever horizon survived.
+        """
+        if self.is_empty and not self.duration_s:
+            self.duration_s = other.duration_s
+        elif other.is_empty and not other.duration_s:
+            pass  # identity on the right: nothing to fold, keep ours
+        elif self.duration_s != other.duration_s:
             raise AggregateError(
                 f"cannot merge aggregates over different horizons "
-                f"({self.duration_s}s vs {other.duration_s}s)")
+                f"({self.duration_s}s vs {other.duration_s}s); a "
+                f"zero-duration side is only mergeable while empty")
         self.device_count += other.device_count
         self.receiver_count += other.receiver_count
         self.shard_count += other.shard_count
-        self.duration_s = self.duration_s or other.duration_s
         self.wakes += other.wakes
         self.beacons_sent += other.beacons_sent
         self.beacons_in_flight += other.beacons_in_flight

@@ -64,6 +64,28 @@ class ShardError(ValueError):
     """Raised for invalid shard geometry."""
 
 
+class CheckpointError(RuntimeError):
+    """Raised for unusable checkpoint directories (unfingerprinted or
+    unreadable state that cannot be safely resumed)."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """Raised when a checkpoint directory's manifest fingerprint does
+    not match the plan being run — resuming would silently merge stale
+    aggregates from a different fleet."""
+
+    def __init__(self, directory: str, mismatched: list[str],
+                 expected: dict, found: dict) -> None:
+        self.directory = directory
+        self.mismatched = mismatched
+        detail = ", ".join(
+            f"{key}: manifest={found.get(key)!r} plan={expected.get(key)!r}"
+            for key in mismatched)
+        super().__init__(
+            f"checkpoint directory {directory} belongs to a different "
+            f"plan ({detail}); delete it or point at a fresh directory")
+
+
 class ShardExecutionError(RuntimeError):
     """One or more shards failed, with full shard context attached.
 
@@ -322,6 +344,147 @@ class ShardTask:
     kernel: str = "event"
 
 
+def write_json_atomic(path: str, payload: dict, durable: bool = True) -> None:
+    """Write ``payload`` as JSON such that ``path`` is never torn and —
+    with ``durable`` — survives a power cut.
+
+    The write goes to ``path + ".tmp"`` first; the file is fsynced
+    *before* the atomic :func:`os.replace`, and the parent directory is
+    fsynced *after* it, so the rename itself is on stable storage. Both
+    the fleet shard checkpoints and the gateway service checkpoints
+    (:mod:`repro.service.checkpoint`) write through here.
+    """
+    temporary = path + ".tmp"
+    with open(temporary, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+        if durable:
+            handle.flush()
+            os.fsync(handle.fileno())
+    os.replace(temporary, path)  # atomic: never a torn checkpoint
+    if durable:
+        fsync_dir(os.path.dirname(path) or ".")
+
+
+def fsync_dir(directory: str) -> None:
+    """Flush a directory's entry table (persists renames/creates)."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def load_checkpoint_state(path: str) -> dict | None:
+    """Read one shard checkpoint, validating it restores; ``None`` if
+    absent *or* unusable (corrupt/truncated JSON, wrong schema).
+
+    An unusable file is deleted so the caller recomputes the shard and
+    the rewrite replaces it — a half-written checkpoint from a killed
+    worker must cost a recompute, never a crashed resume.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            state = json.load(handle)
+        FleetAggregate.from_state(state)  # schema check: must restore
+    except FileNotFoundError:
+        return None
+    except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError,
+            ValueError, ArithmeticError):
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        return None
+    return state
+
+
+#: Manifest fields that identify a plan. ``kernel`` is deliberately
+#: *not* here: checkpoints are kernel-agnostic (the cohort kernel
+#: produces the same exact state), so a resume may switch kernels — the
+#: manifest records the kernel informationally only.
+_MANIFEST_IDENTITY_KEYS = (
+    "seed", "device_count", "receiver_count", "shard_count", "duration_s",
+    "interval_s", "area_m", "layout", "start", "channel",
+    "halo_m", "max_range_m", "interference_range_m",
+)
+
+_MANIFEST_NAME = "manifest.json"
+
+
+def plan_fingerprint(plan: FleetPlan, shard_count: int, halo_m: float,
+                     max_range_m: float, interference_range_m: float,
+                     ) -> dict:
+    """The identity of one sharded run, for the checkpoint manifest."""
+    config = plan.config
+    return {
+        "seed": config.seed,
+        "device_count": len(plan.devices),
+        "receiver_count": len(plan.receivers),
+        "shard_count": shard_count,
+        "duration_s": config.duration_s,
+        "interval_s": config.interval_s,
+        "area_m": list(config.area_m),
+        "layout": config.layout,
+        "start": config.start,
+        "channel": config.channel,
+        "halo_m": halo_m,
+        "max_range_m": max_range_m,
+        "interference_range_m": interference_range_m,
+    }
+
+
+def ensure_checkpoint_manifest(directory: str, fingerprint: dict,
+                               kernel: str | None = None) -> None:
+    """Fingerprint ``directory`` on first use; refuse a foreign one.
+
+    First run: writes ``manifest.json`` (durably) recording the plan
+    fingerprint. Later runs: loads it and raises
+    :class:`CheckpointMismatchError` on any identity-field difference —
+    before this check, ``run_sharded_fleet`` loaded any
+    ``shard_NNNN.json`` present with no validation that it belonged to
+    this plan, silently merging stale aggregates. A directory holding
+    shard checkpoints but no manifest (or a corrupt manifest) is also
+    refused: its provenance cannot be established.
+    """
+    path = os.path.join(directory, _MANIFEST_NAME)
+    has_shards = any(name.startswith("shard_") and name.endswith(".json")
+                     for name in os.listdir(directory))
+    manifest = None
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            if not isinstance(manifest.get("identity"), dict):
+                raise ValueError("manifest lacks an identity mapping")
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError,
+                AttributeError):
+            if has_shards:
+                raise CheckpointError(
+                    f"checkpoint manifest {path} is unreadable and the "
+                    f"directory holds shard checkpoints; cannot "
+                    f"establish their provenance — delete the directory "
+                    f"to start fresh") from None
+            manifest = None  # empty dir, bad manifest: rewrite below
+    elif has_shards:
+        raise CheckpointError(
+            f"checkpoint directory {directory} holds shard checkpoints "
+            f"but no manifest; cannot establish their provenance — "
+            f"delete the directory (or re-run the writer version that "
+            f"fingerprints it) to resume safely")
+    if manifest is None:
+        payload = {"schema": 1, "identity": fingerprint}
+        if kernel is not None:
+            payload["kernel"] = kernel
+        write_json_atomic(path, payload)
+        return
+    found = manifest["identity"]
+    mismatched = [key for key in _MANIFEST_IDENTITY_KEYS
+                  if found.get(key) != fingerprint.get(key)]
+    if mismatched:
+        raise CheckpointMismatchError(directory, mismatched,
+                                      fingerprint, found)
+
+
 def _checkpoint_path(directory: str, index: int) -> str:
     return os.path.join(directory, f"shard_{index:04d}.json")
 
@@ -341,10 +504,15 @@ def _run_shard_task(task: ShardTask) -> tuple:
     shard = task.shard
     index = shard.index
     if task.checkpoint_dir is not None:
-        path = _checkpoint_path(task.checkpoint_dir, index)
-        if os.path.exists(path):
-            with open(path, "r", encoding="utf-8") as handle:
-                return ("ok", index, json.load(handle))
+        # A corrupt or truncated checkpoint (killed writer, disk
+        # hiccup) used to raise raw across the pool boundary here,
+        # violating the ("failed", ...) protocol. load_checkpoint_state
+        # validates, deletes a bad file, and returns None so the shard
+        # recomputes and rewrites it.
+        state = load_checkpoint_state(
+            _checkpoint_path(task.checkpoint_dir, index))
+        if state is not None:
+            return ("ok", index, state)
     if task.chaos_kill_shard == index and task.checkpoint_dir is not None:
         marker = _marker_path(task.checkpoint_dir, "kill", index)
         if not os.path.exists(marker):
@@ -374,11 +542,8 @@ def _run_shard_task(task: ShardTask) -> tuple:
                 traceback.format_exc())
     state = aggregate.to_state()
     if task.checkpoint_dir is not None:
-        path = _checkpoint_path(task.checkpoint_dir, index)
-        temporary = path + ".tmp"
-        with open(temporary, "w", encoding="utf-8") as handle:
-            json.dump(state, handle)
-        os.replace(temporary, path)  # atomic: never a torn checkpoint
+        write_json_atomic(_checkpoint_path(task.checkpoint_dir, index),
+                          state)
     return ("ok", index, state)
 
 
@@ -403,6 +568,11 @@ def run_sharded_fleet(plan: FleetPlan, shard_count: int = 1,
     aggregate state; a worker killed mid-run loses only unfinished
     shards (the runner retries them, loading checkpoints where present),
     and a whole rerun of the same plan resumes instead of restarting.
+    The directory is fingerprinted with a ``manifest.json`` on first
+    use and a rerun against a different plan raises
+    :class:`CheckpointMismatchError` instead of silently merging stale
+    aggregates; corrupt/truncated shard files are deleted and their
+    shards recomputed.
     Shard failures raise :class:`ShardExecutionError` carrying (shard
     index, device range, worker traceback) per failure, and increment
     the ``fleet_shard_failures`` counter in :data:`repro.obs.metrics.
@@ -419,8 +589,15 @@ def run_sharded_fleet(plan: FleetPlan, shard_count: int = 1,
             raise ShardError(
                 "chaos_kill_shard needs checkpoint_dir for its "
                 "kill-once marker")
+    required_halo = max(max_range_m, interference_range_m)
+    effective_halo = required_halo if halo_m is None else halo_m
     if checkpoint_dir is not None:
         os.makedirs(checkpoint_dir, exist_ok=True)
+        ensure_checkpoint_manifest(
+            checkpoint_dir,
+            plan_fingerprint(plan, shard_count, effective_halo,
+                             max_range_m, interference_range_m),
+            kernel=kernel)
     shards = plan_shards(plan, shard_count, halo_m=halo_m,
                          max_range_m=max_range_m,
                          interference_range_m=interference_range_m)

@@ -1,0 +1,48 @@
+"""Always-on gateway ingest service — the production-traffic path.
+
+Everything else in this reproduction is batch: run a sweep, write
+artifacts. This package is the long-lived receive side the paper's
+pitch implies — Wi-LE beacons reach *any* nearby WiFi device with no
+association, which only pays off if a gateway can ingest those beacon
+payloads continuously at production rates (the shape IEEE 802.11ba WUR
+deployments and batteryless RF-harvesting beacon networks both assume:
+huge populations of tiny transmitters funneling into a few long-lived
+aggregators).
+
+The moving parts, one module each:
+
+* :mod:`~repro.service.ingest` — wire-format beacon → payload
+  extraction. A byte-offset fast path (differentially pinned against
+  the full :mod:`repro.dot11` parser) that sustains >1M payloads/minute
+  on a single core, plus the batch-decode function the process pool
+  fans out over.
+* :mod:`~repro.service.queues` — bounded asyncio queues with explicit
+  backpressure policies (``drop-oldest`` vs ``block``), every drop and
+  blocked put counted in :data:`repro.obs.metrics.METRICS`.
+* :mod:`~repro.service.tenants` — per-tenant mergeable aggregation
+  (:class:`~repro.experiments.statistics.StreamingSummary` moments,
+  :class:`~repro.fleet.aggregate.MergeableHistogram` payload sizes,
+  per-device sequence chains for loss/duplicate accounting).
+* :mod:`~repro.service.checkpoint` — periodic checkpoint + rotation
+  reusing the fleet shard checkpoint idiom (exact JSON state, fsync'd
+  atomic writes, ``manifest.json`` fingerprint) with generation
+  rotation and corrupt-generation fallback.
+* :mod:`~repro.service.server` — the :class:`GatewayService` asyncio
+  orchestrator: ingest front-end, pool fan-out with broken-pool rescue,
+  strictly ordered merges (so a chaos-killed worker changes nothing),
+  live metrics, graceful SIGTERM drain.
+* :mod:`~repro.service.replay` — deterministic recorded beacon streams
+  and the paced replayer that drives benches, smokes and CI.
+
+``python -m repro.service --help`` runs all of it from the shell; see
+``docs/SERVICE.md`` for the architecture discussion.
+"""
+
+from .checkpoint import ServiceCheckpointer
+from .ingest import BeaconPayload, IngestError, decode_batch, extract_payload
+from .queues import BackpressurePolicy, BoundedPayloadQueue, QueueClosed
+from .replay import generate_stream, load_stream, record_stream, replay
+from .server import GatewayService, ServiceConfig, ServiceError, ServiceStats
+from .tenants import TenantAggregate, tenant_of
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,221 @@
+"""Run the gateway ingest service (or its smokes) from the shell.
+
+    python -m repro.service --record stream.bin --payloads 200000
+                                               # record a beacon stream
+    python -m repro.service --replay stream.bin --checkpoint /var/tmp/gw
+                                               # ingest it, checkpointed
+    python -m repro.service --soak --payloads 1000000
+                                               # throughput soak (payloads/min)
+    python -m repro.service --chaos-smoke      # kill a decode worker
+                                               # mid-stream; aggregates must
+                                               # match the clean run exactly
+
+Without ``--replay``/``--soak``/``--chaos-smoke`` the service runs as a
+daemon: it starts, resumes from ``--checkpoint`` if present, and waits
+for SIGTERM/SIGINT, draining gracefully on either — the mode a real
+deployment runs under systemd. (There is no network listener in the
+reproduction; frames arrive via recorded streams or embedding
+:class:`repro.service.GatewayService` directly.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+import tempfile
+import time
+
+from .queues import BackpressurePolicy
+from .replay import generate_stream, load_stream, record_stream, replay
+from .server import GatewayService, ServiceConfig
+
+
+def _config_from_args(args, policy: BackpressurePolicy | None = None,
+                      **overrides) -> ServiceConfig:
+    options = dict(
+        checkpoint_dir=args.checkpoint,
+        queue_capacity=args.queue_capacity,
+        policy=policy or BackpressurePolicy.parse(args.policy),
+        batch_size=args.batch_size,
+        workers=args.workers,
+        checkpoint_interval_s=args.checkpoint_interval,
+    )
+    options.update(overrides)
+    return ServiceConfig(**options)
+
+
+def _render(stats, elapsed_s: float | None = None) -> str:
+    lines = [
+        f"payloads ingested     {stats.ingested}",
+        f"decode errors         {stats.decode_errors}",
+        f"batches merged        {stats.batches_merged}"
+        f"/{stats.batches_dispatched}",
+        f"rescued batches       {stats.rescued_batches}",
+        f"dropped (drop-oldest) {stats.dropped_oldest}",
+        f"blocked puts          {stats.blocked_puts}",
+        f"tenants               {stats.tenant_count}",
+        f"devices               {stats.device_count}",
+        f"checkpoints written   {stats.checkpoints_written}",
+    ]
+    if elapsed_s:
+        per_minute = stats.ingested / elapsed_s * 60.0
+        lines.append(f"ingest rate           {per_minute:,.0f} payloads/min "
+                     f"({elapsed_s:.1f} s wall clock)")
+    return "\n".join(lines)
+
+
+async def _run_replay(wires, config: ServiceConfig,
+                      rate_per_s: float | None = None):
+    service = GatewayService(config)
+    await service.start()
+    started = time.perf_counter()
+    await replay(service, wires, rate_per_s=rate_per_s)
+    await service.stop()
+    return service, time.perf_counter() - started
+
+
+def _tenant_digest(service) -> dict:
+    """The exact aggregate state, for equality checks across runs."""
+    return {str(tenant_id): aggregate.to_state()
+            for tenant_id, aggregate in sorted(service.tenants.items())}
+
+
+def _soak(args) -> int:
+    """Unpaced lossless ingest of a generated stream; the ≥1M
+    payloads/minute target lives here (and in ``BENCH_service.json``
+    via ``benchmarks/bench_service.py``)."""
+    wires = generate_stream(args.payloads, device_count=args.devices,
+                            seed=args.seed, corrupt_fraction=0.001)
+    config = _config_from_args(args, policy=BackpressurePolicy.BLOCK,
+                               checkpoint_dir=None, metrics_interval_s=0.0)
+    service, elapsed = asyncio.run(_run_replay(wires, config))
+    stats = service.stats()
+    print(_render(stats, elapsed))
+    per_minute = stats.ingested / elapsed * 60.0
+    if args.target_per_minute and per_minute < args.target_per_minute:
+        print(f"\nSOAK BELOW TARGET: {per_minute:,.0f} < "
+              f"{args.target_per_minute:,.0f} payloads/min")
+        return 1
+    return 0
+
+
+def _chaos_smoke(args) -> int:
+    """Clean run vs worker-killed-mid-stream run over one stream; the
+    ordered-merge + resubmission design must make them *identical*."""
+    payloads = min(args.payloads, 40_000)
+    wires = generate_stream(payloads, device_count=args.devices,
+                            seed=args.seed, corrupt_fraction=0.002)
+    clean_config = _config_from_args(
+        args, policy=BackpressurePolicy.BLOCK, checkpoint_dir=None,
+        workers=max(args.workers, 1), metrics_interval_s=0.0)
+    service, _ = asyncio.run(_run_replay(wires, clean_config))
+    clean = _tenant_digest(service)
+    clean_stats = service.stats()
+    kill_batch = max(clean_stats.batches_merged // 2, 1)
+    with tempfile.TemporaryDirectory(prefix="service-chaos-") as directory:
+        chaos_config = _config_from_args(
+            args, policy=BackpressurePolicy.BLOCK, checkpoint_dir=None,
+            workers=max(args.workers, 1), metrics_interval_s=0.0,
+            chaos_kill_batch=kill_batch, chaos_dir=directory)
+        service, _ = asyncio.run(_run_replay(wires, chaos_config))
+    chaos = _tenant_digest(service)
+    stats = service.stats()
+    print(_render(stats))
+    if stats.rescued_batches == 0:
+        print("\nCHAOS SMOKE INVALID: no worker was killed "
+              f"(kill batch {kill_batch} never dispatched?)")
+        return 1
+    if chaos != clean:
+        print("\nCHAOS RECOVERY MISMATCH: aggregates differ from the "
+              "clean run")
+        return 1
+    print(f"\nchaos recovery holds: worker killed on batch {kill_batch}, "
+          f"{stats.rescued_batches} batch(es) rescued, aggregates "
+          f"bit-identical to the clean run")
+    return 0
+
+
+async def _run_daemon(args, config: ServiceConfig) -> int:
+    service = GatewayService(config)
+    await service.start()
+    service.install_signal_handlers((signal.SIGTERM, signal.SIGINT))
+    print("gateway up; waiting for SIGTERM/SIGINT", file=sys.stderr)
+    while not service.stopped:
+        await asyncio.sleep(0.2)
+    print(_render(service.stats()))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Always-on Wi-LE gateway ingest service.")
+    parser.add_argument("--payloads", type=int, default=1_000_000)
+    parser.add_argument("--devices", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="decode pool size; 0 = inline fast path "
+                             "(default)")
+    parser.add_argument("--queue-capacity", type=int, default=65536)
+    parser.add_argument("--batch-size", type=int, default=2048)
+    parser.add_argument("--policy", default="drop-oldest",
+                        choices=[p.value for p in BackpressurePolicy],
+                        help="full-queue behaviour (replay/soak/chaos "
+                             "force 'block' for reproducibility)")
+    parser.add_argument("--checkpoint", metavar="DIR", default=None)
+    parser.add_argument("--checkpoint-interval", type=float, default=5.0,
+                        metavar="S")
+    parser.add_argument("--rate", type=float, default=None, metavar="PER_S",
+                        help="pace --replay at this payloads/second")
+    parser.add_argument("--record", metavar="PATH", default=None,
+                        help="generate a stream file and exit")
+    parser.add_argument("--replay", metavar="PATH", default=None,
+                        help="ingest a recorded stream file")
+    parser.add_argument("--corrupt-fraction", type=float, default=0.0,
+                        help="for --record: fraction of frames corrupted")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="dump final per-tenant aggregates as JSON")
+    parser.add_argument("--soak", action="store_true",
+                        help="unpaced throughput soak over a generated "
+                             "stream; exit 1 below --target-per-minute")
+    parser.add_argument("--target-per-minute", type=float, default=None,
+                        help="soak throughput floor (e.g. 1000000)")
+    parser.add_argument("--chaos-smoke", action="store_true",
+                        help="SIGKILL a decode worker mid-stream; exit 1 "
+                             "unless aggregates match the clean run "
+                             "exactly")
+    args = parser.parse_args(argv)
+
+    if args.record:
+        wires = generate_stream(args.payloads, device_count=args.devices,
+                                seed=args.seed,
+                                corrupt_fraction=args.corrupt_fraction)
+        count = record_stream(args.record, wires,
+                              header_extra={"seed": args.seed})
+        print(f"recorded {count} frames to {args.record}")
+        return 0
+    if args.soak:
+        return _soak(args)
+    if args.chaos_smoke:
+        return _chaos_smoke(args)
+
+    config = _config_from_args(args)
+    if args.replay:
+        wires = load_stream(args.replay)
+        service, elapsed = asyncio.run(
+            _run_replay(wires, config, rate_per_s=args.rate))
+        print(_render(service.stats(), elapsed))
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(_tenant_digest(service), handle, indent=2,
+                          sort_keys=True)
+            print(f"wrote {args.json}")
+        return 0
+    return asyncio.run(_run_daemon(args, config))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""Generation-rotated, durable checkpoints for the gateway service.
+
+The fleet layer already solved "don't lose hours of compute to a kill"
+with per-shard JSON checkpoints (:mod:`repro.fleet.shards`); this module
+reuses that idiom — exact ``to_state`` JSON, atomic fsync'd replace,
+explicit incompatibility errors — and adds the two things a *service*
+needs that a batch run does not:
+
+* **Generations.** A batch shard writes each checkpoint once; a service
+  rewrites its state forever. Rotating through
+  ``checkpoint_<generation>.json`` files plus a ``CURRENT`` pointer
+  means a crash mid-write (or a corrupt latest file) falls back to the
+  previous generation instead of losing everything; old generations are
+  pruned so disk use stays bounded.
+* **Validated recovery.** :meth:`ServiceCheckpointer.load` does not
+  trust bytes on disk: every candidate generation is round-tripped
+  through :meth:`TenantAggregate.from_state` before being offered to
+  the server, and corrupt candidates are deleted and skipped — the
+  service-side twin of the shard-checkpoint fix this PR makes in
+  :func:`repro.fleet.shards.load_checkpoint_state`.
+
+Writes take an internal lock, so the server may rotate from a worker
+thread while tests (or an operator) drive saves concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+
+from ..fleet.shards import CheckpointMismatchError, fsync_dir, write_json_atomic
+from .tenants import DEFAULT_TENANT_BITS, TenantAggregate, TenantError
+
+_SCHEMA = 1
+_CURRENT = "CURRENT"
+_GENERATION_RE = re.compile(r"^checkpoint_(\d{8})\.json$")
+
+
+def _generation_name(generation: int) -> str:
+    return f"checkpoint_{generation:08d}.json"
+
+
+class ServiceCheckpointer:
+    """Rotating checkpoint writer/loader for one gateway's state.
+
+    ``keep_generations`` bounds disk use; at least 2 are kept so a
+    corrupt newest generation always has a fallback.
+    """
+
+    def __init__(self, directory: str, keep_generations: int = 3,
+                 tenant_bits: int = DEFAULT_TENANT_BITS,
+                 durable: bool = True) -> None:
+        if keep_generations < 2:
+            raise ValueError("keep_generations must be >= 2 so a corrupt "
+                             "newest generation has a fallback")
+        self.directory = directory
+        self.keep_generations = keep_generations
+        self.tenant_bits = tenant_bits
+        self.durable = durable
+        self._lock = threading.Lock()
+        os.makedirs(directory, exist_ok=True)
+        existing = self.generations()
+        self._next_generation = (existing[-1] + 1) if existing else 0
+
+    # -- writing -------------------------------------------------------------
+
+    def save(self, snapshot: dict) -> str:
+        """Write ``snapshot`` as the next generation and point
+        ``CURRENT`` at it. Returns the checkpoint file path.
+
+        ``snapshot`` carries the server's counters plus
+        ``{"tenants": {str(tenant_id): TenantAggregate.to_state()}}``;
+        schema, generation and tenant split are stamped here so every
+        file on disk is self-describing.
+        """
+        with self._lock:
+            generation = self._next_generation
+            self._next_generation += 1
+            payload = dict(snapshot)
+            payload["schema"] = _SCHEMA
+            payload["generation"] = generation
+            payload["tenant_bits"] = self.tenant_bits
+            path = os.path.join(self.directory, _generation_name(generation))
+            write_json_atomic(path, payload, durable=self.durable)
+            write_json_atomic(
+                os.path.join(self.directory, _CURRENT),
+                {"schema": _SCHEMA, "generation": generation},
+                durable=self.durable)
+            self._prune(keep_from=generation)
+            return path
+
+    def _prune(self, keep_from: int) -> None:
+        cutoff = keep_from - (self.keep_generations - 1)
+        pruned = False
+        for generation in self.generations():
+            if generation < cutoff:
+                os.unlink(os.path.join(self.directory,
+                                       _generation_name(generation)))
+                pruned = True
+        if pruned and self.durable:
+            fsync_dir(self.directory)
+
+    # -- reading -------------------------------------------------------------
+
+    def generations(self) -> list[int]:
+        """Generation numbers present on disk, ascending."""
+        found = []
+        for name in os.listdir(self.directory):
+            match = _GENERATION_RE.match(name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def load(self) -> dict | None:
+        """Best valid checkpoint, or ``None`` for a fresh start.
+
+        Tries the ``CURRENT`` generation first, then earlier ones in
+        descending order. Corrupt or schema-invalid candidates are
+        deleted and skipped. A checkpoint written under a different
+        tenant split is *not* corruption — it is someone pointing the
+        service at the wrong directory — so that raises
+        :class:`repro.fleet.shards.CheckpointMismatchError` instead of
+        being silently recomputed over.
+
+        The returned dict has ``tenants`` parsed into
+        ``{tenant_id: TenantAggregate}``; other keys are the raw
+        snapshot fields (``ingested``, ``decode_errors``, ...).
+        """
+        with self._lock:
+            candidates = self.generations()
+            current = self._read_current()
+            if current is not None and current in candidates:
+                candidates.remove(current)
+                candidates.append(current)
+            for generation in reversed(candidates):
+                path = os.path.join(self.directory,
+                                    _generation_name(generation))
+                payload = self._read_validated(path)
+                if payload is not None:
+                    return payload
+            return None
+
+    def _read_current(self) -> int | None:
+        path = os.path.join(self.directory, _CURRENT)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                pointer = json.load(handle)
+            return int(pointer["generation"])
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+                TypeError, ValueError):
+            # A corrupt pointer is recoverable: fall back to the newest
+            # generation file; the next save rewrites CURRENT.
+            return None
+
+    def _read_validated(self, path: str) -> dict | None:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("schema") != _SCHEMA:
+                raise TenantError(f"unknown schema {payload.get('schema')!r}")
+            found_bits = int(payload["tenant_bits"])
+            if found_bits != self.tenant_bits:
+                raise CheckpointMismatchError(
+                    self.directory, ["tenant_bits"],
+                    expected={"tenant_bits": self.tenant_bits},
+                    found={"tenant_bits": found_bits})
+            tenants = {
+                int(tenant_id): TenantAggregate.from_state(state)
+                for tenant_id, state in payload["tenants"].items()}
+        except FileNotFoundError:
+            return None
+        except CheckpointMismatchError:
+            raise
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+                TypeError, ValueError, TenantError):
+            os.unlink(path)
+            return None
+        payload["tenants"] = tenants
+        return payload

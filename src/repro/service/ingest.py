@@ -1,0 +1,235 @@
+"""Wire-format beacon → Wi-LE payload extraction at production rates.
+
+The receive path the rest of the repo uses
+(:func:`repro.dot11.parser.parse_frame` →
+:func:`repro.core.codec.decode_beacon` →
+:class:`repro.core.payload.WileMessage`) builds full typed objects for
+every element of every frame — ideal for tests and tooling, but ~60 µs
+per beacon, which caps a single core below the gateway's 1M
+payloads/minute target. This module is the same parse expressed as
+byte-offset arithmetic over the raw frame:
+
+* FCS via :func:`zlib.crc32` (C speed; the repo's first-principles
+  table in :mod:`repro.dot11.fcs` matches it by construction);
+* one information-element walk to find the Wi-LE vendor IE (OUI +
+  vendor type), no element objects materialised;
+* the message header in one ``struct.unpack_from``, the CRC-16 via the
+  shared table-driven :func:`repro.core.payload.crc16_ccitt`, and the
+  sensor TLVs decoded straight to ``(kind, value)`` pairs.
+
+**Contract:** for every frame the full parser accepts as a Wi-LE
+beacon, :func:`extract_payload` returns the same device id, sequence,
+type, flags and numeric readings; for everything else it raises
+:class:`IngestError` (it never returns a wrong answer). That
+equivalence is differentially pinned in ``tests/test_service.py`` over
+randomized messages, flag combinations and corruptions.
+
+:func:`decode_batch` is the unit the process pool fans out over: a
+batch of raw frames in, one partial per-tenant aggregate state out.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.payload import WILE_VENDOR_TYPE, WILE_VERSION, crc16_ccitt
+from ..dot11.mac import WILE_OUI
+from .tenants import DEFAULT_TENANT_BITS, TenantAggregate
+
+
+class IngestError(ValueError):
+    """Raised for frames that are not intact Wi-LE beacons."""
+
+
+@dataclass(frozen=True, slots=True)
+class BeaconPayload:
+    """The decoded fields the aggregation layer consumes.
+
+    ``readings`` holds numeric ``(kind, value)`` pairs; RAW (opaque
+    bytes) readings are skipped — the service meters them via ``size``
+    but has no numeric summary to fold them into. Encrypted and
+    fragment payloads carry no readings (the service counts them
+    without keys or reassembly state).
+    """
+
+    device_id: int
+    sequence: int
+    message_type: int
+    size: int
+    encrypted: bool
+    fragment: bool
+    readings: tuple[tuple[int, float], ...]
+
+
+_MGMT_HEADER = 24
+_FIXED_PARAMS = 12   # timestamp(8) + interval(2) + capabilities(2)
+_FCS_BYTES = 4
+_VENDOR_IE = 221
+_OUI_TYPE = WILE_OUI + bytes([WILE_VENDOR_TYPE])
+
+_MSG_HEADER = struct.Struct("<BIHBB")
+_MSG_CRC_BYTES = 2
+
+_FLAG_ENCRYPTED = 0x01
+_FLAG_RX_WINDOW = 0x02
+_FLAG_FRAGMENT = 0x04
+_KNOWN_FLAGS = 0x07
+
+# Sensor TLV decoders, by kind byte (mirrors payload._decode_value; the
+# differential test pins the two against each other).
+_INT16 = struct.Struct("<h")
+_UINT16 = struct.Struct("<H")
+_UINT32 = struct.Struct("<I")
+_KIND_RAW = 0x7F
+
+
+def extract_payload(wire: bytes, check_fcs: bool = True) -> BeaconPayload:
+    """Parse one over-the-air frame into a :class:`BeaconPayload`.
+
+    Raises :class:`IngestError` unless ``wire`` is an intact (FCS-valid)
+    802.11 beacon carrying an intact (CRC-valid) Wi-LE vendor IE.
+    """
+    n = len(wire)
+    if n < _MGMT_HEADER + _FIXED_PARAMS + _FCS_BYTES:
+        raise IngestError("frame too short for a beacon")
+    # Frame control: version 0, management type, beacon subtype, no
+    # DS/order flags — exactly what an injected (or real) beacon sends.
+    if wire[0] != 0x80 or wire[1] != 0x00:
+        raise IngestError("not a plain beacon frame")
+    if check_fcs:
+        expected = int.from_bytes(wire[n - 4:], "little")
+        if zlib.crc32(wire[:n - 4]) & 0xFFFFFFFF != expected:
+            raise IngestError("FCS mismatch")
+    # Walk the information elements for the Wi-LE vendor IE.
+    pos = _MGMT_HEADER + _FIXED_PARAMS
+    end = n - _FCS_BYTES
+    blob = None
+    while pos + 2 <= end:
+        length = wire[pos + 1]
+        value_end = pos + 2 + length
+        if value_end > end:
+            raise IngestError("truncated information element")
+        if wire[pos] == _VENDOR_IE and length >= 4 \
+                and wire[pos + 2:pos + 6] == _OUI_TYPE:
+            blob = wire[pos + 6:value_end]
+            break
+        pos = value_end
+    if blob is None:
+        raise IngestError("no Wi-LE vendor IE")
+    return decode_message_blob(blob)
+
+
+def decode_message_blob(blob: bytes) -> BeaconPayload:
+    """Decode one vendor-IE data field (the Wi-LE application message)."""
+    size = len(blob)
+    body_end = size - _MSG_CRC_BYTES
+    if size < _MSG_HEADER.size + _MSG_CRC_BYTES:
+        raise IngestError("message too short")
+    if crc16_ccitt(blob[:body_end]) != (blob[body_end]
+                                        | (blob[body_end + 1] << 8)):
+        raise IngestError("message CRC16 mismatch")
+    version, device_id, sequence, message_type, flags = \
+        _MSG_HEADER.unpack_from(blob)
+    if version != WILE_VERSION:
+        raise IngestError(f"unsupported Wi-LE version {version}")
+    if flags & ~_KNOWN_FLAGS:
+        raise IngestError(f"unknown flag bits {flags:#04x}")
+    pos = _MSG_HEADER.size
+    if flags & _FLAG_RX_WINDOW:
+        pos += 2
+    fragment = bool(flags & _FLAG_FRAGMENT)
+    if fragment:
+        pos += 2
+    if pos > body_end:
+        raise IngestError("message extras overrun the body")
+    encrypted = bool(flags & _FLAG_ENCRYPTED)
+    readings: tuple[tuple[int, float], ...] = ()
+    if not (encrypted or fragment):
+        readings = _decode_readings(blob, pos, body_end)
+    return BeaconPayload(device_id=device_id, sequence=sequence,
+                         message_type=message_type, size=size,
+                         encrypted=encrypted, fragment=fragment,
+                         readings=readings)
+
+
+def _decode_readings(blob: bytes, pos: int,
+                     end: int) -> tuple[tuple[int, float], ...]:
+    readings = []
+    while pos < end:
+        if pos + 2 > end:
+            raise IngestError("truncated reading TLV header")
+        kind = blob[pos]
+        length = blob[pos + 1]
+        value_end = pos + 2 + length
+        if value_end > end:
+            raise IngestError("truncated reading TLV value")
+        if kind == 1:        # TEMPERATURE_C: int16 centi-degrees
+            value = _INT16.unpack_from(blob, pos + 2)[0] / 100.0
+        elif kind == 2:      # HUMIDITY_PCT: uint16 centi-percent
+            value = _UINT16.unpack_from(blob, pos + 2)[0] / 100.0
+        elif kind == 3:      # BATTERY_MV
+            value = float(_UINT16.unpack_from(blob, pos + 2)[0])
+        elif kind in (4, 5):  # PRESSURE_PA / COUNTER: uint32
+            value = float(_UINT32.unpack_from(blob, pos + 2)[0])
+        elif kind == _KIND_RAW:
+            pos = value_end
+            continue          # opaque bytes: metered by size only
+        else:
+            raise IngestError(f"unknown sensor kind {kind}")
+        readings.append((kind, value))
+        pos = value_end
+    return tuple(readings)
+
+
+def decode_batch(wires: Sequence[bytes],
+                 tenant_bits: int = DEFAULT_TENANT_BITS,
+                 ) -> tuple[dict[int, dict], int]:
+    """Decode one batch into partial per-tenant aggregate states.
+
+    Returns ``(states, errors)`` where ``states`` maps tenant id to the
+    exact :meth:`TenantAggregate.to_state` of this batch's partial, and
+    ``errors`` counts undecodable frames (dropped, never fatal — one
+    mangled capture must not take the service down).
+    """
+    partials: dict[int, TenantAggregate] = {}
+    errors = 0
+    for wire in wires:
+        try:
+            payload = extract_payload(wire)
+        except IngestError:
+            errors += 1
+            continue
+        tenant_id = payload.device_id >> tenant_bits
+        aggregate = partials.get(tenant_id)
+        if aggregate is None:
+            aggregate = partials[tenant_id] = TenantAggregate(
+                tenant_id=tenant_id)
+        aggregate.observe(payload)
+    return ({tenant_id: aggregate.to_state()
+             for tenant_id, aggregate in partials.items()}, errors)
+
+
+def decode_batch_task(task: tuple) -> tuple[int, dict[int, dict], int]:
+    """Worker-side unit of fan-out (module-level so it pickles).
+
+    ``task`` is ``(batch_id, wires, tenant_bits, chaos_dir,
+    chaos_kill_batch)``. The chaos hook mirrors the fleet shard runner:
+    the *first* attempt at the named batch SIGKILLs its own worker
+    (marker file first, so the retry proceeds), which is how the chaos
+    smoke proves a killed worker loses no aggregates.
+    """
+    batch_id, wires, tenant_bits, chaos_dir, chaos_kill_batch = task
+    if chaos_kill_batch is not None and batch_id == chaos_kill_batch \
+            and chaos_dir is not None:
+        marker = os.path.join(chaos_dir, f"chaos_kill_{batch_id}.marker")
+        if not os.path.exists(marker):
+            with open(marker, "w", encoding="utf-8") as handle:
+                handle.write("killed once\n")
+            os.kill(os.getpid(), signal.SIGKILL)
+    states, errors = decode_batch(wires, tenant_bits)
+    return batch_id, states, errors

@@ -1,0 +1,408 @@
+"""The always-on gateway: ingest → decode fan-out → ordered merge.
+
+:class:`GatewayService` is the asyncio orchestrator tying the service
+package together. The dataflow is a straight line with one loop-bearing
+queue in the middle::
+
+    submit()/submit_many()          (receiver front-end, replay, tests)
+        └─> BoundedPayloadQueue     (bounded; drop-oldest or block)
+              └─> _pump()           (batches; inline or process pool)
+                    └─> _merge_ready()   (strictly batch-ordered)
+                          └─> per-tenant TenantAggregate
+                                └─> ServiceCheckpointer (periodic)
+
+Correctness properties the tests lean on:
+
+* **Ordered merges.** Decode batches may complete out of order (pool
+  mode) but are merged strictly in batch-id order through a reorder
+  buffer. Combined with pure, deterministic ``decode_batch``, a killed
+  worker whose batches are resubmitted produces *bit-identical*
+  tenant aggregates to an uninterrupted run — the chaos smoke asserts
+  exact equality, not tolerances.
+* **Broken-pool rescue.** The same ladder as
+  :class:`repro.experiments.runner.ParallelRunner`: a broken pool is
+  rebuilt and in-flight batches resubmitted (payloads are retained
+  until merged); batches that exceed ``max_retries`` decode serially
+  in-process, so one poison batch cannot wedge the service.
+* **Graceful drain.** ``stop()`` (wired to SIGTERM/SIGINT via
+  :meth:`install_signal_handlers`) closes intake, drains the queue and
+  every in-flight batch, writes a final checkpoint, then shuts the pool
+  down — nothing accepted is ever dropped on the way out.
+* **Checkpoint snapshots are consistent.** State is serialised
+  synchronously on the event loop (between merges), then written from
+  a thread so the fsync never stalls ingest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..obs.metrics import METRICS
+from .checkpoint import ServiceCheckpointer
+from .ingest import decode_batch, decode_batch_task
+from .queues import BackpressurePolicy, BoundedPayloadQueue
+from .tenants import DEFAULT_TENANT_BITS, TenantAggregate
+
+
+class ServiceError(RuntimeError):
+    """Raised for gateway lifecycle misuse (submit before start, ...)."""
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one :class:`GatewayService`."""
+
+    checkpoint_dir: str | None = None
+    queue_capacity: int = 65536
+    policy: BackpressurePolicy = BackpressurePolicy.DROP_OLDEST
+    batch_size: int = 2048
+    flush_after_s: float = 0.05
+    #: 0 decodes inline on the event loop thread (the single-core fast
+    #: path); >0 fans batches out over a persistent process pool.
+    workers: int = 0
+    tenant_bits: int = DEFAULT_TENANT_BITS
+    checkpoint_interval_s: float = 5.0
+    keep_generations: int = 3
+    durable_checkpoints: bool = True
+    metrics_interval_s: float = 1.0
+    #: Pool resubmissions per batch before the in-process serial rescue.
+    max_retries: int = 2
+    #: Chaos hook (pool mode only): the first worker to pick up this
+    #: batch id SIGKILLs itself once — see ingest.decode_batch_task.
+    chaos_kill_batch: int | None = None
+    chaos_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.chaos_kill_batch is not None and self.workers < 1:
+            raise ValueError("chaos kills need a process pool (workers >= 1)")
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A point-in-time snapshot of the gateway's counters."""
+
+    ingested: int
+    decode_errors: int
+    batches_dispatched: int
+    batches_merged: int
+    rescued_batches: int
+    checkpoints_written: int
+    queue_depth: int
+    queue_accepted: int
+    dropped_oldest: int
+    blocked_puts: int
+    tenant_count: int
+    device_count: int
+
+
+class GatewayService:
+    """One always-on Wi-LE gateway. See the module docstring for the
+    dataflow; typical embedding::
+
+        service = GatewayService(ServiceConfig(checkpoint_dir=...))
+        await service.start()          # resumes from checkpoint if any
+        await service.submit_many(wires)
+        await service.stop()           # drain + final checkpoint
+    """
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.queue = BoundedPayloadQueue(self.config.queue_capacity,
+                                         self.config.policy)
+        self.tenants: dict[int, TenantAggregate] = {}
+        self.checkpointer: ServiceCheckpointer | None = None
+        if self.config.checkpoint_dir is not None:
+            self.checkpointer = ServiceCheckpointer(
+                self.config.checkpoint_dir,
+                keep_generations=self.config.keep_generations,
+                tenant_bits=self.config.tenant_bits,
+                durable=self.config.durable_checkpoints)
+        self._started = False
+        self._stopped = False
+        self._tasks: list[asyncio.Task] = []
+        self._executor: ProcessPoolExecutor | None = None
+        # Pool bookkeeping: batches stay in _pending (with their
+        # payloads) until merged, so a broken pool can always resubmit.
+        self._pending: "OrderedDict[int, tuple[list, asyncio.Future]]" = \
+            OrderedDict()
+        self._retries: dict[int, int] = {}
+        self._merge_buffer: dict[int, tuple[dict, int]] = {}
+        self._next_batch_id = 0
+        self._next_merge_id = 0
+        # Counters (ingested/decode_errors resume from the checkpoint).
+        self._ingested = 0
+        self._decode_errors = 0
+        self._rescued = 0
+        self._checkpoints_written = 0
+        self._last_checkpoint_monotonic: float | None = None
+        self._mirrored: dict[str, float] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Resume state, build the pool, start pump/checkpoint/metrics."""
+        if self._started:
+            raise ServiceError("service already started")
+        self._started = True
+        self._restore_checkpoint()
+        if self.config.workers > 0:
+            self._executor = self._new_executor()
+        self._tasks.append(asyncio.ensure_future(self._pump()))
+        if self.checkpointer is not None \
+                and self.config.checkpoint_interval_s > 0:
+            self._tasks.append(asyncio.ensure_future(self._checkpoint_loop()))
+        if self.config.metrics_interval_s > 0:
+            self._tasks.append(asyncio.ensure_future(self._metrics_loop()))
+
+    async def stop(self) -> None:
+        """Graceful drain: close intake, finish every accepted payload,
+        write a final checkpoint, release the pool. Idempotent."""
+        if not self._started:
+            raise ServiceError("service never started")
+        if self._stopped:
+            return
+        self._stopped = True
+        await self.queue.close()
+        pump = self._tasks[0]
+        await pump
+        for task in self._tasks[1:]:
+            task.cancel()
+        for task in self._tasks[1:]:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        if self.checkpointer is not None:
+            await self._write_checkpoint()
+        self._publish_metrics()
+        self._shutdown_executor()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def install_signal_handlers(self, signals: Iterable[int]) -> None:
+        """Route the given signals (typically SIGTERM/SIGINT) to a
+        graceful :meth:`stop`. Call from inside the running loop."""
+        loop = asyncio.get_running_loop()
+        for signum in signals:
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(self.stop()))
+
+    # -- intake --------------------------------------------------------------
+
+    async def submit(self, wire: bytes) -> None:
+        """Offer one raw beacon frame to the gateway."""
+        self._check_intake()
+        await self.queue.put(wire)
+
+    async def submit_many(self, wires: Sequence[bytes]) -> None:
+        """Offer a chunk of raw frames (one queue lock round)."""
+        self._check_intake()
+        await self.queue.put_many(wires)
+
+    def _check_intake(self) -> None:
+        if not self._started:
+            raise ServiceError("submit before start()")
+        if self._stopped:
+            raise ServiceError("submit after stop()")
+
+    # -- decode fan-out ------------------------------------------------------
+
+    async def _pump(self) -> None:
+        while True:
+            batch = await self.queue.get_batch(self.config.batch_size,
+                                               self.config.flush_after_s)
+            if not batch:
+                if self.queue.closed and not len(self.queue):
+                    break
+                continue
+            await self._dispatch(batch)
+        while self._pending:
+            await self._reap_oldest()
+
+    async def _dispatch(self, batch: list) -> None:
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        if self._executor is None:
+            states, errors = decode_batch(batch, self.config.tenant_bits)
+            self._merge_ready(batch_id, states, errors)
+            return
+        self._submit_to_pool(batch_id, batch)
+        # Bound in-flight work so payload retention (for rescue) stays
+        # proportional to the pool, not the backlog.
+        while len(self._pending) >= 2 * self.config.workers:
+            await self._reap_oldest()
+
+    def _submit_to_pool(self, batch_id: int, batch: list) -> None:
+        task = (batch_id, batch, self.config.tenant_bits,
+                self.config.chaos_dir, self.config.chaos_kill_batch)
+        future = asyncio.wrap_future(
+            self._executor.submit(decode_batch_task, task))
+        self._pending[batch_id] = (batch, future)
+
+    async def _reap_oldest(self) -> None:
+        batch_id, (_, future) = next(iter(self._pending.items()))
+        try:
+            done_id, states, errors = await future
+        except (BrokenProcessPool, OSError, RuntimeError):
+            await self._rescue_broken_pool()
+            return
+        self._pending.pop(done_id, None)
+        self._retries.pop(done_id, None)
+        self._merge_ready(done_id, states, errors)
+
+    async def _rescue_broken_pool(self) -> None:
+        """A worker died (chaos kill, OOM, ...): every in-flight future
+        is now poisoned. Rebuild the pool and resubmit from the retained
+        payloads; batches out of retries decode serially here."""
+        pending = list(self._pending.items())
+        self._pending.clear()
+        await asyncio.gather(*(future for _, (_, future) in pending),
+                             return_exceptions=True)
+        self._shutdown_executor()
+        try:
+            self._executor = self._new_executor()
+        except OSError:
+            self._executor = None
+        self._rescued += len(pending)
+        for batch_id, (batch, _) in pending:
+            retries = self._retries.get(batch_id, 0) + 1
+            self._retries[batch_id] = retries
+            if self._executor is not None \
+                    and retries <= self.config.max_retries:
+                self._submit_to_pool(batch_id, batch)
+            else:
+                states, errors = decode_batch(batch, self.config.tenant_bits)
+                self._retries.pop(batch_id, None)
+                self._merge_ready(batch_id, states, errors)
+
+    def _new_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.config.workers)
+
+    def _shutdown_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # -- ordered merge -------------------------------------------------------
+
+    def _merge_ready(self, batch_id: int, states: dict, errors: int) -> None:
+        """Buffer a completed batch; fold everything contiguous from
+        ``_next_merge_id`` up, in batch order — out-of-order completions
+        wait their turn so merge order (and hence every float moment)
+        matches the sequential stream exactly."""
+        self._merge_buffer[batch_id] = (states, errors)
+        while self._next_merge_id in self._merge_buffer:
+            states, errors = self._merge_buffer.pop(self._next_merge_id)
+            self._next_merge_id += 1
+            self._decode_errors += errors
+            for tenant_id, state in sorted(states.items()):
+                partial = TenantAggregate.from_state(state)
+                ours = self.tenants.get(partial.tenant_id)
+                if ours is None:
+                    self.tenants[partial.tenant_id] = partial
+                else:
+                    ours.merge(partial)
+                self._ingested += partial.payloads
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _restore_checkpoint(self) -> None:
+        if self.checkpointer is None:
+            return
+        payload = self.checkpointer.load()
+        if payload is None:
+            return
+        self.tenants = payload["tenants"]
+        self._ingested = int(payload.get("ingested", 0))
+        self._decode_errors = int(payload.get("decode_errors", 0))
+
+    def _snapshot_state(self) -> dict:
+        """Exact serialisable state, taken synchronously on the loop
+        (never mid-merge)."""
+        return {
+            "ingested": self._ingested,
+            "decode_errors": self._decode_errors,
+            "tenants": {str(tenant_id): aggregate.to_state()
+                        for tenant_id, aggregate
+                        in sorted(self.tenants.items())},
+        }
+
+    async def _write_checkpoint(self) -> None:
+        snapshot = self._snapshot_state()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.checkpointer.save, snapshot)
+        self._checkpoints_written += 1
+        self._last_checkpoint_monotonic = time.monotonic()
+
+    async def _checkpoint_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.checkpoint_interval_s)
+            await self._write_checkpoint()
+
+    # -- observability -------------------------------------------------------
+
+    async def _metrics_loop(self) -> None:
+        last_ingested = self._ingested
+        last_time = time.monotonic()
+        while True:
+            await asyncio.sleep(self.config.metrics_interval_s)
+            now = time.monotonic()
+            rate = (self._ingested - last_ingested) / max(now - last_time,
+                                                          1e-9)
+            METRICS.gauge("service_ingest_rate_per_s").set(rate)
+            last_ingested, last_time = self._ingested, now
+            self._publish_metrics()
+
+    def _publish_metrics(self) -> None:
+        METRICS.gauge("service_queue_depth").set(float(len(self.queue)))
+        age = float("inf") if self._last_checkpoint_monotonic is None \
+            else time.monotonic() - self._last_checkpoint_monotonic
+        if self.checkpointer is not None and age != float("inf"):
+            METRICS.gauge("service_checkpoint_age_s").set(age)
+        self._mirror_counter("service_ingested_total", self._ingested)
+        self._mirror_counter("service_decode_errors_total",
+                             self._decode_errors)
+        self._mirror_counter("service_dropped_oldest_total",
+                             self.queue.dropped_oldest)
+        self._mirror_counter("service_blocked_puts_total",
+                             self.queue.blocked_puts)
+        self._mirror_counter("service_rescued_batches_total", self._rescued)
+        self._mirror_counter("service_checkpoints_total",
+                             self._checkpoints_written)
+
+    def _mirror_counter(self, name: str, total: float) -> None:
+        """METRICS counters are monotonic `inc` APIs; mirror an absolute
+        total by feeding the delta since the last publish."""
+        delta = total - self._mirrored.get(name, 0.0)
+        if delta > 0:
+            METRICS.counter(name).inc(delta)
+            self._mirrored[name] = total
+
+    def stats(self) -> ServiceStats:
+        return ServiceStats(
+            ingested=self._ingested,
+            decode_errors=self._decode_errors,
+            batches_dispatched=self._next_batch_id,
+            batches_merged=self._next_merge_id,
+            rescued_batches=self._rescued,
+            checkpoints_written=self._checkpoints_written,
+            queue_depth=len(self.queue),
+            queue_accepted=self.queue.accepted,
+            dropped_oldest=self.queue.dropped_oldest,
+            blocked_puts=self.queue.blocked_puts,
+            tenant_count=len(self.tenants),
+            device_count=sum(aggregate.device_count
+                             for aggregate in self.tenants.values()),
+        )

@@ -31,6 +31,8 @@ from repro.faults import (
     stable_uniform,
 )
 from repro.fleet import (
+    CheckpointError,
+    CheckpointMismatchError,
     FleetConfig,
     ShardError,
     ShardExecutionError,
@@ -357,8 +359,8 @@ class TestFleetChaos:
         first = run_sharded_fleet(plan, shard_count=3, workers=1,
                                   checkpoint_dir=str(tmp_path))
         written = sorted(os.listdir(tmp_path))
-        assert written == ["shard_0000.json", "shard_0001.json",
-                           "shard_0002.json"]
+        assert written == ["manifest.json", "shard_0000.json",
+                           "shard_0001.json", "shard_0002.json"]
         resumed = run_sharded_fleet(plan, shard_count=3, workers=1,
                                     checkpoint_dir=str(tmp_path))
         assert counters_equal(first, resumed) == []
@@ -385,3 +387,109 @@ class TestFleetChaos:
         with pytest.raises(ShardError):
             run_sharded_fleet(plan, shard_count=3, workers=2,
                               chaos_kill_shard=1)
+
+
+class TestCheckpointHygiene:
+    """Corrupt, truncated, stale and foreign checkpoint directories.
+
+    Pre-fix behaviour these tests pin against: a corrupt checkpoint's
+    ``json.load`` ran before the worker's try block (raising raw across
+    the pool boundary instead of the documented ``("failed", ...)``
+    tuple), and ``run_sharded_fleet`` loaded any ``shard_NNNN.json``
+    present with no check that it belonged to the running plan.
+    """
+
+    CONFIG = FleetConfig(device_count=30, area_m=(100.0, 30.0),
+                         interval_s=5.0, duration_s=12.0, seed=5)
+
+    def _checkpointed_run(self, tmp_path, **kwargs):
+        plan = generate_fleet(self.CONFIG)
+        return plan, run_sharded_fleet(plan, shard_count=2, workers=1,
+                                       checkpoint_dir=str(tmp_path),
+                                       **kwargs)
+
+    def test_corrupt_checkpoint_recomputed_not_raised(self, tmp_path):
+        plan, clean = self._checkpointed_run(tmp_path)
+        bad = tmp_path / "shard_0001.json"
+        bad.write_text("{ this is not json", encoding="utf-8")
+        resumed = run_sharded_fleet(plan, shard_count=2, workers=1,
+                                    checkpoint_dir=str(tmp_path))
+        assert counters_equal(clean, resumed) == []
+        assert moments_close(clean, resumed, rel_tol=0.0) == []
+        # the recompute rewrote a valid checkpoint over the corpse
+        import json
+        json.loads(bad.read_text(encoding="utf-8"))
+
+    def test_truncated_checkpoint_recomputed(self, tmp_path):
+        plan, clean = self._checkpointed_run(tmp_path)
+        path = tmp_path / "shard_0000.json"
+        blob = path.read_text(encoding="utf-8")
+        path.write_text(blob[:len(blob) // 2], encoding="utf-8")
+        resumed = run_sharded_fleet(plan, shard_count=2, workers=1,
+                                    checkpoint_dir=str(tmp_path))
+        assert counters_equal(clean, resumed) == []
+
+    def test_wrong_schema_checkpoint_recomputed(self, tmp_path):
+        plan, clean = self._checkpointed_run(tmp_path)
+        # valid JSON, wrong shape: must recompute, not crash the merge
+        (tmp_path / "shard_0001.json").write_text(
+            '{"device_count": 3}', encoding="utf-8")
+        resumed = run_sharded_fleet(plan, shard_count=2, workers=1,
+                                    checkpoint_dir=str(tmp_path))
+        assert counters_equal(clean, resumed) == []
+
+    def test_corrupt_checkpoint_recovered_through_pool(self, tmp_path):
+        # Same recovery across the process-pool boundary: pre-fix the
+        # raw JSONDecodeError violated the ("failed", ...) protocol.
+        plan, clean = self._checkpointed_run(tmp_path)
+        (tmp_path / "shard_0001.json").write_bytes(b"\x00\xff garbage")
+        resumed = run_sharded_fleet(plan, shard_count=2, workers=2,
+                                    checkpoint_dir=str(tmp_path))
+        assert counters_equal(clean, resumed) == []
+
+    def test_different_seed_directory_refused(self, tmp_path):
+        self._checkpointed_run(tmp_path)
+        other = generate_fleet(FleetConfig(
+            device_count=30, area_m=(100.0, 30.0), interval_s=5.0,
+            duration_s=12.0, seed=6))
+        with pytest.raises(CheckpointMismatchError) as exc_info:
+            run_sharded_fleet(other, shard_count=2, workers=1,
+                              checkpoint_dir=str(tmp_path))
+        assert "seed" in exc_info.value.mismatched
+
+    def test_different_shard_count_refused(self, tmp_path):
+        plan, _ = self._checkpointed_run(tmp_path)
+        with pytest.raises(CheckpointMismatchError) as exc_info:
+            run_sharded_fleet(plan, shard_count=3, workers=1,
+                              checkpoint_dir=str(tmp_path))
+        assert "shard_count" in exc_info.value.mismatched
+
+    def test_unfingerprinted_shards_refused(self, tmp_path):
+        plan, _ = self._checkpointed_run(tmp_path)
+        os.remove(tmp_path / "manifest.json")
+        with pytest.raises(CheckpointError):
+            run_sharded_fleet(plan, shard_count=2, workers=1,
+                              checkpoint_dir=str(tmp_path))
+
+    def test_corrupt_manifest_with_shards_refused(self, tmp_path):
+        plan, _ = self._checkpointed_run(tmp_path)
+        (tmp_path / "manifest.json").write_text("not json", encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            run_sharded_fleet(plan, shard_count=2, workers=1,
+                              checkpoint_dir=str(tmp_path))
+
+    def test_kernel_switch_still_resumes(self, tmp_path):
+        # The manifest records the kernel informationally only:
+        # checkpoints are kernel-agnostic, so an event-kernel directory
+        # must resume under the cohort kernel (and vice versa).
+        plan, first = self._checkpointed_run(tmp_path, kernel="event")
+        resumed = run_sharded_fleet(plan, shard_count=2, workers=1,
+                                    checkpoint_dir=str(tmp_path),
+                                    kernel="cohort")
+        assert counters_equal(first, resumed) == []
+
+    def test_no_temporary_files_left_behind(self, tmp_path):
+        self._checkpointed_run(tmp_path)
+        leftovers = [name for name in os.listdir(tmp_path)
+                     if name.endswith(".tmp")]
+        assert leftovers == []

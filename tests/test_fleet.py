@@ -245,6 +245,48 @@ class TestAggregate:
         with pytest.raises(AggregateError):
             left.merge(right)
 
+    def test_merge_rejects_zero_horizon_with_observations(self):
+        # Pre-fix, `self.duration_s or other.duration_s` let an
+        # aggregate with data but duration 0 merge into anything; the
+        # surviving horizon then silently skewed channel_utilisation.
+        bogus = FleetAggregate(duration_s=0.0, beacons_sent=5,
+                               airtime_s=0.25)
+        target = FleetAggregate(shard_count=1, duration_s=20.0,
+                                beacons_sent=3, airtime_s=0.1)
+        with pytest.raises(AggregateError):
+            target.merge(bogus)
+        with pytest.raises(AggregateError):
+            bogus.merge(FleetAggregate(shard_count=1, duration_s=20.0))
+
+    def test_merge_identity_adopts_horizon(self):
+        # The merge identity (a fresh FleetAggregate) must adopt the
+        # other side's horizon on the first fold and contribute nothing
+        # when folded in from the right.
+        total = FleetAggregate()
+        assert total.is_empty
+        shard = FleetAggregate(shard_count=1, duration_s=30.0,
+                               beacons_sent=2, airtime_s=0.01)
+        total.merge(shard)
+        assert total.duration_s == 30.0
+        assert not total.is_empty
+        total.merge(FleetAggregate())  # right identity: no-op
+        assert total.beacons_sent == 2
+        assert total.channel_utilisation == pytest.approx(0.01 / 30.0)
+
+    def test_merge_empty_shard_keeps_strict_horizon_check(self):
+        # A device-less shard still counted one shard over a horizon:
+        # it is NOT the identity, so mismatched horizons must raise.
+        empty_shard = FleetAggregate(shard_count=1, duration_s=10.0)
+        assert not empty_shard.is_empty
+        other = FleetAggregate(shard_count=1, duration_s=20.0,
+                               beacons_sent=1)
+        with pytest.raises(AggregateError):
+            other.merge(empty_shard)
+        same = FleetAggregate(shard_count=1, duration_s=10.0,
+                              beacons_sent=1)
+        same.merge(empty_shard)
+        assert same.shard_count == 2
+
     def test_rates_guard_zero_denominators(self):
         empty = FleetAggregate()
         assert empty.delivery_rate == 0.0

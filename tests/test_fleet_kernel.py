@@ -171,10 +171,11 @@ class TestBenchGate:
         for directory in (committed, fresh):
             _write_baseline(directory, "fleet", {"run": _bench(10.0)})
             _write_baseline(directory, "substrate", {"op": _bench(0.5)})
+            _write_baseline(directory, "service", {"soak": _bench(3.0)})
         report = run_gate(str(committed), str(fresh))
         assert report.ok
         assert {result.name for result in report.results} == \
-            {"bench-fleet-run", "bench-substrate-op"}
+            {"bench-fleet-run", "bench-substrate-op", "bench-service-soak"}
 
     def test_injected_slowdown_fails(self, tmp_path):
         # The committed/fresh pair the BENCH_INJECT_SLOWDOWN=1.5 knob
@@ -185,11 +186,14 @@ class TestBenchGate:
         for suite in ("fleet", "substrate"):
             _write_baseline(committed, suite, {"run": _bench(10.0)})
             _write_baseline(fresh, suite, {"run": _bench(15.0)})
-        report = run_gate(str(committed), str(fresh), tolerance=0.30)
+        suites = ("fleet", "substrate")
+        report = run_gate(str(committed), str(fresh), tolerance=0.30,
+                          suites=suites)
         assert not report.ok
         assert len(report.failed) == 2
         assert report.failed[0].max_deviation == pytest.approx(0.5)
-        assert run_gate(str(committed), str(fresh), tolerance=0.60).ok
+        assert run_gate(str(committed), str(fresh), tolerance=0.60,
+                        suites=suites).ok
 
     def test_faster_never_fails(self, tmp_path):
         committed, fresh = tmp_path / "a", tmp_path / "b"
@@ -197,7 +201,8 @@ class TestBenchGate:
         for suite in ("fleet", "substrate"):
             _write_baseline(committed, suite, {"run": _bench(10.0)})
             _write_baseline(fresh, suite, {"run": _bench(2.0)})
-        assert run_gate(str(committed), str(fresh)).ok
+        assert run_gate(str(committed), str(fresh),
+                        suites=("fleet", "substrate")).ok
 
     def test_counter_drift_fails_exactly(self, tmp_path):
         committed, fresh = tmp_path / "a", tmp_path / "b"
@@ -239,17 +244,18 @@ class TestBenchGate:
         for suite in ("fleet", "substrate"):
             _write_baseline(committed, suite, {"run": _bench(10.0)})
             _write_baseline(fresh, suite, {"run": _bench(15.0)})
+        suite_args = ["--suites", "fleet", "substrate"]
         assert bench_gate_main(["--committed", str(committed),
                                 "--fresh", str(fresh),
-                                "--tolerance", "0.60"]) == 0
+                                "--tolerance", "0.60"] + suite_args) == 0
         assert bench_gate_main(["--committed", str(committed),
-                                "--fresh", str(fresh)]) == 1
+                                "--fresh", str(fresh)] + suite_args) == 1
         assert bench_gate_main(["--committed", str(tmp_path / "nope"),
-                                "--fresh", str(fresh)]) == 2
+                                "--fresh", str(fresh)] + suite_args) == 2
         report_path = tmp_path / "report.json"
         bench_gate_main(["--committed", str(committed),
                          "--fresh", str(fresh),
-                         "--json", str(report_path)])
+                         "--json", str(report_path)] + suite_args)
         payload = json.loads(report_path.read_text())
         assert payload["summary"]["failed"] == 2
         capsys.readouterr()
@@ -258,7 +264,7 @@ class TestBenchGate:
 def test_committed_baselines_are_loadable():
     """The repo-root BENCH_*.json must always parse and validate."""
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    for suite in ("fleet", "substrate"):
+    for suite in ("fleet", "substrate", "service"):
         payload = load_baseline(root, suite)
         assert payload["suite"] == suite
         for entry in payload["benches"].values():

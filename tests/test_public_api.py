@@ -48,7 +48,7 @@ def test_subpackages_importable():
     import importlib
     for package in ("core", "dot11", "security", "netproto", "phy", "sim",
                     "mac", "ble", "energy", "testbed", "scenarios",
-                    "experiments", "fleet", "obs"):
+                    "experiments", "fleet", "obs", "service"):
         module = importlib.import_module(f"repro.{package}")
         assert module.__doc__, f"repro.{package} lacks a docstring"
 

@@ -1,0 +1,611 @@
+"""Tests for the always-on gateway ingest service (repro.service).
+
+The load-bearing guarantees, each pinned here:
+
+* the byte-offset fast path in :mod:`repro.service.ingest` agrees with
+  the full ``parse_frame``/``decode_beacon`` stack on every frame the
+  full stack accepts, and rejects (never mis-decodes) everything else;
+* bounded queues apply their declared backpressure policy and count
+  every drop and every blocked put;
+* per-tenant aggregates merge in stream order with exact counters;
+* the service checkpointer rotates generations durably, falls back
+  past corruption, and refuses foreign (different tenant split) dirs;
+* a SIGKILLed decode worker changes nothing: resubmitted batches merge
+  in order and the final aggregates are *bit-identical* to a clean run;
+* ``stop()`` drains everything accepted before returning.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import struct
+import threading
+
+import pytest
+
+from repro.core.codec import decode_beacon, encode_beacon
+from repro.core.payload import (
+    SensorKind,
+    SensorReading,
+    WileFlags,
+    WileMessage,
+)
+from repro.dot11.elements import VendorSpecific
+from repro.dot11.parser import ParseError, parse_frame
+from repro.fleet.shards import CheckpointMismatchError
+from repro.obs.metrics import METRICS
+from repro.service import (
+    BackpressurePolicy,
+    BeaconPayload,
+    BoundedPayloadQueue,
+    GatewayService,
+    IngestError,
+    QueueClosed,
+    ServiceCheckpointer,
+    ServiceConfig,
+    decode_batch,
+    extract_payload,
+    generate_stream,
+    load_stream,
+    record_stream,
+    replay,
+    tenant_of,
+)
+from repro.service.tenants import DeviceChain, TenantAggregate, TenantError
+
+
+# ---------------------------------------------------------------------------
+# queues
+
+
+class TestBoundedPayloadQueue:
+    def test_drop_oldest_evicts_and_counts(self):
+        async def scenario():
+            queue = BoundedPayloadQueue(3, BackpressurePolicy.DROP_OLDEST)
+            for item in range(5):
+                await queue.put(item)
+            batch = await queue.get_batch(10)
+            return queue, batch
+
+        queue, batch = asyncio.run(scenario())
+        assert batch == [2, 3, 4]
+        assert queue.dropped_oldest == 2
+        assert queue.accepted == 5
+        assert queue.blocked_puts == 0
+
+    def test_block_policy_waits_for_consumer(self):
+        async def scenario():
+            queue = BoundedPayloadQueue(2, BackpressurePolicy.BLOCK)
+            drained = []
+
+            async def producer():
+                await queue.put_many(list(range(6)))
+
+            async def consumer():
+                while len(drained) < 6:
+                    drained.extend(await queue.get_batch(2))
+            await asyncio.gather(producer(), consumer())
+            return queue, drained
+
+        queue, drained = asyncio.run(scenario())
+        assert drained == list(range(6))
+        assert queue.dropped_oldest == 0
+        assert queue.blocked_puts >= 1
+
+    def test_put_after_close_raises(self):
+        async def scenario():
+            queue = BoundedPayloadQueue(2)
+            await queue.put("a")
+            await queue.close()
+            with pytest.raises(QueueClosed):
+                await queue.put("b")
+            # queued items stay drainable after close
+            return await queue.get_batch(10)
+
+        assert asyncio.run(scenario()) == ["a"]
+
+    def test_close_releases_blocked_producer(self):
+        async def scenario():
+            queue = BoundedPayloadQueue(1, BackpressurePolicy.BLOCK)
+            await queue.put("a")
+
+            async def producer():
+                with pytest.raises(QueueClosed):
+                    await queue.put("b")
+            task = asyncio.ensure_future(producer())
+            await asyncio.sleep(0.01)
+            await queue.close()
+            await task
+
+        asyncio.run(scenario())
+
+    def test_get_batch_flush_timeout_returns_empty(self):
+        async def scenario():
+            queue = BoundedPayloadQueue(2)
+            return await queue.get_batch(10, flush_after_s=0.01)
+
+        assert asyncio.run(scenario()) == []
+
+    def test_policy_parse(self):
+        assert BackpressurePolicy.parse("block") is BackpressurePolicy.BLOCK
+        assert (BackpressurePolicy.parse("drop-oldest")
+                is BackpressurePolicy.DROP_OLDEST)
+        with pytest.raises(ValueError):
+            BackpressurePolicy.parse("drop-newest")
+
+
+# ---------------------------------------------------------------------------
+# ingest fast path vs the full parser
+
+
+def _wire(message: WileMessage, sequence: int = 0) -> bytes:
+    return encode_beacon(message, sequence=sequence).to_bytes(with_fcs=True)
+
+
+class TestIngestDifferential:
+    def test_matches_full_parser_on_generated_stream(self):
+        wires = generate_stream(400, device_count=16, seed=11,
+                                encrypted_fraction=0.2,
+                                duplicate_fraction=0.05, gap_fraction=0.1)
+        for wire in wires:
+            payload = extract_payload(wire)
+            beacon = parse_frame(wire)
+            if payload.encrypted:
+                vendor = next(element for element in beacon.elements
+                              if isinstance(element, VendorSpecific))
+                _, device_id, sequence, _, flags = struct.unpack_from(
+                    "<BIHBB", vendor.data)
+                assert (device_id, sequence) == (payload.device_id,
+                                                 payload.sequence)
+                assert flags & 0x01
+                assert payload.readings == ()
+            else:
+                message = decode_beacon(beacon)
+                assert message.device_id == payload.device_id
+                assert message.sequence == payload.sequence
+                assert int(message.message_type) == payload.message_type
+                full = [(int(reading.kind), reading.value)
+                        for reading in message.readings
+                        if not isinstance(reading.value, bytes)]
+                assert full == list(payload.readings)
+
+    def test_all_flag_shapes(self):
+        cases = [
+            WileMessage(device_id=0x00020005, sequence=9,
+                        readings=(SensorReading(SensorKind.TEMPERATURE_C,
+                                                21.5),
+                                  SensorReading(SensorKind.HUMIDITY_PCT,
+                                                55.25),
+                                  SensorReading(SensorKind.PRESSURE_PA,
+                                                101325.0),
+                                  SensorReading(SensorKind.COUNTER, 7.0))),
+            WileMessage(device_id=0x00020005, sequence=10,
+                        flags=WileFlags.RX_WINDOW, rx_window_ms=20,
+                        readings=(SensorReading(SensorKind.BATTERY_MV,
+                                                2987.0),)),
+            WileMessage(device_id=0x00020005, sequence=11,
+                        readings=(SensorReading(SensorKind.RAW, b"\x01\x02"),
+                                  SensorReading(SensorKind.BATTERY_MV,
+                                                3001.0))),
+            WileMessage(device_id=0x00020005, sequence=12,
+                        flags=WileFlags.FRAGMENT, fragment_index=0,
+                        fragment_total=2, raw_body=b"x" * 30),
+        ]
+        for message in cases:
+            payload = extract_payload(_wire(message))
+            assert payload.device_id == message.device_id
+            assert payload.sequence == message.sequence
+            assert payload.fragment == bool(message.flags
+                                            & WileFlags.FRAGMENT)
+            full = decode_beacon(parse_frame(_wire(message)))
+            numeric = [(int(reading.kind), reading.value)
+                       for reading in full.readings
+                       if not isinstance(reading.value, bytes)]
+            assert numeric == list(payload.readings)
+
+    def test_fcs_corruption_rejected_by_both(self):
+        wire = bytearray(_wire(WileMessage(
+            device_id=7, sequence=1,
+            readings=(SensorReading(SensorKind.BATTERY_MV, 3000.0),))))
+        wire[30] ^= 0x40
+        with pytest.raises(IngestError):
+            extract_payload(bytes(wire))
+        with pytest.raises(ParseError):
+            parse_frame(bytes(wire))
+
+    def test_message_crc_corruption_rejected(self):
+        wires = generate_stream(50, seed=13, corrupt_fraction=1.0,
+                                encrypted_fraction=0.0)
+        rejected = 0
+        for wire in wires:
+            # FCS was re-sealed by the corruptor, so the frame parses…
+            parse_frame(wire)
+            # …but the message CRC (or structure) must fail.
+            try:
+                extract_payload(wire)
+            except IngestError:
+                rejected += 1
+        assert rejected == len(wires)
+
+    def test_non_beacon_and_truncated_rejected(self):
+        with pytest.raises(IngestError):
+            extract_payload(b"\x00" * 10)
+        wire = _wire(WileMessage(device_id=7, sequence=1))
+        with pytest.raises(IngestError):
+            extract_payload(b"\x48" + wire[1:])  # data frame type bits
+        with pytest.raises(IngestError):
+            extract_payload(wire[:40])
+
+    def test_decode_batch_counts_errors(self):
+        wires = generate_stream(100, seed=5, corrupt_fraction=0.0)
+        states, errors = decode_batch(wires + [b"junk"])
+        assert errors == 1
+        assert sum(TenantAggregate.from_state(state).payloads
+                   for state in states.values()) == 100
+
+
+# ---------------------------------------------------------------------------
+# tenants
+
+
+class TestTenantAggregate:
+    def _payload(self, device_id, sequence, size=40, encrypted=False,
+                 fragment=False, readings=((1, 20.0),)):
+        return BeaconPayload(device_id=device_id, sequence=sequence,
+                             message_type=1, size=size, encrypted=encrypted,
+                             fragment=fragment,
+                             readings=() if encrypted or fragment
+                             else tuple(readings))
+
+    def test_tenant_of_uses_high_bits(self):
+        assert tenant_of(0x00030007) == 3
+        assert tenant_of(0x00030007, tenant_bits=8) == 0x300
+        assert tenant_of(42) == 0
+
+    def test_sequence_gaps_duplicates_and_wraparound(self):
+        aggregate = TenantAggregate(tenant_id=0)
+        for sequence in (1, 2, 2, 5, 0xFFFF, 1):
+            aggregate.observe(self._payload(9, sequence))
+        chain = aggregate.devices[9]
+        # 2->2 duplicate; 2->5 misses 3,4; 5->0xFFFF misses 65529;
+        # 0xFFFF->1 wraps, missing 0.
+        assert chain.duplicates == 1
+        assert chain.missed == 2 + (0xFFFF - 5 - 1) + 1
+        assert chain.received == 6
+        assert aggregate.payloads == 6
+
+    def test_merge_in_stream_order_matches_sequential(self):
+        payloads = [self._payload(device_id, sequence % 7,
+                                  size=20 + sequence % 3 * 16,
+                                  readings=((1, float(sequence)),
+                                            (3, 3000.0 + sequence)))
+                    for sequence in range(60)
+                    for device_id in (1, 2)]
+        sequential = TenantAggregate(tenant_id=0)
+        for payload in payloads:
+            sequential.observe(payload)
+        # non-overlapping split, merged strictly in stream order
+        def batched(batch_size):
+            merged = TenantAggregate(tenant_id=0)
+            for start in range(0, len(payloads), batch_size):
+                part = TenantAggregate(tenant_id=0)
+                for payload in payloads[start:start + batch_size]:
+                    part.observe(payload)
+                merged.merge(part)
+            return merged
+
+        merged = batched(37)
+        merged_state = merged.to_state()
+        sequential_state = sequential.to_state()
+        # Counters, histograms and sequence chains are exact…
+        for key in ("payloads", "readings", "encrypted", "fragments",
+                    "devices", "size_histogram"):
+            assert merged_state[key] == sequential_state[key]
+        # …moments agree to Welford-vs-Chan rounding…
+        assert merged.payload_bytes.count == sequential.payload_bytes.count
+        assert merged.payload_bytes.mean \
+            == pytest.approx(sequential.payload_bytes.mean, rel=1e-12)
+        for kind, summary in sequential.reading_values.items():
+            assert merged.reading_values[kind].mean \
+                == pytest.approx(summary.mean, rel=1e-12)
+        # …and the same batching is *bit-identical* (the property the
+        # service's ordered merges turn into chaos-proofness).
+        assert batched(37).to_state() == merged_state
+
+    def test_state_round_trip_exact(self):
+        aggregate = TenantAggregate(tenant_id=5)
+        for sequence in range(10):
+            aggregate.observe(self._payload((5 << 16) | 3, sequence,
+                                            encrypted=sequence % 4 == 0))
+        restored = TenantAggregate.from_state(
+            json.loads(json.dumps(aggregate.to_state())))
+        assert restored.to_state() == aggregate.to_state()
+        assert restored.loss_rate == aggregate.loss_rate
+
+    def test_merge_rejects_other_tenant(self):
+        ours = TenantAggregate(tenant_id=1)
+        ours.observe(self._payload(1 << 16, 0))
+        theirs = TenantAggregate(tenant_id=2)
+        with pytest.raises(TenantError):
+            ours.merge(theirs)
+
+    def test_malformed_state_raises(self):
+        with pytest.raises(TenantError):
+            TenantAggregate.from_state({"tenant_id": 1})
+
+    def test_device_chain_merge_counts_boundary(self):
+        first = DeviceChain(first_sequence=1, last_sequence=3, received=3)
+        second = DeviceChain(first_sequence=6, last_sequence=7, received=2)
+        first.merge(second)
+        assert first.missed == 2  # 4, 5
+        assert first.received == 5
+        assert first.last_sequence == 7
+
+
+# ---------------------------------------------------------------------------
+# checkpointer
+
+
+def _snapshot(ingested=10):
+    aggregate = TenantAggregate(tenant_id=1)
+    for sequence in range(ingested):
+        aggregate.observe(BeaconPayload(
+            device_id=(1 << 16) | 2, sequence=sequence, message_type=1,
+            size=30, encrypted=False, fragment=False,
+            readings=((1, float(sequence)),)))
+    return {"ingested": ingested, "decode_errors": 0,
+            "tenants": {"1": aggregate.to_state()}}
+
+
+class TestServiceCheckpointer:
+    def test_round_trip_exact(self, tmp_path):
+        checkpointer = ServiceCheckpointer(str(tmp_path))
+        snapshot = _snapshot()
+        checkpointer.save(snapshot)
+        loaded = ServiceCheckpointer(str(tmp_path)).load()
+        assert loaded["ingested"] == 10
+        assert loaded["tenants"][1].to_state() == snapshot["tenants"]["1"]
+
+    def test_rotation_prunes_to_keep(self, tmp_path):
+        checkpointer = ServiceCheckpointer(str(tmp_path), keep_generations=3)
+        for generation in range(6):
+            checkpointer.save(_snapshot(generation + 1))
+        assert checkpointer.generations() == [3, 4, 5]
+        assert checkpointer.load()["ingested"] == 6
+
+    def test_corrupt_newest_falls_back_to_previous(self, tmp_path):
+        checkpointer = ServiceCheckpointer(str(tmp_path))
+        checkpointer.save(_snapshot(10))
+        path = checkpointer.save(_snapshot(20))
+        with open(path, "w") as handle:
+            handle.write("{ not json")
+        loaded = ServiceCheckpointer(str(tmp_path)).load()
+        assert loaded["ingested"] == 10
+        assert not os.path.exists(path)  # corrupt file deleted
+
+    def test_corrupt_current_pointer_recovers(self, tmp_path):
+        checkpointer = ServiceCheckpointer(str(tmp_path))
+        checkpointer.save(_snapshot(30))
+        with open(tmp_path / "CURRENT", "wb") as handle:
+            handle.write(b"\x00\xff")
+        assert ServiceCheckpointer(str(tmp_path)).load()["ingested"] == 30
+
+    def test_all_generations_corrupt_means_fresh_start(self, tmp_path):
+        checkpointer = ServiceCheckpointer(str(tmp_path))
+        for count in (10, 20):
+            checkpointer.save(_snapshot(count))
+        for generation in checkpointer.generations():
+            with open(tmp_path / f"checkpoint_{generation:08d}.json",
+                      "w") as handle:
+                handle.write("garbage")
+        assert ServiceCheckpointer(str(tmp_path)).load() is None
+
+    def test_foreign_tenant_split_refused_not_recomputed(self, tmp_path):
+        ServiceCheckpointer(str(tmp_path), tenant_bits=16).save(_snapshot())
+        with pytest.raises(CheckpointMismatchError) as excinfo:
+            ServiceCheckpointer(str(tmp_path), tenant_bits=8).load()
+        assert "tenant_bits" in str(excinfo.value)
+
+    def test_concurrent_rotation_is_safe(self, tmp_path):
+        checkpointer = ServiceCheckpointer(str(tmp_path), keep_generations=4)
+        errors = []
+
+        def writer(worker):
+            try:
+                for iteration in range(8):
+                    checkpointer.save(_snapshot(worker * 100 + iteration))
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+        threads = [threading.Thread(target=writer, args=(worker,))
+                   for worker in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        generations = checkpointer.generations()
+        assert len(generations) == 4
+        assert generations[-1] == 31
+        assert ServiceCheckpointer(str(tmp_path)).load() is not None
+
+    def test_no_tmp_litter(self, tmp_path):
+        checkpointer = ServiceCheckpointer(str(tmp_path))
+        checkpointer.save(_snapshot())
+        assert not [name for name in os.listdir(tmp_path)
+                    if name.endswith(".tmp")]
+
+
+# ---------------------------------------------------------------------------
+# the service end to end
+
+
+def _digest(service):
+    return {tenant_id: aggregate.to_state()
+            for tenant_id, aggregate in sorted(service.tenants.items())}
+
+
+def _run_stream(wires, **config_kwargs):
+    config_kwargs.setdefault("policy", BackpressurePolicy.BLOCK)
+    config_kwargs.setdefault("metrics_interval_s", 0.0)
+    config_kwargs.setdefault("checkpoint_interval_s", 0.0)
+
+    async def scenario():
+        service = GatewayService(ServiceConfig(**config_kwargs))
+        await service.start()
+        await replay(service, wires)
+        await service.stop()
+        return service
+
+    return asyncio.run(scenario())
+
+
+class TestGatewayService:
+    WIRES = generate_stream(8000, device_count=24, seed=21,
+                            corrupt_fraction=0.005)
+
+    def test_inline_ingest_accounts_for_every_frame(self):
+        service = _run_stream(self.WIRES, batch_size=512)
+        stats = service.stats()
+        assert stats.ingested + stats.decode_errors == len(self.WIRES)
+        assert stats.decode_errors > 0
+        assert stats.queue_depth == 0
+        assert stats.batches_merged == stats.batches_dispatched
+
+    def test_pool_matches_inline_counters(self):
+        inline = _run_stream(self.WIRES, batch_size=512)
+        pooled = _run_stream(self.WIRES, batch_size=512, workers=1)
+        assert _digest(pooled) == _digest(inline)
+
+    def test_chaos_kill_bit_identical_to_clean_run(self, tmp_path):
+        clean = _run_stream(self.WIRES, batch_size=512, workers=1)
+        chaos = _run_stream(self.WIRES, batch_size=512, workers=1,
+                            chaos_kill_batch=4, chaos_dir=str(tmp_path))
+        assert chaos.stats().rescued_batches > 0
+        assert _digest(chaos) == _digest(clean)
+
+    def test_poison_batch_falls_back_to_serial_rescue(self, tmp_path):
+        # max_retries=0: the killed batch immediately decodes in-process.
+        clean = _run_stream(self.WIRES, batch_size=512, workers=1)
+        chaos = _run_stream(self.WIRES, batch_size=512, workers=1,
+                            chaos_kill_batch=2, chaos_dir=str(tmp_path),
+                            max_retries=0)
+        assert _digest(chaos) == _digest(clean)
+
+    def test_checkpoint_resume_matches_clean_counters(self, tmp_path):
+        half = len(self.WIRES) // 2
+        directory = str(tmp_path / "ckpt")
+        _run_stream(self.WIRES[:half], checkpoint_dir=directory)
+        resumed = _run_stream(self.WIRES[half:], checkpoint_dir=directory)
+        clean = _run_stream(self.WIRES)
+        assert resumed.stats().ingested == clean.stats().ingested
+        resumed_digest, clean_digest = _digest(resumed), _digest(clean)
+        assert resumed_digest.keys() == clean_digest.keys()
+        for tenant_id in clean_digest:
+            for key in ("payloads", "readings", "encrypted", "fragments",
+                        "devices", "size_histogram"):
+                assert resumed_digest[tenant_id][key] \
+                    == clean_digest[tenant_id][key]
+
+    def test_corrupt_service_checkpoint_recovers_previous(self, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        first = _run_stream(self.WIRES[:2000], checkpoint_dir=directory)
+        checkpointer = ServiceCheckpointer(directory)
+        newest = checkpointer.generations()[-1]
+        with open(os.path.join(directory,
+                               f"checkpoint_{newest:08d}.json"),
+                  "w") as handle:
+            handle.write("{ nope")
+        # keep_generations >= 2 means an older full snapshot survives…
+        resumed = _run_stream(self.WIRES[2000:4000],
+                              checkpoint_dir=directory)
+        # …but only stop() wrote generations here (interval 0), so the
+        # only earlier generation is the final one of run 1 — identical
+        # content — making resume equivalent to the uncorrupted case.
+        assert resumed.stats().ingested >= first.stats().ingested
+
+    def test_drop_oldest_under_pressure_counts_drops(self):
+        async def scenario():
+            config = ServiceConfig(queue_capacity=64, batch_size=64,
+                                   policy=BackpressurePolicy.DROP_OLDEST,
+                                   metrics_interval_s=0.0,
+                                   checkpoint_interval_s=0.0)
+            service = GatewayService(config)
+            await service.start()
+            # one giant burst without yielding: must overflow the queue
+            await service.submit_many(self.WIRES[:4000])
+            await service.stop()
+            return service
+
+        service = asyncio.run(scenario())
+        stats = service.stats()
+        assert stats.dropped_oldest > 0
+        assert stats.ingested + stats.decode_errors \
+            == stats.queue_accepted - stats.dropped_oldest
+
+    def test_metrics_published(self):
+        METRICS.clear()
+        service = _run_stream(self.WIRES[:1000], metrics_interval_s=0.001)
+        assert METRICS.get("service_ingested_total") is not None
+        ingested = METRICS.get("service_ingested_total").value
+        assert ingested == service.stats().ingested
+        assert METRICS.get("service_queue_depth").value == 0.0
+        METRICS.clear()
+
+    def test_lifecycle_misuse_raises(self):
+        async def scenario():
+            service = GatewayService(ServiceConfig(metrics_interval_s=0.0))
+            with pytest.raises(Exception):
+                await service.submit(b"x")
+            await service.start()
+            with pytest.raises(Exception):
+                await service.start()
+            await service.stop()
+            await service.stop()  # idempotent
+            with pytest.raises(Exception):
+                await service.submit(b"x")
+
+        asyncio.run(scenario())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(workers=-1)
+        with pytest.raises(ValueError):
+            ServiceConfig(chaos_kill_batch=1, workers=0)
+
+
+# ---------------------------------------------------------------------------
+# replay files
+
+
+class TestReplayFiles:
+    def test_record_load_round_trip(self, tmp_path):
+        wires = generate_stream(200, seed=3)
+        path = str(tmp_path / "stream.bin")
+        assert record_stream(path, wires, header_extra={"seed": 3}) == 200
+        assert load_stream(path) == wires
+
+    def test_generation_is_deterministic(self):
+        assert generate_stream(100, seed=9) == generate_stream(100, seed=9)
+        assert generate_stream(100, seed=9) != generate_stream(100, seed=10)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        wires = generate_stream(20, seed=1)
+        path = str(tmp_path / "stream.bin")
+        record_stream(path, wires)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[:-10])
+        with pytest.raises(ValueError):
+            load_stream(path)
+
+    def test_not_a_stream_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.bin")
+        with open(path, "wb") as handle:
+            handle.write(b"\x00\x01\x02")
+        with pytest.raises(ValueError):
+            load_stream(path)
