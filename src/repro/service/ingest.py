@@ -86,6 +86,11 @@ _INT16 = struct.Struct("<h")
 _UINT16 = struct.Struct("<H")
 _UINT32 = struct.Struct("<I")
 _KIND_RAW = 0x7F
+# Exact value sizes per numeric kind: what the encoder emits and what
+# the full parser's struct.unpack requires. A CRC-valid TLV declaring
+# any other length is malformed — decoding it anyway would read value
+# bytes out of the CRC or the next TLV.
+_KIND_SIZES = {1: 2, 2: 2, 3: 2, 4: 4, 5: 4}
 
 
 def extract_payload(wire: bytes, check_fcs: bool = True) -> BeaconPayload:
@@ -121,7 +126,12 @@ def extract_payload(wire: bytes, check_fcs: bool = True) -> BeaconPayload:
         pos = value_end
     if blob is None:
         raise IngestError("no Wi-LE vendor IE")
-    return decode_message_blob(blob)
+    try:
+        return decode_message_blob(blob)
+    except struct.error as error:
+        # Defence in depth: the explicit length checks should make this
+        # unreachable, but a short read must reject, never escape raw.
+        raise IngestError(f"malformed message structure: {error}") from None
 
 
 def decode_message_blob(blob: bytes) -> BeaconPayload:
@@ -168,19 +178,23 @@ def _decode_readings(blob: bytes, pos: int,
         value_end = pos + 2 + length
         if value_end > end:
             raise IngestError("truncated reading TLV value")
+        if kind == _KIND_RAW:
+            pos = value_end
+            continue          # opaque bytes: metered by size only
+        expected = _KIND_SIZES.get(kind)
+        if expected is None:
+            raise IngestError(f"unknown sensor kind {kind}")
+        if length != expected:
+            raise IngestError(f"sensor kind {kind} TLV declares {length}B, "
+                              f"expected {expected}B")
         if kind == 1:        # TEMPERATURE_C: int16 centi-degrees
             value = _INT16.unpack_from(blob, pos + 2)[0] / 100.0
         elif kind == 2:      # HUMIDITY_PCT: uint16 centi-percent
             value = _UINT16.unpack_from(blob, pos + 2)[0] / 100.0
         elif kind == 3:      # BATTERY_MV
             value = float(_UINT16.unpack_from(blob, pos + 2)[0])
-        elif kind in (4, 5):  # PRESSURE_PA / COUNTER: uint32
+        else:                # PRESSURE_PA / COUNTER: uint32
             value = float(_UINT32.unpack_from(blob, pos + 2)[0])
-        elif kind == _KIND_RAW:
-            pos = value_end
-            continue          # opaque bytes: metered by size only
-        else:
-            raise IngestError(f"unknown sensor kind {kind}")
         readings.append((kind, value))
         pos = value_end
     return tuple(readings)
@@ -201,7 +215,7 @@ def decode_batch(wires: Sequence[bytes],
     for wire in wires:
         try:
             payload = extract_payload(wire)
-        except IngestError:
+        except (IngestError, struct.error):
             errors += 1
             continue
         tenant_id = payload.device_id >> tenant_bits

@@ -28,7 +28,19 @@ from typing import Sequence
 
 
 class QueueClosed(RuntimeError):
-    """Raised when putting into a queue that is closed for intake."""
+    """Raised when putting into a queue that is closed for intake.
+
+    ``admitted`` is how many items of the *offending call* were already
+    accepted before the close was observed. It is only ever non-zero
+    for :meth:`BoundedPayloadQueue.put_many`, which can block mid-chunk
+    under the BLOCK policy and be interrupted by a close — a caller
+    that retries after this error must skip the first ``admitted``
+    items or it double-ingests them.
+    """
+
+    def __init__(self, message: str, admitted: int = 0) -> None:
+        super().__init__(message)
+        self.admitted = admitted
 
 
 class BackpressurePolicy(enum.Enum):
@@ -94,20 +106,33 @@ class BoundedPayloadQueue:
             self._admit(item)
             self._condition.notify_all()
 
-    async def put_many(self, items: Sequence) -> None:
+    async def put_many(self, items: Sequence) -> int:
         """Enqueue a chunk under one lock round — the replay fast path.
 
         Identical policy semantics to per-item :meth:`put`; under
         ``block`` the call suspends whenever the queue fills mid-chunk.
+        Returns the number of items admitted (``len(items)`` on
+        success). Admission is **not** all-or-nothing: a close that
+        lands while a mid-chunk put is blocked raises
+        :class:`QueueClosed` with its ``admitted`` attribute set to the
+        prefix length already accepted (those items stay drainable).
         """
+        admitted = 0
         async with self._condition:
-            for item in items:
-                if len(self._items) >= self.capacity \
-                        and self.policy is BackpressurePolicy.BLOCK:
-                    self._condition.notify_all()  # wake the consumer
-                    await self._wait_for_room()
-                self._admit(item)
-            self._condition.notify_all()
+            try:
+                for item in items:
+                    if len(self._items) >= self.capacity \
+                            and self.policy is BackpressurePolicy.BLOCK:
+                        self._condition.notify_all()  # wake the consumer
+                        await self._wait_for_room()
+                    self._admit(item)
+                    admitted += 1
+            except QueueClosed as error:
+                error.admitted = admitted
+                raise
+            finally:
+                self._condition.notify_all()
+        return admitted
 
     async def _wait_for_room(self) -> None:
         """BLOCK-policy wait (no-op under DROP_OLDEST); caller holds

@@ -30,7 +30,14 @@ Correctness properties the tests lean on:
   down — nothing accepted is ever dropped on the way out.
 * **Checkpoint snapshots are consistent.** State is serialised
   synchronously on the event loop (between merges), then written from
-  a thread so the fsync never stalls ingest.
+  a dedicated single-thread executor so the fsync never stalls ingest
+  — and so writes are strictly ordered: a periodic save still in
+  flight when ``stop()`` cancels its loop cannot land *after* (and
+  thereby shadow) the final post-drain checkpoint.
+* **Pump failures are loud.** An unexpected exception in the decode/
+  merge pump closes intake (so producers fail fast instead of feeding
+  a dead pipeline), bumps ``service_pump_failures_total``, and is
+  re-raised from :meth:`GatewayService.stop` with the original cause.
 """
 
 from __future__ import annotations
@@ -38,7 +45,7 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -131,6 +138,11 @@ class GatewayService:
         self._stopped = False
         self._tasks: list[asyncio.Task] = []
         self._executor: ProcessPoolExecutor | None = None
+        #: Set when the pump dies unexpectedly; poisons intake.
+        self._pump_error: BaseException | None = None
+        #: All checkpoint saves go through this one thread so they are
+        #: strictly ordered (periodic saves never shadow the final one).
+        self._checkpoint_executor: ThreadPoolExecutor | None = None
         # Pool bookkeeping: batches stay in _pending (with their
         # payloads) until merged, so a broken pool can always resubmit.
         self._pending: "OrderedDict[int, tuple[list, asyncio.Future]]" = \
@@ -155,6 +167,9 @@ class GatewayService:
             raise ServiceError("service already started")
         self._started = True
         self._restore_checkpoint()
+        if self.checkpointer is not None:
+            self._checkpoint_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="service-checkpoint")
         if self.config.workers > 0:
             self._executor = self._new_executor()
         self._tasks.append(asyncio.ensure_future(self._pump()))
@@ -174,7 +189,11 @@ class GatewayService:
         self._stopped = True
         await self.queue.close()
         pump = self._tasks[0]
-        await pump
+        pump_error: BaseException | None = None
+        try:
+            await pump
+        except Exception as error:
+            pump_error = error
         for task in self._tasks[1:]:
             task.cancel()
         for task in self._tasks[1:]:
@@ -184,8 +203,14 @@ class GatewayService:
                 pass
         if self.checkpointer is not None:
             await self._write_checkpoint()
+            self._checkpoint_executor.shutdown(wait=True)
+            self._checkpoint_executor = None
         self._publish_metrics()
         self._shutdown_executor()
+        if pump_error is not None:
+            raise ServiceError(
+                "gateway pump failed; state merged before the failure "
+                "was checkpointed") from pump_error
 
     @property
     def stopped(self) -> bool:
@@ -206,20 +231,41 @@ class GatewayService:
         self._check_intake()
         await self.queue.put(wire)
 
-    async def submit_many(self, wires: Sequence[bytes]) -> None:
-        """Offer a chunk of raw frames (one queue lock round)."""
+    async def submit_many(self, wires: Sequence[bytes]) -> int:
+        """Offer a chunk of raw frames (one queue lock round).
+
+        Returns the number admitted (== ``len(wires)``). If the queue
+        closes mid-chunk the raised :class:`QueueClosed` carries
+        ``admitted``, the count already accepted — a retry must skip
+        that prefix or it double-ingests it.
+        """
         self._check_intake()
-        await self.queue.put_many(wires)
+        return await self.queue.put_many(wires)
 
     def _check_intake(self) -> None:
         if not self._started:
             raise ServiceError("submit before start()")
+        if self._pump_error is not None:
+            raise ServiceError("gateway pump failed; intake is closed"
+                               ) from self._pump_error
         if self._stopped:
             raise ServiceError("submit after stop()")
 
     # -- decode fan-out ------------------------------------------------------
 
     async def _pump(self) -> None:
+        try:
+            await self._pump_inner()
+        except Exception as error:
+            # A dead pump must not be silent while intake keeps
+            # accepting: poison intake, count it, and re-raise so
+            # stop() surfaces the original cause.
+            self._pump_error = error
+            METRICS.counter("service_pump_failures_total").inc()
+            await self.queue.close()
+            raise
+
+    async def _pump_inner(self) -> None:
         while True:
             batch = await self.queue.get_batch(self.config.batch_size,
                                                self.config.flush_after_s)
@@ -342,7 +388,8 @@ class GatewayService:
     async def _write_checkpoint(self) -> None:
         snapshot = self._snapshot_state()
         loop = asyncio.get_running_loop()
-        await loop.run_in_executor(None, self.checkpointer.save, snapshot)
+        await loop.run_in_executor(self._checkpoint_executor,
+                                   self.checkpointer.save, snapshot)
         self._checkpoints_written += 1
         self._last_checkpoint_monotonic = time.monotonic()
 

@@ -22,17 +22,24 @@ import json
 import os
 import struct
 import threading
+import time
 
 import pytest
 
-from repro.core.codec import decode_beacon, encode_beacon
+from repro.core.codec import decode_beacon, device_mac, encode_beacon
 from repro.core.payload import (
+    WILE_VENDOR_TYPE,
+    WILE_VERSION,
+    PayloadError,
     SensorKind,
     SensorReading,
     WileFlags,
     WileMessage,
+    crc16_ccitt,
 )
+from repro.dot11 import Beacon, Ssid
 from repro.dot11.elements import VendorSpecific
+from repro.dot11.mac import WILE_OUI
 from repro.dot11.parser import ParseError, parse_frame
 from repro.fleet.shards import CheckpointMismatchError
 from repro.obs.metrics import METRICS
@@ -53,6 +60,8 @@ from repro.service import (
     replay,
     tenant_of,
 )
+from repro.service.ingest import decode_message_blob
+from repro.service.server import ServiceError
 from repro.service.tenants import DeviceChain, TenantAggregate, TenantError
 
 
@@ -120,6 +129,35 @@ class TestBoundedPayloadQueue:
             await task
 
         asyncio.run(scenario())
+
+    def test_put_many_returns_admitted_count(self):
+        async def scenario():
+            queue = BoundedPayloadQueue(8)
+            return await queue.put_many([1, 2, 3])
+
+        assert asyncio.run(scenario()) == 3
+
+    def test_put_many_close_mid_chunk_reports_admitted_prefix(self):
+        async def scenario():
+            queue = BoundedPayloadQueue(2, BackpressurePolicy.BLOCK)
+
+            async def producer():
+                with pytest.raises(QueueClosed) as excinfo:
+                    await queue.put_many(list(range(5)))
+                return excinfo.value.admitted
+
+            task = asyncio.ensure_future(producer())
+            await asyncio.sleep(0.01)       # producer blocks after 2 admits
+            await queue.close()
+            admitted = await task
+            return admitted, await queue.get_batch(10)
+
+        admitted, drained = asyncio.run(scenario())
+        # the caller can tell exactly which prefix went in (and would be
+        # double-ingested by a naive full retry)…
+        assert admitted == 2
+        # …and that prefix stays drainable.
+        assert drained == [0, 1]
 
     def test_get_batch_flush_timeout_returns_empty(self):
         async def scenario():
@@ -244,6 +282,55 @@ class TestIngestDifferential:
         assert errors == 1
         assert sum(TenantAggregate.from_state(state).payloads
                    for state in states.values()) == 100
+
+    @staticmethod
+    def _sealed_blob(tlvs: bytes) -> bytes:
+        """A message blob with a *recomputed* CRC16 — only the TLV
+        structure inside is wrong, so CRC checks alone cannot reject."""
+        body = struct.pack("<BIHBB", WILE_VERSION, 0x00020005, 3, 1, 0) + tlvs
+        return body + struct.pack("<H", crc16_ccitt(body))
+
+    @staticmethod
+    def _frame_with_blob(blob: bytes) -> bytes:
+        mac = device_mac(0x00020005)
+        return Beacon(source=mac, bssid=mac,
+                      elements=(Ssid.hidden(),
+                                VendorSpecific(WILE_OUI, WILE_VENDOR_TYPE,
+                                               blob))).to_bytes(with_fcs=True)
+
+    def test_length_mismatched_tlvs_rejected_by_both(self):
+        cases = [
+            b"\x01\x00",                   # TEMPERATURE_C declaring 0B: the
+                                           # value would be read from the CRC
+            b"\x01\x04\x00\x00\x00\x00",   # TEMPERATURE_C declaring 4B
+            b"\x03\x01\x00",               # BATTERY_MV declaring 1B
+            b"\x04\x02\x00\x00",           # PRESSURE_PA declaring 2B: a 4B
+                                           # read would swallow the CRC bytes
+            b"\x05\x01\x00",               # COUNTER declaring 1B at the blob
+                                           # end: a 4B read runs off the blob
+        ]
+        for tlvs in cases:
+            blob = self._sealed_blob(tlvs)
+            # the fast path must reject cleanly (never a raw struct.error,
+            # never a mis-decoded value)…
+            with pytest.raises(IngestError):
+                decode_message_blob(blob)
+            with pytest.raises(IngestError):
+                extract_payload(self._frame_with_blob(blob))
+            # …matching the full parser, which accepts no such message.
+            with pytest.raises((PayloadError, struct.error)):
+                WileMessage.decode(blob)
+
+    def test_decode_batch_survives_length_mismatched_tlv(self):
+        good = _wire(WileMessage(
+            device_id=0x00020005, sequence=1,
+            readings=(SensorReading(SensorKind.COUNTER, 4.0),)))
+        # FCS and CRC16 both valid; only the TLV length lies.
+        bad = self._frame_with_blob(self._sealed_blob(b"\x05\x01\x00"))
+        states, errors = decode_batch([good, bad, good])
+        assert errors == 1
+        assert sum(TenantAggregate.from_state(state).payloads
+                   for state in states.values()) == 2
 
 
 # ---------------------------------------------------------------------------
@@ -552,6 +639,74 @@ class TestGatewayService:
         assert ingested == service.stats().ingested
         assert METRICS.get("service_queue_depth").value == 0.0
         METRICS.clear()
+
+    def test_pump_failure_poisons_intake_and_surfaces_at_stop(
+            self, monkeypatch):
+        def boom(batch, tenant_bits):
+            raise RuntimeError("decoder exploded")
+
+        monkeypatch.setattr("repro.service.server.decode_batch", boom)
+
+        async def scenario():
+            service = GatewayService(ServiceConfig(
+                metrics_interval_s=0.0, checkpoint_interval_s=0.0,
+                flush_after_s=0.005))
+            await service.start()
+            await service.submit(self.WIRES[0])
+            for _ in range(200):            # wait for the pump to hit it
+                if service._pump_error is not None:
+                    break
+                await asyncio.sleep(0.005)
+            # intake is poisoned immediately, not only at stop()…
+            with pytest.raises(ServiceError):
+                await service.submit(self.WIRES[1])
+            # …and stop() re-raises with the original cause chained.
+            with pytest.raises(ServiceError) as excinfo:
+                await service.stop()
+            return excinfo.value
+
+        error = asyncio.run(scenario())
+        assert isinstance(error.__cause__, RuntimeError)
+
+    def test_checkpoint_writes_are_serialized(self, tmp_path):
+        # Concurrent saves (a periodic one racing the final post-drain
+        # one) must never overlap: overlap lets a stale snapshot take a
+        # higher generation and shadow the drained state after restart.
+        async def scenario():
+            service = GatewayService(ServiceConfig(
+                checkpoint_dir=str(tmp_path / "ckpt"),
+                metrics_interval_s=0.0, checkpoint_interval_s=0.0))
+            await service.start()
+            real_save = service.checkpointer.save
+            active = peak = 0
+
+            def slow_save(snapshot):
+                nonlocal active, peak
+                active += 1
+                peak = max(peak, active)
+                time.sleep(0.02)
+                try:
+                    return real_save(snapshot)
+                finally:
+                    active -= 1
+
+            service.checkpointer.save = slow_save
+            await asyncio.gather(service._write_checkpoint(),
+                                 service._write_checkpoint())
+            service.checkpointer.save = real_save
+            await service.stop()
+            return peak
+
+        assert asyncio.run(scenario()) == 1
+
+    def test_final_checkpoint_reflects_full_drain(self, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        service = _run_stream(self.WIRES[:2000], checkpoint_dir=directory,
+                              checkpoint_interval_s=0.001)
+        # CURRENT must point at the post-drain snapshot, not a stale
+        # periodic one that lost the race.
+        loaded = ServiceCheckpointer(directory).load()
+        assert loaded["ingested"] == service.stats().ingested
 
     def test_lifecycle_misuse_raises(self):
         async def scenario():
