@@ -6,14 +6,19 @@ Figure 3b (Wi-LE): sleep | shorter MC/WiFi init | Tx | sleep.
 """
 
 import pytest
-from conftest import once
+from conftest import once, record_baseline, timed_once
 
 from repro.energy import calibration as cal
 from repro.experiments.figure3 import run_figure3
 
 
 def test_figure3(benchmark):
-    report = once(benchmark, run_figure3)
+    report, seconds = timed_once(benchmark, run_figure3)
+    record_baseline("scenarios", "scenarios_figure3", seconds,
+                    counters={"wifi_samples": report.wifi_samples,
+                              "wile_samples": report.wile_samples,
+                              "wifi_phases": len(report.wifi_phases),
+                              "wile_phases": len(report.wile_phases)})
     print()
     print(report.render())
 

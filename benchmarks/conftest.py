@@ -17,7 +17,11 @@ stored both raw (``seconds``) and machine-normalised (``work_units`` =
 seconds / :func:`calibration_seconds`, where the calibration is a
 fixed pure-Python workload timed on the same host in the same session),
 so the regression gate (``python -m repro.check.bench``) can compare a
-CI runner against a baseline recorded on different hardware.
+CI runner against a baseline recorded on different hardware. Each
+refresh also appends a ``history`` entry (git SHA + per-bench timings,
+most recent last, capped at :data:`HISTORY_LIMIT`) so a baseline file
+doubles as a drift trail; the gate always compares against the latest
+entry.
 
 Refresh the committed baselines with::
 
@@ -31,6 +35,7 @@ Never set it outside that test.
 
 import json
 import os
+import subprocess
 import time
 
 import pytest
@@ -140,21 +145,61 @@ def record_baseline(suite, name, seconds, counters=None):
     }
 
 
+#: Most recent history entries kept per baseline file.
+HISTORY_LIMIT = 50
+
+
+def _git_sha() -> str:
+    """The current commit's short SHA, or ``"unknown"`` outside git."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            check=True).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def _prior_history(path: str) -> list:
+    """The ``history`` list of an existing baseline file, else empty."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            prior = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return []
+    history = prior.get("history")
+    return list(history) if isinstance(history, list) else []
+
+
 def pytest_sessionfinish(session, exitstatus):
     out_dir = os.environ.get("BENCH_OUT_DIR")
     if not out_dir or not _RECORDS:
         return
     os.makedirs(out_dir, exist_ok=True)
     for suite in sorted(_RECORDS):
+        benches = {name: _RECORDS[suite][name]
+                   for name in sorted(_RECORDS[suite])}
+        path = os.path.join(out_dir, f"BENCH_{suite}.json")
+        # Each refresh appends a timing snapshot (no counters: those are
+        # pinned at the top level) so the gate compares against the most
+        # recent recording and the file keeps a drift trail.
+        history = _prior_history(path)
+        history.append({
+            "sha": _git_sha(),
+            "calibration_seconds": float(f"{calibration_seconds():.6g}"),
+            "benches": {name: {"seconds": entry["seconds"],
+                               "work_units": entry["work_units"]}
+                        for name, entry in benches.items()},
+        })
         payload = {
-            "schema": 1,
+            "schema": 2,
             "suite": suite,
             "calibration_seconds": float(f"{calibration_seconds():.6g}"),
-            "benches": {name: _RECORDS[suite][name]
-                        for name in sorted(_RECORDS[suite])},
+            "benches": benches,
+            "history": history[-HISTORY_LIMIT:],
         }
-        path = os.path.join(out_dir, f"BENCH_{suite}.json")
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"\nbench baseline written to {path}")
+        print(f"\nbench baseline written to {path} "
+              f"({len(payload['history'])} history entries)")

@@ -183,24 +183,36 @@ def oracle(name: str, kind: str, description: str,
 
 def all_oracles() -> list[Oracle]:
     """Every registered oracle (importing the oracle modules on demand)."""
-    from . import analytic, differential, metamorphic  # noqa: F401
+    from . import analytic, differential, metamorphic, mobility  # noqa: F401
     return list(_REGISTRY)
 
 
 def oracles_for_mode(mode: str = "smoke",
                      only: Iterable[str] | None = None) -> list[Oracle]:
-    """The oracles one harness invocation will run."""
+    """The oracles one harness invocation will run.
+
+    Each ``only`` token selects either the exactly-named oracle or —
+    when the token is a family prefix — every oracle named
+    ``<token>-...`` (so ``--only mobility`` runs the whole mobility
+    family while ``--only cohort-vs-event`` still means that one
+    oracle; no registered name is a ``-``-prefix of another's).
+    """
     if mode not in ("smoke", "full"):
         raise CheckError(f"unknown mode {mode!r}; use 'smoke' or 'full'")
     chosen = [o for o in all_oracles() if mode == "full" or o.smoke]
     if only is not None:
-        wanted = set(only)
-        unknown = wanted - {o.name for o in chosen}
+        def matches(name: str, token: str) -> bool:
+            return name == token or name.startswith(token + "-")
+
+        tokens = list(only)
+        unknown = [token for token in tokens
+                   if not any(matches(o.name, token) for o in chosen)]
         if unknown:
             raise CheckError(
-                f"unknown oracle(s) {sorted(unknown)}; "
+                f"unknown oracle(s) {sorted(set(unknown))}; "
                 f"available: {sorted(o.name for o in chosen)}")
-        chosen = [o for o in chosen if o.name in wanted]
+        chosen = [o for o in chosen
+                  if any(matches(o.name, token) for token in tokens)]
     return chosen
 
 

@@ -5,8 +5,10 @@ machine-normalised *work units* (seconds divided by a pure-Python
 calibration workload timed on the same host — see
 ``benchmarks/conftest.py``) plus the exact aggregate counters. The
 repo commits one baseline per suite (``BENCH_fleet.json``,
-``BENCH_substrate.json``); this gate re-compares a fresh run against
-them::
+``BENCH_substrate.json``, ``BENCH_service.json``,
+``BENCH_scenarios.json``); this gate re-compares a fresh run against
+them — against each baseline's **latest history entry** when the file
+carries the refresh trail::
 
     BENCH_OUT_DIR=/tmp/fresh PYTHONPATH=src python -m pytest \
         benchmarks/ --benchmark-only -q
@@ -37,7 +39,7 @@ import time
 from . import CheckError, CheckReport, CheckResult
 
 #: The suites with committed baselines at the repo root.
-DEFAULT_SUITES = ("fleet", "substrate", "service")
+DEFAULT_SUITES = ("fleet", "substrate", "service", "scenarios")
 DEFAULT_TOLERANCE = 0.30
 
 
@@ -46,7 +48,15 @@ class BenchGateError(CheckError):
 
 
 def load_baseline(directory: str, suite: str) -> dict:
-    """Read and validate one ``BENCH_<suite>.json``."""
+    """Read and validate one ``BENCH_<suite>.json``.
+
+    Baselines carry a ``history`` list (one timing snapshot per
+    refresh, most recent last — see ``benchmarks/conftest.py``); the
+    latest entry's per-bench ``seconds``/``work_units`` overlay the
+    top-level values so the gate always compares against the most
+    recent recording while counters stay pinned at the top level.
+    Schema-1 files (no history) load unchanged.
+    """
     path = os.path.join(directory, f"BENCH_{suite}.json")
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -64,6 +74,24 @@ def load_baseline(directory: str, suite: str) -> dict:
         if "work_units" not in entry:
             raise BenchGateError(
                 f"baseline {path} bench {name!r} lacks 'work_units'")
+    history = payload.get("history")
+    if isinstance(history, list) and history:
+        latest = history[-1]
+        if not isinstance(latest, dict) or \
+                not isinstance(latest.get("benches"), dict):
+            raise BenchGateError(
+                f"baseline {path} has a malformed history tail")
+        for name, timing in latest["benches"].items():
+            if name not in benches:
+                continue
+            if "work_units" not in timing:
+                raise BenchGateError(
+                    f"baseline {path} history bench {name!r} lacks "
+                    f"'work_units'")
+            benches[name] = {**benches[name],
+                             "seconds": timing.get(
+                                 "seconds", benches[name].get("seconds")),
+                             "work_units": timing["work_units"]}
     return payload
 
 
@@ -142,7 +170,7 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 0.30)")
     parser.add_argument("--suites", nargs="+", default=list(DEFAULT_SUITES),
                         metavar="SUITE", help="suites to gate "
-                        "(default: fleet substrate service)")
+                        "(default: fleet substrate service scenarios)")
     parser.add_argument("--json", metavar="PATH",
                         help="write the machine-readable report here "
                         "('-' for stdout)")

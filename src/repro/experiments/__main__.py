@@ -15,7 +15,7 @@ import argparse
 import os
 import sys
 
-from ..obs import METRICS, audit_all, audit_faults, audit_fleet
+from ..obs import METRICS, audit_all, audit_faults, audit_fleet, audit_mobility
 from ..scenarios import ensure_scenario_metrics, run_all_scenarios
 from . import (
     ablations,
@@ -23,6 +23,7 @@ from . import (
     band_5ghz,
     contention,
     fleet_scale,
+    mobility,
     reliability,
     resilience,
     scheduling,
@@ -84,6 +85,7 @@ def main(argv: list[str] | None = None) -> int:
 
     fleet_points = None
     resilience_points = None
+    mobility_points = None
     if not args.quick:
         _banner("Section 6: multi-device jitter")
         print(run_multi_device().render())
@@ -112,12 +114,16 @@ def main(argv: list[str] | None = None) -> int:
         _banner("Resilience under injected faults")
         resilience_points = resilience.run_resilience(workers=args.workers)
         print(resilience.render(resilience_points))
+        _banner("Mobility: handoff tax")
+        mobility_points = mobility.run_mobility(workers=args.workers)
+        print(mobility.render(mobility_points))
 
     if args.out is not None:
         _banner(f"Artifacts -> {args.out}")
         for artifact in export_all(args.out, results,
                                    fleet_points=fleet_points,
-                                   resilience_points=resilience_points):
+                                   resilience_points=resilience_points,
+                                   mobility_points=mobility_points):
             print(f"  wrote {artifact.path} ({artifact.rows} rows)")
 
     if args.timings:
@@ -137,6 +143,9 @@ def main(argv: list[str] | None = None) -> int:
         if resilience_points is not None:
             for point in resilience_points:
                 report.merge(audit_faults(point))
+        if mobility_points is not None:
+            for point in mobility_points:
+                report.merge(audit_mobility(point))
         print(report.render())
         audit_failed = not report.ok
 

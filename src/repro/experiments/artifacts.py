@@ -146,6 +146,22 @@ def write_resilience_csv(path: str, points) -> WrittenArtifact:
     return WrittenArtifact(path, len(rows))
 
 
+def write_mobility_csv(path: str, points) -> WrittenArtifact:
+    """One row per speed x AP-density x technology cell (duck-typed
+    :class:`~repro.experiments.mobility.MobilityPoint` sequence)."""
+    if not points:
+        raise ArtifactError("mobility sweep produced no points")
+    rows = [point.to_row() for point in points]
+    with _writer(path) as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: (f"{value:.9g}"
+                                   if isinstance(value, float) else value)
+                             for key, value in row.items()})
+    return WrittenArtifact(path, len(rows))
+
+
 def write_metrics_jsonl(path: str,
                         registry: MetricsRegistry | None = None) -> WrittenArtifact:
     """One metric snapshot per line: the run's observability artifact.
@@ -165,13 +181,14 @@ def write_metrics_jsonl(path: str,
 def export_all(output_dir: str,
                results: dict[str, ScenarioResult] | None = None,
                fleet_points=None,
-               resilience_points=None) -> list[WrittenArtifact]:
+               resilience_points=None,
+               mobility_points=None) -> list[WrittenArtifact]:
     """Write the full artifact set under ``output_dir``.
 
-    ``fleet_points`` / ``resilience_points`` are the (expensive) fleet
-    density and fault-injection sweeps' outputs; callers that already
-    ran them pass them in so the artifact set gains ``fleet_scale.csv``
-    / ``resilience.csv`` without a second run.
+    ``fleet_points`` / ``resilience_points`` / ``mobility_points`` are
+    the (expensive) sweeps' outputs; callers that already ran them pass
+    them in so the artifact set gains ``fleet_scale.csv`` /
+    ``resilience.csv`` / ``mobility.csv`` without a second run.
     """
     results = results if results is not None else run_all_scenarios()
     artifacts = [
@@ -197,6 +214,9 @@ def export_all(output_dir: str,
     if resilience_points:
         artifacts.append(write_resilience_csv(
             os.path.join(output_dir, "resilience.csv"), resilience_points))
+    if mobility_points:
+        artifacts.append(write_mobility_csv(
+            os.path.join(output_dir, "mobility.csv"), mobility_points))
     # Scenario metrics recorded in pool workers died with the pool;
     # re-emit from the results so the artifact is always complete.
     ensure_scenario_metrics(results)

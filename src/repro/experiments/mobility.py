@@ -1,0 +1,331 @@
+"""Experiment: mobility — speed x AP density x technology.
+
+    python -m repro.experiments.mobility [--quick] [--audit] [--csv PATH]
+
+The paper's Figure-3 energy comparison is made standing still. This
+sweep makes the devices move: each cell walks a small population of
+devices along seeded trajectories (:mod:`repro.mobility.trajectories`)
+through a regular AP grid (:mod:`repro.mobility.grid`), evaluates AP
+selection per epoch under a handoff policy, and charges every AP change
+what that technology actually pays
+(:func:`repro.mobility.handoff.reassociation_cost`):
+
+* **Wi-LE** — connection-less beacon injection: exactly zero frames,
+  zero joules per handoff (the structural claim);
+* **WiFi-PS / WiFi-DC** — the full §3.1 re-association (20 MAC + 7
+  higher-layer frames), *replayed* through the real
+  :class:`~repro.mac.station.Station` / access-point machines, energy
+  integrated over the logged frame airtimes — not a constant;
+* **BLE** — re-advertising + connection re-establishment through the
+  real PDU codecs and the CC2541 phase model.
+
+Per-device energy/day combines the paper's per-packet and idle
+calibration with the handoff tax; outage time and delivery ratio come
+from the per-epoch coverage walk. Cells are independent and
+deterministic (blake2b stable draws keyed by the cell seed), so the
+sweep fans over the process pool bit-identically at any worker count.
+``--audit`` cross-checks the handoff-energy conservation invariants
+(:func:`repro.obs.audit.audit_mobility`) over every cell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..energy import calibration as cal
+from ..faults.plan import stable_uniform
+from ..mobility import (
+    HANDOFF_TECHNOLOGIES,
+    ApGrid,
+    HandoffPolicy,
+    MobilityConfig,
+    build_trajectory,
+    reassociation_cost,
+    walk_trajectory,
+)
+from ..obs import METRICS
+from .report import render_table
+from .runner import TIMINGS, run_grid
+
+#: Pedestrian, jogger, urban vehicle — the speed axis (m/s).
+DEFAULT_SPEEDS = (0.0, 1.4, 5.0, 15.0)
+
+#: AP grid pitch (m) — the density axis (one AP per spacing^2 cell).
+DEFAULT_SPACINGS = (30.0, 60.0, 120.0)
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True, slots=True)
+class MobilityCell:
+    """One sweep cell: everything a worker needs, picklable."""
+
+    speed_mps: float
+    ap_spacing_m: float
+    technology: str
+    model: str = "random-waypoint"
+    policy: str = "hysteresis"
+    device_count: int = 8
+    area_m: tuple[float, float] = (300.0, 300.0)
+    duration_s: float = 4.0 * 3600.0
+    interval_s: float = 600.0
+    epoch_s: float = 60.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.technology not in HANDOFF_TECHNOLOGIES:
+            raise ValueError(f"unknown technology {self.technology!r}")
+
+
+@dataclass
+class MobilityPoint:
+    """One cell's outcome: handoff accounting plus energy projection.
+
+    ``handoff_energy_j`` satisfies (and :func:`repro.obs.audit.
+    audit_mobility` verifies) ``handoff_energy_j == association_events *
+    handoff_unit_j`` exactly — and is exactly 0.0 for Wi-LE.
+    """
+
+    cell: MobilityCell
+    devices: int = 0
+    handoffs: int = 0
+    reacquisitions: int = 0
+    outage_s: float = 0.0
+    beacons_sent: int = 0
+    beacons_delivered: int = 0
+    handoff_energy_j: float = 0.0
+    handoff_unit_j: float = 0.0
+    handoff_mac_frames: int = 0
+    handoff_higher_frames: int = 0
+    handoff_latency_s: float = 0.0
+    energy_per_device_day_j: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return (f"mobility[{self.cell.technology},v={self.cell.speed_mps:g},"
+                f"ap={self.cell.ap_spacing_m:g}m,seed={self.cell.seed}]")
+
+    @property
+    def association_events(self) -> int:
+        return self.handoffs + self.reacquisitions
+
+    @property
+    def delivery_rate(self) -> float:
+        return (self.beacons_delivered / self.beacons_sent
+                if self.beacons_sent else 0.0)
+
+    @property
+    def handoffs_per_device_hour(self) -> float:
+        device_hours = self.devices * self.cell.duration_s / 3600.0
+        return self.handoffs / device_hours if device_hours else 0.0
+
+    def to_row(self) -> dict:
+        return {
+            "technology": self.cell.technology,
+            "speed_mps": self.cell.speed_mps,
+            "ap_spacing_m": self.cell.ap_spacing_m,
+            "ap_density_per_km2": 1e6 / self.cell.ap_spacing_m ** 2,
+            "model": self.cell.model,
+            "policy": self.cell.policy,
+            "device_count": self.cell.device_count,
+            "duration_s": self.cell.duration_s,
+            "seed": self.cell.seed,
+            "handoffs": self.handoffs,
+            "reacquisitions": self.reacquisitions,
+            "handoffs_per_device_hour": self.handoffs_per_device_hour,
+            "outage_s": self.outage_s,
+            "beacons_sent": self.beacons_sent,
+            "beacons_delivered": self.beacons_delivered,
+            "delivery_rate": self.delivery_rate,
+            "handoff_unit_j": self.handoff_unit_j,
+            "handoff_mac_frames": self.handoff_mac_frames,
+            "handoff_higher_frames": self.handoff_higher_frames,
+            "handoff_energy_j": self.handoff_energy_j,
+            "energy_per_device_day_j": self.energy_per_device_day_j,
+        }
+
+
+def _start_position(cell: MobilityCell, index: int) -> tuple[float, float]:
+    """Deterministic start, independent of everything but (seed, index)."""
+    return (cell.area_m[0] * stable_uniform("mobility-start", cell.seed,
+                                            index, "x"),
+            cell.area_m[1] * stable_uniform("mobility-start", cell.seed,
+                                            index, "y"))
+
+
+def run_cell(cell: MobilityCell) -> MobilityPoint:
+    """Walk one (speed, density, technology) cell. Module-level and
+    picklable-in/out, so it fans over the experiment pool unchanged."""
+    grid = ApGrid.build(cell.area_m, spacing_m=cell.ap_spacing_m)
+    config = MobilityConfig(model=cell.model, speed_mps=cell.speed_mps,
+                            epoch_s=cell.epoch_s, seed=cell.seed)
+    policy = HandoffPolicy(kind=cell.policy)
+    cost = reassociation_cost(cell.technology)
+
+    point = MobilityPoint(cell=cell, devices=cell.device_count,
+                          handoff_unit_j=cost.energy_j,
+                          handoff_mac_frames=cost.mac_frames,
+                          handoff_higher_frames=cost.higher_frames)
+    for index in range(cell.device_count):
+        trajectory = build_trajectory(config, index,
+                                      _start_position(cell, index),
+                                      cell.area_m, cell.duration_s)
+        stats = walk_trajectory(trajectory, grid, policy, cell.technology,
+                                duration_s=cell.duration_s,
+                                interval_s=cell.interval_s)
+        point.handoffs += stats.handoffs
+        point.reacquisitions += stats.reacquisitions
+        point.outage_s += stats.outage_s
+        point.beacons_sent += stats.beacons_sent
+        point.beacons_delivered += stats.beacons_delivered
+
+    # integer-events x unit-cost: the exact identity the audit rechecks.
+    point.handoff_energy_j = point.association_events * cost.energy_j
+    point.handoff_latency_s = point.association_events * cost.latency_s
+
+    # Per-device energy/day: the paper's per-packet cost for every sent
+    # beacon, the technology's idle floor, plus the handoff tax — all
+    # scaled from the simulated horizon to 24 h.
+    scale = SECONDS_PER_DAY / cell.duration_s
+    voltage = (cal.BLE_SUPPLY_VOLTAGE_V if cell.technology == "BLE"
+               else cal.SUPPLY_VOLTAGE_V)
+    active_j = point.beacons_sent * cal.PAPER_ENERGY_PER_PACKET_J[
+        cell.technology]
+    idle_j = (cal.PAPER_IDLE_CURRENT_A[cell.technology] * voltage
+              * SECONDS_PER_DAY)
+    point.energy_per_device_day_j = (
+        (active_j + point.handoff_energy_j) * scale / cell.device_count
+        + idle_j)
+    return point
+
+
+def _record_metrics(points: Sequence[MobilityPoint]) -> None:
+    """Parent-side metrics (pool workers' registries die with them)."""
+    for point in points:
+        labels = {"technology": point.cell.technology,
+                  "speed": f"{point.cell.speed_mps:g}",
+                  "spacing": f"{point.cell.ap_spacing_m:g}"}
+        METRICS.counter("mobility_handoffs_total", **labels).inc(
+            point.handoffs)
+        METRICS.counter("mobility_reacquisitions_total", **labels).inc(
+            point.reacquisitions)
+        METRICS.counter("mobility_beacons_sent_total", **labels).inc(
+            point.beacons_sent)
+        METRICS.counter("mobility_beacons_delivered_total", **labels).inc(
+            point.beacons_delivered)
+        METRICS.gauge("mobility_handoff_energy_j", **labels).set(
+            point.handoff_energy_j)
+        METRICS.gauge("mobility_energy_per_device_day_j", **labels).set(
+            point.energy_per_device_day_j)
+        METRICS.gauge("mobility_delivery_rate", **labels).set(
+            point.delivery_rate)
+
+
+def run_mobility(speeds: Sequence[float] = DEFAULT_SPEEDS,
+                 spacings: Sequence[float] = DEFAULT_SPACINGS,
+                 technologies: Sequence[str] = HANDOFF_TECHNOLOGIES,
+                 model: str = "random-waypoint",
+                 policy: str = "hysteresis",
+                 device_count: int = 8,
+                 duration_s: float = 4.0 * 3600.0,
+                 seed: int = 0,
+                 workers: int = 1) -> list[MobilityPoint]:
+    """The sweep: every (speed, AP spacing, technology) cell.
+
+    Cells are independent and internally deterministic, so results are
+    identical for any ``workers`` value.
+    """
+    cells = [MobilityCell(speed_mps=speed, ap_spacing_m=spacing,
+                          technology=technology, model=model, policy=policy,
+                          device_count=device_count, duration_s=duration_s,
+                          seed=seed)
+             for speed in speeds for spacing in spacings
+             for technology in technologies]
+    with TIMINGS.span("experiments.mobility"):
+        points = run_grid(run_cell, cells, workers=workers,
+                          stage="experiments.mobility.cells")
+    _record_metrics(points)
+    return points
+
+
+def audit_points(points: Sequence[MobilityPoint]):
+    """Fold :func:`repro.obs.audit.audit_mobility` over every cell."""
+    from ..obs.audit import AuditReport, audit_mobility
+    report = AuditReport()
+    for point in points:
+        report.merge(audit_mobility(point))
+    return report
+
+
+def render(points: Sequence[MobilityPoint]) -> str:
+    rows = []
+    for point in points:
+        rows.append([
+            point.cell.technology,
+            f"{point.cell.speed_mps:g}",
+            f"{point.cell.ap_spacing_m:g}",
+            str(point.handoffs),
+            f"{point.handoffs_per_device_hour:.2f}",
+            f"{point.outage_s:.0f}",
+            f"{point.delivery_rate:.4f}",
+            f"{point.handoff_unit_j * 1e3:.3f}",
+            f"{point.handoff_energy_j:.4f}",
+            f"{point.energy_per_device_day_j:.3f}",
+        ])
+    return render_table(
+        "Mobility: handoff tax by speed x AP density x technology",
+        ["tech", "v m/s", "AP m", "handoffs", "ho/dev/h", "outage s",
+         "delivery", "unit mJ", "ho J", "J/dev/day"],
+        rows)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.mobility",
+        description="Handoff tax: speed x AP density x technology sweep.")
+    parser.add_argument("--quick", action="store_true",
+                        help="small sweep (2 speeds x 2 spacings, 1 h "
+                             "horizon) for CI")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--model", default="random-waypoint",
+                        help="trajectory model (see repro.mobility)")
+    parser.add_argument("--policy", default="hysteresis",
+                        help="AP-selection policy "
+                             "(strongest/hysteresis/sticky)")
+    parser.add_argument("--audit", action="store_true",
+                        help="cross-check handoff-energy conservation; "
+                             "non-zero exit on violation")
+    parser.add_argument("--csv", metavar="PATH", default=None,
+                        help="also write the sweep as CSV")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        points = run_mobility(speeds=(0.0, 5.0), spacings=(30.0, 120.0),
+                              duration_s=3600.0, device_count=4,
+                              model=args.model, policy=args.policy,
+                              seed=args.seed, workers=args.workers)
+    else:
+        points = run_mobility(model=args.model, policy=args.policy,
+                              seed=args.seed, workers=args.workers)
+    print(render(points))
+
+    if args.csv:
+        from .artifacts import write_mobility_csv
+        artifact = write_mobility_csv(args.csv, points)
+        print(f"\nwrote {artifact.path} ({artifact.rows} rows)")
+
+    if args.audit:
+        report = audit_points(points)
+        print()
+        print(report.render())
+        if not report.ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,7 +65,7 @@ from ..energy.esp32 import Esp32PowerModel, Esp32State
 from ..obs.metrics import METRICS
 from ..phy.link import frame_delivered
 from ..phy.pathloss import noise_floor_dbm, received_power_dbm
-from ..sim import Simulator, WirelessMedium
+from ..sim import Position, Simulator, WirelessMedium
 from .aggregate import FleetAggregate
 from .shards import _BOOT_ENERGY_J, ShardSpec, _steady_reading
 
@@ -176,6 +176,19 @@ def run_shard_cohort(shard: ShardSpec,
     """
     if stats is None:
         stats = KernelStats()
+    if shard.trajectories and any(
+            trajectory.moves_on_epoch_grid(shard.duration_s)
+            for trajectory in shard.trajectories):
+        # Devices that actually move break the kernel's core premise —
+        # per-device delivery outcomes precomputed once from a fixed
+        # geometry. Demote the whole shard to the exact event engine
+        # (the same demotion discipline as step 3, at shard
+        # granularity); zero-speed mobility shards fall through and stay
+        # vectorized.
+        from .shards import run_shard
+        stats.demotions += 1
+        METRICS.counter("fleet_kernel_mobility_demotions").inc()
+        return run_shard(shard, kernel="event")
     aggregate = FleetAggregate(
         device_count=len(shard.devices),
         receiver_count=len(shard.receivers),
@@ -426,6 +439,19 @@ def run_shard_cohort(shard: ShardSpec,
     # -- 4. bulk charge integration and per-device accounting -------------
     owned_ids = frozenset(spec.device_id for spec in shard.devices)
     uncovered = frozenset(shard.uncovered)
+    if shard.designated_uplinks:
+        # Zero-speed mobility shards ship unfiltered designated pairs
+        # and an empty ``uncovered``; positions never change here (the
+        # moving case demoted above), so the event engine's per-record
+        # range predicate collapses to a per-device classification —
+        # same floats, same strict inequality.
+        position_of = {spec.device_id: spec.position for spec in specs}
+        uncovered |= frozenset(
+            device_id
+            for device_id, x_m, y_m in shard.designated_uplinks
+            if max_range is not None
+            and position_of[device_id].distance_to(Position(x_m, y_m))
+            > max_range)
     owned_mask = np.fromiter(
         (spec.device_id in owned_ids for spec in specs),
         dtype=bool, count=n_devices)

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..mobility.trajectories import MobilityConfig, Trajectory, build_trajectories
 from ..sim import JitteryClock, Position, crystal_population
 
 #: Device ids start here so fleet devices never collide with the small
@@ -59,6 +60,10 @@ class FleetConfig:
             in range of its designated gateway.
         channel: WiFi channel the whole fleet injects on.
         seed: master seed for every draw above.
+        mobility: optional :class:`repro.mobility.MobilityConfig`. When
+            set, every device gets a deterministic trajectory compiled
+            from its placed position, and the fleet runner moves radios
+            at epoch boundaries. ``None`` (default) is the static fleet.
     """
 
     device_count: int = 10_000
@@ -74,6 +79,7 @@ class FleetConfig:
     receiver_spacing_m: float = 14.0
     channel: int = 6
     seed: int = 0
+    mobility: MobilityConfig | None = None
 
     def __post_init__(self) -> None:
         if self.device_count < 1:
@@ -94,6 +100,9 @@ class FleetConfig:
             raise FleetError("need at least one cluster")
         if self.receiver_spacing_m <= 0:
             raise FleetError("receiver spacing must be positive")
+        if self.mobility is not None and not isinstance(self.mobility,
+                                                        MobilityConfig):
+            raise FleetError("mobility must be a MobilityConfig or None")
 
 
 @dataclass(frozen=True, slots=True)
@@ -135,13 +144,26 @@ class ReceiverSpec:
 
 @dataclass(frozen=True, slots=True)
 class FleetPlan:
-    """The expanded fleet: config plus every device and receiver spec."""
+    """The expanded fleet: config plus every device and receiver spec.
+
+    ``trajectories`` is populated iff ``config.mobility`` is set — one
+    compiled :class:`~repro.mobility.Trajectory` per device, in device
+    order, each starting at the device's placed position.
+    """
 
     config: FleetConfig
     devices: tuple[DeviceSpec, ...]
     receivers: tuple[ReceiverSpec, ...]
     receiver_columns: int
     receiver_rows: int
+    trajectories: tuple[Trajectory, ...] | None = None
+
+    def trajectory_of(self, device: DeviceSpec) -> Trajectory | None:
+        """The device's compiled motion, or None in a static plan."""
+        if self.trajectories is None:
+            return None
+        index = device.device_id - FLEET_DEVICE_ID_BASE
+        return self.trajectories[index]
 
     def nearest_receiver(self, device: DeviceSpec) -> ReceiverSpec:
         """The device's designated uplink gateway (deterministic:
@@ -164,6 +186,32 @@ class FleetPlan:
                    key=lambda receiver: (
                        device.position.distance_to(receiver.position),
                        receiver.receiver_id))
+
+
+def validate_positions(plan: FleetPlan) -> None:
+    """Reject devices or receivers placed outside the configured area.
+
+    The spatial listening index and the 3x3 ``nearest_receiver`` lookup
+    both assume positions inside ``config.area_m``; an out-of-bounds
+    position silently lands in a clamped edge cell and produces
+    distances the index never scans. Generated plans are in-bounds by
+    construction — this guards hand-built or mutated plans at the shard
+    planner's front door.
+    """
+    width, height = plan.config.area_m
+    for device in plan.devices:
+        if not (0.0 <= device.x_m <= width and 0.0 <= device.y_m <= height):
+            raise FleetError(
+                f"device 0x{device.device_id:x} at "
+                f"({device.x_m}, {device.y_m}) is outside the "
+                f"{width} x {height} m area")
+    for receiver in plan.receivers:
+        if not (0.0 <= receiver.x_m <= width
+                and 0.0 <= receiver.y_m <= height):
+            raise FleetError(
+                f"receiver {receiver.receiver_id} at "
+                f"({receiver.x_m}, {receiver.y_m}) is outside the "
+                f"{width} x {height} m area")
 
 
 def _uniform_stream(seed_key: str, count: int) -> np.ndarray:
@@ -314,6 +362,14 @@ def generate_fleet(config: FleetConfig) -> FleetPlan:
             jitter_std_s=clock.jitter_std_s,
             clock_seed=clock.seed))
     receivers, columns, rows = _receiver_grid(config)
+    trajectories = None
+    if config.mobility is not None:
+        trajectories = build_trajectories(
+            config.mobility,
+            [(device.device_id, device.x_m, device.y_m)
+             for device in devices],
+            area_m=config.area_m, duration_s=config.duration_s)
     return FleetPlan(config=config, devices=tuple(devices),
                      receivers=receivers,
-                     receiver_columns=columns, receiver_rows=rows)
+                     receiver_columns=columns, receiver_rows=rows,
+                     trajectories=trajectories)

@@ -42,7 +42,7 @@ from ..core import SensorKind, SensorReading, WiLEDevice
 from ..dot11.mac import MacAddress
 from ..energy import calibration as cal
 from ..experiments.runner import run_grid
-from ..sim import Radio, Simulator, WirelessMedium
+from ..sim import Position, Radio, Simulator, WirelessMedium
 from .aggregate import FleetAggregate
 from .population import DeviceSpec, FleetPlan, ReceiverSpec
 
@@ -124,6 +124,19 @@ class ShardSpec:
     #: Owned device ids whose designated gateway is beyond
     #: ``max_range_m`` — their beacons count as out-of-coverage.
     uncovered: tuple[int, ...]
+    #: Mobility extension (empty/zero for static plans, keeping static
+    #: shard specs — and their checkpoints — byte-identical):
+    #: position-sampling period; radios move at integer multiples.
+    epoch_s: float = 0.0
+    #: Compiled trajectories for every device simulated here (owned and
+    #: halo), in device-id order.
+    trajectories: tuple = ()
+    #: ``(device_id, gateway_x_m, gateway_y_m)`` for every *owned*
+    #: device — the accounting loop scores per-beacon coverage against
+    #: the designated gateway's position, since a moving device drifts
+    #: in and out of range (the static ``uncovered`` set is the
+    #: degenerate, whole-run version of this).
+    designated_uplinks: tuple[tuple[int, float, float], ...] = ()
 
 
 def _owner_of(x_m: float, strip_width_m: float, shard_count: int) -> int:
@@ -149,15 +162,34 @@ def plan_shards(plan: FleetPlan, shard_count: int,
         raise ShardError(
             f"halo {halo} m is narrower than the propagation cutoffs "
             f"({required_halo} m); cross-shard effects would be lost")
+    from .population import validate_positions
+    validate_positions(plan)
     config = plan.config
     width = config.area_m[0] / shard_count
+    mobile = plan.trajectories is not None
 
     designated: dict[int, tuple[int, float]] = {}
+    gateway_position: dict[int, tuple[float, float]] = {}
     for device in plan.devices:
         gateway = plan.nearest_receiver(device)
         designated[device.device_id] = (
             gateway.receiver_id,
             device.position.distance_to(gateway.position))
+        gateway_position[device.device_id] = (gateway.x_m, gateway.y_m)
+
+    # Halo membership in a mobile plan is by the x-extent the device
+    # *ever* visits — a conservative superset of the static rule. Extra
+    # halo copies cannot perturb anything: the medium enforces both
+    # cutoffs per delivery at current positions, so a copy that is far
+    # away at some instant contributes exactly zero then, sharded or
+    # not.
+    if mobile:
+        extents = {trajectory.device_id:
+                   trajectory.x_extent(config.duration_s)
+                   for trajectory in plan.trajectories}
+    else:
+        extents = {device.device_id: (device.x_m, device.x_m)
+                   for device in plan.devices}
 
     shards = []
     for index in range(shard_count):
@@ -168,18 +200,32 @@ def plan_shards(plan: FleetPlan, shard_count: int,
         halo_devices = tuple(
             device for device in plan.devices
             if _owner_of(device.x_m, width, shard_count) != index
-            and x_min - halo <= device.x_m <= x_max + halo)
+            and extents[device.device_id][1] >= x_min - halo
+            and extents[device.device_id][0] <= x_max + halo)
         receivers = tuple(
             receiver for receiver in plan.receivers
             if _owner_of(receiver.x_m, width, shard_count) == index)
         receiver_ids = {receiver.receiver_id for receiver in receivers}
+        # Static plans pre-filter designated pairs to gateways in range
+        # and pre-classify the rest as whole-run uncovered. A mobile
+        # device's gateway distance varies per beacon, so its pairs stay
+        # unfiltered and coverage is scored per completed record in
+        # run_shard against ``designated_uplinks``.
         pairs = tuple(
             (device.device_id, designated[device.device_id][0])
             for device in owned + halo_devices
             if designated[device.device_id][0] in receiver_ids
-            and designated[device.device_id][1] <= max_range_m)
-        uncovered = tuple(device.device_id for device in owned
-                          if designated[device.device_id][1] > max_range_m)
+            and (mobile or designated[device.device_id][1] <= max_range_m))
+        uncovered = () if mobile else tuple(
+            device.device_id for device in owned
+            if designated[device.device_id][1] > max_range_m)
+        shard_ids = {device.device_id for device in owned + halo_devices}
+        trajectories = tuple(
+            trajectory for trajectory in (plan.trajectories or ())
+            if trajectory.device_id in shard_ids)
+        uplinks = tuple(
+            (device.device_id,) + gateway_position[device.device_id]
+            for device in owned) if mobile else ()
         shards.append(ShardSpec(
             index=index, shard_count=shard_count,
             x_min_m=x_min, x_max_m=x_max, halo_m=halo,
@@ -187,7 +233,9 @@ def plan_shards(plan: FleetPlan, shard_count: int,
             interference_range_m=interference_range_m,
             channel=config.channel, duration_s=config.duration_s,
             devices=owned, halo_devices=halo_devices, receivers=receivers,
-            designated=pairs, uncovered=uncovered))
+            designated=pairs, uncovered=uncovered,
+            epoch_s=config.mobility.epoch_s if mobile else 0.0,
+            trajectories=trajectories, designated_uplinks=uplinks))
     return shards
 
 
@@ -261,6 +309,32 @@ def run_shard(shard: ShardSpec, kernel: str = "event") -> FleetAggregate:
         sender_ids[device.radio] = spec.device_id
         devices.append((spec, device))
 
+    mobile = shard.epoch_s > 0
+    trajectories = {trajectory.device_id: trajectory
+                    for trajectory in shard.trajectories}
+    if mobile:
+        # Relocate each moving radio at every epoch boundary where its
+        # trajectory's position changes. Scheduled at setup, so a move
+        # at t == k*epoch_s fires before any completion at the same
+        # instant (insertion order breaks heap ties) — the delivery
+        # decision and the per-record accounting below therefore agree
+        # on which epoch's position a frame completed at.
+        for spec, device in devices:
+            trajectory = trajectories.get(spec.device_id)
+            if trajectory is None or not trajectory.moves_on_epoch_grid(
+                    shard.duration_s):
+                continue
+            radio = device.radio
+            previous = trajectory.epoch_position(0)
+            for epoch in range(1, trajectory.epoch_count(shard.duration_s)):
+                position = trajectory.epoch_position(epoch)
+                if position == previous:
+                    continue
+                previous = position
+                sim.at(epoch * trajectory.epoch_s,
+                       lambda radio=radio, position=position:
+                       medium.move_radio(radio, Position(*position)))
+
     designated = frozenset(shard.designated)
 
     def on_delivery(transmission, report) -> None:
@@ -287,22 +361,44 @@ def run_shard(shard: ShardSpec, kernel: str = "event") -> FleetAggregate:
     sim.run(until_s=shard.duration_s)
 
     uncovered = frozenset(shard.uncovered)
+    uplinks = {device_id: Position(x_m, y_m)
+               for device_id, x_m, y_m in shard.designated_uplinks}
     owned = frozenset(spec.device_id for spec in shard.devices)
     for spec, device in devices:
         device.stop()
         if spec.device_id not in owned:
             continue  # halo copies are scored by their home shard
         stats.wakes += len(device.transmissions) + device.skipped_wakes
+        trajectory = trajectories.get(spec.device_id)
+        gateway = uplinks.get(spec.device_id)
         completed = 0
+        out_of_range = 0
         energy_j = 0.0
         for record in device.transmissions:
             energy_j += record.energy_j + _BOOT_ENERGY_J
-            if record.time_s + record.airtime_s <= shard.duration_s:
+            end_s = record.time_s + record.airtime_s
+            if end_s <= shard.duration_s:
                 completed += 1
                 stats.airtime_s += record.airtime_s
+                if mobile and gateway is not None:
+                    # Per-beacon coverage: the medium suppressed this
+                    # gateway's delivery report iff the sender's
+                    # position *at completion* — the epoch it had been
+                    # moved to — was beyond max_range, so the same
+                    # predicate here keeps the conservation identity
+                    # (delivered + lost + out_of_range == sent) exact.
+                    if trajectory is None:
+                        x_m, y_m = spec.x_m, spec.y_m
+                    else:
+                        x_m, y_m = trajectory.epoch_position(
+                            int(end_s // shard.epoch_s))
+                    distance = Position(x_m, y_m).distance_to(gateway)
+                    if distance > shard.max_range_m:
+                        out_of_range += 1
             else:
                 stats.beacons_in_flight += 1
         stats.beacons_sent += completed
+        stats.uplink_out_of_range += out_of_range
         if spec.device_id in uncovered:
             stats.uplink_out_of_range += completed
         average_current_a = (cal.ESP32_DEEP_SLEEP_A
@@ -405,7 +501,7 @@ def load_checkpoint_state(path: str) -> dict | None:
 _MANIFEST_IDENTITY_KEYS = (
     "seed", "device_count", "receiver_count", "shard_count", "duration_s",
     "interval_s", "area_m", "layout", "start", "channel",
-    "halo_m", "max_range_m", "interference_range_m",
+    "halo_m", "max_range_m", "interference_range_m", "mobility",
 )
 
 _MANIFEST_NAME = "manifest.json"
@@ -430,6 +526,9 @@ def plan_fingerprint(plan: FleetPlan, shard_count: int, halo_m: float,
         "halo_m": halo_m,
         "max_range_m": max_range_m,
         "interference_range_m": interference_range_m,
+        # None for static plans — matching manifests written before the
+        # key existed, whose .get("mobility") is also None.
+        "mobility": repr(config.mobility) if config.mobility else None,
     }
 
 

@@ -1,0 +1,65 @@
+"""repro.mobility — moving devices, AP grids, and handoff policies.
+
+The mobility subsystem quantifies the paper's structural claim: Wi-LE's
+connection-less beacon injection makes AP changes free, while WiFi-PS /
+WiFi-DC replay the full §3.1 re-association (20 MAC + 7 higher-layer
+frames) and BLE re-pairs on every move. Three layers:
+
+* :mod:`.trajectories` — seeded, deterministic motion models sampled on
+  an epoch grid (bit-identical per seed via the blake2b stable-draw
+  discipline shared with :mod:`repro.faults`);
+* :mod:`.grid` — spatial AP grids with O(1) candidate lookup and
+  per-epoch coverage maps;
+* :mod:`.handoff` — AP-selection policies plus the per-technology
+  handoff cost model, replayed through the real protocol machines.
+
+See ``docs/MOBILITY.md`` for the model and sweep usage.
+"""
+
+from .grid import (
+    DEFAULT_AP_TX_POWER_DBM,
+    DEFAULT_SENSITIVITY_DBM,
+    ApGrid,
+    ApSite,
+    GridError,
+)
+from .handoff import (
+    HANDOFF_TECHNOLOGIES,
+    POLICY_KINDS,
+    DeviceMobilityStats,
+    HandoffCost,
+    HandoffError,
+    HandoffPolicy,
+    reassociation_cost,
+    walk_trajectory,
+)
+from .trajectories import (
+    MOBILITY_MODELS,
+    MobilityConfig,
+    MobilityError,
+    Trajectory,
+    build_trajectories,
+    build_trajectory,
+)
+
+__all__ = [
+    "ApGrid",
+    "ApSite",
+    "DEFAULT_AP_TX_POWER_DBM",
+    "DEFAULT_SENSITIVITY_DBM",
+    "DeviceMobilityStats",
+    "GridError",
+    "HANDOFF_TECHNOLOGIES",
+    "HandoffCost",
+    "HandoffError",
+    "HandoffPolicy",
+    "MOBILITY_MODELS",
+    "MobilityConfig",
+    "MobilityError",
+    "POLICY_KINDS",
+    "Trajectory",
+    "build_trajectories",
+    "build_trajectory",
+    "reassociation_cost",
+    "walk_trajectory",
+]

@@ -1,0 +1,319 @@
+"""Seeded, deterministic motion models sampled on an epoch grid.
+
+A :class:`Trajectory` is the fully-expanded motion of one device: a
+piecewise-linear path through the deployment plane, compiled at build
+time into ``(time_s, x_m, y_m)`` knots. Every stochastic choice a model
+makes (waypoints, pauses, commute targets) is drawn through the same
+``blake2b`` stable-draw discipline as :mod:`repro.faults`
+(:func:`repro.faults.plan.stable_uniform`), keyed on
+``("mobility", seed, device_id, stream, index)`` — so the same seed
+yields bit-identical position arrays in any process, on any platform,
+under any hash randomisation.
+
+Positions are consumed on an **epoch grid**: integer multiples of
+``epoch_s`` (``k * epoch_s``, never an accumulated float step — the
+PR 2 float-grid lesson). The fleet runner moves radios only at epoch
+boundaries, the cohort kernel decides promotion/demotion from the same
+samples, and the handoff layer evaluates AP selection per epoch, so all
+three layers see exactly the same positions.
+
+Four models:
+
+* ``static`` — the degenerate trajectory (also what every model
+  compiles to at ``speed_mps == 0``);
+* ``waypoint`` — constant-velocity travel through a pre-drawn fixed
+  waypoint list, then rest at the final point;
+* ``random-waypoint`` — the classic mobility benchmark: draw a uniform
+  target, travel at constant speed, pause, repeat to the horizon;
+* ``commuter`` — a grid "commuter" route: Manhattan (axis-aligned)
+  travel from home to a drawn work location, dwell, return, dwell,
+  repeat — streets-and-blocks motion for the AP-grid sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..faults.plan import stable_uniform
+
+MOBILITY_MODELS = ("static", "waypoint", "random-waypoint", "commuter")
+
+
+class MobilityError(ValueError):
+    """Raised for impossible mobility configurations."""
+
+
+@dataclass(frozen=True, slots=True)
+class MobilityConfig:
+    """Everything needed to (re)generate a fleet's motion deterministically.
+
+    Args:
+        model: one of :data:`MOBILITY_MODELS`.
+        speed_mps: travel speed. Zero compiles every model down to
+            ``static`` — the basis of the zero-speed ≡ static-fleet
+            equivalence the check oracles pin.
+        epoch_s: position-sampling period. Radios move only at integer
+            multiples of this.
+        waypoint_count: points of the ``waypoint`` model's fixed tour.
+        pause_max_s: upper bound of the uniform pause drawn at each
+            ``random-waypoint`` arrival.
+        dwell_s: time the ``commuter`` model parks at each end of the
+            commute.
+        seed: master seed for every draw (independent of the fleet's
+            placement seed unless the caller reuses it).
+    """
+
+    model: str = "random-waypoint"
+    speed_mps: float = 1.4
+    epoch_s: float = 60.0
+    waypoint_count: int = 4
+    pause_max_s: float = 60.0
+    dwell_s: float = 600.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.model not in MOBILITY_MODELS:
+            raise MobilityError(f"unknown mobility model {self.model!r}; "
+                                f"choose from {MOBILITY_MODELS}")
+        if self.speed_mps < 0:
+            raise MobilityError(f"speed must be >= 0, got {self.speed_mps}")
+        if self.epoch_s <= 0:
+            raise MobilityError(f"epoch must be positive, got {self.epoch_s}")
+        if self.waypoint_count < 1:
+            raise MobilityError("need at least one waypoint")
+        if self.pause_max_s < 0:
+            raise MobilityError("pause bound must be >= 0")
+        if self.dwell_s < 0:
+            raise MobilityError("dwell must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class Trajectory:
+    """One device's compiled motion: piecewise-linear position knots.
+
+    ``knots`` is a non-empty tuple of ``(time_s, x_m, y_m)`` with
+    strictly increasing times starting at 0.0. Position before the
+    first knot is the first knot's; after the last, the last's; between
+    knots it interpolates linearly. Frozen and picklable, so it ships
+    inside a :class:`~repro.fleet.shards.ShardSpec` unchanged.
+    """
+
+    device_id: int
+    epoch_s: float
+    knots: tuple[tuple[float, float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.knots:
+            raise MobilityError("a trajectory needs at least one knot")
+        if self.knots[0][0] != 0.0:
+            raise MobilityError("trajectory must start at time 0")
+        times = [knot[0] for knot in self.knots]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise MobilityError("knot times must be strictly increasing")
+        if self.epoch_s <= 0:
+            raise MobilityError("epoch must be positive")
+
+    @property
+    def is_static(self) -> bool:
+        """True iff the position never changes (single point)."""
+        x0, y0 = self.knots[0][1], self.knots[0][2]
+        return all(x == x0 and y == y0 for _, x, y in self.knots)
+
+    def position_at(self, time_s: float) -> tuple[float, float]:
+        """Interpolated position at ``time_s`` (clamped to the knots)."""
+        knots = self.knots
+        if time_s <= knots[0][0]:
+            return knots[0][1], knots[0][2]
+        if time_s >= knots[-1][0]:
+            return knots[-1][1], knots[-1][2]
+        # rightmost knot with time <= time_s
+        index = bisect_right(knots, time_s, key=lambda knot: knot[0]) - 1
+        t0, x0, y0 = knots[index]
+        t1, x1, y1 = knots[index + 1]
+        fraction = (time_s - t0) / (t1 - t0)
+        return x0 + (x1 - x0) * fraction, y0 + (y1 - y0) * fraction
+
+    def epoch_position(self, epoch: int) -> tuple[float, float]:
+        """Position at epoch boundary ``epoch * epoch_s`` (integer grid,
+        never an accumulated float step)."""
+        return self.position_at(epoch * self.epoch_s)
+
+    def epoch_count(self, duration_s: float) -> int:
+        """Number of epoch samples covering ``[0, duration_s]``."""
+        return int(duration_s // self.epoch_s) + 1
+
+    def sample(self, duration_s: float) -> np.ndarray:
+        """All epoch positions over the horizon, shape ``(epochs, 2)``."""
+        count = self.epoch_count(duration_s)
+        out = np.empty((count, 2))
+        for epoch in range(count):
+            out[epoch] = self.epoch_position(epoch)
+        return out
+
+    def moves_on_epoch_grid(self, duration_s: float) -> bool:
+        """Does any scheduled epoch position differ from the start?
+
+        This is exactly the criterion the event engine uses to decide
+        whether a position-update event exists for this device, so the
+        cohort kernel's stay-vectorized/demote decision can never
+        disagree with it. O(1) for static trajectories.
+        """
+        if self.is_static:
+            return False
+        x0, y0 = self.epoch_position(0)
+        for epoch in range(1, self.epoch_count(duration_s)):
+            x, y = self.epoch_position(epoch)
+            if x != x0 or y != y0:
+                return True
+        return False
+
+    def x_extent(self, duration_s: float) -> tuple[float, float]:
+        """Bounding x-range visited within ``[0, duration_s]``.
+
+        Piecewise-linear paths attain their extrema at knots (or at the
+        clamped horizon position), so this is exact — the sharded fleet
+        planner uses it for conservative halo membership.
+        """
+        xs = [x for t, x, _y in self.knots if t <= duration_s]
+        xs.append(self.position_at(duration_s)[0])
+        xs.append(self.knots[0][1])
+        return min(xs), max(xs)
+
+
+def _draw(config: MobilityConfig, device_id: int, stream: str,
+          index: int) -> float:
+    """One stable uniform draw for this (device, stream, index)."""
+    return stable_uniform("mobility", config.seed, device_id, stream, index)
+
+
+def _static(device_id: int, epoch_s: float,
+            x: float, y: float) -> Trajectory:
+    return Trajectory(device_id=device_id, epoch_s=epoch_s,
+                      knots=((0.0, x, y),))
+
+
+def _waypoint_tour(config: MobilityConfig, device_id: int,
+                   start: tuple[float, float],
+                   area_m: tuple[float, float],
+                   duration_s: float) -> Trajectory:
+    """Constant-velocity travel through a fixed pre-drawn waypoint list,
+    resting at the final point."""
+    width, height = area_m
+    speed = config.speed_mps
+    t, x, y = 0.0, start[0], start[1]
+    knots = [(t, x, y)]
+    for index in range(config.waypoint_count):
+        tx = width * _draw(config, device_id, "waypoint-x", index)
+        ty = height * _draw(config, device_id, "waypoint-y", index)
+        leg = math.hypot(tx - x, ty - y)
+        if leg == 0.0:
+            continue
+        t += leg / speed
+        x, y = tx, ty
+        knots.append((t, x, y))
+        if t > duration_s:
+            break
+    return Trajectory(device_id=device_id, epoch_s=config.epoch_s,
+                      knots=tuple(knots))
+
+
+def _random_waypoint(config: MobilityConfig, device_id: int,
+                     start: tuple[float, float],
+                     area_m: tuple[float, float],
+                     duration_s: float) -> Trajectory:
+    """Classic random-waypoint: target, travel, pause, repeat."""
+    width, height = area_m
+    speed = config.speed_mps
+    t, x, y = 0.0, start[0], start[1]
+    knots = [(t, x, y)]
+    index = 0
+    while t <= duration_s:
+        tx = width * _draw(config, device_id, "rwp-x", index)
+        ty = height * _draw(config, device_id, "rwp-y", index)
+        leg = math.hypot(tx - x, ty - y)
+        if leg > 0.0:
+            t += leg / speed
+            x, y = tx, ty
+            knots.append((t, x, y))
+        pause = config.pause_max_s * _draw(config, device_id, "rwp-pause",
+                                           index)
+        if pause > 0.0:
+            t += pause
+            knots.append((t, x, y))
+        index += 1
+    return Trajectory(device_id=device_id, epoch_s=config.epoch_s,
+                      knots=tuple(knots))
+
+
+def _commuter(config: MobilityConfig, device_id: int,
+              start: tuple[float, float], area_m: tuple[float, float],
+              duration_s: float) -> Trajectory:
+    """Grid commuter: Manhattan route home -> work, dwell, return, dwell,
+    repeat. Outbound legs go x-then-y; the return retraces y-then-x, so
+    the route stays on the same two "streets" both ways."""
+    width, height = area_m
+    speed = config.speed_mps
+    home = start
+    work = (width * _draw(config, device_id, "commute-x", 0),
+            height * _draw(config, device_id, "commute-y", 0))
+    t = 0.0
+    x, y = home
+    knots = [(t, x, y)]
+
+    def travel_to(nx: float, ny: float) -> None:
+        nonlocal t, x, y
+        leg = math.hypot(nx - x, ny - y)
+        if leg == 0.0:
+            return
+        t += leg / speed
+        x, y = nx, ny
+        knots.append((t, x, y))
+
+    def dwell() -> None:
+        nonlocal t
+        if config.dwell_s > 0.0:
+            t += config.dwell_s
+            knots.append((t, x, y))
+
+    while t <= duration_s:
+        travel_to(work[0], y)        # outbound: x street first
+        travel_to(work[0], work[1])  # then y avenue
+        dwell()
+        travel_to(x, home[1])        # return: y avenue first
+        travel_to(home[0], home[1])  # then x street
+        dwell()
+        if work == home:
+            break  # degenerate draw: commute of length zero
+    return Trajectory(device_id=device_id, epoch_s=config.epoch_s,
+                      knots=tuple(knots))
+
+
+def build_trajectory(config: MobilityConfig, device_id: int,
+                     start: tuple[float, float],
+                     area_m: tuple[float, float],
+                     duration_s: float) -> Trajectory:
+    """Compile one device's motion from ``start`` over the horizon."""
+    if area_m[0] <= 0 or area_m[1] <= 0:
+        raise MobilityError(f"area must be positive, got {area_m}")
+    if duration_s <= 0:
+        raise MobilityError(f"duration must be positive, got {duration_s}")
+    if config.model == "static" or config.speed_mps == 0.0:
+        return _static(device_id, config.epoch_s, start[0], start[1])
+    builder = {"waypoint": _waypoint_tour,
+               "random-waypoint": _random_waypoint,
+               "commuter": _commuter}[config.model]
+    return builder(config, device_id, start, area_m, duration_s)
+
+
+def build_trajectories(config: MobilityConfig,
+                       starts: list[tuple[int, float, float]],
+                       area_m: tuple[float, float],
+                       duration_s: float) -> tuple[Trajectory, ...]:
+    """Compile trajectories for ``(device_id, x, y)`` starting points."""
+    return tuple(build_trajectory(config, device_id, (x, y), area_m,
+                                  duration_s)
+                 for device_id, x, y in starts)

@@ -24,6 +24,7 @@ from .audit import (
     audit_all,
     audit_faults,
     audit_fleet,
+    audit_mobility,
     audit_scenario,
     audit_trace,
 )

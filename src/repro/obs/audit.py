@@ -357,6 +357,76 @@ def audit_faults(point, subject: str | None = None,
     return report
 
 
+def audit_mobility(point, subject: str | None = None) -> AuditReport:
+    """Audit one mobility sweep cell.
+
+    Duck-typed on the mobility experiment's point object (so the audit
+    layer never imports the mobility layer):
+
+    * **wile-handoff-free** — the paper's structural claim, checked as
+      an exact-zero: a Wi-LE cell's handoff energy, per-handoff unit
+      cost and re-association frame counts are all exactly 0, however
+      many AP changes occurred;
+    * **handoff-energy-conservation** — the handoff energy charged is
+      exactly ``(handoffs + reacquisitions) * handoff_unit_j``: an
+      integer event count times the one replayed unit cost, so any
+      drift between the walk accounting and the cost model is a bit
+      difference, not a tolerance call;
+    * **delivery-bounds** — delivered beacons never exceed sent, and
+      total outage time fits inside ``device_count * duration``;
+    * **non-negative counters** — no accounting path went backwards.
+    """
+    report = AuditReport()
+    if subject is None:
+        subject = getattr(point, "name", "mobility")
+
+    report.checks += 1
+    if point.cell.technology == "Wi-LE":
+        if (point.handoff_energy_j != 0.0 or point.handoff_unit_j != 0.0
+                or point.handoff_mac_frames != 0
+                or point.handoff_higher_frames != 0):
+            report.findings.append(AuditFinding(
+                "wile-handoff-free", subject,
+                f"Wi-LE must pay exactly zero per handoff, got "
+                f"energy={point.handoff_energy_j!r} J, "
+                f"unit={point.handoff_unit_j!r} J, "
+                f"frames={point.handoff_mac_frames}"
+                f"+{point.handoff_higher_frames}"))
+
+    report.checks += 1
+    expected_j = point.association_events * point.handoff_unit_j
+    if point.handoff_energy_j != expected_j:
+        report.findings.append(AuditFinding(
+            "handoff-energy-conservation", subject,
+            f"{point.association_events} association events x "
+            f"{point.handoff_unit_j!r} J should cost {expected_j!r} J "
+            f"but {point.handoff_energy_j!r} J was charged"))
+
+    report.checks += 1
+    if point.beacons_delivered > point.beacons_sent:
+        report.findings.append(AuditFinding(
+            "delivery-bounds", subject,
+            f"delivered {point.beacons_delivered} beacons exceeds the "
+            f"{point.beacons_sent} sent"))
+    total_s = point.devices * point.cell.duration_s
+    if point.outage_s > total_s:
+        report.findings.append(AuditFinding(
+            "delivery-bounds", subject,
+            f"outage {point.outage_s} s exceeds the cell's "
+            f"{total_s} device-seconds"))
+
+    report.checks += 1
+    for attribute in ("handoffs", "reacquisitions", "outage_s",
+                      "beacons_sent", "beacons_delivered",
+                      "handoff_energy_j", "handoff_unit_j"):
+        value = getattr(point, attribute)
+        if value < 0:
+            report.findings.append(AuditFinding(
+                "non-negative-counters", subject,
+                f"{attribute}={value} is negative"))
+    return report
+
+
 def audit_all(results: dict, rel_tol: float = CHARGE_REL_TOL,
               sample_rate_hz: float | None = 50_000.0) -> AuditReport:
     """Audit every scenario result in ``results`` into one report."""

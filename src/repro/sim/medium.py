@@ -128,9 +128,11 @@ class WirelessMedium:
         self._attach_index: dict[Radio, int] = {}
         # With a delivery cutoff, listening radios are additionally
         # bucketed into a grid of max_range-sized cells (keyed by the
-        # radio's position at power-on; radios are assumed static while
-        # listening). Completion then scans only the 3x3 neighbourhood
-        # around the sender, which covers every radio within range.
+        # radio's position at power-on; a radio that moves while
+        # listening must be relocated via :meth:`move_radio` to keep
+        # its bucket current). Completion then scans only the 3x3
+        # neighbourhood around the sender, which covers every radio
+        # within range.
         self._cells: dict[tuple[int, int], dict[Radio, int]] = {}
         self._radio_cell: dict[Radio, tuple[int, int]] = {}
         self._active: list[Transmission] = []
@@ -190,6 +192,26 @@ class WirelessMedium:
         else:
             self._listening.pop(radio, None)
             self._drop_from_cells(radio)
+
+    def move_radio(self, radio: "Radio", position: Position) -> None:
+        """Relocate ``radio`` and keep the listening index consistent.
+
+        The cell index keys a listening radio by its position at
+        power-on; a mobile device that moves while listening must go
+        through here (not assign ``radio.position`` directly) or the
+        3x3 completion scan would keep looking in its old cell.
+        """
+        radio.position = position
+        if self.max_range_m is None or radio not in self._radio_cell:
+            return
+        cell = (int(position.x_m // self.max_range_m),
+                int(position.y_m // self.max_range_m))
+        if cell == self._radio_cell[radio]:
+            return
+        index = self._attach_index[radio]
+        self._drop_from_cells(radio)
+        self._radio_cell[radio] = cell
+        self._cells.setdefault(cell, {})[radio] = index
 
     def _drop_from_cells(self, radio: "Radio") -> None:
         cell = self._radio_cell.pop(radio, None)

@@ -172,10 +172,12 @@ class TestBenchGate:
             _write_baseline(directory, "fleet", {"run": _bench(10.0)})
             _write_baseline(directory, "substrate", {"op": _bench(0.5)})
             _write_baseline(directory, "service", {"soak": _bench(3.0)})
+            _write_baseline(directory, "scenarios", {"fig": _bench(2.0)})
         report = run_gate(str(committed), str(fresh))
         assert report.ok
         assert {result.name for result in report.results} == \
-            {"bench-fleet-run", "bench-substrate-op", "bench-service-soak"}
+            {"bench-fleet-run", "bench-substrate-op", "bench-service-soak",
+             "bench-scenarios-fig"}
 
     def test_injected_slowdown_fails(self, tmp_path):
         # The committed/fresh pair the BENCH_INJECT_SLOWDOWN=1.5 knob
@@ -264,8 +266,71 @@ class TestBenchGate:
 def test_committed_baselines_are_loadable():
     """The repo-root BENCH_*.json must always parse and validate."""
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    for suite in ("fleet", "substrate", "service"):
+    for suite in ("fleet", "substrate", "service", "scenarios"):
         payload = load_baseline(root, suite)
         assert payload["suite"] == suite
         for entry in payload["benches"].values():
             assert entry["work_units"] > 0
+
+
+class TestBenchHistory:
+    def test_gate_uses_latest_history_entry(self, tmp_path):
+        # Committed top-level timings are stale-slow; the latest history
+        # entry is fast. A fresh run matching the history tail must
+        # pass, proving the gate reads history[-1], not the top level.
+        committed, fresh = tmp_path / "a", tmp_path / "b"
+        committed.mkdir(), fresh.mkdir()
+        payload = {"schema": 2, "suite": "fleet",
+                   "calibration_seconds": 0.01,
+                   "benches": {"run": _bench(100.0)},
+                   "history": [
+                       {"sha": "aaaaaaa", "calibration_seconds": 0.01,
+                        "benches": {"run": {"seconds": 1.0,
+                                            "work_units": 100.0}}},
+                       {"sha": "bbbbbbb", "calibration_seconds": 0.01,
+                        "benches": {"run": {"seconds": 0.1,
+                                            "work_units": 10.0}}},
+                   ]}
+        with open(committed / "BENCH_fleet.json", "w") as handle:
+            json.dump(payload, handle)
+        _write_baseline(fresh, "fleet", {"run": _bench(10.5)})
+        report = run_gate(str(committed), str(fresh), suites=("fleet",))
+        assert report.ok, report.render()
+        # Against the stale top-level 100 wu a 10.5 wu run would be a
+        # huge speedup; against history[-1] it is +5%.
+        (result,) = report.results
+        assert result.max_deviation == pytest.approx(0.05)
+        # Counters still come from the top level: drift there fails even
+        # when the history timings agree.
+        _write_baseline(fresh, "fleet",
+                        {"run": _bench(10.0, {"sent": 999})})
+        assert not run_gate(str(committed), str(fresh),
+                            suites=("fleet",)).ok
+
+    def test_history_appends_and_caps(self, tmp_path, monkeypatch):
+        import importlib.util
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        spec = importlib.util.spec_from_file_location(
+            "bench_conftest", os.path.join(root, "benchmarks",
+                                           "conftest.py"))
+        bench_conftest = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(bench_conftest)
+        monkeypatch.setenv("BENCH_OUT_DIR", str(tmp_path))
+        monkeypatch.setattr(bench_conftest, "_RECORDS",
+                            {"fleet": {"run": _bench(10.0)}})
+        monkeypatch.setitem(bench_conftest._CALIBRATION, "seconds", 0.01)
+        for _ in range(bench_conftest.HISTORY_LIMIT + 3):
+            bench_conftest.pytest_sessionfinish(None, 0)
+        payload = json.loads((tmp_path / "BENCH_fleet.json").read_text())
+        assert len(payload["history"]) == bench_conftest.HISTORY_LIMIT
+        tail = payload["history"][-1]
+        assert tail["benches"]["run"]["work_units"] == 10.0
+        assert tail["sha"]
+        assert "counters" not in tail["benches"]["run"]
+
+    def test_malformed_history_tail_raises(self, tmp_path):
+        path = tmp_path / "BENCH_fleet.json"
+        path.write_text(json.dumps(
+            {"benches": {"run": _bench(10.0)}, "history": ["bogus"]}))
+        with pytest.raises(BenchGateError):
+            load_baseline(str(tmp_path), "fleet")
