@@ -1,0 +1,139 @@
+"""Bench: federated ingest throughput and gateway-failover recovery.
+
+Two measurements, recorded into ``BENCH_federation.json`` so
+``python -m repro.check.bench`` gates them against the committed
+baseline:
+
+* ``federation_throughput`` — a generated beacon stream partitioned
+  over 3 supervised gateways (real queues, heartbeats, periodic
+  checkpoints) and merged with ``merge_federated``; asserts the
+  federated fold is *bit-identical* to one gateway over the same
+  stream.
+* ``federation_failover_recovery`` — the seeded ``gateway-kill``
+  scenario: the recorded number is the wall-clock from death detection
+  to the successor pipeline accepting traffic (kill fence + checkpoint
+  restore + adoption), the latency a real deployment eats per gateway
+  crash.
+
+Gated counters are *timing-independent* on purpose (ingested/error
+totals, tenant counts, failover count, digest match) — deduped frame
+counts vary with checkpoint timing and are printed, not gated.
+"""
+
+import asyncio
+import tempfile
+
+from conftest import record_baseline, timed_once
+
+from repro.service import (
+    BackpressurePolicy,
+    FederationConfig,
+    FederationCoordinator,
+    GatewayService,
+    ServiceConfig,
+    generate_stream,
+    replay,
+    tenant_state_digest,
+)
+from repro.faults.service import build_service_fault_plan
+
+PAYLOADS = 120_000
+GATEWAYS = 3
+SEED = 7
+
+
+def _wires():
+    return generate_stream(PAYLOADS, device_count=96,
+                           tenant_count=2 * GATEWAYS, seed=SEED,
+                           corrupt_fraction=0.002)
+
+
+def _reference_digest(wires) -> tuple[str, int, int]:
+    async def single():
+        service = GatewayService(ServiceConfig(
+            policy=BackpressurePolicy.BLOCK, metrics_interval_s=0.0,
+            checkpoint_interval_s=0.0))
+        await service.start()
+        await replay(service, wires)
+        await service.stop()
+        return service
+
+    service = asyncio.run(single())
+    stats = service.stats()
+    return (tenant_state_digest(service.tenants), stats.ingested,
+            stats.decode_errors)
+
+
+def test_federation_throughput(benchmark):
+    """Unfaulted 3-gateway federation, end to end, vs one gateway."""
+    wires = _wires()
+    digest, ingested, errors = _reference_digest(wires)
+
+    def run():
+        with tempfile.TemporaryDirectory(
+                prefix="bench-federation-") as root:
+            config = FederationConfig(
+                gateways=GATEWAYS, checkpoint_root=root, seed=SEED,
+                durable_checkpoints=False)
+            return asyncio.run(FederationCoordinator(config).run(wires))
+
+    report, seconds = timed_once(benchmark, run)
+    per_minute = report.ingested / seconds * 60.0
+    match = report.digest() == digest
+    record_baseline("federation", "federation_throughput", seconds,
+                    counters={
+                        "payloads": PAYLOADS,
+                        "gateways": GATEWAYS,
+                        "ingested": report.ingested,
+                        "decode_errors": report.decode_errors,
+                        "tenants": len(report.tenants),
+                        "failovers": report.failovers,
+                        "digest_match": int(match),
+                    })
+    print()
+    print(f"federated: {report.ingested} payloads over {GATEWAYS} "
+          f"gateways in {seconds:.2f}s = {per_minute:,.0f} payloads/min")
+    assert match
+    assert report.ingested == ingested
+    assert report.decode_errors == errors
+    assert report.failovers == 0
+
+
+def test_federation_failover_recovery(benchmark):
+    """Seeded gateway kill: recovery latency, exactness preserved."""
+    wires = _wires()
+    digest, ingested, errors = _reference_digest(wires)
+    plan = build_service_fault_plan("gateway-kill", seed=SEED,
+                                    gateway_count=GATEWAYS,
+                                    frames_hint=PAYLOADS // GATEWAYS)
+
+    def run():
+        with tempfile.TemporaryDirectory(
+                prefix="bench-federation-") as root:
+            config = FederationConfig(
+                gateways=GATEWAYS, checkpoint_root=root, seed=SEED,
+                durable_checkpoints=False, checkpoint_interval_s=0.05)
+            coordinator = FederationCoordinator(config, fault_plan=plan)
+            return asyncio.run(coordinator.run(wires))
+
+    report, _ = timed_once(benchmark, run)
+    assert report.recovery_s is not None
+    match = report.digest() == digest
+    record_baseline("federation", "federation_failover_recovery",
+                    report.recovery_s,
+                    counters={
+                        "payloads": PAYLOADS,
+                        "gateways": GATEWAYS,
+                        "ingested": report.ingested,
+                        "decode_errors": report.decode_errors,
+                        "failovers": report.failovers,
+                        "digest_match": int(match),
+                    })
+    print()
+    print(f"failover recovery: {report.recovery_s * 1e3:.1f} ms "
+          f"(deduped {report.deduped} replayed frames, "
+          f"{report.restarts} restart(s))")
+    assert match
+    assert report.ingested == ingested
+    assert report.decode_errors == errors
+    assert report.failovers == 1

@@ -6,7 +6,8 @@ calibration workload timed on the same host — see
 ``benchmarks/conftest.py``) plus the exact aggregate counters. The
 repo commits one baseline per suite (``BENCH_fleet.json``,
 ``BENCH_substrate.json``, ``BENCH_service.json``,
-``BENCH_scenarios.json``); this gate re-compares a fresh run against
+``BENCH_scenarios.json``, ``BENCH_federation.json``); this gate
+re-compares a fresh run against
 them — against each baseline's **latest history entry** when the file
 carries the refresh trail::
 
@@ -39,7 +40,8 @@ import time
 from . import CheckError, CheckReport, CheckResult
 
 #: The suites with committed baselines at the repo root.
-DEFAULT_SUITES = ("fleet", "substrate", "service", "scenarios")
+DEFAULT_SUITES = ("fleet", "substrate", "service", "scenarios",
+                  "federation")
 DEFAULT_TOLERANCE = 0.30
 
 
@@ -170,7 +172,8 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 0.30)")
     parser.add_argument("--suites", nargs="+", default=list(DEFAULT_SUITES),
                         metavar="SUITE", help="suites to gate "
-                        "(default: fleet substrate service scenarios)")
+                        "(default: fleet substrate service scenarios "
+                        "federation)")
     parser.add_argument("--json", metavar="PATH",
                         help="write the machine-readable report here "
                         "('-' for stdout)")

@@ -11,6 +11,9 @@ Three layers:
   (:class:`FaultStats`).
 - :mod:`repro.faults.recovery` — the gateway-driven graceful
   degradation policy (:class:`AdaptiveRedundancyController`).
+- :mod:`repro.faults.service` — seeded, declarative gateway-level
+  fault schedules (:class:`ServiceFaultPlan`) for the federation
+  chaos suite; mechanics live in :mod:`repro.service.federation`.
 
 Host-level chaos (killed pool workers, shard checkpoint/resume) lives
 with the executors it hardens: :mod:`repro.experiments.runner` and
@@ -35,6 +38,12 @@ from .recovery import (
     RecoveryAction,
     RecoveryError,
     RecoveryStats,
+)
+from .service import (
+    SERVICE_FAULT_SCENARIOS,
+    ServiceFault,
+    ServiceFaultPlan,
+    build_service_fault_plan,
 )
 
 __all__ = [name for name in dir() if not name.startswith("_")]

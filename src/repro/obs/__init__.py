@@ -23,6 +23,7 @@ from .audit import (
     AuditReport,
     audit_all,
     audit_faults,
+    audit_federation,
     audit_fleet,
     audit_mobility,
     audit_scenario,

@@ -427,6 +427,101 @@ def audit_mobility(point, subject: str | None = None) -> AuditReport:
     return report
 
 
+def audit_federation(report_obj, expected_frames: int | None = None,
+                     subject: str = "federation") -> AuditReport:
+    """Audit one federated run.
+
+    Duck-typed on :class:`repro.service.federation.FederationReport`
+    (so the audit layer never imports the service layer):
+
+    * **frame-conservation** — every frame is accounted for exactly
+      once: ``ingested + decode_errors == expected_frames`` when the
+      caller knows the offered count, and each partition's processed
+      count equals its partition size;
+    * **backoff-schedule** — every failover event's recorded delay is
+      *recomputed* through the report's own seeded ladder
+      (``expected_delay(slot, attempt)``) and must match bit for bit —
+      the restart schedule is a pure function of the seed, never of
+      wall-clock racing;
+    * **event-accounting** — failover/restart/handback counters equal
+      their event counts, attempts per slot increase by one, and
+      restarts never exceed failovers;
+    * **non-negative counters** — dedupe and per-partition counts
+      never go backwards.
+    """
+    report = AuditReport()
+
+    report.checks += 1
+    processed = report_obj.ingested + report_obj.decode_errors
+    if expected_frames is not None and processed != expected_frames:
+        report.findings.append(AuditFinding(
+            "frame-conservation", subject,
+            f"{report_obj.ingested} ingested + "
+            f"{report_obj.decode_errors} errors = {processed}, but "
+            f"{expected_frames} frames were offered"))
+    for entry in report_obj.per_partition:
+        partition_processed = entry["ingested"] + entry["decode_errors"]
+        if partition_processed != entry["frames"]:
+            report.findings.append(AuditFinding(
+                "frame-conservation",
+                f"{subject}/partition_{entry['partition']}",
+                f"processed {partition_processed} of the partition's "
+                f"{entry['frames']} frames"))
+
+    report.checks += 1
+    attempts_seen: dict[int, int] = {}
+    for event in report_obj.events:
+        if event.kind == "failover":
+            expected_delay = report_obj.expected_delay(event.slot,
+                                                       event.attempt)
+            if event.delay_s != expected_delay:
+                report.findings.append(AuditFinding(
+                    "backoff-schedule", subject,
+                    f"slot {event.slot} attempt {event.attempt} waited "
+                    f"{event.delay_s!r} s; the seeded ladder says "
+                    f"{expected_delay!r} s"))
+            previous = attempts_seen.get(event.slot, 0)
+            if event.attempt != previous + 1:
+                report.findings.append(AuditFinding(
+                    "backoff-schedule", subject,
+                    f"slot {event.slot} jumped from attempt {previous} "
+                    f"to {event.attempt}"))
+            attempts_seen[event.slot] = event.attempt
+
+    report.checks += 1
+    by_kind = {"failover": 0, "restart": 0, "handback": 0}
+    for event in report_obj.events:
+        if event.kind in by_kind:
+            by_kind[event.kind] += 1
+    for kind, counter in (("failover", report_obj.failovers),
+                          ("restart", report_obj.restarts),
+                          ("handback", report_obj.handbacks)):
+        if by_kind[kind] != counter:
+            report.findings.append(AuditFinding(
+                "event-accounting", subject,
+                f"{counter} {kind}s counted but {by_kind[kind]} "
+                f"{kind} events recorded"))
+    if report_obj.restarts > report_obj.failovers:
+        report.findings.append(AuditFinding(
+            "event-accounting", subject,
+            f"{report_obj.restarts} restarts exceed "
+            f"{report_obj.failovers} failovers"))
+
+    report.checks += 1
+    if report_obj.deduped < 0:
+        report.findings.append(AuditFinding(
+            "non-negative-counters", subject,
+            f"deduped={report_obj.deduped} is negative"))
+    for entry in report_obj.per_partition:
+        for key in ("ingested", "decode_errors", "deduped"):
+            if entry[key] < 0:
+                report.findings.append(AuditFinding(
+                    "non-negative-counters",
+                    f"{subject}/partition_{entry['partition']}",
+                    f"{key}={entry[key]} is negative"))
+    return report
+
+
 def audit_all(results: dict, rel_tol: float = CHARGE_REL_TOL,
               sample_rate_hz: float | None = 50_000.0) -> AuditReport:
     """Audit every scenario result in ``results`` into one report."""

@@ -33,13 +33,40 @@ The moving parts, one module each:
   live metrics, graceful SIGTERM drain.
 * :mod:`~repro.service.replay` — deterministic recorded beacon streams
   and the paced replayer that drives benches, smokes and CI.
+* :mod:`~repro.service.federation` — N supervised gateways over a
+  per-tenant-partitioned stream: heartbeat death detection,
+  checkpoint-resume failover with offset-chain tail dedupe, seeded
+  exponential-backoff restarts, the cross-gateway
+  :func:`~repro.service.federation.merge_federated` ordering contract,
+  and the chaos mechanics behind ``--chaos-suite``.
 
 ``python -m repro.service --help`` runs all of it from the shell; see
 ``docs/SERVICE.md`` for the architecture discussion.
 """
 
 from .checkpoint import ServiceCheckpointer
-from .ingest import BeaconPayload, IngestError, decode_batch, extract_payload
+from .federation import (
+    FederationConfig,
+    FederationCoordinator,
+    FederationError,
+    FederationEvent,
+    FederationReport,
+    backoff_delay,
+    backoff_schedule,
+    merge_federated,
+    partition_stream,
+    route_wire,
+    run_federated,
+    tenant_state_digest,
+)
+from .ingest import (
+    BeaconPayload,
+    IngestError,
+    decode_batch,
+    decode_wires,
+    extract_payload,
+    peek_device_id,
+)
 from .queues import BackpressurePolicy, BoundedPayloadQueue, QueueClosed
 from .replay import generate_stream, load_stream, record_stream, replay
 from .server import GatewayService, ServiceConfig, ServiceError, ServiceStats

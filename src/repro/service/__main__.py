@@ -9,9 +9,20 @@
     python -m repro.service --chaos-smoke      # kill a decode worker
                                                # mid-stream; aggregates must
                                                # match the clean run exactly
+    python -m repro.service --chaos-suite      # every gateway-level fault
+                                               # scenario (kill/hang/slow-
+                                               # drain/corrupt/stall) through
+                                               # a supervised 3-gateway
+                                               # federation; each must end
+                                               # bit-identical to one clean
+                                               # gateway
+    python -m repro.service --replay stream.bin --federate 3
+                                               # federated replay: partition
+                                               # the stream over N supervised
+                                               # gateways and merge
 
-Without ``--replay``/``--soak``/``--chaos-smoke`` the service runs as a
-daemon: it starts, resumes from ``--checkpoint`` if present, and waits
+Without ``--replay``/``--soak``/``--chaos-smoke``/``--chaos-suite`` the
+service runs as a daemon: it starts, resumes from ``--checkpoint`` if present, and waits
 for SIGTERM/SIGINT, draining gracefully on either — the mode a real
 deployment runs under systemd. (There is no network listener in the
 reproduction; frames arrive via recorded streams or embedding
@@ -28,6 +39,12 @@ import sys
 import tempfile
 import time
 
+from ..faults.service import SERVICE_FAULT_SCENARIOS, build_service_fault_plan
+from .federation import (
+    FederationConfig,
+    FederationCoordinator,
+    tenant_state_digest,
+)
 from .queues import BackpressurePolicy
 from .replay import generate_stream, load_stream, record_stream, replay
 from .server import GatewayService, ServiceConfig
@@ -42,6 +59,7 @@ def _config_from_args(args, policy: BackpressurePolicy | None = None,
         batch_size=args.batch_size,
         workers=args.workers,
         checkpoint_interval_s=args.checkpoint_interval,
+        drain_deadline_s=args.drain_deadline,
     )
     options.update(overrides)
     return ServiceConfig(**options)
@@ -138,6 +156,108 @@ def _chaos_smoke(args) -> int:
     return 0
 
 
+def _federation_config(args, checkpoint_root: str | None,
+                       **overrides) -> FederationConfig:
+    options = dict(
+        gateways=args.federate or 3,
+        checkpoint_root=checkpoint_root,
+        workers=args.workers,
+        seed=args.seed,
+        drain_deadline_s=args.drain_deadline,
+    )
+    options.update(overrides)
+    return FederationConfig(**options)
+
+
+def _render_federation(report, elapsed_s: float | None = None) -> str:
+    lines = [
+        f"gateways              {report.gateways}",
+        f"payloads ingested     {report.ingested}",
+        f"decode errors         {report.decode_errors}",
+        f"failovers             {report.failovers}",
+        f"restarts              {report.restarts}",
+        f"handbacks             {report.handbacks}",
+        f"replay frames deduped {report.deduped}",
+        f"tenants               {len(report.tenants)}",
+    ]
+    if report.recovery_s is not None:
+        lines.append(f"first failover recovery {report.recovery_s * 1e3:.1f} ms")
+    if elapsed_s:
+        per_minute = report.ingested / elapsed_s * 60.0
+        lines.append(f"ingest rate           {per_minute:,.0f} payloads/min "
+                     f"({elapsed_s:.1f} s wall clock)")
+    return "\n".join(lines)
+
+
+def _chaos_suite(args) -> int:
+    """The federation chaos suite: one clean single-gateway reference
+    run, then every gateway-level fault scenario through a supervised
+    federation — each must end with *bit-identical* per-tenant
+    aggregates (``to_state`` equality via a canonical digest) and
+    conserve the frame count exactly."""
+    payloads = min(args.payloads, 20_000)
+    gateways = args.federate or 3
+    wires = generate_stream(payloads, device_count=args.devices,
+                            tenant_count=2 * gateways, seed=args.seed,
+                            corrupt_fraction=0.002)
+    reference_config = _config_from_args(
+        args, policy=BackpressurePolicy.BLOCK, checkpoint_dir=None,
+        workers=0, metrics_interval_s=0.0, checkpoint_interval_s=0.0)
+    service, _ = asyncio.run(_run_replay(wires, reference_config))
+    reference = tenant_state_digest(service.tenants)
+    reference_stats = service.stats()
+    print(f"reference: 1 gateway, {reference_stats.ingested} payloads, "
+          f"{reference_stats.decode_errors} decode errors")
+    failed = []
+    for scenario in SERVICE_FAULT_SCENARIOS:
+        plan = build_service_fault_plan(
+            scenario, seed=args.seed, gateway_count=gateways,
+            frames_hint=max(len(wires) // gateways, 1))
+        with tempfile.TemporaryDirectory(
+                prefix=f"federation-{scenario}-") as root:
+            config = _federation_config(
+                args, root, gateways=gateways,
+                # Fast cadence so kills land on a non-empty watermark
+                # and the suite still runs in seconds.
+                checkpoint_interval_s=0.03, feed_pause_s=0.002,
+                durable_checkpoints=False)
+            started = time.perf_counter()
+            report = asyncio.run(
+                FederationCoordinator(config, plan).run(wires))
+            elapsed = time.perf_counter() - started
+        problems = []
+        if report.digest() != reference:
+            problems.append("aggregates differ from the clean run")
+        if report.ingested != reference_stats.ingested:
+            problems.append(f"ingested {report.ingested} != "
+                            f"{reference_stats.ingested}")
+        if report.decode_errors != reference_stats.decode_errors:
+            problems.append(f"decode errors {report.decode_errors} != "
+                            f"{reference_stats.decode_errors}")
+        if report.failovers < 1:
+            problems.append("fault never triggered a failover")
+        expected = [report.expected_delay(e.slot, e.attempt)
+                    for e in report.events if e.kind == "failover"]
+        actual = [e.delay_s for e in report.events if e.kind == "failover"]
+        if actual != expected:
+            problems.append(f"backoff schedule drifted: {actual} != "
+                            f"{expected}")
+        verdict = "ok" if not problems else "FAIL"
+        print(f"{scenario:<20} {verdict}  failovers={report.failovers} "
+              f"restarts={report.restarts} deduped={report.deduped} "
+              f"({elapsed:.2f}s)")
+        for problem in problems:
+            print(f"    {problem}")
+        if problems:
+            failed.append(scenario)
+    if failed:
+        print(f"\nCHAOS SUITE FAILED: {', '.join(failed)}")
+        return 1
+    print(f"\nchaos suite holds: {len(SERVICE_FAULT_SCENARIOS)} scenarios, "
+          f"all bit-identical to the unfaulted single-gateway run")
+    return 0
+
+
 async def _run_daemon(args, config: ServiceConfig) -> int:
     service = GatewayService(config)
     await service.start()
@@ -187,6 +307,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="SIGKILL a decode worker mid-stream; exit 1 "
                              "unless aggregates match the clean run "
                              "exactly")
+    parser.add_argument("--chaos-suite", action="store_true",
+                        help="run every gateway-level fault scenario "
+                             "through a supervised federation; exit 1 "
+                             "unless each ends bit-identical to the "
+                             "unfaulted single-gateway run")
+    parser.add_argument("--federate", type=int, default=None, metavar="N",
+                        help="replay through N supervised federated "
+                             "gateways (also sizes --chaos-suite)")
+    parser.add_argument("--drain-deadline", type=float, default=None,
+                        metavar="S",
+                        help="hard ceiling on the SIGTERM/stop drain; a "
+                             "hung drain fails loudly instead of "
+                             "stalling forever")
     args = parser.parse_args(argv)
 
     if args.record:
@@ -201,6 +334,21 @@ def main(argv: list[str] | None = None) -> int:
         return _soak(args)
     if args.chaos_smoke:
         return _chaos_smoke(args)
+    if args.chaos_suite:
+        return _chaos_suite(args)
+
+    if args.replay and args.federate:
+        wires = load_stream(args.replay)
+        config = _federation_config(args, args.checkpoint)
+        started = time.perf_counter()
+        report = asyncio.run(FederationCoordinator(config).run(wires))
+        elapsed = time.perf_counter() - started
+        print(_render_federation(report, elapsed))
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(tenant_state_digest(report.tenants), handle)
+            print(f"wrote {args.json}")
+        return 0
 
     config = _config_from_args(args)
     if args.replay:

@@ -15,9 +15,11 @@ needs that a batch run does not:
 * **Validated recovery.** :meth:`ServiceCheckpointer.load` does not
   trust bytes on disk: every candidate generation is round-tripped
   through :meth:`TenantAggregate.from_state` before being offered to
-  the server, and corrupt candidates are deleted and skipped — the
-  service-side twin of the shard-checkpoint fix this PR makes in
-  :func:`repro.fleet.shards.load_checkpoint_state`.
+  the server. Corrupt candidates are *quarantined* — renamed to
+  ``<file>.corrupt`` and counted in
+  ``service_checkpoint_corrupt_total`` — so restarts never re-parse
+  known-bad JSON, the evidence survives for post-mortem, and the
+  rotation stops matching (hence stops trusting) the file.
 
 Writes take an internal lock, so the server may rotate from a worker
 thread while tests (or an operator) drive saves concurrently.
@@ -31,6 +33,7 @@ import re
 import threading
 
 from ..fleet.shards import CheckpointMismatchError, fsync_dir, write_json_atomic
+from ..obs.metrics import METRICS
 from .tenants import DEFAULT_TENANT_BITS, TenantAggregate, TenantError
 
 _SCHEMA = 1
@@ -118,7 +121,10 @@ class ServiceCheckpointer:
 
         Tries the ``CURRENT`` generation first, then earlier ones in
         descending order. Corrupt or schema-invalid candidates are
-        deleted and skipped. A checkpoint written under a different
+        quarantined (renamed to ``*.corrupt``, counted in
+        ``service_checkpoint_corrupt_total``) and skipped, so the next
+        restart does not re-parse them. A checkpoint written under a
+        different
         tenant split is *not* corruption — it is someone pointing the
         service at the wrong directory — so that raises
         :class:`repro.fleet.shards.CheckpointMismatchError` instead of
@@ -177,7 +183,21 @@ class ServiceCheckpointer:
             raise
         except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
                 TypeError, ValueError, TenantError):
-            os.unlink(path)
+            self._quarantine(path)
             return None
         payload["tenants"] = tenants
         return payload
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt generation aside instead of deleting it: the
+        ``*.corrupt`` name no longer matches the generation pattern, so
+        every later load skips the bad bytes for free, and the file
+        itself survives for a post-mortem."""
+        METRICS.counter("service_checkpoint_corrupt_total").inc()
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            # Quarantine is best-effort; a vanished file skips fine.
+            pass
+        if self.durable:
+            fsync_dir(self.directory)

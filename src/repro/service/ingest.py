@@ -200,6 +200,59 @@ def _decode_readings(blob: bytes, pos: int,
     return tuple(readings)
 
 
+def peek_device_id(wire: bytes) -> int | None:
+    """The Wi-LE device id of a frame, or ``None`` if it cannot be read.
+
+    A *routing* parse, not a validating one: no FCS, no message CRC —
+    just enough structure-walking to find the vendor IE and unpack the
+    header. The federation layer partitions streams with it, so it must
+    be a pure function of the bytes (same frame, same answer, every
+    process) but must never reject: a frame too mangled to route still
+    has to land on *some* deterministic partition to have its decode
+    error counted exactly once.
+    """
+    n = len(wire)
+    if n < _MGMT_HEADER + _FIXED_PARAMS + _FCS_BYTES or wire[0] != 0x80:
+        return None
+    pos = _MGMT_HEADER + _FIXED_PARAMS
+    end = n - _FCS_BYTES
+    while pos + 2 <= end:
+        length = wire[pos + 1]
+        value_end = pos + 2 + length
+        if value_end > end:
+            return None
+        if wire[pos] == _VENDOR_IE and length >= 4 \
+                and wire[pos + 2:pos + 6] == _OUI_TYPE:
+            blob = wire[pos + 6:value_end]
+            if len(blob) < _MSG_HEADER.size:
+                return None
+            return _MSG_HEADER.unpack_from(blob)[1]
+        pos = value_end
+    return None
+
+
+def decode_wires(wires: Sequence[bytes],
+                 tenant_bits: int = DEFAULT_TENANT_BITS,
+                 ) -> tuple[list[BeaconPayload], int]:
+    """Decode one batch of raw frames into payloads, preserving order.
+
+    Returns ``(payloads, errors)``: the decodable frames' payloads in
+    stream order, plus the count of undecodable frames (dropped, never
+    fatal — one mangled capture must not take the service down).
+    ``tenant_bits`` is accepted for signature parity with the old
+    partial-state decoder; tenancy is derived by the merge side now.
+    """
+    del tenant_bits  # tenancy is resolved where payloads are observed
+    payloads: list[BeaconPayload] = []
+    errors = 0
+    for wire in wires:
+        try:
+            payloads.append(extract_payload(wire))
+        except (IngestError, struct.error):
+            errors += 1
+    return payloads, errors
+
+
 def decode_batch(wires: Sequence[bytes],
                  tenant_bits: int = DEFAULT_TENANT_BITS,
                  ) -> tuple[dict[int, dict], int]:
@@ -207,17 +260,15 @@ def decode_batch(wires: Sequence[bytes],
 
     Returns ``(states, errors)`` where ``states`` maps tenant id to the
     exact :meth:`TenantAggregate.to_state` of this batch's partial, and
-    ``errors`` counts undecodable frames (dropped, never fatal — one
-    mangled capture must not take the service down).
+    ``errors`` counts undecodable frames. The live service no longer
+    merges these partials (it observes :func:`decode_wires` payloads in
+    stream order, which makes aggregates independent of batch
+    boundaries); this form remains the compact unit for offline tools
+    and the differential tests that pin partial-merge exactness.
     """
+    payloads, errors = decode_wires(wires)
     partials: dict[int, TenantAggregate] = {}
-    errors = 0
-    for wire in wires:
-        try:
-            payload = extract_payload(wire)
-        except (IngestError, struct.error):
-            errors += 1
-            continue
+    for payload in payloads:
         tenant_id = payload.device_id >> tenant_bits
         aggregate = partials.get(tenant_id)
         if aggregate is None:
@@ -228,14 +279,16 @@ def decode_batch(wires: Sequence[bytes],
              for tenant_id, aggregate in partials.items()}, errors)
 
 
-def decode_batch_task(task: tuple) -> tuple[int, dict[int, dict], int]:
+def decode_batch_task(task: tuple) -> tuple[int, list[BeaconPayload], int]:
     """Worker-side unit of fan-out (module-level so it pickles).
 
     ``task`` is ``(batch_id, wires, tenant_bits, chaos_dir,
-    chaos_kill_batch)``. The chaos hook mirrors the fleet shard runner:
-    the *first* attempt at the named batch SIGKILLs its own worker
-    (marker file first, so the retry proceeds), which is how the chaos
-    smoke proves a killed worker loses no aggregates.
+    chaos_kill_batch)``; the result is ``(batch_id, payloads, errors)``
+    with payloads in stream order, so the server can observe them
+    sequentially. The chaos hook mirrors the fleet shard runner: the
+    *first* attempt at the named batch SIGKILLs its own worker (marker
+    file first, so the retry proceeds), which is how the chaos smoke
+    proves a killed worker loses no aggregates.
     """
     batch_id, wires, tenant_bits, chaos_dir, chaos_kill_batch = task
     if chaos_kill_batch is not None and batch_id == chaos_kill_batch \
@@ -245,5 +298,5 @@ def decode_batch_task(task: tuple) -> tuple[int, dict[int, dict], int]:
             with open(marker, "w", encoding="utf-8") as handle:
                 handle.write("killed once\n")
             os.kill(os.getpid(), signal.SIGKILL)
-    states, errors = decode_batch(wires, tenant_bits)
-    return batch_id, states, errors
+    payloads, errors = decode_wires(wires, tenant_bits)
+    return batch_id, payloads, errors

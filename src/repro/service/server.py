@@ -13,12 +13,15 @@ queue in the middle::
 
 Correctness properties the tests lean on:
 
-* **Ordered merges.** Decode batches may complete out of order (pool
-  mode) but are merged strictly in batch-id order through a reorder
-  buffer. Combined with pure, deterministic ``decode_batch``, a killed
-  worker whose batches are resubmitted produces *bit-identical*
-  tenant aggregates to an uninterrupted run — the chaos smoke asserts
-  exact equality, not tolerances.
+* **Ordered merges, sequential observation.** Decode batches may
+  complete out of order (pool mode) but their payloads are observed
+  strictly in batch-id order through a reorder buffer, one payload at
+  a time in stream order. Aggregates are therefore a pure function of
+  the frame sequence — independent of batch boundaries, pool timing,
+  worker deaths, *and* (the property federation rests on) of which
+  gateway processed which stretch of the stream. The chaos smoke and
+  the federation chaos suite both assert exact ``to_state`` equality,
+  not tolerances.
 * **Broken-pool rescue.** The same ladder as
   :class:`repro.experiments.runner.ParallelRunner`: a broken pool is
   rebuilt and in-flight batches resubmitted (payloads are retained
@@ -52,7 +55,7 @@ from typing import Iterable, Sequence
 
 from ..obs.metrics import METRICS
 from .checkpoint import ServiceCheckpointer
-from .ingest import decode_batch, decode_batch_task
+from .ingest import decode_batch_task, decode_wires
 from .queues import BackpressurePolicy, BoundedPayloadQueue
 from .tenants import DEFAULT_TENANT_BITS, TenantAggregate
 
@@ -80,6 +83,10 @@ class ServiceConfig:
     metrics_interval_s: float = 1.0
     #: Pool resubmissions per batch before the in-process serial rescue.
     max_retries: int = 2
+    #: Hard ceiling on how long stop() waits for the drain. ``None``
+    #: waits forever (the pre-federation behaviour); a finite deadline
+    #: makes a hung drain fail loudly instead of stalling CI.
+    drain_deadline_s: float | None = None
     #: Chaos hook (pool mode only): the first worker to pick up this
     #: batch id SIGKILLs itself once — see ingest.decode_batch_task.
     chaos_kill_batch: int | None = None
@@ -148,7 +155,7 @@ class GatewayService:
         self._pending: "OrderedDict[int, tuple[list, asyncio.Future]]" = \
             OrderedDict()
         self._retries: dict[int, int] = {}
-        self._merge_buffer: dict[int, tuple[dict, int]] = {}
+        self._merge_buffer: dict[int, tuple[list, int]] = {}
         self._next_batch_id = 0
         self._next_merge_id = 0
         # Counters (ingested/decode_errors resume from the checkpoint).
@@ -190,8 +197,17 @@ class GatewayService:
         await self.queue.close()
         pump = self._tasks[0]
         pump_error: BaseException | None = None
+        drain_expired = False
         try:
-            await pump
+            if self.config.drain_deadline_s is not None:
+                await asyncio.wait_for(pump, self.config.drain_deadline_s)
+            else:
+                await pump
+        except asyncio.TimeoutError:
+            # wait_for already cancelled the pump; the merged prefix is
+            # still consistent and worth checkpointing below.
+            drain_expired = True
+            METRICS.counter("service_drain_deadline_total").inc()
         except Exception as error:
             pump_error = error
         for task in self._tasks[1:]:
@@ -211,10 +227,59 @@ class GatewayService:
             raise ServiceError(
                 "gateway pump failed; state merged before the failure "
                 "was checkpointed") from pump_error
+        if drain_expired:
+            raise ServiceError(
+                f"drain deadline of {self.config.drain_deadline_s}s "
+                "exceeded; merged prefix checkpointed, tail abandoned")
+
+    async def kill(self) -> None:
+        """Abandon the gateway without draining — in-process SIGKILL
+        semantics for the federation supervisor. No drain, no final
+        checkpoint; whatever the last periodic save captured is all a
+        successor gets. The one blocking step is flushing the
+        checkpoint thread (``wait=True``): it *fences* the dead
+        gateway, guaranteeing no stale in-flight save lands after a
+        peer has adopted the partition's checkpoint directory.
+        Idempotent, and safe after :meth:`stop`."""
+        if not self._started:
+            raise ServiceError("service never started")
+        self._stopped = True
+        await self.queue.close()
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks = []
+        if self._checkpoint_executor is not None:
+            self._checkpoint_executor.shutdown(wait=True)
+            self._checkpoint_executor = None
+        self._shutdown_executor()
 
     @property
     def stopped(self) -> bool:
         return self._stopped
+
+    @property
+    def pump_error(self) -> BaseException | None:
+        """The exception that killed the pump, if any — the federation
+        supervisor's fastest death signal."""
+        return self._pump_error
+
+    @property
+    def pending_batches(self) -> int:
+        """Batches submitted to the pool but not yet merged."""
+        return len(self._pending)
+
+    @property
+    def frames_processed(self) -> int:
+        """Frames fully accounted for: merged payloads plus decode
+        errors. With BLOCK backpressure (no drops) this is an exact
+        stream offset — the federation layer uses it as the replay
+        watermark."""
+        return self._ingested + self._decode_errors
 
     def install_signal_handlers(self, signals: Iterable[int]) -> None:
         """Route the given signals (typically SIGTERM/SIGINT) to a
@@ -277,12 +342,19 @@ class GatewayService:
         while self._pending:
             await self._reap_oldest()
 
+    async def _before_dispatch(self, batch: list) -> None:
+        """Subclass hook, awaited before each batch is dispatched. The
+        federation chaos harness overrides it to fire deterministic
+        frame-count-triggered faults (hang, slow-drain, kill) at the
+        exact same stream offset on every run."""
+
     async def _dispatch(self, batch: list) -> None:
+        await self._before_dispatch(batch)
         batch_id = self._next_batch_id
         self._next_batch_id += 1
         if self._executor is None:
-            states, errors = decode_batch(batch, self.config.tenant_bits)
-            self._merge_ready(batch_id, states, errors)
+            payloads, errors = decode_wires(batch, self.config.tenant_bits)
+            self._merge_ready(batch_id, payloads, errors)
             return
         self._submit_to_pool(batch_id, batch)
         # Bound in-flight work so payload retention (for rescue) stays
@@ -300,13 +372,13 @@ class GatewayService:
     async def _reap_oldest(self) -> None:
         batch_id, (_, future) = next(iter(self._pending.items()))
         try:
-            done_id, states, errors = await future
+            done_id, payloads, errors = await future
         except (BrokenProcessPool, OSError, RuntimeError):
             await self._rescue_broken_pool()
             return
         self._pending.pop(done_id, None)
         self._retries.pop(done_id, None)
-        self._merge_ready(done_id, states, errors)
+        self._merge_ready(done_id, payloads, errors)
 
     async def _rescue_broken_pool(self) -> None:
         """A worker died (chaos kill, OOM, ...): every in-flight future
@@ -329,9 +401,10 @@ class GatewayService:
                     and retries <= self.config.max_retries:
                 self._submit_to_pool(batch_id, batch)
             else:
-                states, errors = decode_batch(batch, self.config.tenant_bits)
+                payloads, errors = decode_wires(batch,
+                                                self.config.tenant_bits)
                 self._retries.pop(batch_id, None)
-                self._merge_ready(batch_id, states, errors)
+                self._merge_ready(batch_id, payloads, errors)
 
     def _new_executor(self) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(max_workers=self.config.workers)
@@ -343,24 +416,32 @@ class GatewayService:
 
     # -- ordered merge -------------------------------------------------------
 
-    def _merge_ready(self, batch_id: int, states: dict, errors: int) -> None:
-        """Buffer a completed batch; fold everything contiguous from
+    def _merge_ready(self, batch_id: int, payloads: list,
+                     errors: int) -> None:
+        """Buffer a completed batch; observe everything contiguous from
         ``_next_merge_id`` up, in batch order — out-of-order completions
-        wait their turn so merge order (and hence every float moment)
-        matches the sequential stream exactly."""
-        self._merge_buffer[batch_id] = (states, errors)
+        wait their turn. Payloads are observed one at a time in stream
+        order (not merged as batch partials), so every float moment in
+        every aggregate matches the sequential stream exactly, whatever
+        the batching."""
+        self._merge_buffer[batch_id] = (payloads, errors)
         while self._next_merge_id in self._merge_buffer:
-            states, errors = self._merge_buffer.pop(self._next_merge_id)
+            payloads, errors = self._merge_buffer.pop(self._next_merge_id)
             self._next_merge_id += 1
             self._decode_errors += errors
-            for tenant_id, state in sorted(states.items()):
-                partial = TenantAggregate.from_state(state)
-                ours = self.tenants.get(partial.tenant_id)
-                if ours is None:
-                    self.tenants[partial.tenant_id] = partial
-                else:
-                    ours.merge(partial)
-                self._ingested += partial.payloads
+            self._observe_payloads(payloads)
+
+    def _observe_payloads(self, payloads: list) -> None:
+        tenant_bits = self.config.tenant_bits
+        tenants = self.tenants
+        for payload in payloads:
+            tenant_id = payload.device_id >> tenant_bits
+            aggregate = tenants.get(tenant_id)
+            if aggregate is None:
+                aggregate = tenants[tenant_id] = TenantAggregate(
+                    tenant_id=tenant_id)
+            aggregate.observe(payload)
+        self._ingested += len(payloads)
 
     # -- checkpointing -------------------------------------------------------
 

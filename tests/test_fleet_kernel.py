@@ -173,11 +173,12 @@ class TestBenchGate:
             _write_baseline(directory, "substrate", {"op": _bench(0.5)})
             _write_baseline(directory, "service", {"soak": _bench(3.0)})
             _write_baseline(directory, "scenarios", {"fig": _bench(2.0)})
+            _write_baseline(directory, "federation", {"merge": _bench(1.0)})
         report = run_gate(str(committed), str(fresh))
         assert report.ok
         assert {result.name for result in report.results} == \
             {"bench-fleet-run", "bench-substrate-op", "bench-service-soak",
-             "bench-scenarios-fig"}
+             "bench-scenarios-fig", "bench-federation-merge"}
 
     def test_injected_slowdown_fails(self, tmp_path):
         # The committed/fresh pair the BENCH_INJECT_SLOWDOWN=1.5 knob

@@ -468,9 +468,16 @@ class TestServiceCheckpointer:
         path = checkpointer.save(_snapshot(20))
         with open(path, "w") as handle:
             handle.write("{ not json")
+        METRICS.clear()
         loaded = ServiceCheckpointer(str(tmp_path)).load()
         assert loaded["ingested"] == 10
-        assert not os.path.exists(path)  # corrupt file deleted
+        # Corrupt file is quarantined (not deleted): evidence survives,
+        # but the generation name no longer matches so later loads skip
+        # it without re-parsing.
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+        assert METRICS.get("service_checkpoint_corrupt_total").value == 1
+        METRICS.clear()
 
     def test_corrupt_current_pointer_recovers(self, tmp_path):
         checkpointer = ServiceCheckpointer(str(tmp_path))
@@ -645,7 +652,7 @@ class TestGatewayService:
         def boom(batch, tenant_bits):
             raise RuntimeError("decoder exploded")
 
-        monkeypatch.setattr("repro.service.server.decode_batch", boom)
+        monkeypatch.setattr("repro.service.server.decode_wires", boom)
 
         async def scenario():
             service = GatewayService(ServiceConfig(
