@@ -37,9 +37,13 @@ def test_battery_life(benchmark, scenario_results):
 
 def test_coin_cell_class_boundary(scenario_results):
     """Wi-LE and BLE are the only technologies in the >1-year coin-cell
-    class at every interval of 1 minute or more."""
+    class at every interval of 1 minute or more; WUR's ~13 uA standby
+    clears the year mark only at the 10-minute interval, and the rest
+    never do."""
     for cell in battery_life(scenario_results, intervals_s=(60.0, 600.0)):
         if cell.scenario in ("Wi-LE", "BLE"):
             assert cell.cr2032_years > 1.0, cell
+        elif cell.scenario == "WUR":
+            assert (cell.cr2032_years > 1.0) == (cell.interval_s >= 600.0), cell
         else:
             assert cell.cr2032_years < 1.0, cell

@@ -50,3 +50,36 @@ def test_figure3_energy_split(benchmark):
                    if phase.label not in ("tx", "sleep"))
     print(f"\nWiFi-DC overhead/data charge ratio: {overhead / data_tx:.0f}x")
     assert overhead / data_tx > 30
+
+
+def test_new_device_phase_breakdown(benchmark):
+    """The extension device classes' per-report phase structure: one
+    WUR wake burst (wup-rx | wake | tx | settle under a beacon-listen
+    doze) and one harvested batteryless report (cold boot every time),
+    with the harvest-gated delivery counters as exact-match counters."""
+    from repro.experiments.new_devices import phase_breakdown
+    from repro.scenarios import run_batteryless, run_wur
+
+    def build():
+        return {"WUR": run_wur(), "Batteryless": run_batteryless()}
+
+    results, seconds = timed_once(benchmark, build)
+    wur_phases = phase_breakdown(results["WUR"].trace)
+    batteryless_phases = phase_breakdown(results["Batteryless"].trace)
+    delivery = results["Batteryless"].details["delivery"]
+    record_baseline(
+        "scenarios", "scenarios_new_device_phases", seconds,
+        counters={"wur_phases": len(wur_phases),
+                  "batteryless_phases": len(batteryless_phases),
+                  "reports_attempted": delivery["attempted"],
+                  "reports_delivered": delivery["delivered"]})
+
+    wur = {phase.label: phase for phase in wur_phases}
+    # The WUP decode is the whole point: microjoules at the WURx, not
+    # milliseconds of main-radio listening.
+    assert wur["wup-rx"].charge_c < 1e-6
+    assert wur["tx"].charge_c > wur["wake"].charge_c > wur["settle"].charge_c
+    batteryless = {phase.label: phase for phase in batteryless_phases}
+    # The cold boot dominates the harvested report's budget.
+    assert batteryless["mc/wifi-init"].charge_c > 100 * batteryless["tx"].charge_c
+    assert 0 < delivery["delivered"] < delivery["attempted"]

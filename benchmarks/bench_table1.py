@@ -1,7 +1,9 @@
-"""Bench: regenerate Table 1 (energy/message + idle current, 4 scenarios).
+"""Bench: regenerate Table 1 (energy/message + idle current, 6 scenarios).
 
 Paper row:  Wi-LE 84 uJ | BLE 71 uJ | WiFi-DC 238.2 mJ | WiFi-PS 19.8 mJ
 Idle row:   2.5 uA | 1.1 uA | 2.5 uA | 4500 uA
+The WUR and Batteryless extension rows have no paper targets (their
+ratios are None); their sanity checks are ordering-based instead.
 """
 
 from conftest import once
@@ -15,8 +17,11 @@ def test_table1(benchmark, scenario_results):
     print()
     print(report.render())
     for row in report.rows:
-        assert abs(row.energy_ratio - 1.0) < 0.05, row.name
-        assert abs(row.idle_ratio - 1.0) < 0.01, row.name
+        if row.energy_ratio is not None:
+            assert abs(row.energy_ratio - 1.0) < 0.05, row.name
+            assert abs(row.idle_ratio - 1.0) < 0.01, row.name
+    assert [row.name for row in report.rows
+            if row.energy_ratio is None] == ["WUR", "Batteryless"]
 
 
 def test_table1_from_scratch(benchmark):
@@ -32,6 +37,10 @@ def test_energy_ordering_matches_paper(scenario_results):
     # §5.4: "the energy per packet for BLE is almost three orders of
     # magnitude lower than WiFi-PS".
     assert 100 < energy["WiFi-PS"] / energy["BLE"] < 1000
+    # The extension columns: WUR undercuts WiFi-PS (no beacon-sync
+    # wait), batteryless pays a full cold boot per report.
+    assert energy["BLE"] < energy["WUR"] < energy["WiFi-PS"]
+    assert energy["WiFi-PS"] < energy["Batteryless"] < energy["WiFi-DC"]
 
 
 def test_best_wifi_alternative_gap(scenario_results):

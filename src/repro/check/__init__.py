@@ -183,8 +183,8 @@ def oracle(name: str, kind: str, description: str,
 
 def all_oracles() -> list[Oracle]:
     """Every registered oracle (importing the oracle modules on demand)."""
-    from . import (analytic, differential, federation,  # noqa: F401
-                   metamorphic, mobility)
+    from . import (analytic, differential, energy,  # noqa: F401
+                   federation, metamorphic, mobility)
     return list(_REGISTRY)
 
 

@@ -1,0 +1,182 @@
+"""Energy-layer oracles for the WUR and harvesting device classes.
+
+The ``wur-*`` family holds the 802.11ba phase model to its closed
+forms: the doze current is an exact duty-cycle average, a WURx that
+never listens degenerates to plain deep sleep, and the burst energy is
+the exact integral of its phases. The ``energy-*`` family covers the
+harvesting chain (zero income == never transmits, the capacitor's
+books always balance, income integration is linear) and the Eq. 1 /
+crossover machinery the new curves lean on.
+"""
+
+from __future__ import annotations
+
+from ..energy import calibration as cal
+from ..energy.average import DutyCycleProfile, crossover_interval_s
+from ..energy.harvest import (
+    CapacitorBank,
+    EnergyIncomeTrace,
+    run_harvest_policy,
+)
+from ..energy.trace import CurrentTrace
+from ..energy.wur import WurPowerModel
+from . import Deviation, oracle
+from .analytic import _EQ1_INTERVALS, _profile_vs_trace
+
+
+@oracle("wur-idle-closed-form", "analytic",
+        "the WUR doze closed form equals exact integration of the "
+        "beacon-window trace microstructure, and the burst energy "
+        "equals its phase integral")
+def check_wur_idle_closed_form() -> Deviation:
+    model = WurPowerModel()
+    worst = 0.0
+    # Whole beacon periods: the closed form is exact there.
+    for periods in (1, 3, 10, 100):
+        trace = CurrentTrace()
+        model.record_idle(trace, periods * model.beacon_period_s)
+        from_trace = trace.average_current_a()
+        closed = model.idle_current_a()
+        worst = max(worst, abs(from_trace - closed) / closed)
+    burst = CurrentTrace()
+    model.record_burst(burst)
+    energy_j = burst.energy_j(model.supply_voltage_v)
+    worst = max(worst, abs(energy_j - model.energy_per_packet_j())
+                / model.energy_per_packet_j())
+    return Deviation(max_deviation=worst, tolerance=1e-12, unit="relative",
+                     detail="idle over 1/3/10/100 beacon periods + one burst")
+
+
+@oracle("wur-zero-wakeups-deep-sleep", "analytic",
+        "a WUR station whose WURx never draws (zero wake-ups, zero "
+        "listen windows) idles at exactly the deep-sleep floor")
+def check_wur_zero_wakeups() -> Deviation:
+    model = WurPowerModel(wurx_idle_a=0.0, wurx_rx_a=0.0, beacon_rx_s=0.0)
+    floor = cal.ESP32_DEEP_SLEEP_A
+    worst = abs(model.idle_current_a() - floor) / floor
+    trace = CurrentTrace()
+    model.record_idle(trace, 7.5)
+    worst = max(worst, abs(trace.average_current_a() - floor) / floor)
+    return Deviation(max_deviation=worst, tolerance=0.0, unit="relative",
+                     detail="closed form and 7.5 s trace, both exact")
+
+
+@oracle("energy-eq1-new-profiles", "analytic",
+        "Eq. 1's closed form equals exact trace integration for the "
+        "WUR and batteryless scenario profiles")
+def check_eq1_new_profiles() -> Deviation:
+    from ..scenarios import run_batteryless, run_wur
+    worst = 0.0
+    names = []
+    for result in (run_wur(), run_batteryless()):
+        worst = max(worst, _profile_vs_trace(result.profile(),
+                                             _EQ1_INTERVALS))
+        names.append(result.name)
+    return Deviation(max_deviation=worst, tolerance=1e-12, unit="relative",
+                     detail=f"profiles {names}, intervals {_EQ1_INTERVALS}")
+
+
+@oracle("energy-harvest-zero-income", "analytic",
+        "a harvester with zero income and an empty store never "
+        "transmits: every scheduled report is missed")
+def check_harvest_zero_income() -> Deviation:
+    bank = CapacitorBank(initial_j=0.0)
+    run = run_harvest_policy(EnergyIncomeTrace.zero(), bank=bank,
+                             wake_cost_j=0.05, report_interval_s=600.0,
+                             horizon_s=7200.0)
+    mismatches = 0.0
+    mismatches += run.transmitted != 0
+    mismatches += run.missed != run.attempts
+    mismatches += run.attempts != 12
+    mismatches += run.delivery_ratio != 0.0
+    mismatches += run.harvested_j != 0.0
+    mismatches += run.loaded_j != 0.0
+    return Deviation(max_deviation=mismatches, tolerance=0.0,
+                     unit="mismatches",
+                     detail=f"{run.attempts} scheduled reports, "
+                            f"{run.missed} missed")
+
+
+@oracle("energy-harvest-conservation", "analytic",
+        "the capacitor bank's books balance across seeded income "
+        "traces and brownout drains: initial + harvested == store + "
+        "leaked + loaded + spilled")
+def check_harvest_conservation() -> Deviation:
+    worst = 0.0
+    details = []
+    for seed, brownouts in ((1, ()), (2, (1800.0,)),
+                            (3, (600.0, 601.0, 3600.0))):
+        income = EnergyIncomeTrace.seeded(seed, cal.HARVEST_HORIZON_S)
+        run = run_harvest_policy(income, wake_cost_j=0.0542,
+                                 brownout_times_s=brownouts)
+        scale = max(run.initial_j + run.harvested_j, 1e-12)
+        worst = max(worst, run.conservation_error_j() / scale)
+        details.append(f"seed {seed}: {run.transmitted}/{run.attempts}")
+    return Deviation(max_deviation=worst, tolerance=1e-9, unit="relative",
+                     detail="; ".join(details))
+
+
+@oracle("energy-income-linearity", "metamorphic",
+        "income integration is linear: scaling a trace scales its "
+        "integral, and adjacent windows sum to their union")
+def check_income_linearity() -> Deviation:
+    worst = 0.0
+    for seed in (11, 12, 13):
+        income = EnergyIncomeTrace.seeded(seed, 3600.0, segment_s=90.0)
+        whole = income.energy_j(0.0, 3600.0)
+        for factor in (0.0, 0.5, 3.0):
+            scaled = income.scaled(factor).energy_j(0.0, 3600.0)
+            worst = max(worst, abs(scaled - factor * whole)
+                        / max(abs(whole), 1e-12))
+        # Split the window at an off-breakpoint instant.
+        split = income.energy_j(0.0, 1234.5) + income.energy_j(1234.5, 3600.0)
+        worst = max(worst, abs(split - whole) / max(abs(whole), 1e-12))
+    return Deviation(max_deviation=worst, tolerance=1e-12, unit="relative",
+                     detail="3 seeds x (3 scales + 1 split)")
+
+
+def _double_crossing_pair() -> tuple[DutyCycleProfile, DutyCycleProfile]:
+    """A profile pair whose power curves cross twice over [0.5, 3600] s.
+
+    The second profile's 60 s transmission window clamps it to a
+    constant p_tx below its rival for all INT <= 60 s, while its far
+    lower idle power wins again at long intervals — so the difference
+    changes sign twice and agrees in sign at both endpoints, exactly
+    the shape the old endpoint-only bisection missed.
+    """
+    first = DutyCycleProfile(name="conventional", energy_per_packet_j=0.9,
+                             t_tx_s=0.01, idle_current_a=0.05 / 3.3,
+                             supply_voltage_v=3.3)
+    second = DutyCycleProfile(name="long-window", energy_per_packet_j=6.0,
+                              t_tx_s=60.0, idle_current_a=0.001 / 3.3,
+                              supply_voltage_v=3.3)
+    return first, second
+
+
+@oracle("energy-crossover-grid-vs-dense", "metamorphic",
+        "the gridded crossover search returns the same earliest root "
+        "as a 16x denser grid, including on a double-crossing pair")
+def check_crossover_grid_density() -> Deviation:
+    first, second = _double_crossing_pair()
+    pairs = [
+        (first, second),
+        (second, first),
+        # A conventional single-crossing pair for contrast.
+        (DutyCycleProfile(name="a", energy_per_packet_j=0.02, t_tx_s=0.07,
+                          idle_current_a=1.3e-5, supply_voltage_v=3.3),
+         DutyCycleProfile(name="b", energy_per_packet_j=0.0198, t_tx_s=0.077,
+                          idle_current_a=4.5e-3, supply_voltage_v=3.3)),
+    ]
+    worst = 0.0
+    found = 0
+    for left, right in pairs:
+        coarse = crossover_interval_s(left, right)
+        dense = crossover_interval_s(left, right, grid_points=2049)
+        if (coarse is None) != (dense is None):
+            worst = max(worst, float("inf"))
+            continue
+        if coarse is not None:
+            found += 1
+            worst = max(worst, abs(coarse - dense))
+    return Deviation(max_deviation=worst, tolerance=2e-3, unit="s",
+                     detail=f"{found} crossings across {len(pairs)} pairs")

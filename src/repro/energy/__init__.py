@@ -10,6 +10,14 @@ from .average import (
 from .battery import AA_LITHIUM, CR2032, TWO_AA_PACK, Battery, BatteryError
 from .cc2541 import Cc2541PowerModel
 from .esp32 import Esp32PowerModel, Esp32Recorder, Esp32State
+from .harvest import (
+    CapacitorBank,
+    EnergyIncomeTrace,
+    HarvestError,
+    HarvestRun,
+    run_harvest_policy,
+)
 from .trace import CurrentTrace, TraceError, TraceSegment
+from .wur import WurModelError, WurPowerModel
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -61,47 +61,94 @@ class DutyCycleProfile:
     def p_idle_w(self) -> float:
         return self.idle_current_a * self.supply_voltage_v
 
-    def average_power_w(self, interval_s: float) -> float:
-        """Eq. 1 for this technology at a given transmission interval."""
+    def average_power_w(self, interval_s: float, *,
+                        strict: bool = False) -> float:
+        """Eq. 1 for this technology at a given transmission interval.
+
+        Intervals in ``(0, t_tx_s]`` mean back-to-back transmissions:
+        the device is never idle, so by default the sweep clamps to
+        ``p_tx_w`` (the limit Eq. 1 approaches from above). Pass
+        ``strict=True`` to instead raise :class:`AveragePowerError` for
+        ``interval_s < t_tx_s`` — the same contract as the module-level
+        :func:`average_power_w`, for callers (like the Figure 4 sweep)
+        that must never silently evaluate Eq. 1 outside its domain.
+        A non-positive interval always raises.
+        """
+        if interval_s <= 0:
+            raise AveragePowerError(
+                f"interval must be positive, got {interval_s}")
         if interval_s <= self.t_tx_s:
-            # Back-to-back transmissions: the device is never idle.
+            if strict and interval_s < self.t_tx_s:
+                raise AveragePowerError(
+                    f"transmission window {self.t_tx_s}s does not fit in "
+                    f"interval {interval_s}s (strict mode refuses the "
+                    f"back-to-back clamp)")
             return self.p_tx_w
         return average_power_w(self.p_tx_w, self.t_tx_s, self.p_idle_w,
                                interval_s)
 
-    def average_current_a(self, interval_s: float) -> float:
-        return self.average_power_w(interval_s) / self.supply_voltage_v
+    def average_current_a(self, interval_s: float, *,
+                          strict: bool = False) -> float:
+        return (self.average_power_w(interval_s, strict=strict)
+                / self.supply_voltage_v)
 
 
 def crossover_interval_s(first: DutyCycleProfile, second: DutyCycleProfile,
                          low_s: float = 0.5, high_s: float = 3600.0,
-                         precision_s: float = 1e-3) -> float | None:
-    """Interval at which two technologies draw equal average power.
+                         precision_s: float = 1e-3,
+                         grid_points: int = 129) -> float | None:
+    """Earliest interval at which two technologies draw equal average power.
 
     Returns None when one profile dominates over the whole range. Used to
     reproduce the paper's observation that WiFi-PS beats WiFi-DC only for
     sub-minute transmission intervals.
+
+    The power difference is *not* guaranteed monotone over [low, high]:
+    below ``t_tx_s`` Eq. 1 clamps to ``p_tx_w``, so a profile with a
+    long transmission window holds a constant power before decaying —
+    against a conventional profile the curves can cross twice (a WUR
+    curve against WiFi-PS does). A single endpoint sign comparison
+    misses every even-crossing pair, so the search pre-scans a
+    ``grid_points``-point geometric grid for sign changes and bisects
+    each bracket, returning the earliest root.
     """
+    if grid_points < 2:
+        raise AveragePowerError(
+            f"grid needs at least 2 points, got {grid_points}")
+    if not 0 < low_s < high_s:
+        raise AveragePowerError(
+            f"need 0 < low ({low_s}) < high ({high_s})")
 
     def difference(interval_s: float) -> float:
         return (first.average_power_w(interval_s)
                 - second.average_power_w(interval_s))
 
-    d_low, d_high = difference(low_s), difference(high_s)
-    if d_low == 0.0:
-        return low_s
-    if d_high == 0.0:
-        return high_s
-    if (d_low > 0) == (d_high > 0):
-        return None
-    lo, hi = low_s, high_s
-    while hi - lo > precision_s:
-        mid = (lo + hi) / 2.0
-        d_mid = difference(mid)
-        if d_mid == 0.0:
-            return mid
-        if (d_mid > 0) == (d_low > 0):
-            lo = mid
-        else:
-            hi = mid
-    return (lo + hi) / 2.0
+    def bisect_bracket(lo: float, hi: float, d_lo: float) -> float:
+        while hi - lo > precision_s:
+            mid = (lo + hi) / 2.0
+            d_mid = difference(mid)
+            if d_mid == 0.0:
+                return mid
+            if (d_mid > 0) == (d_lo > 0):
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2.0
+
+    # Geometric grid: crossings cluster at short intervals (the 1/INT
+    # term dominates there), so log spacing brackets them far more
+    # reliably than linear spacing for the same point count.
+    ratio = (high_s / low_s) ** (1.0 / (grid_points - 1))
+    grid = [low_s * ratio ** index for index in range(grid_points - 1)]
+    grid.append(high_s)
+    previous_t, previous_d = grid[0], difference(grid[0])
+    if previous_d == 0.0:
+        return previous_t
+    for point in grid[1:]:
+        current_d = difference(point)
+        if current_d == 0.0:
+            return point
+        if (current_d > 0) != (previous_d > 0):
+            return bisect_bracket(previous_t, point, previous_d)
+        previous_t, previous_d = point, current_d
+    return None

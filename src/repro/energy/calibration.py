@@ -175,7 +175,8 @@ ULP_CHECK_S = 2.0e-3
 BLE_SLEEP_A = 1.1e-6
 
 #: Per-phase (duration_s, current_a) model of one BLE connection event,
-#: after TI swra347a's six-phase breakdown; durations fit so the event
+#: after TI swra347a's measurement methodology (the app note's scope
+#: shots resolve the eight phases below); durations fit so the event
 #: integrates to the paper's 71 uJ at 3.0 V.
 BLE_EVENT_PHASES: tuple[tuple[str, float, float], ...] = (
     ("wake-up", 400e-6, 6.0e-3),
@@ -189,8 +190,86 @@ BLE_EVENT_PHASES: tuple[tuple[str, float, float], ...] = (
 )
 
 # ---------------------------------------------------------------------------
+# 802.11ba wake-up radio (WUR) companion receiver
+# ---------------------------------------------------------------------------
+# Provenance: (a) the IEEE 802.11ba evaluation (arxiv 1909.00594) sets
+# the WURx power target below 100 uW and models idle as an always-on
+# correlator plus periodic WUR-beacon listen windows; the Yomo
+# on-demand WiFi wake-up receiver (arxiv 1209.6186) is the measured
+# precedent at tens of uW standby. (b) the window durations below are
+# fits: chosen so the idle average lands in the tens-of-uA class the
+# 802.11ba duty-cycle analysis predicts at a 1 s WUR-beacon period,
+# then frozen.
+
+#: Always-on wake-up receiver floor (~30 uW at 3.3 V) — (a).
+WURX_IDLE_A = 9.2e-6
+
+#: WURx actively correlating/decoding OOK (WUR beacon or WUP) — (b),
+#: an order of magnitude above the floor, still uW-class.
+WURX_RX_A = 300.0e-6
+
+#: WUR-beacon period and per-beacon listen window — (b), fit to the
+#: 802.11ba duty-cycle model's default sync cadence.
+WUR_BEACON_PERIOD_S = 1.0
+WUR_BEACON_RX_S = 4.0e-3
+
+#: Wake-up packet (WUP) reception/decode window: a ~48-bit WUP at the
+#: 802.11ba low data rate (31.25 kb/s) plus address-match guard — (a).
+WUR_WUP_RX_S = 2.0e-3
+
+#: Main-radio resume from WUR doze: the association is maintained
+#: (802.11ba keeps the main radio's state while only the WURx listens),
+#: so the wake mirrors the WiFi-PS light-sleep resume — (b), same fit
+#: class as WIFI_PS_WAKE_*.
+WUR_MAIN_WAKE_S = 0.025
+WUR_MAIN_WAKE_A = 35.0e-3
+
+#: The uplink burst after a WUP rides the existing association exactly
+#: like WiFi-PS's TX window — (b), shared constants. Unlike WiFi-PS the
+#: device does not wait on a TIM beacon (the WUP itself is the
+#: schedule), so there is no beacon-sync phase in the WUR burst.
+WUR_TX_S = WIFI_PS_TX_S
+WUR_TX_A = WIFI_PS_TX_A
+WUR_SETTLE_S = WIFI_PS_SETTLE_S
+WUR_SETTLE_A = WIFI_PS_SETTLE_A
+
+# ---------------------------------------------------------------------------
+# RF-energy-harvesting batteryless node
+# ---------------------------------------------------------------------------
+# Provenance: (a) "Powering the Next Billion Devices with Wi-Fi"
+# (arxiv 1505.06815) demonstrates far-field RF harvesting delivering
+# uW-class DC power at room scale, buffered in a capacitor; BEH (arxiv
+# 1911.03381) gates a batteryless beacon's duty cycle on the harvested
+# store. (b) the bank geometry below is a fit: sized so the store holds
+# a small integer number of full Wi-LE wake cycles and the default
+# income sustains a sub-unity report rate at 10-minute intervals, then
+# frozen.
+
+#: Usable energy of the capacitor bank (J) — (b), ~3 full wake cycles.
+HARVEST_CAP_CAPACITY_J = 0.15
+
+#: Charge present when a run starts — (b), ~1 full wake cycle.
+HARVEST_CAP_INITIAL_J = 0.06
+
+#: Bank self-leakage (W): supercap + cold-boot supervisor — (a),
+#: sub-uW class.
+HARVEST_CAP_LEAK_W = 1.0e-6
+
+#: Mean harvested DC power of the default seeded income trace — (a),
+#: the uW-class far-field regime.
+HARVEST_INCOME_MEAN_W = 60.0e-6
+
+#: Default report cadence and horizon for the harvest-gated scenario.
+HARVEST_REPORT_INTERVAL_S = 600.0
+HARVEST_HORIZON_S = 7200.0
+
+# ---------------------------------------------------------------------------
 # Paper targets (Table 1), used by tests and the comparison benches
 # ---------------------------------------------------------------------------
+# The two device classes added from the related work (WUR, Batteryless)
+# have no Table 1 column in the source paper, so they carry no entry
+# here; :class:`repro.scenarios.compare.Table1Row` treats the missing
+# target as "no paper figure" (ratio None) rather than an error.
 
 PAPER_ENERGY_PER_PACKET_J = {
     "Wi-LE": 84e-6,

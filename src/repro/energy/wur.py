@@ -1,0 +1,146 @@
+"""802.11ba wake-up radio (WUR) power model.
+
+The IEEE 802.11ba evaluation (arxiv 1909.00594) splits a WUR device's
+life into phases: an always-on (or duty-cycled) uW-class wake-up
+receiver, periodic WUR-beacon listen windows that keep the WURx
+synchronised, and — on receipt of a wake-up packet (WUP) — a main-radio
+resume followed by normal uplink traffic on the *maintained*
+association. The Yomo on-demand WiFi wake-up receiver (arxiv 1209.6186)
+is the measured precedent for the tens-of-uW standby figure.
+
+This module encodes that phase model against the repo's calibration
+constants (see the provenance notes in
+:mod:`repro.energy.calibration`). The closed forms here are the
+analytic ground truth the ``wur-*`` oracles in :mod:`repro.check`
+compare trace integration against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import calibration as cal
+from .trace import CurrentTrace
+
+
+class WurModelError(ValueError):
+    """Raised for physically meaningless WUR parameters."""
+
+
+@dataclass(frozen=True, slots=True)
+class WurPowerModel:
+    """Phase model of one 802.11ba station (ESP32-class main radio).
+
+    Attributes mirror the calibration constants so ablations can swap
+    individual currents; all durations in seconds, currents in amperes.
+    """
+
+    supply_voltage_v: float = cal.SUPPLY_VOLTAGE_V
+    #: Main-SoC deep-sleep floor underneath the WURx.
+    deep_sleep_a: float = cal.ESP32_DEEP_SLEEP_A
+    wurx_idle_a: float = cal.WURX_IDLE_A
+    wurx_rx_a: float = cal.WURX_RX_A
+    beacon_period_s: float = cal.WUR_BEACON_PERIOD_S
+    beacon_rx_s: float = cal.WUR_BEACON_RX_S
+    wup_rx_s: float = cal.WUR_WUP_RX_S
+    main_wake_s: float = cal.WUR_MAIN_WAKE_S
+    main_wake_a: float = cal.WUR_MAIN_WAKE_A
+    tx_s: float = cal.WUR_TX_S
+    tx_a: float = cal.WUR_TX_A
+    settle_s: float = cal.WUR_SETTLE_S
+    settle_a: float = cal.WUR_SETTLE_A
+
+    def __post_init__(self) -> None:
+        if self.beacon_period_s <= 0:
+            raise WurModelError("WUR beacon period must be positive")
+        if self.beacon_rx_s < 0 or self.beacon_rx_s > self.beacon_period_s:
+            raise WurModelError(
+                f"beacon listen window {self.beacon_rx_s}s must fit in the "
+                f"{self.beacon_period_s}s period")
+        if min(self.deep_sleep_a, self.wurx_idle_a, self.wurx_rx_a,
+               self.main_wake_a, self.tx_a, self.settle_a) < 0:
+            raise WurModelError("negative current makes no sense")
+
+    # -- idle (doze) -------------------------------------------------------
+
+    def idle_current_a(self) -> float:
+        """Long-run doze current: deep sleep + WURx + beacon windows.
+
+        The main SoC deep-sleeps under the always-on WURx floor; every
+        ``beacon_period_s`` the WURx spends ``beacon_rx_s`` at its
+        active correlation current to track the WUR beacon (the
+        802.11ba sync phase). The closed form is the duty-cycle
+        average, exactly as :func:`~repro.scenarios.wifi_ps.
+        idle_current_for_listen_interval` averages PS beacon skipping.
+        """
+        extra_a = self.wurx_rx_a - self.wurx_idle_a
+        duty = self.beacon_rx_s / self.beacon_period_s
+        return self.deep_sleep_a + self.wurx_idle_a + extra_a * duty
+
+    def record_idle(self, trace: CurrentTrace, duration_s: float) -> None:
+        """Append one doze span as explicit beacon-window microstructure.
+
+        Whole beacon periods are laid down as (listen, floor) pairs;
+        the remainder is floor-only. Integrating this trace and the
+        :meth:`idle_current_a` closed form must agree — the
+        ``wur-idle-closed-form`` oracle holds them to it.
+        """
+        if duration_s < 0:
+            raise WurModelError(f"negative idle span {duration_s}")
+        floor_a = self.deep_sleep_a + self.wurx_idle_a
+        listen_a = self.deep_sleep_a + self.wurx_rx_a
+        remaining = duration_s
+        while remaining >= self.beacon_period_s:
+            if self.beacon_rx_s > 0:
+                trace.append(self.beacon_rx_s, listen_a, "wur-beacon")
+            trace.append(self.beacon_period_s - self.beacon_rx_s, floor_a,
+                         "sleep")
+            remaining -= self.beacon_period_s
+        if remaining > 0:
+            trace.append(remaining, floor_a, "sleep")
+
+    # -- the wake burst ----------------------------------------------------
+
+    def burst_phases(self) -> tuple[tuple[str, float, float], ...]:
+        """(label, duration_s, current_a) for one WUP-triggered report.
+
+        WUP decode by the WURx, main-radio resume (association
+        maintained — no re-association, per 802.11ba), the uplink TX
+        window, and the return to doze. There is no beacon-sync phase:
+        the WUP itself carries the schedule, which is what puts WUR's
+        per-packet energy below WiFi-PS's.
+        """
+        return (
+            ("wup-rx", self.wup_rx_s, self.deep_sleep_a + self.wurx_rx_a),
+            ("wake", self.main_wake_s, self.main_wake_a),
+            ("tx", self.tx_s, self.tx_a),
+            ("settle", self.settle_s, self.settle_a),
+        )
+
+    def burst_duration_s(self) -> float:
+        return sum(duration for _label, duration, _current
+                   in self.burst_phases())
+
+    def burst_charge_c(self) -> float:
+        return sum(duration * current
+                   for _label, duration, current in self.burst_phases())
+
+    def energy_per_packet_j(self) -> float:
+        """The Table 1 "energy per packet" figure for WUR."""
+        return self.burst_charge_c() * self.supply_voltage_v
+
+    def record_burst(self, trace: CurrentTrace) -> None:
+        """Append one wake burst's phases at the trace cursor."""
+        for label, duration_s, current_a in self.burst_phases():
+            trace.append(duration_s, current_a, label)
+
+    # -- whole cycles ------------------------------------------------------
+
+    def average_current_a(self, interval_s: float) -> float:
+        """Long-run average when one WUP arrives every ``interval_s``."""
+        burst_s = self.burst_duration_s()
+        if interval_s <= burst_s:
+            return self.burst_charge_c() / burst_s
+        idle_s = interval_s - burst_s
+        return (self.burst_charge_c()
+                + self.idle_current_a() * idle_s) / interval_s

@@ -24,6 +24,7 @@ from . import (
     contention,
     fleet_scale,
     mobility,
+    new_devices,
     reliability,
     resilience,
     scheduling,
@@ -71,7 +72,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
 
-    print("running the four measurement scenarios...")
+    print("running the measurement scenarios...")
     results = run_all_scenarios(workers=args.workers)
 
     _banner("Table 1")
@@ -86,6 +87,7 @@ def main(argv: list[str] | None = None) -> int:
     fleet_points = None
     resilience_points = None
     mobility_points = None
+    harvester_points = None
     if not args.quick:
         _banner("Section 6: multi-device jitter")
         print(run_multi_device().render())
@@ -117,6 +119,15 @@ def main(argv: list[str] | None = None) -> int:
         _banner("Mobility: handoff tax")
         mobility_points = mobility.run_mobility(workers=args.workers)
         print(mobility.render(mobility_points))
+        _banner("New device classes: WUR + batteryless harvesting")
+        print(new_devices.render_phases(results))
+        harvester_points = new_devices.run_harvester_resilience(
+            workers=args.workers)
+        print()
+        print(new_devices.render_resilience(harvester_points))
+        print()
+        print(new_devices.render_fleet(
+            new_devices.run_harvester_fleet(workers=args.workers)))
 
     if args.out is not None:
         _banner(f"Artifacts -> {args.out}")
@@ -146,6 +157,8 @@ def main(argv: list[str] | None = None) -> int:
         if mobility_points is not None:
             for point in mobility_points:
                 report.merge(audit_mobility(point))
+        if harvester_points is not None:
+            report.merge(new_devices.audit_points(harvester_points))
         print(report.render())
         audit_failed = not report.ok
 

@@ -51,10 +51,14 @@ def write_table1_csv(path: str,
         writer.writerow(["scenario", "energy_per_packet_j", "paper_energy_j",
                          "idle_current_a", "paper_idle_a"])
         for row in rows:
+            # Rows beyond the paper's four columns carry no published
+            # target; emit an empty cell, not a crash.
             writer.writerow([row.name, f"{row.energy_per_packet_j:.9g}",
-                             f"{row.paper_energy_j:.9g}",
+                             f"{row.paper_energy_j:.9g}"
+                             if row.paper_energy_j is not None else "",
                              f"{row.idle_current_a:.9g}",
-                             f"{row.paper_idle_a:.9g}"])
+                             f"{row.paper_idle_a:.9g}"
+                             if row.paper_idle_a is not None else ""])
     return WrittenArtifact(path, len(rows))
 
 

@@ -27,10 +27,18 @@ class Table1Report:
     results: dict[str, ScenarioResult]
 
     def max_energy_error(self) -> float:
-        return max(abs(row.energy_ratio - 1.0) for row in self.rows)
+        """Worst |ratio - 1| over the rows with a paper energy target.
+
+        Rows beyond the paper's four columns (WUR, Batteryless) have no
+        published figure and are skipped rather than crashed on.
+        """
+        return max(abs(row.energy_ratio - 1.0) for row in self.rows
+                   if row.energy_ratio is not None)
 
     def max_idle_error(self) -> float:
-        return max(abs(row.idle_ratio - 1.0) for row in self.rows)
+        """Worst |ratio - 1| over the rows with a paper idle target."""
+        return max(abs(row.idle_ratio - 1.0) for row in self.rows
+                   if row.idle_ratio is not None)
 
     def render(self) -> str:
         rows = []
@@ -38,10 +46,13 @@ class Table1Report:
             rows.append([
                 row.name,
                 format_si(row.energy_per_packet_j, "J"),
-                format_si(row.paper_energy_j, "J"),
-                f"{row.energy_ratio:.3f}",
+                format_si(row.paper_energy_j, "J")
+                if row.paper_energy_j is not None else "-",
+                f"{row.energy_ratio:.3f}"
+                if row.energy_ratio is not None else "-",
                 format_si(row.idle_current_a, "A"),
-                format_si(row.paper_idle_a, "A"),
+                format_si(row.paper_idle_a, "A")
+                if row.paper_idle_a is not None else "-",
             ])
         return render_table(
             "Table 1: energy per message and idle current",

@@ -25,6 +25,7 @@ from .audit import (
     audit_faults,
     audit_federation,
     audit_fleet,
+    audit_harvest,
     audit_mobility,
     audit_scenario,
     audit_trace,

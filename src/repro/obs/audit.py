@@ -207,6 +207,84 @@ def audit_scenario(result, rel_tol: float = CHARGE_REL_TOL,
             report.findings.append(AuditFinding(
                 "frame-log-monotonic", subject,
                 "frame log timestamps go backwards"))
+
+    harvest = getattr(result, "details", {}).get("harvest")
+    if harvest is not None:
+        report.merge(audit_harvest(harvest, subject=subject,
+                                   rel_tol=rel_tol))
+    return report
+
+
+def audit_harvest(run, subject: str = "harvest",
+                  rel_tol: float = CHARGE_REL_TOL) -> AuditReport:
+    """Audit one harvest-gated run's energy and report accounting.
+
+    Duck-typed on :class:`repro.energy.harvest.HarvestRun` (so the
+    audit layer never imports the energy-policy layer):
+
+    * **harvest-conservation** — the capacitor's books balance:
+      ``initial + harvested == store + leaked + loaded + spilled`` to
+      the charge tolerance. Every joule that crossed the bank boundary
+      is in exactly one ledger;
+    * **report-accounting** — every scheduled report was decided
+      exactly once (``attempts == transmitted + missed``) and the load
+      ledger equals ``transmitted * wake_cost_j`` plus the brownout
+      drains — a transmission can only ever draw the full wake cost;
+    * **store-bounds** — the store never went negative and never
+      exceeded the capacitor's capacity, including at the extremes the
+      run witnessed;
+    * **non-negative counters** — no ledger or counter went backwards.
+    """
+    report = AuditReport()
+
+    report.checks += 1
+    error_j = run.conservation_error_j()
+    scale_j = max(abs(run.initial_j) + abs(run.harvested_j), 1e-12)
+    if error_j / scale_j > rel_tol:
+        report.findings.append(AuditFinding(
+            "harvest-conservation", subject,
+            f"initial {run.initial_j!r} J + harvested {run.harvested_j!r} J "
+            f"does not balance store {run.final_store_j!r} + leaked "
+            f"{run.leaked_j!r} + loaded {run.loaded_j!r} + spilled "
+            f"{run.spilled_j!r} (error {error_j:.3g} J)"))
+
+    report.checks += 1
+    if run.attempts != run.transmitted + run.missed:
+        report.findings.append(AuditFinding(
+            "report-accounting", subject,
+            f"{run.attempts} attempts but {run.transmitted} transmitted "
+            f"+ {run.missed} missed"))
+    expected_load_j = run.transmitted * run.wake_cost_j + run.brownout_drain_j
+    if _rel_err(expected_load_j, run.loaded_j) > rel_tol and \
+            abs(expected_load_j - run.loaded_j) > 1e-12:
+        report.findings.append(AuditFinding(
+            "report-accounting", subject,
+            f"{run.transmitted} transmissions x {run.wake_cost_j!r} J "
+            f"+ {run.brownout_drain_j!r} J brownout drain should load "
+            f"{expected_load_j!r} J but the ledger says {run.loaded_j!r} J"))
+
+    report.checks += 1
+    slack_j = rel_tol * max(run.capacity_j, 1.0)
+    if run.min_store_j < -slack_j or run.max_store_j > run.capacity_j + slack_j:
+        report.findings.append(AuditFinding(
+            "store-bounds", subject,
+            f"store ranged [{run.min_store_j!r}, {run.max_store_j!r}] J "
+            f"outside [0, {run.capacity_j!r}] J"))
+    if not 0.0 - slack_j <= run.final_store_j <= run.capacity_j + slack_j:
+        report.findings.append(AuditFinding(
+            "store-bounds", subject,
+            f"final store {run.final_store_j!r} J outside "
+            f"[0, {run.capacity_j!r}] J"))
+
+    report.checks += 1
+    for attribute in ("attempts", "transmitted", "missed", "brownouts",
+                      "brownout_drain_j", "harvested_j", "leaked_j",
+                      "loaded_j", "spilled_j"):
+        value = getattr(run, attribute)
+        if value < 0:
+            report.findings.append(AuditFinding(
+                "non-negative-counters", subject,
+                f"{attribute}={value!r} is negative"))
     return report
 
 

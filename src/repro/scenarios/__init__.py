@@ -1,4 +1,5 @@
-"""The four §5.3 evaluation scenarios and cross-scenario comparisons."""
+"""The §5.3 evaluation scenarios (plus WUR and batteryless) and
+cross-scenario comparisons."""
 
 from .base import (
     Burst,
@@ -19,8 +20,10 @@ from .compare import (
     run_all_scenarios,
     table1,
 )
+from .batteryless import run_batteryless
 from .wifi_dc import run_wifi_dc
 from .wifi_ps import run_wifi_ps
 from .wile import run_wile
+from .wur import run_wur
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -90,6 +90,16 @@ def emit_scenario_metrics(result: ScenarioResult,
                                        scenario=name)
         for segment in trace:
             durations.observe(segment.duration_s)
+    delivery = result.details.get("delivery")
+    if delivery is not None:
+        # Harvest-gated scenarios report scheduled-vs-funded delivery
+        # (a missed report is an energy outcome, not a radio loss) —
+        # the same counter family the fleet's gateway accounting uses.
+        for outcome in ("attempted", "delivered", "missed"):
+            registry.counter("scenario.reports", scenario=name,
+                             outcome=outcome).inc(int(delivery[outcome]))
+        registry.gauge("scenario.delivery_ratio", scenario=name).set(
+            float(delivery["delivered"]) / max(int(delivery["attempted"]), 1))
     frame_log = result.frame_log
     if frame_log is not None:
         for layer in set(entry.layer for entry in frame_log.entries):

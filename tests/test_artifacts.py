@@ -32,8 +32,13 @@ class TestTable1Csv:
         rows = read_csv(artifact.path)
         assert rows[0] == ["scenario", "energy_per_packet_j", "paper_energy_j",
                            "idle_current_a", "paper_idle_a"]
-        assert len(rows) == 5
-        assert artifact.rows == 4
+        assert len(rows) == 7
+        assert artifact.rows == 6
+        # Extension rows have no paper targets: empty cells, not crashes.
+        by_name = {row[0]: row for row in rows[1:]}
+        for name in ("WUR", "Batteryless"):
+            assert by_name[name][2] == ""
+            assert by_name[name][4] == ""
 
     def test_values_parse_back(self, results, tmp_path):
         artifact = write_table1_csv(str(tmp_path / "t1.csv"), results)
@@ -49,7 +54,8 @@ class TestFigure4Csv:
         rows = read_csv(artifact.path)
         assert rows[0] == ["scenario", "interval_s", "average_power_w"]
         scenarios = {row[0] for row in rows[1:]}
-        assert scenarios == {"Wi-LE", "BLE", "WiFi-DC", "WiFi-PS"}
+        assert scenarios == {"Wi-LE", "BLE", "WiFi-DC", "WiFi-PS",
+                             "WUR", "Batteryless"}
         assert artifact.rows == len(rows) - 1
 
     def test_power_column_monotone_per_scenario(self, results, tmp_path):

@@ -1,0 +1,370 @@
+"""WUR + harvesting device classes and the energy-layer bugfixes.
+
+Covers the 802.11ba WUR phase model, the harvesting chain (income
+traces, capacitor bank, gated duty cycle), the `crossover_interval_s`
+multi-bracket regression, the `average_power_w` strict-clamp contract,
+hypothesis property tests (battery-life monotonicity, store bounds
+under adversarial income), and golden pins for the new table1 rows.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy import calibration as cal
+from repro.energy.average import (
+    AveragePowerError,
+    DutyCycleProfile,
+    crossover_interval_s,
+)
+from repro.energy.battery import CR2032, Battery
+from repro.energy.harvest import (
+    CapacitorBank,
+    EnergyIncomeTrace,
+    HarvestError,
+    run_harvest_policy,
+)
+from repro.energy.trace import CurrentTrace
+from repro.energy.wur import WurModelError, WurPowerModel
+from repro.obs import audit_harvest, audit_scenario
+from repro.scenarios import run_batteryless, run_wur
+
+
+class TestWurModel:
+    def test_idle_closed_form_matches_trace(self):
+        model = WurPowerModel()
+        trace = CurrentTrace()
+        model.record_idle(trace, 5 * model.beacon_period_s)
+        assert trace.average_current_a() == pytest.approx(
+            model.idle_current_a(), rel=1e-12)
+
+    def test_burst_energy_matches_phase_sum(self):
+        model = WurPowerModel()
+        expected = sum(duration * current * model.supply_voltage_v
+                       for _label, duration, current in model.burst_phases())
+        assert model.energy_per_packet_j() == pytest.approx(expected)
+
+    def test_zero_wakeups_equals_deep_sleep(self):
+        model = WurPowerModel(wurx_idle_a=0.0, wurx_rx_a=0.0,
+                              beacon_rx_s=0.0)
+        assert model.idle_current_a() == cal.ESP32_DEEP_SLEEP_A
+
+    def test_average_current_approaches_idle(self):
+        model = WurPowerModel()
+        assert model.average_current_a(86400.0) == pytest.approx(
+            model.idle_current_a(), rel=1e-2)
+        assert model.average_current_a(86400.0) > model.idle_current_a()
+
+    def test_validation(self):
+        with pytest.raises(WurModelError):
+            WurPowerModel(beacon_period_s=0.0)
+        with pytest.raises(WurModelError):
+            WurPowerModel(beacon_rx_s=2.0, beacon_period_s=1.0)
+        with pytest.raises(WurModelError):
+            WurPowerModel(tx_a=-1.0)
+
+
+class TestWurScenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_wur()
+
+    def test_energy_between_ble_and_wifi_ps(self, result):
+        assert (cal.PAPER_ENERGY_PER_PACKET_J["BLE"]
+                < result.energy_per_packet_j
+                < cal.PAPER_ENERGY_PER_PACKET_J["WiFi-PS"])
+
+    def test_golden_pin(self, result):
+        """Golden table1 numbers for the WUR row (calibration-derived)."""
+        assert result.energy_per_packet_j == pytest.approx(16.6317e-3,
+                                                           rel=1e-4)
+        assert result.idle_current_a == pytest.approx(12.8632e-6, rel=1e-4)
+        assert result.t_tx_s == pytest.approx(0.06713, rel=1e-6)
+
+    def test_trace_has_wur_microstructure(self, result):
+        labels = {segment.label for segment in result.trace}
+        assert {"wur-beacon", "wup-rx", "wake", "tx", "settle"} <= labels
+
+    def test_association_proven(self, result):
+        assert result.details["associated_at_s"] < result.details["sent_at_s"]
+
+    def test_audit_clean(self, result):
+        assert audit_scenario(result).ok
+
+
+class TestIncomeTrace:
+    def test_exact_integral_constant(self):
+        income = EnergyIncomeTrace.constant(5e-6)
+        assert income.energy_j(0.0, 100.0) == pytest.approx(5e-4)
+
+    def test_piecewise_trapezoid(self):
+        income = EnergyIncomeTrace(times_s=(0.0, 10.0), powers_w=(0.0, 1.0))
+        # A ramp: integral over the ramp is the triangle area.
+        assert income.energy_j(0.0, 10.0) == pytest.approx(5.0)
+        # Beyond the last breakpoint the power holds.
+        assert income.energy_j(10.0, 20.0) == pytest.approx(10.0)
+
+    def test_seeded_is_deterministic(self):
+        a = EnergyIncomeTrace.seeded(99, 3600.0)
+        b = EnergyIncomeTrace.seeded(99, 3600.0)
+        assert a == b
+        assert EnergyIncomeTrace.seeded(100, 3600.0) != a
+
+    def test_validation(self):
+        with pytest.raises(HarvestError):
+            EnergyIncomeTrace(times_s=(1.0,), powers_w=(0.0,))
+        with pytest.raises(HarvestError):
+            EnergyIncomeTrace(times_s=(0.0, 0.0), powers_w=(0.0, 0.0))
+        with pytest.raises(HarvestError):
+            EnergyIncomeTrace(times_s=(0.0,), powers_w=(-1.0,))
+
+
+class TestCapacitorBank:
+    def test_conservation_closes(self):
+        bank = CapacitorBank(capacity_j=0.1, initial_j=0.05, leak_w=1e-6)
+        bank.advance(1000.0, 0.02)
+        assert bank.try_draw(0.03)
+        bank.advance(1000.0, 0.2)  # overfill -> spill
+        bank.drain(0.01)
+        assert bank.conservation_error_j() < 1e-12
+
+    def test_gate_is_all_or_nothing(self):
+        bank = CapacitorBank(capacity_j=0.1, initial_j=0.01, leak_w=0.0)
+        assert not bank.try_draw(0.02)
+        assert bank.store_j == pytest.approx(0.01)
+        assert bank.loaded_j == 0.0
+
+    def test_leak_bounded_by_store(self):
+        bank = CapacitorBank(capacity_j=0.1, initial_j=1e-9, leak_w=1.0)
+        bank.advance(100.0, 0.0)
+        assert bank.store_j == 0.0
+        assert bank.leaked_j == pytest.approx(1e-9)
+
+
+class TestHarvestPolicy:
+    def test_zero_income_empty_store_never_transmits(self):
+        run = run_harvest_policy(EnergyIncomeTrace.zero(),
+                                 bank=CapacitorBank(initial_j=0.0),
+                                 wake_cost_j=0.05)
+        assert run.transmitted == 0
+        assert run.missed == run.attempts == 12
+        assert run.delivery_ratio == 0.0
+
+    def test_zero_income_default_store_delivers_below_one(self):
+        result = run_batteryless(income=EnergyIncomeTrace.zero())
+        delivery = result.details["delivery"]
+        assert delivery["delivered"] < delivery["attempted"]
+        ratio = result.details["harvest"].delivery_ratio
+        assert ratio < 1.0
+
+    def test_rich_income_delivers_everything(self):
+        run = run_harvest_policy(EnergyIncomeTrace.constant(500e-6),
+                                 wake_cost_j=0.0542)
+        assert run.missed == 0
+        assert run.delivery_ratio == 1.0
+
+    def test_brownout_drains_without_reporting(self):
+        quiet = run_harvest_policy(EnergyIncomeTrace.constant(100e-6),
+                                   wake_cost_j=0.0542)
+        stormy = run_harvest_policy(EnergyIncomeTrace.constant(100e-6),
+                                    wake_cost_j=0.0542,
+                                    brownout_times_s=(100.0, 1300.0))
+        assert stormy.brownouts == 2
+        assert stormy.brownout_drain_j > 0.0
+        assert stormy.transmitted <= quiet.transmitted
+        assert audit_harvest(stormy).ok
+
+    def test_audit_catches_cooked_books(self):
+        run = run_harvest_policy(EnergyIncomeTrace.constant(100e-6),
+                                 wake_cost_j=0.0542)
+        import dataclasses
+        cooked = dataclasses.replace(run, harvested_j=run.harvested_j + 1.0)
+        report = audit_harvest(cooked)
+        assert not report.ok
+        assert any(f.invariant == "harvest-conservation"
+                   for f in report.findings)
+
+
+class TestBatterylessScenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_batteryless()
+
+    def test_golden_pin(self, result):
+        """Golden table1 numbers for the Batteryless row."""
+        assert result.energy_per_packet_j == pytest.approx(54.138e-3,
+                                                           rel=1e-3)
+        assert result.idle_current_a == pytest.approx(2.80303e-6, rel=1e-4)
+        assert result.t_tx_s == pytest.approx(0.35021, rel=1e-3)
+
+    def test_wake_cost_is_boot_plus_tx(self, result):
+        assert result.energy_per_packet_j == pytest.approx(
+            result.details["boot_energy_j"] + result.details["tx_energy_j"])
+
+    def test_delivery_counters_consistent(self, result):
+        delivery = result.details["delivery"]
+        assert delivery["attempted"] == (delivery["delivered"]
+                                         + delivery["missed"])
+        run = result.details["harvest"]
+        assert run.attempts == delivery["attempted"]
+
+    def test_audit_includes_harvest(self, result):
+        report = audit_scenario(result)
+        assert report.ok
+        # The scenario audit must have folded the harvest audit in.
+        assert report.checks >= 10
+
+
+class TestAveragePowerStrictContract:
+    def test_default_clamps_like_before(self):
+        profile = DutyCycleProfile(name="x", energy_per_packet_j=1.0,
+                                   t_tx_s=10.0, idle_current_a=1e-6,
+                                   supply_voltage_v=3.3)
+        assert profile.average_power_w(5.0) == profile.p_tx_w
+
+    def test_strict_raises_inside_window(self):
+        """Regression: pre-fix there was no way to get the module-level
+        contract from the method — the clamp was silent and mandatory."""
+        profile = DutyCycleProfile(name="x", energy_per_packet_j=1.0,
+                                   t_tx_s=10.0, idle_current_a=1e-6,
+                                   supply_voltage_v=3.3)
+        with pytest.raises(AveragePowerError):
+            profile.average_power_w(5.0, strict=True)
+        # Exactly at the window is the continuous limit: allowed.
+        assert profile.average_power_w(10.0, strict=True) == profile.p_tx_w
+
+    def test_nonpositive_interval_always_raises(self):
+        profile = DutyCycleProfile(name="x", energy_per_packet_j=1.0,
+                                   t_tx_s=10.0, idle_current_a=1e-6,
+                                   supply_voltage_v=3.3)
+        for strict in (False, True):
+            with pytest.raises(AveragePowerError):
+                profile.average_power_w(0.0, strict=strict)
+
+
+def _double_crossing_pair():
+    """Clamp-induced double crossing: see check/energy.py's twin."""
+    first = DutyCycleProfile(name="conventional", energy_per_packet_j=0.9,
+                             t_tx_s=0.01, idle_current_a=0.05 / 3.3,
+                             supply_voltage_v=3.3)
+    second = DutyCycleProfile(name="long-window", energy_per_packet_j=6.0,
+                              t_tx_s=60.0, idle_current_a=0.001 / 3.3,
+                              supply_voltage_v=3.3)
+    return first, second
+
+
+class TestCrossoverMultiBracket:
+    def test_double_crossing_found(self):
+        """Regression: the endpoints agree in sign (first > second at
+        both 0.5 s and 3600 s), so the pre-fix endpoint-only bisection
+        returned None. The grid scan must find the earliest crossing."""
+        first, second = _double_crossing_pair()
+        difference = (lambda t: first.average_power_w(t)
+                      - second.average_power_w(t))
+        assert difference(0.5) > 0 and difference(3600.0) > 0
+        crossing = crossover_interval_s(first, second)
+        assert crossing is not None
+        assert 10.0 < crossing < 60.0
+        # It really is a sign change, and the earliest one.
+        assert difference(crossing - 0.1) * difference(crossing + 0.1) < 0
+
+    def test_second_crossing_exists(self):
+        """The pair crosses back: there is a second root after the
+        first, which earliest-crossing must NOT return."""
+        first, second = _double_crossing_pair()
+        earliest = crossover_interval_s(first, second)
+        later = crossover_interval_s(first, second, low_s=earliest + 1.0)
+        assert later is not None
+        assert later > earliest + 1.0
+
+    def test_single_crossing_unchanged(self):
+        ps = DutyCycleProfile(name="ps", energy_per_packet_j=19.8e-3,
+                              t_tx_s=0.077, idle_current_a=4.5e-3,
+                              supply_voltage_v=3.3)
+        dc = DutyCycleProfile(name="dc", energy_per_packet_j=238.2e-3,
+                              t_tx_s=1.9, idle_current_a=2.5e-6,
+                              supply_voltage_v=3.3)
+        crossing = crossover_interval_s(ps, dc)
+        assert crossing is not None and 2.0 < crossing < 120.0
+
+    def test_no_crossing_returns_none(self):
+        cheap = DutyCycleProfile(name="cheap", energy_per_packet_j=0.9,
+                                 t_tx_s=0.01, idle_current_a=0.05 / 3.3,
+                                 supply_voltage_v=3.3)
+        dear = DutyCycleProfile(name="dear", energy_per_packet_j=1.8,
+                                t_tx_s=0.01, idle_current_a=0.1 / 3.3,
+                                supply_voltage_v=3.3)
+        assert crossover_interval_s(cheap, dear) is None
+
+    def test_parameter_validation(self):
+        first, second = _double_crossing_pair()
+        with pytest.raises(AveragePowerError):
+            crossover_interval_s(first, second, grid_points=1)
+        with pytest.raises(AveragePowerError):
+            crossover_interval_s(first, second, low_s=10.0, high_s=1.0)
+
+
+class TestBatteryLifeMonotone:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0,
+                              allow_nan=False), min_size=2, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_life_hours_monotone_non_increasing_in_load(self, loads):
+        """More load can never mean more life, across any load ladder."""
+        loads = sorted(loads)
+        lives = [CR2032.life_hours(load) for load in loads]
+        for earlier, later in zip(lives, lives[1:]):
+            assert later <= earlier + 1e-9
+
+    @given(st.floats(min_value=1e-9, max_value=1.0, allow_nan=False),
+           st.floats(min_value=1.0, max_value=4.0, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_bigger_cell_lives_longer(self, load_a, factor):
+        bigger = Battery("big", capacity_mah=CR2032.capacity_mah * factor,
+                         nominal_voltage_v=CR2032.nominal_voltage_v)
+        assert bigger.life_hours(load_a) >= CR2032.life_hours(load_a) - 1e-9
+
+
+@st.composite
+def income_traces(draw):
+    """Adversarial piecewise-linear income: spiky, flat, or zero."""
+    count = draw(st.integers(min_value=1, max_value=12))
+    gaps = draw(st.lists(st.floats(min_value=1e-3, max_value=900.0,
+                                   allow_nan=False),
+                         min_size=count - 1, max_size=count - 1))
+    times, cursor = [0.0], 0.0
+    for gap in gaps:
+        cursor += gap
+        times.append(cursor)
+    powers = draw(st.lists(st.floats(min_value=0.0, max_value=1.0,
+                                     allow_nan=False),
+                           min_size=count, max_size=count))
+    return EnergyIncomeTrace(times_s=tuple(times), powers_w=tuple(powers))
+
+
+class TestHarvestStoreBounds:
+    @given(income_traces(),
+           st.floats(min_value=1e-4, max_value=0.3, allow_nan=False),
+           st.lists(st.floats(min_value=0.0, max_value=7200.0,
+                              allow_nan=False), max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_store_never_negative_never_over_capacity(self, income,
+                                                      wake_cost_j,
+                                                      brownouts):
+        """Across adversarial income, costs and brownouts the store
+        stays inside [0, capacity] and the books always balance."""
+        bank = CapacitorBank()
+        run = run_harvest_policy(income, bank=bank, wake_cost_j=wake_cost_j,
+                                 brownout_times_s=tuple(brownouts))
+        assert run.min_store_j >= 0.0
+        assert run.max_store_j <= run.capacity_j * (1 + 1e-12)
+        assert audit_harvest(run).ok
+
+    @given(income_traces())
+    @settings(max_examples=50, deadline=None)
+    def test_income_integral_non_negative_and_additive(self, income):
+        whole = income.energy_j(0.0, 7200.0)
+        split = income.energy_j(0.0, 1000.0) + income.energy_j(1000.0, 7200.0)
+        assert whole >= 0.0
+        assert math.isclose(whole, split, rel_tol=1e-9, abs_tol=1e-12)

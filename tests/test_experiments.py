@@ -104,7 +104,7 @@ class TestFigure4Experiment:
         report = run_figure4(results)
         text = report.render()
         assert "crossover" in text
-        assert len(report.series) == 4
+        assert len(report.series) == 6
 
 
 class TestFrameCountExperiment:

@@ -42,8 +42,14 @@ class TestTable1:
     def test_table_rows_cover_all_scenarios(self, results):
         rows = table1(results)
         assert [row.name for row in rows] == ["Wi-LE", "BLE", "WiFi-DC",
-                                              "WiFi-PS"]
-        assert all(abs(row.energy_ratio - 1.0) < TOLERANCE for row in rows)
+                                              "WiFi-PS", "WUR", "Batteryless"]
+        assert all(abs(row.energy_ratio - 1.0) < TOLERANCE for row in rows
+                   if row.energy_ratio is not None)
+        # The extension rows carry no paper target: ratios are None.
+        by_name = {row.name: row for row in rows}
+        for name in ("WUR", "Batteryless"):
+            assert by_name[name].energy_ratio is None
+            assert by_name[name].idle_ratio is None
 
     def test_ordering_matches_paper(self, results):
         """Wi-LE ~ BLE << WiFi-PS << WiFi-DC on energy per packet."""
@@ -52,6 +58,11 @@ class TestTable1:
         assert energy["BLE"] < energy["Wi-LE"] < energy["WiFi-PS"] < energy["WiFi-DC"]
         assert energy["WiFi-PS"] / energy["Wi-LE"] > 100
         assert energy["WiFi-DC"] / energy["WiFi-PS"] > 10
+        # The extension columns slot in where their phase models say:
+        # WUR skips WiFi-PS's beacon-sync wait (cheaper per packet),
+        # batteryless pays a full cold boot every report (dearer).
+        assert energy["BLE"] < energy["WUR"] < energy["WiFi-PS"]
+        assert energy["WiFi-PS"] < energy["Batteryless"] < energy["WiFi-DC"]
 
     def test_wifi_ps_idle_is_about_2000x_deep_sleep(self, results):
         """§5.4: 'the idle current consumption is about 2000 times more
